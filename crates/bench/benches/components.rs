@@ -1,0 +1,141 @@
+//! Component microbenchmarks: the substrates underneath the model and the
+//! testbed simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use carat::lock::{LockManager, LockMode};
+use carat::qnet::{solve_convolution, yao_blocks, CenterKind, Network};
+use carat::storage::{Database, RecordId};
+
+/// Exact multi-chain MVA over growing population lattices.
+fn mva_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mva_exact");
+    for chains in [2usize, 4, 6] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(chains),
+            &chains,
+            |b, &chains| {
+                let mut net = Network::new();
+                let cpu = net.add_center("CPU", CenterKind::Queueing);
+                let disk = net.add_center("DISK", CenterKind::Queueing);
+                let z = net.add_center("Z", CenterKind::Delay);
+                for k in 0..chains {
+                    let id = net.add_chain(format!("c{k}"), 2);
+                    net.set_demand(id, cpu, 1.0 + k as f64 * 0.3);
+                    net.set_demand(id, disk, 2.0 + k as f64 * 0.5);
+                    net.set_demand(id, z, 5.0);
+                }
+                b.iter(|| black_box(net.solve_exact()))
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Schweitzer–Bard approximate MVA (population-independent cost).
+fn mva_approx(c: &mut Criterion) {
+    let mut net = Network::new();
+    let cpu = net.add_center("CPU", CenterKind::Queueing);
+    let disk = net.add_center("DISK", CenterKind::Queueing);
+    for k in 0..6 {
+        let id = net.add_chain(format!("c{k}"), 50);
+        net.set_demand(id, cpu, 1.0 + k as f64 * 0.3);
+        net.set_demand(id, disk, 2.0 + k as f64 * 0.5);
+    }
+    c.bench_function("mva_approx_6x50", |b| {
+        b.iter(|| black_box(net.solve_approx(1e-10, 10_000)))
+    });
+}
+
+/// Lock manager: grant/release cycles with moderate conflict.
+fn lock_manager(c: &mut Criterion) {
+    c.bench_function("lock_grant_release_1k", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::new();
+            for tx in 0..1_000u64 {
+                let block = (tx % 97) as u32;
+                if lm.waiting_block(tx).is_none() {
+                    lm.request(tx, block, LockMode::Exclusive);
+                }
+                if tx >= 8 {
+                    lm.release_all(tx - 8);
+                }
+            }
+            for tx in 0..1_000u64 {
+                lm.release_all(tx);
+            }
+            black_box(lm.requests())
+        })
+    });
+}
+
+/// Storage engine: update + commit transactions (journal encode included).
+fn storage_updates(c: &mut Criterion) {
+    c.bench_function("storage_update_commit_100tx", |b| {
+        b.iter(|| {
+            let mut db = Database::new(256);
+            for tx in 0..100u64 {
+                db.begin(tx).unwrap();
+                for i in 0..8u32 {
+                    let rid = RecordId {
+                        block: (tx as u32 * 7 + i) % 256,
+                        slot: (i % 6) as u8,
+                    };
+                    db.update_record(tx, rid, b"payload-bytes").unwrap();
+                }
+                db.commit(tx).unwrap();
+            }
+            black_box(db.journal().appends())
+        })
+    });
+}
+
+/// Crash recovery over a journal with many loser transactions.
+fn recovery(c: &mut Criterion) {
+    c.bench_function("crash_recovery_50_losers", |b| {
+        b.iter(|| {
+            let mut db = Database::new(512);
+            db.load_default();
+            for tx in 0..50u64 {
+                db.begin(tx).unwrap();
+                for i in 0..4u32 {
+                    let rid = RecordId {
+                        block: (tx as u32 * 11 + i) % 512,
+                        slot: 0,
+                    };
+                    db.update_record(tx, rid, b"doomed").unwrap();
+                }
+                db.prepare(tx).unwrap(); // force the images, never commit
+            }
+            black_box(db.crash_and_recover().len())
+        })
+    });
+}
+
+/// Convolution (normalizing-constant) solver at a large population.
+fn convolution(c: &mut Criterion) {
+    c.bench_function("convolution_n200_3centers", |b| {
+        b.iter(|| black_box(solve_convolution(200, &[1.5, 2.5, 0.5], 4.0)))
+    });
+}
+
+/// Yao's formula across selection sizes.
+fn yao(c: &mut Criterion) {
+    c.bench_function("yao_18000_records", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in [4u64, 16, 48, 80] {
+                acc += yao_blocks(18_000, 6, black_box(k));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(10);
+    targets = mva_exact, mva_approx, convolution, lock_manager, storage_updates, recovery, yao
+}
+criterion_main!(components);

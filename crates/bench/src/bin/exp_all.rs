@@ -1,0 +1,52 @@
+//! Runs every experiment of the paper's evaluation (Figures 5–10,
+//! Tables 3–5) in one pass and prints a combined report suitable for
+//! EXPERIMENTS.md.
+//!
+//! Control the simulated measurement window with `CARAT_MEASURE_MS`
+//! (default 600 000 ms of simulated time per seed; three seeds averaged).
+
+use carat::workload::StandardWorkload;
+
+fn main() {
+    let ms: f64 = std::env::var("CARAT_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600_000.0);
+    println!("# CARAT model-vs-measurement report");
+    println!(
+        "(simulated testbed: {} seeds × {:.0} s measured window per point)",
+        carat_bench::SEEDS.len(),
+        ms / 1000.0
+    );
+
+    let lb8 = carat_bench::sweep(StandardWorkload::Lb8, ms);
+    carat_bench::print_figures("Figure 5-7 analogue: LB8, Node B", &lb8, 1);
+    carat_bench::print_table("LB8 (full)", &lb8);
+
+    let mb4 = carat_bench::sweep(StandardWorkload::Mb4, ms);
+    carat_bench::print_figures("Figure 8-10 analogue: MB4, Node A", &mb4, 0);
+    carat_bench::print_figures("Figure 8-10 analogue: MB4, Node B", &mb4, 1);
+    carat_bench::print_per_type("Table 5 analogue: MB4 per-type throughput", &mb4);
+
+    let mb8 = carat_bench::sweep(StandardWorkload::Mb8, ms);
+    carat_bench::print_table("Table 3 analogue: MB8", &mb8);
+
+    let ub6 = carat_bench::sweep(StandardWorkload::Ub6, ms);
+    carat_bench::print_table("Table 4 analogue: UB6", &ub6);
+
+    let mut all_problems = Vec::new();
+    for (name, rows) in [("LB8", &lb8), ("MB4", &mb4), ("MB8", &mb8), ("UB6", &ub6)] {
+        for p in carat_bench::shape_violations(rows) {
+            all_problems.push(format!("{name}: {p}"));
+        }
+    }
+    if all_problems.is_empty() {
+        println!("\nALL SHAPE CHECKS PASSED");
+    } else {
+        println!("\nSHAPE VIOLATIONS:");
+        for p in &all_problems {
+            println!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Extension experiment: sensitivity to the communication delay α.
+//!
+//! The paper's two-node Ethernet made α negligible (§6), so its
+//! Communication Network Model (Almes–Lazowska) never bit. This sweep
+//! shows what the framework predicts — and what the simulated testbed
+//! measures — as α grows from LAN to WAN latencies: distributed types pay
+//! 2α per remote request plus two 2PC round trips; local types are only
+//! indirectly affected.
+
+use carat::model::{Model, ModelConfig};
+use carat::qnet::EthernetModel;
+use carat::sim::{Sim, SimConfig};
+use carat::workload::{StandardWorkload, TxType};
+
+fn main() {
+    let ms: f64 = std::env::var("CARAT_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300_000.0);
+    let wl = StandardWorkload::Mb4;
+    let n = 8;
+
+    // What the paper's Ethernet model says about the validation regime.
+    let eth = EthernetModel::default();
+    let alpha0 = eth.mean_delay_ms(0.05, 8.0 * 256.0);
+    println!(
+        "Almes–Lazowska Ethernet model, validation load (~50 msg/s of ~256 B): α = {alpha0:.3} ms"
+    );
+    println!("→ negligible against 28–120 ms disk times, as the paper found.\n");
+
+    println!("## Throughput vs communication delay (MB4, n = {n})");
+    println!("| α (ms) | DU sim | DU model | LRO sim | LRO model | total sim | total model |");
+    println!("|--------|--------|----------|---------|-----------|-----------|-------------|");
+    let mut prev_du_model = f64::INFINITY;
+    for alpha in [0.0, 1.0, 5.0, 20.0, 50.0, 100.0] {
+        let mut cfg = SimConfig::new(wl.spec(2), n, 7);
+        cfg.warmup_ms = 30_000.0;
+        cfg.measure_ms = ms;
+        cfg.params.comm_delay_ms = alpha;
+        let sim = Sim::new(cfg).run();
+
+        let mut mcfg = ModelConfig::new(wl.spec(2), n);
+        mcfg.params.comm_delay_ms = alpha;
+        let model = Model::new(mcfg).solve();
+
+        let du_sim: f64 = sim
+            .nodes
+            .iter()
+            .filter_map(|nd| nd.per_type.get(&TxType::Du))
+            .map(|t| t.xput_per_s)
+            .sum();
+        let du_model: f64 = model
+            .nodes
+            .iter()
+            .filter_map(|nd| nd.per_type.get(&TxType::Du))
+            .map(|t| t.xput_per_s)
+            .sum();
+        let lro_sim: f64 = sim
+            .nodes
+            .iter()
+            .filter_map(|nd| nd.per_type.get(&TxType::Lro))
+            .map(|t| t.xput_per_s)
+            .sum();
+        let lro_model: f64 = model
+            .nodes
+            .iter()
+            .filter_map(|nd| nd.per_type.get(&TxType::Lro))
+            .map(|t| t.xput_per_s)
+            .sum();
+        println!(
+            "| {alpha:6.1} |  {du_sim:5.3} |    {du_model:5.3} |   {lro_sim:5.3} |     {lro_model:5.3} |     {:5.2} |       {:5.2} |",
+            sim.total_tx_per_s(),
+            model.total_tx_per_s()
+        );
+        assert!(
+            du_model <= prev_du_model + 1e-9,
+            "model DU throughput must be monotone non-increasing in α"
+        );
+        prev_du_model = du_model;
+    }
+    println!("\nmonotonicity check (model DU throughput falls with α): OK");
+}

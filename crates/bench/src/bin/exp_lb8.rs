@@ -1,0 +1,17 @@
+//! Figures 5–7: LB8 workload — record throughput, CPU utilization, and
+//! disk I/O rate vs transaction size (the paper plots Node B; we print
+//! both nodes).
+
+fn main() {
+    let ms: f64 = std::env::var("CARAT_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600_000.0);
+    let rows = carat_bench::sweep(carat::workload::StandardWorkload::Lb8, ms);
+    carat_bench::print_figures("Figure 5-7 analogue: LB8, Node B", &rows, 1);
+    carat_bench::print_figures("LB8, Node A (not plotted in the paper)", &rows, 0);
+    carat_bench::print_table("LB8 full comparison", &rows);
+    let problems = carat_bench::shape_violations(&rows);
+    assert!(problems.is_empty(), "shape violations: {problems:?}");
+    println!("\nshape checks: OK");
+}

@@ -1,0 +1,16 @@
+//! Figures 8–10: MB4 workload — record throughput, CPU utilization, and
+//! disk I/O rate vs transaction size, both nodes.
+
+fn main() {
+    let ms: f64 = std::env::var("CARAT_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600_000.0);
+    let rows = carat_bench::sweep(carat::workload::StandardWorkload::Mb4, ms);
+    carat_bench::print_figures("Figure 8-10 analogue: MB4, Node A", &rows, 0);
+    carat_bench::print_figures("Figure 8-10 analogue: MB4, Node B", &rows, 1);
+    carat_bench::print_table("MB4 full comparison", &rows);
+    let problems = carat_bench::shape_violations(&rows);
+    assert!(problems.is_empty(), "shape violations: {problems:?}");
+    println!("\nshape checks: OK");
+}

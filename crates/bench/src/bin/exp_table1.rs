@@ -1,0 +1,64 @@
+//! Table 1: the transaction phase-transition probability matrix.
+//!
+//! Prints the matrix for a representative parameterisation (a distributed
+//! coordinator with n = 8, l = r = 4, q ≈ 4) and verifies the structural
+//! identities the paper states (row stochasticity, `C = 2n + 1`
+//! transitions out of TM with the n/C, l/C, r/C, 1/C split).
+
+use carat::model::{Phase, TransitionMatrix};
+
+fn main() {
+    let (n, l, r, q) = (8.0, 4.0, 4.0, 3.99);
+    let m = TransitionMatrix::local_or_coordinator(
+        n,
+        l,
+        r,
+        q,
+        carat::model::phases::Hazards {
+            pb: 0.05,
+            pd: 0.02,
+            pra: 0.01,
+        },
+    );
+
+    println!("## Table 1 analogue: phase transition probabilities");
+    println!("(distributed coordinator, n = {n}, l = {l}, r = {r}, q = {q},");
+    println!(" Pb = 0.05, Pd = 0.02, Pra = 0.01)\n");
+
+    print!("{:6}", "");
+    for to in Phase::ALL {
+        print!("{:>7}", to.label());
+    }
+    println!();
+    for from in Phase::ALL {
+        print!("{:6}", from.label());
+        for to in Phase::ALL {
+            let p = m.p[from.idx()][to.idx()];
+            if p == 0.0 {
+                print!("{:>7}", "·");
+            } else {
+                print!("{p:>7.3}");
+            }
+        }
+        println!();
+    }
+
+    println!("\nstructural checks:");
+    let c = 2.0 * n + 1.0;
+    assert!((m.p[Phase::Tm.idx()][Phase::U.idx()] - n / c).abs() < 1e-12);
+    assert!((m.p[Phase::Tm.idx()][Phase::Dm.idx()] - l / c).abs() < 1e-12);
+    assert!((m.p[Phase::Tm.idx()][Phase::Rw.idx()] - r / c).abs() < 1e-12);
+    assert!((m.p[Phase::Tm.idx()][Phase::Tc.idx()] - 1.0 / c).abs() < 1e-12);
+    for from in Phase::ALL {
+        let s = m.row_sum(from);
+        assert!((s - 1.0).abs() < 1e-12, "{from:?} row sum {s}");
+    }
+    println!("  every row sums to 1                            OK");
+    println!("  TM row splits n/C, l/C, r/C, 1/C with C = 2n+1 OK");
+
+    let v = m.visit_counts();
+    println!("\nvisit counts per execution (with the hazards above):");
+    for ph in Phase::ALL {
+        println!("  V_{:5} = {:8.4}", ph.label(), v.get(ph));
+    }
+}

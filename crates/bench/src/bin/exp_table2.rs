@@ -1,0 +1,48 @@
+//! Table 2: the basic parameter values (model/simulator inputs).
+//!
+//! These are inputs, not results — the binary prints them for provenance
+//! and asserts they match the paper's published milliseconds.
+
+use carat::workload::{ChainType, SystemParams};
+
+fn main() {
+    let p = SystemParams::default();
+    println!("## Table 2: basic parameter values (milliseconds)");
+    println!("| Node | t   | R_U | R_TM | R_DM | R_LR | R_DMIO^cpu | R_DMIO^disk |");
+    println!("|------|-----|-----|------|------|------|------------|-------------|");
+    for (i, node) in p.nodes.iter().enumerate() {
+        for t in [ChainType::Lro, ChainType::Lu, ChainType::Droc, ChainType::Duc] {
+            let label = match t {
+                ChainType::Lro => "LRO",
+                ChainType::Lu => "LU",
+                ChainType::Droc => "DRO",
+                ChainType::Duc => "DU",
+                _ => unreachable!(),
+            };
+            println!(
+                "| {}    | {:3} | {} | {:4.1} | {:4.1} | {:4.1} | {:10.1} | {:11.1} |",
+                node.name,
+                label,
+                p.basic.r_u,
+                p.basic.r_tm(t),
+                p.basic.r_dm(t),
+                p.basic.r_lr,
+                p.basic.r_dmio_cpu(t),
+                p.dmio_disk(t, i),
+            );
+        }
+    }
+    // The paper's exact values.
+    assert_eq!(p.basic.r_u, 7.8);
+    assert_eq!(p.basic.r_tm(ChainType::Lro), 8.0);
+    assert_eq!(p.basic.r_tm(ChainType::Duc), 12.0);
+    assert_eq!(p.basic.r_dm(ChainType::Lro), 5.4);
+    assert_eq!(p.basic.r_dm(ChainType::Lu), 8.6);
+    assert_eq!(p.basic.r_lr, 2.2);
+    assert_eq!(p.dmio_disk(ChainType::Lro, 0), 28.0);
+    assert_eq!(p.dmio_disk(ChainType::Lu, 0), 84.0);
+    assert_eq!(p.dmio_disk(ChainType::Lro, 1), 40.0);
+    assert_eq!(p.dmio_disk(ChainType::Lu, 1), 120.0);
+    println!("\nall values match the paper's Table 2: OK");
+    println!("(derived costs — INIT/TC/TCIO/TA/TAIO/UL — documented in DESIGN.md §6)");
+}

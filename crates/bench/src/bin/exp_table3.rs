@@ -1,0 +1,14 @@
+//! Table 3: MB8 workload — model vs measurement (TR-XPUT, Total-CPU,
+//! Total-DIO per node over the n sweep).
+
+fn main() {
+    let ms: f64 = std::env::var("CARAT_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600_000.0);
+    let rows = carat_bench::sweep(carat::workload::StandardWorkload::Mb8, ms);
+    carat_bench::print_table("Table 3 analogue: MB8 model vs measurement", &rows);
+    let problems = carat_bench::shape_violations(&rows);
+    assert!(problems.is_empty(), "shape violations: {problems:?}");
+    println!("\nshape checks: OK");
+}

@@ -1,0 +1,12 @@
+//! Table 5: MB4 workload — per-transaction-type throughput, model vs
+//! measurement, for each node and transaction size.
+
+fn main() {
+    let ms: f64 = std::env::var("CARAT_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600_000.0);
+    let rows = carat_bench::sweep(carat::workload::StandardWorkload::Mb4, ms);
+    carat_bench::print_per_type("Table 5 analogue: MB4 per-type throughput", &rows);
+    println!("\ndone");
+}

@@ -1,0 +1,58 @@
+//! # carat — a reproduction of the CARAT queueing network model
+//!
+//! Umbrella crate for the reproduction of *"A Queueing Network Model for a
+//! Distributed Database Testbed System"* (Jenq, Kohler, Towsley; ICDE
+//! 1987). It re-exports every component crate and ships the repository's
+//! runnable examples and cross-crate integration tests.
+//!
+//! ## What's inside
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `carat-model` | the paper's analytical queueing network model (the core contribution) |
+//! | [`sim`] | `carat-sim` | a discrete-event simulation of the CARAT testbed — the "measurement" side of every validation |
+//! | [`qnet`] | `carat-qnet` | exact/approximate MVA, Yao's formula, Ethernet delay model |
+//! | [`des`] | `carat-des` | deterministic DES kernel |
+//! | [`storage`] | `carat-storage` | block store with before-image WAL, rollback, crash recovery |
+//! | [`lock`] | `carat-lock` | 2PL lock manager with wait-for-graph deadlock detection |
+//! | [`workload`] | `carat-workload` | LRO/LU/DRO/DU transactions, LB8/MB4/MB8/UB6 workloads, Table 2 parameters |
+//!
+//! ## Quickstart
+//!
+//! Predict and "measure" the MB4 workload at transaction size 8:
+//!
+//! ```
+//! use carat::model::{Model, ModelConfig};
+//! use carat::sim::{Sim, SimConfig};
+//! use carat::workload::StandardWorkload;
+//!
+//! let workload = StandardWorkload::Mb4.spec(2);
+//!
+//! // Analytical prediction (milliseconds of CPU time).
+//! let predicted = Model::new(ModelConfig::new(workload.clone(), 8)).solve();
+//!
+//! // Simulated measurement (a few simulated minutes).
+//! let mut cfg = SimConfig::new(workload, 8, 42);
+//! cfg.warmup_ms = 20_000.0;
+//! cfg.measure_ms = 120_000.0;
+//! let measured = Sim::new(cfg).run();
+//!
+//! let rel = (predicted.nodes[0].tx_per_s - measured.nodes[0].tx_per_s).abs()
+//!     / measured.nodes[0].tx_per_s;
+//! assert!(rel < 0.5, "model and testbed agree on the order of magnitude");
+//! ```
+
+pub use carat_des as des;
+pub use carat_lock as lock;
+pub use carat_model as model;
+pub use carat_qnet as qnet;
+pub use carat_sim as sim;
+pub use carat_storage as storage;
+pub use carat_workload as workload;
+
+/// Convenience prelude: the types almost every user needs.
+pub mod prelude {
+    pub use carat_model::{Model, ModelConfig, ModelOptions, ModelReport};
+    pub use carat_sim::{Sim, SimConfig, SimReport};
+    pub use carat_workload::{ChainType, StandardWorkload, SystemParams, TxType, WorkloadSpec};
+}

@@ -1,0 +1,309 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use carat::prelude::*;
+use carat::workload::AccessPattern;
+
+/// What the user asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Solve the analytical model.
+    Model(RunSpec),
+    /// Run the simulated testbed.
+    Sim(RunSpec),
+    /// Run both and print them side by side.
+    Compare(RunSpec),
+    /// Print usage.
+    Help,
+}
+
+/// A parsed run configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Workload name.
+    pub workload: StandardWorkload,
+    /// Transaction sizes to evaluate.
+    pub n_values: Vec<u32>,
+    /// RNG seed (simulator only).
+    pub seed: u64,
+    /// Measurement window in simulated seconds (simulator only).
+    pub measure_s: f64,
+    /// Communication delay α (ms).
+    pub alpha_ms: f64,
+    /// User think time (ms).
+    pub think_ms: f64,
+    /// Access skew, if any.
+    pub hotspot: Option<(f64, f64)>,
+    /// Dedicated journal disk.
+    pub separate_log: bool,
+    /// Model the TM serialisation center (model only).
+    pub tm_center: bool,
+    /// Use Chandy–Misra–Haas probe messages (simulator only).
+    pub probes: bool,
+    /// Concurrency-control protocol (simulator only; the model covers 2PL).
+    pub cc: carat::sim::CcProtocol,
+    /// Injected node crashes `(at_ms, site)` (simulator only).
+    pub crashes: Vec<(f64, usize)>,
+    /// Deadlock victim policy (simulator, 2PL only).
+    pub victim: carat::sim::VictimPolicy,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            workload: StandardWorkload::Mb4,
+            n_values: vec![8],
+            seed: 7,
+            measure_s: 300.0,
+            alpha_ms: 0.0,
+            think_ms: 0.0,
+            hotspot: None,
+            separate_log: false,
+            tm_center: false,
+            probes: false,
+            cc: carat::sim::CcProtocol::TwoPhaseLocking,
+            crashes: Vec::new(),
+            victim: carat::sim::VictimPolicy::Requester,
+        }
+    }
+}
+
+impl RunSpec {
+    /// System parameters implied by the flags.
+    pub fn params(&self) -> SystemParams {
+        SystemParams {
+            comm_delay_ms: self.alpha_ms,
+            think_time_ms: self.think_ms,
+            access: match self.hotspot {
+                Some((h, a)) => AccessPattern::Hotspot {
+                    hot_data_frac: h,
+                    hot_access_prob: a,
+                },
+                None => AccessPattern::Uniform,
+            },
+            ..SystemParams::default()
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+carat-cli — CARAT queueing-network-model reproduction
+
+USAGE:
+    carat-cli <model|sim|compare> [FLAGS]
+
+FLAGS:
+    --workload <lb8|mb4|mb8|ub6>   workload (default mb4)
+    --n <N | A..B | A,B,C>         transaction size(s) (default 8)
+    --seed <u64>                   simulator RNG seed (default 7)
+    --measure-s <secs>             simulated measurement window (default 300)
+    --alpha <ms>                   communication delay α (default 0)
+    --think <ms>                   user think time (default 0)
+    --hotspot <frac:prob>          b–c access skew, e.g. 0.2:0.8
+    --separate-log                 dedicated journal disk
+    --tm                           model the TM serialisation center
+    --probes                       Chandy–Misra–Haas probe messages
+    --cc <2pl|bto|thomas>          concurrency control (sim; default 2pl)
+    --crash <secs:node>            inject a node crash (repeatable)
+    --victim <requester|youngest>  deadlock victim policy (default requester)
+
+EXAMPLES:
+    carat-cli compare --workload mb8 --n 4..20
+    carat-cli model --workload lb8 --n 8 --separate-log
+    carat-cli sim --workload mb4 --n 12 --hotspot 0.1:0.9 --probes
+";
+
+/// Parses a `--n` value: `8`, `4..20` (step 4), or `4,8,12`.
+fn parse_n(s: &str) -> Result<Vec<u32>, String> {
+    if let Some((a, b)) = s.split_once("..") {
+        let a: u32 = a.trim().parse().map_err(|_| format!("bad range start {a}"))?;
+        let b: u32 = b.trim().parse().map_err(|_| format!("bad range end {b}"))?;
+        if a == 0 || b < a {
+            return Err(format!("bad range {s}"));
+        }
+        return Ok((a..=b).step_by(4).collect());
+    }
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad transaction size {p}"))
+        })
+        .collect()
+}
+
+fn parse_workload(s: &str) -> Result<StandardWorkload, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "lb8" => Ok(StandardWorkload::Lb8),
+        "mb4" => Ok(StandardWorkload::Mb4),
+        "mb8" => Ok(StandardWorkload::Mb8),
+        "ub6" => Ok(StandardWorkload::Ub6),
+        other => Err(format!("unknown workload {other} (lb8|mb4|mb8|ub6)")),
+    }
+}
+
+fn parse_hotspot(s: &str) -> Result<(f64, f64), String> {
+    let (h, a) = s
+        .split_once(':')
+        .ok_or_else(|| format!("hotspot must be frac:prob, got {s}"))?;
+    let h: f64 = h.parse().map_err(|_| format!("bad hot fraction {h}"))?;
+    let a: f64 = a.parse().map_err(|_| format!("bad hot probability {a}"))?;
+    if !(0.0 < h && h < 1.0 && 0.0 < a && a < 1.0) {
+        return Err("hotspot values must lie strictly in (0, 1)".into());
+    }
+    Ok((h, a))
+}
+
+/// Parses a full command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        return Ok(Command::Help);
+    }
+    let mut spec = RunSpec::default();
+    let mut i = 1;
+    let next = |i: &mut usize| -> Result<&String, String> {
+        *i += 1;
+        args.get(*i).ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => spec.workload = parse_workload(next(&mut i)?)?,
+            "--n" => spec.n_values = parse_n(next(&mut i)?)?,
+            "--seed" => {
+                spec.seed = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad seed".to_string())?
+            }
+            "--measure-s" => {
+                spec.measure_s = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad measure-s".to_string())?
+            }
+            "--alpha" => {
+                spec.alpha_ms = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad alpha".to_string())?
+            }
+            "--think" => {
+                spec.think_ms = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad think".to_string())?
+            }
+            "--hotspot" => spec.hotspot = Some(parse_hotspot(next(&mut i)?)?),
+            "--separate-log" => spec.separate_log = true,
+            "--tm" => spec.tm_center = true,
+            "--probes" => spec.probes = true,
+            "--victim" => {
+                spec.victim = match next(&mut i)?.to_ascii_lowercase().as_str() {
+                    "requester" => carat::sim::VictimPolicy::Requester,
+                    "youngest" => carat::sim::VictimPolicy::Youngest,
+                    other => return Err(format!("unknown victim policy {other}")),
+                }
+            }
+            "--crash" => {
+                let v = next(&mut i)?;
+                let (at, node) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("crash must be secs:node, got {v}"))?;
+                let at: f64 = at.parse().map_err(|_| format!("bad crash time {at}"))?;
+                let node: usize = node.parse().map_err(|_| format!("bad crash node {node}"))?;
+                spec.crashes.push((at * 1000.0, node));
+            }
+            "--cc" => {
+                spec.cc = match next(&mut i)?.to_ascii_lowercase().as_str() {
+                    "2pl" => carat::sim::CcProtocol::TwoPhaseLocking,
+                    "bto" => carat::sim::CcProtocol::TimestampOrdering,
+                    "thomas" => carat::sim::CcProtocol::TimestampOrderingThomas,
+                    other => return Err(format!("unknown cc protocol {other}")),
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    match cmd.as_str() {
+        "model" => Ok(Command::Model(spec)),
+        "sim" => Ok(Command::Sim(spec)),
+        "compare" => Ok(Command::Compare(spec)),
+        other => Err(format!("unknown command {other} (model|sim|compare|help)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_compare_with_range() {
+        let cmd = parse(&argv("compare --workload mb8 --n 4..20")).unwrap();
+        let Command::Compare(spec) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(spec.workload, StandardWorkload::Mb8);
+        assert_eq!(spec.n_values, vec![4, 8, 12, 16, 20]);
+    }
+
+    #[test]
+    fn parses_list_and_flags() {
+        let cmd = parse(&argv(
+            "sim --n 4,12 --seed 99 --hotspot 0.2:0.8 --probes --separate-log",
+        ))
+        .unwrap();
+        let Command::Sim(spec) = cmd else { panic!() };
+        assert_eq!(spec.n_values, vec![4, 12]);
+        assert_eq!(spec.seed, 99);
+        assert_eq!(spec.hotspot, Some((0.2, 0.8)));
+        assert!(spec.probes);
+        assert!(spec.separate_log);
+        let Command::Sim(spec) = parse(&argv("sim --cc bto")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.cc, carat::sim::CcProtocol::TimestampOrdering);
+        assert!(parse(&argv("sim --cc banana")).is_err());
+        let Command::Sim(spec) = parse(&argv("sim --crash 120:1 --crash 300:0")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(spec.crashes, vec![(120_000.0, 1), (300_000.0, 0)]);
+        assert!(parse(&argv("sim --crash soon")).is_err());
+        let Command::Sim(spec) = parse(&argv("sim --victim youngest")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.victim, carat::sim::VictimPolicy::Youngest);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&argv("sim --n banana")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("sim --hotspot 2:0.5")).is_err());
+        assert!(parse(&argv("sim --workload xyz")).is_err());
+        assert!(parse(&argv("sim --seed")).is_err());
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn spec_params_reflect_flags() {
+        let Command::Model(spec) =
+            parse(&argv("model --alpha 5 --think 1000 --hotspot 0.1:0.9")).unwrap()
+        else {
+            panic!()
+        };
+        let p = spec.params();
+        assert_eq!(p.comm_delay_ms, 5.0);
+        assert_eq!(p.think_time_ms, 1000.0);
+        assert!(p.access.contention_factor() > 5.0);
+    }
+}

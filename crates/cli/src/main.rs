@@ -1,0 +1,162 @@
+//! `carat-cli` — command-line front end for the CARAT reproduction.
+//!
+//! ```sh
+//! carat-cli compare --workload mb8 --n 4..20
+//! carat-cli model --workload lb8 --n 8 --separate-log
+//! carat-cli sim --workload mb4 --n 12 --hotspot 0.1:0.9 --probes
+//! ```
+
+mod args;
+
+use args::{parse, Command, RunSpec, USAGE};
+use carat::model::{Model, ModelConfig, ModelOptions, ModelReport};
+use carat::sim::{DeadlockMode, Sim, SimConfig, SimReport};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(Command::Help) => print!("{USAGE}"),
+        Ok(Command::Model(spec)) => {
+            for &n in &spec.n_values {
+                print_model(n, &run_model(&spec, n));
+            }
+        }
+        Ok(Command::Sim(spec)) => {
+            for &n in &spec.n_values {
+                print_sim(n, &run_sim(&spec, n));
+            }
+        }
+        Ok(Command::Compare(spec)) => {
+            println!("| n  | node | sim tx/s | model tx/s | sim CPU | model CPU | sim DIO | model DIO |");
+            println!("|----|------|----------|------------|---------|-----------|---------|-----------|");
+            for &n in &spec.n_values {
+                let s = run_sim(&spec, n);
+                let m = run_model(&spec, n);
+                for i in 0..s.nodes.len() {
+                    println!(
+                        "| {:2} | {}    |    {:5.2} |      {:5.2} |    {:4.2} |      {:4.2} |   {:5.1} |     {:5.1} |",
+                        n,
+                        s.nodes[i].name,
+                        s.nodes[i].tx_per_s,
+                        m.nodes[i].tx_per_s,
+                        s.nodes[i].cpu_util,
+                        m.nodes[i].cpu_util,
+                        s.nodes[i].dio_per_s,
+                        m.nodes[i].dio_per_s,
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_model(spec: &RunSpec, n: u32) -> ModelReport {
+    let mut cfg = ModelConfig::new(spec.workload.spec(2), n);
+    cfg.params = spec.params();
+    let opts = ModelOptions {
+        separate_log_disk: spec.separate_log,
+        model_tm_serialization: spec.tm_center,
+        ..ModelOptions::default()
+    };
+    Model::with_options(cfg, opts).solve()
+}
+
+fn run_sim(spec: &RunSpec, n: u32) -> SimReport {
+    let mut cfg = SimConfig::new(spec.workload.spec(2), n, spec.seed);
+    cfg.params = spec.params();
+    cfg.warmup_ms = (spec.measure_s * 1000.0 * 0.1).max(5_000.0);
+    cfg.measure_ms = spec.measure_s * 1000.0;
+    cfg.separate_log_disk = spec.separate_log;
+    cfg.deadlock_mode = if spec.probes {
+        DeadlockMode::Probes
+    } else {
+        DeadlockMode::InstantGlobal
+    };
+    cfg.cc = spec.cc;
+    cfg.victim = spec.victim;
+    cfg.crashes = spec.crashes.clone();
+    Sim::new(cfg).run()
+}
+
+fn print_model(n: u32, r: &ModelReport) {
+    println!(
+        "model: n = {n} ({} iterations, converged = {})",
+        r.iterations, r.converged
+    );
+    for node in &r.nodes {
+        println!(
+            "  node {}: {:.2} tx/s | CPU {:.0}% | disk {:.0}%{} | {:.1} I/O-s | {:.1} rec/s",
+            node.name,
+            node.tx_per_s,
+            node.cpu_util * 100.0,
+            node.disk_util * 100.0,
+            if node.log_disk_util > 0.0 {
+                format!(" | log {:.0}%", node.log_disk_util * 100.0)
+            } else {
+                String::new()
+            },
+            node.dio_per_s,
+            node.records_per_s,
+        );
+        for (ty, t) in &node.per_type {
+            println!(
+                "    {ty:3}: {:6.3} tx/s  R = {:8.1} ms  Pb = {:.4}  Pd = {:.4}  P_a = {:.3}  N_s = {:.2}",
+                t.xput_per_s, t.response_ms, t.pb, t.pd, t.p_a, t.n_s
+            );
+        }
+    }
+}
+
+fn print_sim(n: u32, r: &SimReport) {
+    println!("sim: n = {n} ({:.0} s measured)", r.window_ms / 1000.0);
+    for node in &r.nodes {
+        println!(
+            "  node {}: {:.2} tx/s | CPU {:.0}% | disk {:.0}%{} | {:.1} I/O-s | {:.1} rec/s",
+            node.name,
+            node.tx_per_s,
+            node.cpu_util * 100.0,
+            node.disk_util * 100.0,
+            if node.log_disk_util > 0.0 {
+                format!(" | log {:.0}%", node.log_disk_util * 100.0)
+            } else {
+                String::new()
+            },
+            node.dio_per_s,
+            node.records_per_s,
+        );
+        for (ty, t) in &node.per_type {
+            println!(
+                "    {ty:3}: {:6.3} tx/s  R = {:8.1} ms (p50 {:.0}, p95 {:.0})  commits {:5}  aborts {:4}",
+                t.xput_per_s,
+                t.mean_response_ms,
+                t.p50_response_ms,
+                t.p95_response_ms,
+                t.commits,
+                t.aborts
+            );
+        }
+    }
+    println!(
+        "  locks: {} requests, Pb = {:.4}, mean wait {:.0} ms | deadlocks {} local / {} global ({} probe hops)",
+        r.lock_requests,
+        r.blocking_probability(),
+        r.mean_lock_wait_ms,
+        r.local_deadlocks,
+        r.global_deadlocks,
+        r.probe_hops,
+    );
+    if r.crashes > 0 {
+        println!(
+            "  crashes: {} injected, {} transactions killed",
+            r.crashes, r.crash_kills
+        );
+    }
+    println!(
+        "  audit: {} records checked, {} violations",
+        r.audited_records, r.audit_violations
+    );
+}

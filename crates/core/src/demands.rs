@@ -1,0 +1,372 @@
+//! Chain contexts and service-demand assembly (paper §5).
+
+use carat_qnet::yao_blocks;
+use carat_workload::{ChainType, SystemParams, WorkloadSpec};
+
+use crate::phases::{Phase, VisitCounts};
+
+/// Static description of one routing chain (a transaction type at a site).
+#[derive(Debug, Clone)]
+pub struct ChainCtx {
+    /// Chain type.
+    pub chain: ChainType,
+    /// Site the chain runs at (slaves run at the remote site).
+    pub site: usize,
+    /// `N(t, i)`: chain population.
+    pub population: usize,
+    /// `n(t)`: total requests of the owning transaction (coordinator view).
+    pub n: f64,
+    /// `l(t)`: requests executed *at this site* by this chain.
+    pub l: f64,
+    /// `r(t)`: remote requests issued by this chain (coordinators only).
+    pub r: f64,
+    /// `q(t)`: mean granules (lock requests, disk I/Os) per request at this
+    /// site, from Yao's formula.
+    pub q: f64,
+    /// `N_lk(t)` at this site: `l · q` (paper Eq. 2).
+    pub n_lk: f64,
+}
+
+/// Builds every populated chain context for a workload.
+///
+/// Local chains execute all `n` requests at home. Distributed transactions
+/// split `n` into `(l, r)` by [`SystemParams::split_requests`]; the
+/// coordinator chain runs `l` requests at home, and each of the
+/// `sites − 1` slave chains runs `r / (sites − 1)` requests at its site.
+pub fn chain_contexts(
+    params: &SystemParams,
+    workload: &WorkloadSpec,
+    n_requests: u32,
+) -> Vec<ChainCtx> {
+    let mut out = Vec::new();
+    let (l_split, r_split) = params.split_requests(n_requests);
+    let slaves = params.sites().saturating_sub(1).max(1);
+    for site in 0..params.sites() {
+        for (chain, population) in workload.chain_populations(site) {
+            let (n, l, r) = match chain {
+                ChainType::Lro | ChainType::Lu => {
+                    (n_requests as f64, n_requests as f64, 0.0)
+                }
+                ChainType::Droc | ChainType::Duc => {
+                    (n_requests as f64, l_split as f64, r_split as f64)
+                }
+                ChainType::Dros | ChainType::Dus => {
+                    let l = r_split as f64 / slaves as f64;
+                    (l, l, 0.0)
+                }
+            };
+            if l <= 0.0 {
+                // A slave chain with no requests never materialises.
+                continue;
+            }
+            let q = granules_per_request(params, l);
+            out.push(ChainCtx {
+                chain,
+                site,
+                population,
+                n,
+                l,
+                r,
+                q,
+                n_lk: l * q,
+            });
+        }
+    }
+    out
+}
+
+/// `q(t) = g(t)/n(t)` with `g(t)` from Yao's formula over the records the
+/// chain touches at its site (paper §5.2).
+pub fn granules_per_request(params: &SystemParams, requests_at_site: f64) -> f64 {
+    let records = (requests_at_site * params.records_per_request as f64).round() as u64;
+    if records == 0 {
+        return 0.0;
+    }
+    let g = yao_blocks(
+        params.records_per_site(),
+        params.records_per_granule as u64,
+        records,
+    );
+    g / requests_at_site
+}
+
+/// Per-visit CPU and disk service requirements for every phase
+/// (`R_c^(cpu)`, `R_c^(disk)` of paper §5.3).
+///
+/// Disk time is split into database-file I/O and recovery-journal I/O so
+/// the solver can model the testbed's forced shared-disk configuration
+/// (the default — both streams hit one device, paper §2) as well as the
+/// separate-log-disk configuration the paper says a real deployment would
+/// use.
+#[derive(Debug, Clone)]
+pub struct PhaseCosts {
+    /// CPU ms per visit, indexed by [`Phase::idx`].
+    pub cpu: [f64; Phase::COUNT],
+    /// Database-file disk ms per visit.
+    pub disk: [f64; Phase::COUNT],
+    /// Recovery-journal disk ms per visit.
+    pub log: [f64; Phase::COUNT],
+    /// Database granule I/O operations per visit.
+    pub ios: [f64; Phase::COUNT],
+    /// Journal I/O operations per visit.
+    pub log_ios: [f64; Phase::COUNT],
+}
+
+/// Assembles the phase costs of a chain.
+///
+/// `sigma` is σ(t, i) — the mean fraction of locks (and therefore journaled
+/// blocks) held at abort time — which scales the rollback I/O of the TAIO
+/// phase (DESIGN.md §6).
+pub fn phase_costs(params: &SystemParams, ctx: &ChainCtx, sigma: f64) -> PhaseCosts {
+    let b = &params.basic;
+    let t = ctx.chain;
+    let io = params.nodes[ctx.site].disk_io_ms;
+    let mut cpu = [0.0; Phase::COUNT];
+    let mut disk = [0.0; Phase::COUNT];
+    let mut log = [0.0; Phase::COUNT];
+    let mut ios = [0.0; Phase::COUNT];
+    let mut log_ios = [0.0; Phase::COUNT];
+
+    cpu[Phase::Init.idx()] = b.init_cpu(t);
+    cpu[Phase::U.idx()] = b.r_u;
+    cpu[Phase::Tm.idx()] = b.r_tm(t);
+    cpu[Phase::Dm.idx()] = b.r_dm(t);
+    cpu[Phase::Lr.idx()] = b.r_lr;
+    cpu[Phase::Dmio.idx()] = b.r_dmio_cpu(t);
+    cpu[Phase::Tc.idx()] = b.tc_cpu(t);
+    cpu[Phase::Ta.idx()] = b.ta_cpu(t);
+    cpu[Phase::Ul.idx()] = ctx.n_lk * b.ul_cpu_per_lock();
+
+    // DMIO: a retrieval is one database read; an update is read + journal
+    // (before-image) write + in-place write.
+    let granule_ios = b.ios_per_granule(t) as f64;
+    if t.is_update() {
+        disk[Phase::Dmio.idx()] = (granule_ios - 1.0) * io;
+        ios[Phase::Dmio.idx()] = granule_ios - 1.0;
+        log[Phase::Dmio.idx()] = io;
+        log_ios[Phase::Dmio.idx()] = 1.0;
+    } else {
+        disk[Phase::Dmio.idx()] = granule_ios * io;
+        ios[Phase::Dmio.idx()] = granule_ios;
+    }
+
+    // TCIO: commit/prepare records are journal writes.
+    log[Phase::Tcio.idx()] = b.commit_ios(t) as f64 * io;
+    log_ios[Phase::Tcio.idx()] = b.commit_ios(t) as f64;
+
+    if t.is_update() {
+        // σ·N_lk block restores (database file) plus the forced abort
+        // record (journal) — the force is a correctness requirement, see
+        // `carat_storage::Database::rollback`.
+        let undo_blocks = sigma * ctx.n_lk;
+        disk[Phase::Taio.idx()] = undo_blocks * io;
+        ios[Phase::Taio.idx()] = undo_blocks;
+        log[Phase::Taio.idx()] = io;
+        log_ios[Phase::Taio.idx()] = 1.0;
+    }
+
+    PhaseCosts {
+        cpu,
+        disk,
+        log,
+        ios,
+        log_ios,
+    }
+}
+
+/// Aggregate demands of one chain between two successive commits
+/// (paper Eqs. 5–10): everything is scaled by `N_s` submissions per commit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Demands {
+    /// CPU demand per commit cycle (Eq. 5).
+    pub cpu: f64,
+    /// Database-disk demand per commit cycle (part of Eq. 6).
+    pub disk: f64,
+    /// Journal-disk demand per commit cycle (the rest of Eq. 6; folded
+    /// into `disk` when the journal shares the database device).
+    pub log: f64,
+    /// Pure synchronization delay per cycle: LW + RW + CW + UT
+    /// (Eqs. 7–10).
+    pub delay: f64,
+    /// Database granule I/O operations per cycle.
+    pub ios: f64,
+    /// Journal I/O operations per cycle.
+    pub log_ios: f64,
+}
+
+/// Per-visit delays at the synchronization centers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DelayTimes {
+    /// `R_LW`: mean lock-wait per blocked request.
+    pub lw: f64,
+    /// `R_RW`: mean remote wait per visit.
+    pub rw: f64,
+    /// `R_CWC`: commit-wait per committing execution.
+    pub cwc: f64,
+    /// `R_CWA`: abort-coordination wait per aborting execution.
+    pub cwa: f64,
+}
+
+/// Combines visit counts, phase costs, and delays into cycle demands.
+pub fn demands(
+    params: &SystemParams,
+    v: &VisitCounts,
+    costs: &PhaseCosts,
+    delays: &DelayTimes,
+    n_s: f64,
+) -> Demands {
+    let mut cpu = 0.0;
+    for ph in Phase::CPU {
+        cpu += v.get(ph) * costs.cpu[ph.idx()];
+    }
+    let mut disk = 0.0;
+    let mut log = 0.0;
+    let mut ios = 0.0;
+    let mut log_ios = 0.0;
+    for ph in Phase::DISK {
+        disk += v.get(ph) * costs.disk[ph.idx()];
+        log += v.get(ph) * costs.log[ph.idx()];
+        ios += v.get(ph) * costs.ios[ph.idx()];
+        log_ios += v.get(ph) * costs.log_ios[ph.idx()];
+    }
+    let delay = v.get(Phase::Lw) * delays.lw
+        + v.get(Phase::Rw) * delays.rw
+        + v.get(Phase::Cwc) * delays.cwc
+        + v.get(Phase::Cwa) * delays.cwa
+        + params.think_time_ms;
+    Demands {
+        cpu: n_s * cpu,
+        disk: n_s * disk,
+        log: n_s * log,
+        delay: n_s * delay,
+        ios: n_s * ios,
+        log_ios: n_s * log_ios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::{Hazards, TransitionMatrix};
+    use carat_workload::StandardWorkload;
+
+    #[test]
+    fn contexts_cover_all_populated_chains() {
+        let p = SystemParams::default();
+        let w = StandardWorkload::Mb4.spec(2);
+        let ctxs = chain_contexts(&p, &w, 8);
+        // 6 chains per node × 2 nodes.
+        assert_eq!(ctxs.len(), 12);
+        let duc = ctxs
+            .iter()
+            .find(|c| c.chain == ChainType::Duc && c.site == 0)
+            .unwrap();
+        assert_eq!(duc.n, 8.0);
+        assert_eq!(duc.l, 4.0);
+        assert_eq!(duc.r, 4.0);
+        let dus = ctxs
+            .iter()
+            .find(|c| c.chain == ChainType::Dus && c.site == 1)
+            .unwrap();
+        assert_eq!(dus.l, 4.0);
+        assert_eq!(dus.r, 0.0);
+    }
+
+    #[test]
+    fn q_is_close_to_records_per_request() {
+        // Paper §5.2: "g(t) is very close to N_r(t)" for these workloads.
+        let p = SystemParams::default();
+        let q = granules_per_request(&p, 8.0);
+        assert!(q > 3.9 && q <= 4.0, "q = {q}");
+    }
+
+    #[test]
+    fn lb8_context_has_no_remote_work() {
+        let p = SystemParams::default();
+        let w = StandardWorkload::Lb8.spec(2);
+        let ctxs = chain_contexts(&p, &w, 8);
+        assert_eq!(ctxs.len(), 4); // LRO+LU at 2 nodes
+        assert!(ctxs.iter().all(|c| c.r == 0.0));
+    }
+
+    #[test]
+    fn read_chain_demands_have_no_log_io() {
+        let p = SystemParams::default();
+        let w = StandardWorkload::Lb8.spec(2);
+        let ctxs = chain_contexts(&p, &w, 8);
+        let lro = ctxs
+            .iter()
+            .find(|c| c.chain == ChainType::Lro && c.site == 0)
+            .unwrap();
+        let costs = phase_costs(&p, lro, 0.5);
+        assert_eq!(costs.log[Phase::Tcio.idx()], 0.0);
+        assert_eq!(costs.disk[Phase::Taio.idx()], 0.0);
+        assert_eq!(costs.log[Phase::Taio.idx()], 0.0);
+        assert_eq!(costs.disk[Phase::Dmio.idx()], 28.0);
+        assert_eq!(costs.log[Phase::Dmio.idx()], 0.0);
+    }
+
+    #[test]
+    fn update_demands_match_hand_computation() {
+        let p = SystemParams::default();
+        let w = StandardWorkload::Lb8.spec(2);
+        let ctxs = chain_contexts(&p, &w, 4);
+        let lu = ctxs
+            .iter()
+            .find(|c| c.chain == ChainType::Lu && c.site == 1)
+            .unwrap();
+        let costs = phase_costs(&p, lu, 0.0);
+        let m = TransitionMatrix::local_or_coordinator(lu.n, lu.l, lu.r, lu.q, Hazards::default());
+        let v = m.visit_counts();
+        let d = demands(&p, &v, &costs, &DelayTimes::default(), 1.0);
+        // Disk (db + journal): n·q granules × 120 ms + 1 commit force × 40 ms.
+        let expect_disk = lu.n * lu.q * 120.0 + 40.0;
+        let total_disk = d.disk + d.log;
+        assert!((total_disk - expect_disk).abs() < 1e-9, "{total_disk} vs {expect_disk}");
+        // The journal share: one before-image write per granule + the force.
+        let expect_log = lu.n * lu.q * 40.0 + 40.0;
+        assert!((d.log - expect_log).abs() < 1e-9);
+        // I/O operations: 3 per granule + 1.
+        let expect_ios = lu.n * lu.q * 3.0 + 1.0;
+        assert!((d.ios + d.log_ios - expect_ios).abs() < 1e-9);
+        // CPU: init 2·8 + U (n+1)·7.8 + TM (2n+1)·8 + DM (q+1)·n·8.6
+        //      + LR nq·2.2 + DMIO nq·2.5 + TC 8 + UL nq·0.66.
+        let nq = lu.n * lu.q;
+        let expect_cpu = 16.0
+            + (lu.n + 1.0) * 7.8
+            + (2.0 * lu.n + 1.0) * 8.0
+            + lu.n * (lu.q + 1.0) * 8.6
+            + nq * 2.2
+            + nq * 2.5
+            + 8.0
+            + nq * 0.3 * 2.2;
+        assert!((d.cpu - expect_cpu).abs() < 1e-6, "{} vs {expect_cpu}", d.cpu);
+    }
+
+    #[test]
+    fn n_s_scales_everything() {
+        let p = SystemParams::default();
+        let w = StandardWorkload::Lb8.spec(2);
+        let ctxs = chain_contexts(&p, &w, 4);
+        let lu = &ctxs[1];
+        let costs = phase_costs(&p, lu, 0.3);
+        let m = TransitionMatrix::local_or_coordinator(
+            lu.n,
+            lu.l,
+            lu.r,
+            lu.q,
+            Hazards {
+                pb: 0.1,
+                pd: 0.1,
+                pra: 0.0,
+            },
+        );
+        let v = m.visit_counts();
+        let d1 = demands(&p, &v, &costs, &DelayTimes::default(), 1.0);
+        let d2 = demands(&p, &v, &costs, &DelayTimes::default(), 2.0);
+        assert!((d2.cpu - 2.0 * d1.cpu).abs() < 1e-9);
+        assert!((d2.disk - 2.0 * d1.disk).abs() < 1e-9);
+        assert!((d2.log - 2.0 * d1.log).abs() < 1e-9);
+        assert!((d2.ios - 2.0 * d1.ios).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,370 @@
+//! Transaction phases, the Table 1 transition matrices, and visit counts.
+
+use carat_qnet::solve_dense;
+
+/// The transaction phases of the Site Processing Model (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// User think wait between transactions.
+    Ut,
+    /// Transaction initialization (TBEGIN/DBOPEN processing).
+    Init,
+    /// User application processing.
+    U,
+    /// TM server message processing.
+    Tm,
+    /// DM server processing between lock requests.
+    Dm,
+    /// Lock request processing (incl. local deadlock detection).
+    Lr,
+    /// DM disk I/O burst.
+    Dmio,
+    /// Lock wait (blocked on a conflict).
+    Lw,
+    /// Remote request wait.
+    Rw,
+    /// Commit processing (2PC CPU).
+    Tc,
+    /// Abort (rollback) processing.
+    Ta,
+    /// Commit log disk I/O.
+    Tcio,
+    /// Rollback disk I/O.
+    Taio,
+    /// Two-phase-commit wait, committing branch.
+    Cwc,
+    /// Two-phase-commit wait, aborting branch.
+    Cwa,
+    /// Unlock processing (release all locks).
+    Ul,
+}
+
+impl Phase {
+    /// All phases; index order fixes the matrix layout.
+    pub const ALL: [Phase; 16] = [
+        Phase::Ut,
+        Phase::Init,
+        Phase::U,
+        Phase::Tm,
+        Phase::Dm,
+        Phase::Lr,
+        Phase::Dmio,
+        Phase::Lw,
+        Phase::Rw,
+        Phase::Tc,
+        Phase::Ta,
+        Phase::Tcio,
+        Phase::Taio,
+        Phase::Cwc,
+        Phase::Cwa,
+        Phase::Ul,
+    ];
+
+    /// Number of phases.
+    pub const COUNT: usize = 16;
+
+    /// Index of this phase in [`Phase::ALL`].
+    pub fn idx(self) -> usize {
+        Phase::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("phase in ALL")
+    }
+
+    /// Phases whose service includes CPU time (`P_cpu` of paper §5.3).
+    /// DMIO appears in both sets: issuing the I/O costs CPU (Table 2's
+    /// `R_DMIO^(cpu)`) in addition to the disk transfer.
+    pub const CPU: [Phase; 9] = [
+        Phase::Init,
+        Phase::U,
+        Phase::Tm,
+        Phase::Dm,
+        Phase::Lr,
+        Phase::Dmio,
+        Phase::Tc,
+        Phase::Ta,
+        Phase::Ul,
+    ];
+
+    /// Phases whose service is disk time (`P_disk`).
+    pub const DISK: [Phase; 3] = [Phase::Dmio, Phase::Tcio, Phase::Taio];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Ut => "UT",
+            Phase::Init => "INIT",
+            Phase::U => "U",
+            Phase::Tm => "TM",
+            Phase::Dm => "DM",
+            Phase::Lr => "LR",
+            Phase::Dmio => "DMIO",
+            Phase::Lw => "LW",
+            Phase::Rw => "RW",
+            Phase::Tc => "TC",
+            Phase::Ta => "TA",
+            Phase::Tcio => "TCIO",
+            Phase::Taio => "TAIO",
+            Phase::Cwc => "CWC",
+            Phase::Cwa => "CWA",
+            Phase::Ul => "UL",
+        }
+    }
+}
+
+/// Per-execution phase-transition probabilities (one row per phase).
+#[derive(Debug, Clone)]
+pub struct TransitionMatrix {
+    /// `p[from][to]`, indexed by [`Phase::idx`].
+    pub p: [[f64; Phase::COUNT]; Phase::COUNT],
+}
+
+/// Probabilistic inputs to a transition matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hazards {
+    /// `Pb`: probability a lock request blocks.
+    pub pb: f64,
+    /// `Pd`: probability a blocked request dies in a deadlock.
+    pub pd: f64,
+    /// `Pra`: probability a remote-wait ends in a remote abort.
+    pub pra: f64,
+}
+
+impl TransitionMatrix {
+    fn empty() -> Self {
+        TransitionMatrix {
+            p: [[0.0; Phase::COUNT]; Phase::COUNT],
+        }
+    }
+
+    fn set(&mut self, from: Phase, to: Phase, prob: f64) {
+        debug_assert!((0.0..=1.0 + 1e-12).contains(&prob), "bad prob {prob}");
+        self.p[from.idx()][to.idx()] = prob;
+    }
+
+    /// Table 1 of the paper: local transactions and distributed
+    /// coordinators.
+    ///
+    /// * `n` — total requests; `l` local, `r` remote (`n = l + r`);
+    /// * `q` — mean granules (disk I/Os, lock requests) per request;
+    /// * `h` — blocking/deadlock/remote-abort probabilities.
+    pub fn local_or_coordinator(n: f64, l: f64, r: f64, q: f64, h: Hazards) -> Self {
+        assert!((n - (l + r)).abs() < 1e-9, "n = l + r violated");
+        assert!(n >= 1.0 && q > 0.0);
+        let c = 2.0 * n + 1.0;
+        let mut m = Self::empty();
+        m.set(Phase::Ut, Phase::Init, 1.0);
+        m.set(Phase::Init, Phase::U, 1.0);
+        m.set(Phase::U, Phase::Tm, 1.0);
+        m.set(Phase::Tm, Phase::U, n / c);
+        m.set(Phase::Tm, Phase::Dm, l / c);
+        m.set(Phase::Tm, Phase::Rw, r / c);
+        m.set(Phase::Tm, Phase::Tc, 1.0 / c);
+        m.set(Phase::Dm, Phase::Tm, 1.0 / (q + 1.0));
+        m.set(Phase::Dm, Phase::Lr, q / (q + 1.0));
+        m.set(Phase::Lr, Phase::Dmio, 1.0 - h.pb);
+        m.set(Phase::Lr, Phase::Lw, h.pb);
+        m.set(Phase::Dmio, Phase::Dm, 1.0);
+        m.set(Phase::Lw, Phase::Dmio, 1.0 - h.pd);
+        m.set(Phase::Lw, Phase::Ta, h.pd);
+        m.set(Phase::Rw, Phase::Tm, 1.0 - h.pra);
+        m.set(Phase::Rw, Phase::Ta, h.pra);
+        m.set(Phase::Tc, Phase::Cwc, 1.0);
+        m.set(Phase::Ta, Phase::Cwa, 1.0);
+        m.set(Phase::Tcio, Phase::Ul, 1.0);
+        m.set(Phase::Taio, Phase::Ul, 1.0);
+        m.set(Phase::Cwc, Phase::Tcio, 1.0);
+        m.set(Phase::Cwa, Phase::Taio, 1.0);
+        m.set(Phase::Ul, Phase::Ut, 1.0);
+        m
+    }
+
+    /// The slave-chain analogue (paper §5.1 sketches it; DESIGN.md §6 gives
+    /// the derivation): a slave executes `l ≥ 1` requests delivered by
+    /// REMDO messages; it has no INIT or U phases, enters TM directly from
+    /// UT, and between requests sits in RW awaiting its coordinator. After
+    /// the last request the RW wait ends with the PREPARE message (→ TC) or
+    /// a remote abort (→ TA).
+    pub fn slave(l: f64, q: f64, h: Hazards) -> Self {
+        assert!(l >= 1.0 && q > 0.0);
+        let mut m = Self::empty();
+        m.set(Phase::Ut, Phase::Tm, 1.0);
+        m.set(Phase::Tm, Phase::Dm, 0.5);
+        m.set(Phase::Tm, Phase::Rw, 0.5);
+        m.set(Phase::Dm, Phase::Tm, 1.0 / (q + 1.0));
+        m.set(Phase::Dm, Phase::Lr, q / (q + 1.0));
+        m.set(Phase::Lr, Phase::Dmio, 1.0 - h.pb);
+        m.set(Phase::Lr, Phase::Lw, h.pb);
+        m.set(Phase::Dmio, Phase::Dm, 1.0);
+        m.set(Phase::Lw, Phase::Dmio, 1.0 - h.pd);
+        m.set(Phase::Lw, Phase::Ta, h.pd);
+        m.set(Phase::Rw, Phase::Tm, (1.0 - h.pra) * (l - 1.0) / l);
+        m.set(Phase::Rw, Phase::Tc, (1.0 - h.pra) / l);
+        m.set(Phase::Rw, Phase::Ta, h.pra);
+        m.set(Phase::Tc, Phase::Cwc, 1.0);
+        m.set(Phase::Ta, Phase::Cwa, 1.0);
+        m.set(Phase::Tcio, Phase::Ul, 1.0);
+        m.set(Phase::Taio, Phase::Ul, 1.0);
+        m.set(Phase::Cwc, Phase::Tcio, 1.0);
+        m.set(Phase::Cwa, Phase::Taio, 1.0);
+        m.set(Phase::Ul, Phase::Ut, 1.0);
+        m
+    }
+
+    /// Row sums (should be 1 for every phase that can be left).
+    pub fn row_sum(&self, from: Phase) -> f64 {
+        self.p[from.idx()].iter().sum()
+    }
+
+    /// Solves the traffic equations (paper Eq. 1) for the expected number
+    /// of visits to each phase per execution, normalised to one UT visit
+    /// per execution.
+    pub fn visit_counts(&self) -> VisitCounts {
+        // V = V·P with V[UT] = 1  ⇔  (Pᵀ − I)V = 0, replace the UT row by
+        // V[UT] = 1.
+        let n = Phase::COUNT;
+        let ut = Phase::Ut.idx();
+        let mut a = vec![0.0f64; n * n];
+        let mut b = vec![0.0f64; n];
+        for row in 0..n {
+            if row == ut {
+                a[row * n + row] = 1.0;
+                b[row] = 1.0;
+                continue;
+            }
+            for col in 0..n {
+                a[row * n + col] = self.p[col][row]; // Pᵀ
+            }
+            a[row * n + row] -= 1.0;
+        }
+        let v = solve_dense(&a, &b).expect("traffic equations are nonsingular");
+        VisitCounts {
+            v: v.try_into().expect("length 16"),
+        }
+    }
+}
+
+/// Expected visits to each phase per transaction execution.
+#[derive(Debug, Clone)]
+pub struct VisitCounts {
+    v: [f64; Phase::COUNT],
+}
+
+impl VisitCounts {
+    /// Visits to `phase` per execution.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.v[phase.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_hazards() -> Hazards {
+        Hazards::default()
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        let m = TransitionMatrix::local_or_coordinator(
+            8.0,
+            4.0,
+            4.0,
+            3.9,
+            Hazards {
+                pb: 0.1,
+                pd: 0.05,
+                pra: 0.02,
+            },
+        );
+        for ph in Phase::ALL {
+            let s = m.row_sum(ph);
+            assert!((s - 1.0).abs() < 1e-12, "{ph:?}: {s}");
+        }
+        let m = TransitionMatrix::slave(4.0, 3.9, Hazards { pb: 0.1, pd: 0.05, pra: 0.02 });
+        for ph in [Phase::Ut, Phase::Tm, Phase::Dm, Phase::Lr, Phase::Rw, Phase::Lw] {
+            assert!((m.row_sum(ph) - 1.0).abs() < 1e-12, "{ph:?}");
+        }
+    }
+
+    #[test]
+    fn local_visit_counts_match_paper_identities() {
+        // Without hazards: V_TM = 2n+1, V_LR = V_DMIO = n·q, V_TC = 1.
+        let (n, q) = (8.0, 3.9);
+        let m = TransitionMatrix::local_or_coordinator(n, n, 0.0, q, no_hazards());
+        let v = m.visit_counts();
+        assert!((v.get(Phase::Tm) - (2.0 * n + 1.0)).abs() < 1e-9);
+        assert!((v.get(Phase::Lr) - n * q).abs() < 1e-9);
+        assert!((v.get(Phase::Dmio) - n * q).abs() < 1e-9);
+        assert!((v.get(Phase::Tc) - 1.0).abs() < 1e-9);
+        assert!((v.get(Phase::U) - (n + 1.0)).abs() < 1e-9);
+        assert!((v.get(Phase::Lw)).abs() < 1e-12);
+        assert!((v.get(Phase::Ta)).abs() < 1e-12);
+        assert!((v.get(Phase::Ul) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coordinator_splits_dm_and_rw() {
+        let (n, l, r, q) = (8.0, 4.0, 4.0, 3.9);
+        let m = TransitionMatrix::local_or_coordinator(n, l, r, q, no_hazards());
+        let v = m.visit_counts();
+        assert!((v.get(Phase::Rw) - r).abs() < 1e-9, "one RW per remote request");
+        assert!((v.get(Phase::Lr) - l * q).abs() < 1e-9, "locks only for local requests");
+        assert!((v.get(Phase::Tm) - (2.0 * n + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slave_visit_counts() {
+        let (l, q) = (4.0, 3.9);
+        let m = TransitionMatrix::slave(l, q, no_hazards());
+        let v = m.visit_counts();
+        assert!((v.get(Phase::Tm) - 2.0 * l).abs() < 1e-9);
+        assert!((v.get(Phase::Rw) - l).abs() < 1e-9);
+        assert!((v.get(Phase::Lr) - l * q).abs() < 1e-9);
+        assert!((v.get(Phase::Tc) - 1.0).abs() < 1e-9);
+        assert!((v.get(Phase::Init)).abs() < 1e-12, "slaves have no INIT");
+        assert!((v.get(Phase::U)).abs() < 1e-12, "slaves have no U");
+    }
+
+    #[test]
+    fn hazards_create_abort_flow() {
+        let (n, q) = (8.0, 3.9);
+        let h = Hazards {
+            pb: 0.2,
+            pd: 0.1,
+            pra: 0.0,
+        };
+        let m = TransitionMatrix::local_or_coordinator(n, n, 0.0, q, h);
+        let v = m.visit_counts();
+        // Executions end in either commit or abort: V_TC + V_TA = 1.
+        assert!((v.get(Phase::Tc) + v.get(Phase::Ta) - 1.0).abs() < 1e-9);
+        assert!(v.get(Phase::Ta) > 0.0);
+        assert!(v.get(Phase::Lw) > 0.0);
+        // With aborts, fewer than n·q lock requests complete per execution.
+        assert!(v.get(Phase::Lr) < n * q);
+        // Flow balance: V_LW = Pb · V_LR.
+        assert!((v.get(Phase::Lw) - h.pb * v.get(Phase::Lr)).abs() < 1e-9);
+        // V_TA = Pd · V_LW.
+        assert!((v.get(Phase::Ta) - h.pd * v.get(Phase::Lw)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ul_is_always_reached_once() {
+        for pb in [0.0, 0.3, 0.8] {
+            let m = TransitionMatrix::local_or_coordinator(
+                4.0,
+                2.0,
+                2.0,
+                3.0,
+                Hazards {
+                    pb,
+                    pd: 0.5,
+                    pra: 0.1,
+                },
+            );
+            let v = m.visit_counts();
+            assert!((v.get(Phase::Ul) - 1.0).abs() < 1e-9, "pb={pb}");
+        }
+    }
+}

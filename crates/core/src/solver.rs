@@ -1,0 +1,585 @@
+//! The fixed-point solution procedure (paper §6).
+//!
+//! Each iteration: update abort probabilities and visit counts, assemble
+//! service demands, solve every site's closed multi-chain network by MVA,
+//! then refresh the contention quantities (`L_h`, `Pb`, `Pd`, `R_LW`) and
+//! the distributed synchronization delays (`R_RW`, `R_CW`, `Pra`) from the
+//! MVA results. Updates are damped because the `Pb ↔ L_h ↔ R` loop
+//! oscillates at high contention.
+
+use std::collections::BTreeMap;
+
+use carat_qnet::{CenterKind, Network};
+use carat_workload::{ChainType, SystemParams, TxType, WorkloadSpec};
+
+use crate::contention::{
+    blocking_probability, deadlock_probability, lock_wait_times_consistent, locks_held, sigma,
+    ChainLockState,
+};
+use crate::demands::{chain_contexts, demands, phase_costs, ChainCtx, DelayTimes};
+use crate::output::{ModelNodeReport, ModelReport, ModelTypeReport};
+use crate::phases::{Hazards, Phase, TransitionMatrix};
+
+/// What to solve: workload + transaction size on the standard parameters.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Hardware and cost parameters (Table 2 defaults).
+    pub params: SystemParams,
+    /// User populations.
+    pub workload: WorkloadSpec,
+    /// `n`: requests per transaction.
+    pub n_requests: u32,
+}
+
+impl ModelConfig {
+    /// Standard two-node testbed configuration.
+    pub fn new(workload: WorkloadSpec, n_requests: u32) -> Self {
+        ModelConfig {
+            params: SystemParams::default(),
+            workload,
+            n_requests,
+        }
+    }
+}
+
+/// Solver knobs and ablation switches (DESIGN.md §9).
+#[derive(Debug, Clone)]
+pub struct ModelOptions {
+    /// Damping factor λ for state updates (new = λ·computed + (1−λ)·old).
+    pub damping: f64,
+    /// Convergence tolerance on the damped state.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Use exact MVA when the population lattice is small enough;
+    /// otherwise (or when `false`) use Schweitzer–Bard.
+    pub exact_mva: bool,
+    /// Ablation: ignore deadlocks/rollback entirely (`Pd = 0`), as many
+    /// earlier models did.
+    pub ignore_deadlocks: bool,
+    /// Ablation: treat every lock as exclusive, the assumption the paper
+    /// criticises in prior analytical work.
+    pub all_locks_exclusive: bool,
+    /// Ablation: override the blocking-ratio formula with a constant
+    /// (the paper used 1/3).
+    pub fixed_br: Option<f64>,
+    /// Extension: model the TM server as an extra serialisation center
+    /// (the paper ignores it and reports the resulting optimism at n = 4).
+    pub model_tm_serialization: bool,
+    /// Extension: give the recovery journal its own disk instead of
+    /// sharing the database device (the testbed could not — paper §2 calls
+    /// the shared disk a bottleneck a real deployment would avoid).
+    pub separate_log_disk: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            damping: 0.5,
+            tol: 1e-9,
+            max_iter: 400,
+            exact_mva: true,
+            ignore_deadlocks: false,
+            all_locks_exclusive: false,
+            fixed_br: None,
+            model_tm_serialization: false,
+            separate_log_disk: false,
+        }
+    }
+}
+
+/// Mutable per-chain solver state.
+#[derive(Debug, Clone, Default)]
+struct ChainState {
+    pb: f64,
+    pd: f64,
+    pra: f64,
+    r_lw: f64,
+    r_rw: f64,
+    r_cwc: f64,
+    r_cwa: f64,
+    /// MVA commit-to-commit cycle time.
+    r_cycle: f64,
+    /// Successful-execution time.
+    r_s: f64,
+    /// Throughput (cycles per ms).
+    x: f64,
+    l_h: f64,
+    sigma: f64,
+    p_a: f64,
+    n_s: f64,
+    blocked_frac: f64,
+    ios_per_cycle: f64,
+    log_ios_per_cycle: f64,
+    cpu_demand: f64,
+    disk_demand: f64,
+    log_demand: f64,
+}
+
+/// The analytical model of the CARAT testbed.
+pub struct Model {
+    cfg: ModelConfig,
+    opts: ModelOptions,
+}
+
+impl Model {
+    /// Model with default solver options.
+    pub fn new(cfg: ModelConfig) -> Self {
+        Model {
+            cfg,
+            opts: ModelOptions::default(),
+        }
+    }
+
+    /// Model with explicit options (ablations, solver knobs).
+    pub fn with_options(cfg: ModelConfig, opts: ModelOptions) -> Self {
+        Model { cfg, opts }
+    }
+
+    /// Runs the fixed-point iteration and returns the predictions.
+    pub fn solve(&self) -> ModelReport {
+        let params = &self.cfg.params;
+        let ctxs = chain_contexts(params, &self.cfg.workload, self.cfg.n_requests);
+        let mut st: Vec<ChainState> = ctxs
+            .iter()
+            .map(|_| ChainState {
+                n_s: 1.0,
+                sigma: 0.5,
+                ..ChainState::default()
+            })
+            .collect();
+
+        let mut iterations = 0;
+        let mut converged = false;
+        let lam = self.opts.damping;
+        // (CPU, disk) utilization per site, refreshed by each MVA pass.
+        let mut site_util = vec![(0.0f64, 0.0f64); params.sites()];
+
+        for iter in 0..self.opts.max_iter {
+            iterations = iter + 1;
+
+            // --- Phase/visit/demand assembly -------------------------------
+            let mut visits = Vec::with_capacity(ctxs.len());
+            for (k, ctx) in ctxs.iter().enumerate() {
+                let s = &mut st[k];
+                let p = (s.pb * s.pd).clamp(0.0, 0.999_999);
+                s.sigma = sigma(p, ctx.n_lk.max(1.0));
+                let survive_locks = (1.0 - p).powf(ctx.n_lk);
+                let survive_remote = match ctx.chain {
+                    ChainType::Droc | ChainType::Duc => (1.0 - s.pra).powf(ctx.r),
+                    ChainType::Dros | ChainType::Dus => (1.0 - s.pra).powf(ctx.l),
+                    _ => 1.0,
+                };
+                s.p_a = (1.0 - survive_locks * survive_remote).clamp(0.0, 0.95);
+                s.n_s = 1.0 / (1.0 - s.p_a);
+
+                let hz = Hazards {
+                    pb: s.pb,
+                    pd: s.pd,
+                    pra: s.pra,
+                };
+                let m = if ctx.chain.is_slave() {
+                    TransitionMatrix::slave(ctx.l, ctx.q, hz)
+                } else {
+                    TransitionMatrix::local_or_coordinator(ctx.n, ctx.l, ctx.r, ctx.q, hz)
+                };
+                visits.push(m.visit_counts());
+            }
+
+            // --- Per-site MVA ----------------------------------------------
+            for (site, util_slot) in site_util.iter_mut().enumerate() {
+                let site_idx: Vec<usize> = (0..ctxs.len())
+                    .filter(|&k| ctxs[k].site == site)
+                    .collect();
+                let mut net = Network::new();
+                let cpu = net.add_center("CPU", CenterKind::Queueing);
+                let disk = net.add_center("DISK", CenterKind::Queueing);
+                let log_disk = if self.opts.separate_log_disk {
+                    Some(net.add_center("LOG", CenterKind::Queueing))
+                } else {
+                    None
+                };
+                let tm = if self.opts.model_tm_serialization {
+                    Some(net.add_center("TM", CenterKind::Queueing))
+                } else {
+                    None
+                };
+                let delay = net.add_center("DELAY", CenterKind::Delay);
+
+                for &k in &site_idx {
+                    let ctx = &ctxs[k];
+                    let s = &st[k];
+                    let chain_id =
+                        net.add_chain(ctx.chain.label(), ctx.population);
+                    let costs = phase_costs(params, ctx, s.sigma);
+                    let d = demands(
+                        params,
+                        &visits[k],
+                        &costs,
+                        &DelayTimes {
+                            lw: s.r_lw,
+                            rw: s.r_rw,
+                            cwc: s.r_cwc,
+                            cwa: s.r_cwa,
+                        },
+                        s.n_s,
+                    );
+                    net.set_demand(chain_id, cpu, d.cpu);
+                    match log_disk {
+                        Some(log_c) => {
+                            net.set_demand(chain_id, disk, d.disk);
+                            net.set_demand(chain_id, log_c, d.log);
+                        }
+                        None => {
+                            // Shared device (the testbed's forced layout).
+                            net.set_demand(chain_id, disk, d.disk + d.log);
+                        }
+                    }
+                    net.set_demand(chain_id, delay, d.delay);
+                    if let Some(tm) = tm {
+                        // Shadow-server approximation of the serialised TM:
+                        // all TM-phase CPU plus the forced commit write.
+                        let v = &visits[k];
+                        let tm_demand = s.n_s
+                            * (v.get(Phase::Tm) * costs.cpu[Phase::Tm.idx()]
+                                + v.get(Phase::Tc) * costs.cpu[Phase::Tc.idx()]
+                                + v.get(Phase::Tcio) * costs.disk[Phase::Tcio.idx()]);
+                        net.set_demand(chain_id, tm, tm_demand);
+                    }
+                    let s = &mut st[k];
+                    s.ios_per_cycle = d.ios;
+                    s.log_ios_per_cycle = d.log_ios;
+                    s.cpu_demand = d.cpu;
+                    s.disk_demand = if self.opts.separate_log_disk {
+                        d.disk
+                    } else {
+                        d.disk + d.log
+                    };
+                    s.log_demand = if self.opts.separate_log_disk { d.log } else { 0.0 };
+                }
+
+                let sol = if self.opts.exact_mva && net.lattice_size() <= 2_000_000 {
+                    net.solve_exact()
+                } else {
+                    net.solve_approx(1e-10, 20_000)
+                };
+
+                for (pos, &k) in site_idx.iter().enumerate() {
+                    let s = &mut st[k];
+                    s.x = sol.throughput[pos];
+                    s.r_cycle = sol.response[pos];
+                    let think = s.n_s * params.think_time_ms;
+                    s.r_s = ((s.r_cycle - think)
+                        / (1.0 + (s.n_s - 1.0) * s.sigma))
+                        .max(1e-9);
+                }
+
+                // Stash site utilizations for the delay updates below.
+                *util_slot = (sol.utilization[cpu], sol.utilization[disk]);
+            }
+
+            // --- Contention updates ----------------------------------------
+            let mut new_pb = vec![0.0; ctxs.len()];
+            let mut new_pd = vec![0.0; ctxs.len()];
+            let mut new_rlw = vec![0.0; ctxs.len()];
+            for site in 0..params.sites() {
+                let site_idx: Vec<usize> = (0..ctxs.len())
+                    .filter(|&k| ctxs[k].site == site)
+                    .collect();
+                // L_h and blocked-time fractions first.
+                for &k in &site_idx {
+                    let ctx = &ctxs[k];
+                    let s = &mut st[k];
+                    s.l_h = locks_held(
+                        ctx.n_lk,
+                        s.sigma,
+                        s.p_a,
+                        s.r_s,
+                        params.think_time_ms,
+                    );
+                    s.blocked_frac = if s.r_cycle > 0.0 {
+                        (s.n_s * ctx.n_lk * s.pb * s.r_lw / s.r_cycle).clamp(0.0, 0.9)
+                    } else {
+                        0.0
+                    };
+                }
+                let states: Vec<ChainLockState> = site_idx
+                    .iter()
+                    .map(|&k| {
+                        let s = &st[k];
+                        // B(t): the wait-free part of R_s — what the blocker
+                        // actually *does* while holding locks. Both the
+                        // lock-wait echo (same site) and the remote-wait echo
+                        // (other site's lock waits reflected through RW gaps)
+                        // are removed; without this the cross-site R_LW loop
+                        // is slowly supercritical and the iteration drifts
+                        // into an unphysical thrashing solution. B is anchored
+                        // to the pure service content per execution: at least
+                        // 1× (can't be faster than service), at most 6×
+                        // (bounded queueing inflation at sub-saturation
+                        // utilizations).
+                        let lw_content = ctxs[k].n_lk * s.pb * s.r_lw;
+                        let rw_cw_content = visits[k].get(Phase::Rw) * s.r_rw
+                            + visits[k].get(Phase::Cwc) * s.r_cwc;
+                        let service = (s.cpu_demand + s.disk_demand) / s.n_s;
+                        let useful = (s.r_s - lw_content - rw_cw_content)
+                            .clamp(service, 6.0 * service.max(1e-9));
+                        ChainLockState {
+                            chain: ctxs[k].chain,
+                            population: ctxs[k].population as f64,
+                            l_h: s.l_h,
+                            n_lk: ctxs[k].n_lk,
+                            blocked_frac: s.blocked_frac,
+                            r_s: s.r_s,
+                            useful,
+                            pb: s.pb,
+                            pd: s.pd,
+                        }
+                    })
+                    .collect();
+                let rlw_site = lock_wait_times_consistent(
+                    &states,
+                    self.opts.all_locks_exclusive,
+                    self.opts.fixed_br,
+                );
+                for (pos, &k) in site_idx.iter().enumerate() {
+                    new_pb[k] = blocking_probability(
+                        ctxs[k].chain,
+                        &states,
+                        params.effective_granules(),
+                        self.opts.all_locks_exclusive,
+                    );
+                    new_pd[k] = if self.opts.ignore_deadlocks {
+                        0.0
+                    } else {
+                        deadlock_probability(pos, &states, self.opts.all_locks_exclusive)
+                    };
+                    new_rlw[k] = rlw_site[pos];
+                }
+            }
+
+            // --- Distributed delays (Eqs. 21–24 + CW) ----------------------
+            let alpha = params.comm_delay_ms;
+            let mut new_rrw = vec![0.0; ctxs.len()];
+            let mut new_cwc = vec![0.0; ctxs.len()];
+            let mut new_cwa = vec![0.0; ctxs.len()];
+            let mut new_pra = vec![0.0; ctxs.len()];
+            for k in 0..ctxs.len() {
+                let ctx = &ctxs[k];
+                match ctx.chain {
+                    ChainType::Droc | ChainType::Duc => {
+                        let sc = ctx.chain.counterpart().expect("coordinator");
+                        let mut active_sum = 0.0;
+                        let mut commit_max: f64 = 0.0;
+                        let mut pra_survive = 1.0;
+                        let mut n_slaves = 0.0;
+                        for (j, sl) in ctxs.iter().enumerate() {
+                            if sl.chain != sc || sl.site == ctx.site {
+                                continue;
+                            }
+                            let ss = &st[j];
+                            let (u_cpu, u_disk) = site_util[sl.site];
+                            let infl_cpu = (1.0 / (1.0 - u_cpu.min(0.95))).min(5.0);
+                            let infl_disk = (1.0 / (1.0 - u_disk.min(0.95))).min(5.0);
+                            let commit_part = params.basic.tc_cpu(sc) * infl_cpu
+                                + params.basic.commit_ios(sc) as f64
+                                    * params.nodes[sl.site].disk_io_ms
+                                    * infl_disk;
+                            // Slave time actively serving one remote request:
+                            // its successful execution minus its own waits
+                            // and commit processing, per request.
+                            let active = ((ss.r_s
+                                - visits_rw_estimate(sl) * ss.r_rw
+                                - commit_part)
+                                / sl.l)
+                                .max(0.0);
+                            active_sum += active;
+                            commit_max = commit_max.max(commit_part);
+                            pra_survive *= (1.0 - ss.pb * ss.pd).powf(sl.q);
+                            n_slaves += 1.0;
+                        }
+                        if n_slaves > 0.0 {
+                            new_rrw[k] = 2.0 * alpha + active_sum / n_slaves;
+                            new_cwc[k] = 4.0 * alpha + commit_max;
+                            new_cwa[k] = 2.0 * alpha;
+                            new_pra[k] = 1.0 - pra_survive;
+                        }
+                    }
+                    ChainType::Dros | ChainType::Dus => {
+                        let cc = ctx.chain.counterpart().expect("slave");
+                        // The coordinator(s) this slave serves live at the
+                        // other sites.
+                        let mut gap_sum = 0.0;
+                        let mut cwc_max: f64 = 0.0;
+                        let mut pra_survive = 1.0;
+                        let mut n_coord = 0.0;
+                        for (j, co) in ctxs.iter().enumerate() {
+                            if co.chain != cc || co.site == ctx.site {
+                                continue;
+                            }
+                            let cs = &st[j];
+                            let (u_cpu, u_disk) = site_util[co.site];
+                            let infl_cpu = (1.0 / (1.0 - u_cpu.min(0.95))).min(5.0);
+                            let infl_disk = (1.0 / (1.0 - u_disk.min(0.95))).min(5.0);
+                            let decision = params.basic.tc_cpu(cc) / 2.0 * infl_cpu
+                                + params.basic.commit_ios(cc) as f64
+                                    * params.nodes[co.site].disk_io_ms
+                                    * infl_disk;
+                            let gap = ((cs.r_s - co.r * cs.r_rw - cs.r_cwc)
+                                / co.r.max(1.0))
+                            .max(0.0);
+                            gap_sum += gap + 2.0 * alpha;
+                            cwc_max = cwc_max.max(2.0 * alpha + decision);
+                            // Coordinator-side aborts per slave wait: the
+                            // coordinator acquires N_lk(c)/r locks per gap.
+                            pra_survive *= (1.0 - cs.pb * cs.pd)
+                                .powf(co.n_lk / co.r.max(1.0));
+                            n_coord += 1.0;
+                        }
+                        if n_coord > 0.0 {
+                            new_rrw[k] = gap_sum / n_coord;
+                            new_cwc[k] = cwc_max;
+                            new_cwa[k] = 2.0 * alpha;
+                            new_pra[k] = 1.0 - pra_survive;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            // --- Damped state update + convergence check -------------------
+            let mut delta: f64 = 0.0;
+            for k in 0..ctxs.len() {
+                let s = &mut st[k];
+                let mut upd = |old: &mut f64, new: f64| {
+                    let v = lam * new + (1.0 - lam) * *old;
+                    delta = delta.max((v - *old).abs() / (1.0 + v.abs()));
+                    *old = v;
+                };
+                upd(&mut s.pb, new_pb[k]);
+                upd(&mut s.pd, new_pd[k]);
+                upd(&mut s.r_lw, new_rlw[k]);
+                upd(&mut s.r_rw, new_rrw[k]);
+                upd(&mut s.r_cwc, new_cwc[k]);
+                upd(&mut s.r_cwa, new_cwa[k]);
+                upd(&mut s.pra, new_pra[k]);
+            }
+            if delta < self.opts.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        self.package(&ctxs, &st, iterations, converged)
+    }
+
+    fn package(
+        &self,
+        ctxs: &[ChainCtx],
+        st: &[ChainState],
+        iterations: usize,
+        converged: bool,
+    ) -> ModelReport {
+        let params = &self.cfg.params;
+        let mut nodes = Vec::new();
+        for site in 0..params.sites() {
+            let mut per_type: BTreeMap<TxType, ModelTypeReport> = BTreeMap::new();
+            let mut per_chain = Vec::new();
+            let mut tx_per_s = 0.0;
+            let mut records_per_s = 0.0;
+            let mut cpu_u = 0.0;
+            let mut disk_u = 0.0;
+            let mut log_u = 0.0;
+            let mut dio = 0.0;
+            for (k, ctx) in ctxs.iter().enumerate() {
+                if ctx.site != site {
+                    continue;
+                }
+                let s = &st[k];
+                // MVA throughput is already the chain total (all N(t, i)
+                // customers), in cycles per ms.
+                cpu_u += s.x * s.cpu_demand;
+                disk_u += s.x * s.disk_demand;
+                log_u += s.x * s.log_demand;
+                dio += s.x * (s.ios_per_cycle + s.log_ios_per_cycle) * 1000.0;
+
+                // Final-state phase decomposition (service content per
+                // commit cycle) for comparison with the simulator's
+                // measured residence.
+                let hz = Hazards {
+                    pb: s.pb,
+                    pd: s.pd,
+                    pra: s.pra,
+                };
+                let m = if ctx.chain.is_slave() {
+                    TransitionMatrix::slave(ctx.l, ctx.q, hz)
+                } else {
+                    TransitionMatrix::local_or_coordinator(ctx.n, ctx.l, ctx.r, ctx.q, hz)
+                };
+                let v = m.visit_counts();
+                let costs = phase_costs(params, ctx, s.sigma);
+                let mut phase_ms = std::collections::BTreeMap::new();
+                for ph in Phase::ALL {
+                    let service = costs.cpu[ph.idx()]
+                        + costs.disk[ph.idx()]
+                        + costs.log[ph.idx()];
+                    let delay = match ph {
+                        Phase::Lw => s.r_lw,
+                        Phase::Rw => s.r_rw,
+                        Phase::Cwc => s.r_cwc,
+                        Phase::Cwa => s.r_cwa,
+                        Phase::Ut => params.think_time_ms,
+                        _ => 0.0,
+                    };
+                    let total = s.n_s * v.get(ph) * (service + delay);
+                    if total > 1e-9 {
+                        phase_ms.insert(ph.label(), total);
+                    }
+                }
+
+                let rep = ModelTypeReport {
+                    phase_ms,
+                    xput_per_s: s.x * 1000.0,
+                    response_ms: s.r_cycle,
+                    n_s: s.n_s,
+                    pb: s.pb,
+                    pd: s.pd,
+                    p_a: s.p_a,
+                    l_h: s.l_h,
+                    r_lw_ms: s.r_lw,
+                };
+                per_chain.push((ctx.chain, rep.clone()));
+                if !ctx.chain.is_slave() {
+                    // User-visible throughput: local chains and coordinators
+                    // are homed here.
+                    tx_per_s += rep.xput_per_s;
+                    records_per_s += rep.xput_per_s
+                        * ctx.n
+                        * params.records_per_request as f64;
+                    per_type.insert(ctx.chain.user_type(), rep);
+                }
+            }
+            nodes.push(ModelNodeReport {
+                name: params.nodes[site].name.clone(),
+                cpu_util: cpu_u,
+                disk_util: disk_u,
+                log_disk_util: log_u,
+                dio_per_s: dio,
+                tx_per_s,
+                records_per_s,
+                per_type,
+                per_chain,
+            });
+        }
+        ModelReport {
+            nodes,
+            iterations,
+            converged,
+        }
+    }
+}
+
+/// Estimated RW visits per slave execution (= its request count).
+fn visits_rw_estimate(ctx: &ChainCtx) -> f64 {
+    ctx.l
+}

@@ -1,0 +1,143 @@
+//! Behavioural tests of the fixed-point solver: the model must respond to
+//! its inputs the way queueing theory demands.
+
+use carat_model::{Model, ModelConfig, ModelOptions};
+use carat_workload::{NodeParams, StandardWorkload, SystemParams, TxType, WorkloadSpec};
+
+fn solve(wl: StandardWorkload, n: u32) -> carat_model::ModelReport {
+    Model::new(ModelConfig::new(wl.spec(2), n)).solve()
+}
+
+#[test]
+fn solver_is_deterministic() {
+    let a = solve(StandardWorkload::Mb8, 12);
+    let b = solve(StandardWorkload::Mb8, 12);
+    assert_eq!(a.iterations, b.iterations);
+    for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(na.tx_per_s, nb.tx_per_s);
+        assert_eq!(na.cpu_util, nb.cpu_util);
+    }
+}
+
+#[test]
+fn throughput_monotone_decreasing_in_n() {
+    for wl in [StandardWorkload::Lb8, StandardWorkload::Mb4, StandardWorkload::Ub6] {
+        let mut prev = f64::INFINITY;
+        for n in [4u32, 8, 12, 16, 20] {
+            let x = solve(wl, n).total_tx_per_s();
+            assert!(x < prev, "{wl} n={n}: {x} !< {prev}");
+            prev = x;
+        }
+    }
+}
+
+#[test]
+fn utilizations_never_exceed_one() {
+    for wl in StandardWorkload::ALL {
+        for n in [4u32, 20] {
+            let r = solve(wl, n);
+            for node in &r.nodes {
+                assert!(node.cpu_util <= 1.0 + 1e-9, "{wl} n={n}");
+                assert!(node.disk_util <= 1.0 + 1e-9, "{wl} n={n}");
+                assert!(node.log_disk_util <= 1.0 + 1e-9, "{wl} n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn identical_nodes_give_symmetric_predictions() {
+    // Make node B's disk as fast as node A's: MB-style symmetric workloads
+    // must then be exactly symmetric.
+    let mut params = SystemParams::default();
+    params.nodes[1] = NodeParams {
+        name: "B".into(),
+        disk_io_ms: 28.0,
+    };
+    let mut cfg = ModelConfig::new(StandardWorkload::Mb4.spec(2), 8);
+    cfg.params = params;
+    let r = Model::new(cfg).solve();
+    assert!(
+        (r.nodes[0].tx_per_s - r.nodes[1].tx_per_s).abs() < 1e-6,
+        "{} vs {}",
+        r.nodes[0].tx_per_s,
+        r.nodes[1].tx_per_s
+    );
+    assert!((r.nodes[0].cpu_util - r.nodes[1].cpu_util).abs() < 1e-6);
+}
+
+#[test]
+fn doubling_disk_speed_raises_disk_bound_throughput() {
+    let base = solve(StandardWorkload::Lb8, 8);
+    let mut params = SystemParams::default();
+    for node in &mut params.nodes {
+        node.disk_io_ms /= 2.0;
+    }
+    let mut cfg = ModelConfig::new(StandardWorkload::Lb8.spec(2), 8);
+    cfg.params = params;
+    let fast = Model::new(cfg).solve();
+    assert!(fast.total_tx_per_s() > base.total_tx_per_s() * 1.5);
+}
+
+#[test]
+fn adding_users_saturates_but_never_reduces_total_below_fewer_users_significantly() {
+    // Closed-network sanity: 2 users ≤ 4 users ≤ 8 users in total
+    // throughput at low contention (n = 4 keeps deadlocks negligible).
+    let mk = |per_node: usize| {
+        let spec = WorkloadSpec {
+            name: "scale".into(),
+            users: vec![vec![(TxType::Lro, per_node)]; 2],
+        };
+        Model::new(ModelConfig::new(spec, 4)).solve().total_tx_per_s()
+    };
+    let (x2, x4, x8) = (mk(2), mk(4), mk(8));
+    assert!(x4 > x2);
+    assert!(x8 >= x4 * 0.99);
+}
+
+#[test]
+fn approximate_mva_option_stays_close_to_exact() {
+    let exact = solve(StandardWorkload::Mb8, 8);
+    let approx = Model::with_options(
+        ModelConfig::new(StandardWorkload::Mb8.spec(2), 8),
+        ModelOptions {
+            exact_mva: false,
+            ..ModelOptions::default()
+        },
+    )
+    .solve();
+    for (e, a) in exact.nodes.iter().zip(&approx.nodes) {
+        let rel = (e.tx_per_s - a.tx_per_s).abs() / e.tx_per_s;
+        assert!(rel < 0.15, "node {}: exact {} vs approx {}", e.name, e.tx_per_s, a.tx_per_s);
+    }
+}
+
+#[test]
+fn read_only_workload_has_no_aborts_or_log_io() {
+    let spec = WorkloadSpec {
+        name: "ro".into(),
+        users: vec![vec![(TxType::Lro, 4)], vec![(TxType::Lro, 4)]],
+    };
+    let r = Model::new(ModelConfig::new(spec, 12)).solve();
+    for node in &r.nodes {
+        let t = &node.per_type[&TxType::Lro];
+        assert!(t.p_a < 1e-9, "readers cannot conflict: P_a = {}", t.p_a);
+        assert!((t.n_s - 1.0).abs() < 1e-9);
+        assert_eq!(t.pb, 0.0);
+    }
+}
+
+#[test]
+fn phase_decomposition_sums_to_response_without_queueing() {
+    // With one user there is no queueing and no contention: the model's
+    // phase content must sum to (almost exactly) the predicted response.
+    let spec = WorkloadSpec {
+        name: "solo".into(),
+        users: vec![vec![(TxType::Lu, 1)], vec![]],
+    };
+    let r = Model::new(ModelConfig::new(spec, 8)).solve();
+    let t = &r.nodes[0].per_type[&TxType::Lu];
+    let phase_sum: f64 = t.phase_ms.values().sum();
+    let rel = (phase_sum - t.response_ms).abs() / t.response_ms;
+    assert!(rel < 1e-6, "phases {phase_sum} vs response {}", t.response_ms);
+}

@@ -1,0 +1,206 @@
+//! Future-event list with a simulated clock.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Time;
+
+/// An entry in the future-event list.
+///
+/// Ordered by `(time, seq)` so that the earliest event is popped first and
+/// simultaneous events are delivered in the order they were scheduled. The
+/// sequence number makes the ordering total and deterministic even though
+/// `f64` timestamps can collide (they routinely do: CARAT transactions with
+/// zero think time restart "at the same instant" their predecessor commits).
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the smallest (time, seq) wins.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list plus simulated clock.
+///
+/// ```
+/// use carat_des::Scheduler;
+///
+/// let mut sched: Scheduler<&'static str> = Scheduler::new();
+/// sched.schedule(5.0, "b");
+/// sched.schedule(1.0, "a");
+/// sched.schedule(5.0, "c"); // same time as "b": FIFO among ties
+/// assert_eq!(sched.pop(), Some((1.0, "a")));
+/// assert_eq!(sched.pop(), Some((5.0, "b")));
+/// assert_eq!(sched.pop(), Some((5.0, "c")));
+/// assert_eq!(sched.now(), 5.0);
+/// assert!(sched.pop().is_none());
+/// ```
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at time 0.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the past or is not a finite number; scheduling
+    /// into the past is always a simulation bug and silently reordering it
+    /// would corrupt causality.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        assert!(at.is_finite(), "non-finite event time {at}");
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        self.heap.push(Entry {
+            time: at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a non-negative `delay` from the current time.
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        let now = self.now;
+        self.schedule(now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the next pending event, if any, without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(3.0, 3);
+        s.schedule(1.0, 1);
+        s.schedule(2.0, 2);
+        assert_eq!(s.pop(), Some((1.0, 1)));
+        assert_eq!(s.pop(), Some((2.0, 2)));
+        assert_eq!(s.pop(), Some((3.0, 3)));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule(7.0, i);
+        }
+        for i in 0..100 {
+            assert_eq!(s.pop(), Some((7.0, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut s = Scheduler::new();
+        s.schedule(1.0, ());
+        s.schedule(1.5, ());
+        s.pop();
+        assert_eq!(s.now(), 1.0);
+        // Scheduling at the current instant is allowed.
+        s.schedule(1.0, ());
+        assert_eq!(s.pop(), Some((1.0, ())));
+        assert_eq!(s.pop(), Some((1.5, ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule(5.0, ());
+        s.pop();
+        s.schedule(4.0, ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut s = Scheduler::new();
+        s.schedule(10.0, 0);
+        s.pop();
+        s.schedule_in(2.5, 1);
+        assert_eq!(s.pop(), Some((12.5, 1)));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut s = Scheduler::new();
+        s.schedule(4.0, ());
+        assert_eq!(s.peek_time(), Some(4.0));
+        assert_eq!(s.now(), 0.0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,443 @@
+//! Statistics accumulators for simulation output analysis.
+
+use crate::Time;
+
+/// Time-weighted average of a piecewise-constant signal (queue lengths,
+/// busy-server counts, locks held, ...).
+///
+/// The caller reports every change of the signal with [`TimeWeighted::set`];
+/// the accumulator integrates the signal over time. [`TimeWeighted::mean`]
+/// over an observation window `[start, end]` is `∫ x dt / (end − start)`.
+///
+/// ```
+/// use carat_des::TimeWeighted;
+/// let mut q = TimeWeighted::new(0.0, 0.0);
+/// q.set(10.0, 2.0); // 0 customers during [0, 10), then 2
+/// q.set(30.0, 1.0); // 2 customers during [10, 30), then 1
+/// assert!((q.mean(40.0) - (0.0*10.0 + 2.0*20.0 + 1.0*10.0) / 40.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    start: Time,
+    last_t: Time,
+    value: f64,
+    area: f64,
+}
+
+impl TimeWeighted {
+    /// Starts observing at time `start` with initial signal `value`.
+    pub fn new(start: Time, value: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_t: start,
+            value,
+            area: 0.0,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    pub fn set(&mut self, now: Time, value: f64) {
+        debug_assert!(now >= self.last_t, "time went backwards");
+        self.area += self.value * (now - self.last_t);
+        self.last_t = now;
+        self.value = value;
+    }
+
+    /// Adds `delta` to the current signal at time `now`.
+    pub fn add(&mut self, now: Time, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current value of the signal.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-average of the signal over `[start, now]`.
+    ///
+    /// Returns 0 for an empty window.
+    pub fn mean(&self, now: Time) -> f64 {
+        let span = now - self.start;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (self.area + self.value * (now - self.last_t)) / span
+    }
+
+    /// Restarts the observation window at `now`, keeping the current value.
+    ///
+    /// Used to discard a warm-up transient before collecting steady-state
+    /// statistics.
+    pub fn reset(&mut self, now: Time) {
+        self.start = now;
+        self.last_t = now;
+        self.area = 0.0;
+    }
+}
+
+/// Sample statistics (count / mean / variance / min / max) computed online
+/// with Welford's algorithm, which is numerically stable for long runs.
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Forgets all observations.
+    pub fn reset(&mut self) {
+        *self = Tally::new();
+    }
+}
+
+/// A plain event counter with a rate helper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter {
+    n: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter { n: 0 }
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.n += 1;
+    }
+
+    /// Adds `k`.
+    pub fn add(&mut self, k: u64) {
+        self.n += k;
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Events per unit time over a window of length `span`.
+    pub fn rate(&self, span: Time) -> f64 {
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.n as f64 / span
+        }
+    }
+
+    /// Zeroes the counter.
+    pub fn reset(&mut self) {
+        self.n = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_weighted_integrates_piecewise_constant() {
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.set(2.0, 3.0);
+        tw.set(4.0, 0.0);
+        // 1*2 + 3*2 + 0*1 over 5 time units
+        assert!((tw.mean(5.0) - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_add_and_value() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.add(1.0, 2.0);
+        tw.add(2.0, -1.0);
+        assert_eq!(tw.value(), 1.0);
+        assert!((tw.mean(3.0) - (0.0 + 2.0 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_reset_discards_history() {
+        let mut tw = TimeWeighted::new(0.0, 100.0);
+        tw.set(10.0, 2.0);
+        tw.reset(10.0);
+        assert!((tw.mean(20.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_mean_and_variance() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // population variance 4 → sample variance 32/7
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+        assert!((t.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_empty_is_safe() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn counter_rate() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.count(), 10);
+        assert!((c.rate(5.0) - 2.0).abs() < 1e-12);
+        assert_eq!(c.rate(0.0), 0.0);
+        c.reset();
+        assert_eq!(c.count(), 0);
+    }
+}
+
+/// Fixed-layout log-scale histogram for latency-style quantities.
+///
+/// Buckets are geometric: `[0, base)`, `[base, base·g)`, ... with growth
+/// factor `g`. Quantile estimates interpolate linearly inside a bucket,
+/// which is plenty for reporting p50/p95/p99 of simulated response times.
+///
+/// ```
+/// use carat_des::Histogram;
+/// let mut h = Histogram::for_latency_ms();
+/// for ms in [5.0, 7.0, 9.0, 11.0, 400.0] {
+///     h.record(ms);
+/// }
+/// assert!(h.quantile(0.5) < 20.0);
+/// assert!(h.quantile(0.95) > 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    base: f64,
+    growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` geometric buckets starting at `base`
+    /// (first bucket is `[0, base)`) growing by `growth` per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base > 0`, `growth > 1`, and `buckets ≥ 1`.
+    pub fn new(base: f64, growth: f64, buckets: usize) -> Self {
+        assert!(base > 0.0 && growth > 1.0 && buckets >= 1);
+        Histogram {
+            base,
+            growth,
+            counts: vec![0; buckets],
+            total: 0,
+            overflow: 0,
+        }
+    }
+
+    /// A sensible default for millisecond latencies: 1 ms … ~3 hours.
+    pub fn for_latency_ms() -> Self {
+        Histogram::new(1.0, 1.6, 36)
+    }
+
+    fn bucket_of(&self, x: f64) -> Option<usize> {
+        if x < self.base {
+            return Some(0);
+        }
+        let idx = ((x / self.base).ln() / self.growth.ln()).floor() as usize + 1;
+        if idx < self.counts.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Lower edge of bucket `i`.
+    fn lower(&self, i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            self.base * self.growth.powi(i as i32 - 1)
+        }
+    }
+
+    /// Upper edge of bucket `i`.
+    fn upper(&self, i: usize) -> f64 {
+        self.base * self.growth.powi(i as i32)
+    }
+
+    /// Records one non-negative observation.
+    pub fn record(&mut self, x: f64) {
+        assert!(x >= 0.0 && x.is_finite(), "bad observation {x}");
+        self.total += 1;
+        match self.bucket_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimates the `q`-quantile (`0 < q < 1`); returns 0 when empty.
+    /// Overflowed observations are treated as sitting at the top edge.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q) && q > 0.0, "bad quantile {q}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if seen + c >= target {
+                let into = (target - seen) as f64 / c.max(1) as f64;
+                return self.lower(i) + into * (self.upper(i) - self.lower(i));
+            }
+            seen += c;
+        }
+        self.upper(self.counts.len() - 1)
+    }
+
+    /// Forgets all observations.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.overflow = 0;
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::Histogram;
+
+    #[test]
+    fn quantiles_of_uniform_stream() {
+        let mut h = Histogram::new(1.0, 1.5, 40);
+        for i in 1..=10_000 {
+            h.record(i as f64 / 10.0); // 0.1 .. 1000
+        }
+        let p50 = h.quantile(0.5);
+        assert!((400.0..650.0).contains(&p50), "p50 = {p50}");
+        let p95 = h.quantile(0.95);
+        assert!((850.0..1100.0).contains(&p95), "p95 = {p95}");
+        assert!(h.quantile(0.99) >= p95);
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::for_latency_ms();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn overflow_clamps_to_top_edge() {
+        let mut h = Histogram::new(1.0, 2.0, 4); // top edge 8
+        for _ in 0..10 {
+            h.record(1e9);
+        }
+        assert_eq!(h.quantile(0.5), 8.0);
+    }
+
+    #[test]
+    fn monotone_quantiles() {
+        let mut h = Histogram::for_latency_ms();
+        let mut state = 12345u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = (state >> 33) as f64 / 100.0;
+            h.record(x);
+        }
+        let mut prev = 0.0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantiles must be monotone");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = Histogram::for_latency_ms();
+        h.record(5.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.9), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the DES kernel.
+
+use carat_des::{Fcfs, Histogram, Scheduler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The scheduler delivers events in non-decreasing time order and
+    /// FIFO within equal timestamps, for arbitrary schedules.
+    #[test]
+    fn scheduler_total_order(times in proptest::collection::vec(0u32..50, 1..200)) {
+        let mut s = Scheduler::new();
+        for (seq, &t) in times.iter().enumerate() {
+            s.schedule(f64::from(t), (t, seq));
+        }
+        let mut last_t = f64::NEG_INFINITY;
+        let mut last_seq_at_t = None::<usize>;
+        while let Some((at, (t, seq))) = s.pop() {
+            prop_assert_eq!(at, f64::from(t));
+            prop_assert!(at >= last_t);
+            if at == last_t {
+                prop_assert!(Some(seq) > last_seq_at_t, "FIFO among ties violated");
+            }
+            last_t = at;
+            last_seq_at_t = Some(seq);
+            prop_assert_eq!(s.now(), at);
+        }
+        prop_assert!(s.is_empty());
+    }
+
+    /// FCFS conservation: every arrival eventually completes exactly once,
+    /// in arrival order, and utilization equals total service over the
+    /// busy horizon.
+    #[test]
+    fn fcfs_conserves_jobs(services in proptest::collection::vec(0.1f64..10.0, 1..60)) {
+        let mut r: Fcfs<usize> = Fcfs::new(0.0);
+        let mut sched: Scheduler<usize> = Scheduler::new();
+        // All jobs arrive at t = 0 in index order.
+        let mut started = Vec::new();
+        for (i, &svc) in services.iter().enumerate() {
+            if let Some(s) = r.arrive(0.0, i, svc) {
+                sched.schedule(s.service, s.job);
+                started.push(s.job);
+            }
+        }
+        let mut completed = Vec::new();
+        while let Some((t, job)) = sched.pop() {
+            completed.push(job);
+            if let Some(s) = r.complete(t) {
+                sched.schedule(t + s.service, s.job);
+            }
+        }
+        let n = services.len();
+        prop_assert_eq!(completed.len(), n);
+        // FIFO: completion order = arrival order.
+        prop_assert_eq!(completed, (0..n).collect::<Vec<_>>());
+        let total: f64 = services.iter().sum();
+        prop_assert!((r.utilization(total) - 1.0).abs() < 1e-9, "busy the whole horizon");
+        prop_assert_eq!(r.completions(), n as u64);
+    }
+
+    /// Histogram quantiles are monotone and bracket the observations.
+    #[test]
+    fn histogram_quantiles_sane(obs in proptest::collection::vec(0.0f64..1e5, 1..500)) {
+        let mut h = Histogram::for_latency_ms();
+        let mut max = 0.0f64;
+        for &x in &obs {
+            h.record(x);
+            max = max.max(x);
+        }
+        let mut prev = 0.0;
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        // Upper quantiles never exceed ~one bucket beyond the max.
+        prop_assert!(h.quantile(0.99) <= max * 1.7 + 2.0);
+        prop_assert_eq!(h.count(), obs.len() as u64);
+    }
+}

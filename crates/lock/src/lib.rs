@@ -1,0 +1,31 @@
+//! # carat-lock — two-phase-locking lock manager
+//!
+//! The concurrency-control substrate of the CARAT testbed (paper §2):
+//! dynamic two-phase locking at **database-block granularity** with both
+//! **shared and exclusive** modes — the paper emphasises that most earlier
+//! analytical models wrongly assumed exclusive-only locking — plus
+//! a **wait-for graph** searched at lock-request time for local deadlock
+//! detection (the distributed Chandy–Misra–Haas probe protocol lives in
+//! `carat-sim`, which owns cross-site state).
+//!
+//! Semantics implemented:
+//!
+//! * re-entrant requests (a holder asking again in the same or weaker mode
+//!   is granted without a new hold);
+//! * **lock upgrade** (S → X by the sole holder is immediate; otherwise the
+//!   upgrade waits at the *head* of the queue, the standard
+//!   starvation-avoidance rule);
+//! * FIFO granting — a new request, even if compatible with current
+//!   holders, queues behind incompatible waiters (no reader barging);
+//! * all locks are released together at end of transaction (strict 2PL,
+//!   matching the paper's "locks ... are released at the end" assumption);
+//! * the lock table lives entirely in memory — "the processing of a lock
+//!   request requires no disk I/O" (paper §3).
+
+pub mod manager;
+pub mod tso;
+pub mod wfg;
+
+pub use manager::{LockManager, LockMode, Outcome, TxnToken};
+pub use tso::{TimestampManager, TsOutcome};
+pub use wfg::WaitForGraph;

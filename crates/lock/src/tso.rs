@@ -1,0 +1,317 @@
+//! Basic timestamp-ordering concurrency control.
+//!
+//! The paper's introduction recounts Galler's simulation finding that
+//! "the performance of basic timestamp ordering is better than that of
+//! two-phase locking" \[GALL82\] — a claim the CARAT testbed never tested.
+//! This module supplies basic TO so the simulator can run the comparison.
+//!
+//! Rules (per granule, with committed read/write timestamps `rts`/`wts`
+//! and at most one *pending* uncommitted writer):
+//!
+//! * **read(ts)** — rejected if `ts < wts` (the value it should have read
+//!   is gone). If a pending write exists: a *newer* reader (`ts >
+//!   pending`) waits for the writer's outcome; an *older* reader is
+//!   rejected (the in-place store cannot serve the overwritten committed
+//!   version — a conservative simplification, documented). Otherwise the
+//!   read is allowed and advances `rts`.
+//! * **write(ts)** — rejected if `ts < rts` or `ts < wts` (basic TO;
+//!   [`TimestampManager::new_with_thomas_rule`] instead *skips* writes
+//!   older than `wts` when they don't violate `rts` — the Thomas write
+//!   rule). If a pending write exists: older writers are rejected, newer
+//!   ones wait. Otherwise the write is allowed and becomes pending until
+//!   commit or abort.
+//!
+//! Because waits only ever point from a newer transaction to an *older*
+//! pending writer, wait-for chains strictly decrease in timestamp — **no
+//! deadlock is possible**, the protocol's classic selling point. Rejected
+//! transactions restart with a fresh, larger timestamp.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::manager::TxnToken;
+
+/// Outcome of a timestamped access request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsOutcome {
+    /// Access permitted; proceed (for writes, the write is now pending
+    /// until [`TimestampManager::commit`]/[`TimestampManager::abort`]).
+    Allowed,
+    /// The write is obsolete but harmless (Thomas write rule): skip the
+    /// physical write and proceed.
+    SkipWrite,
+    /// Timestamp order violated: the transaction must abort and restart
+    /// with a new timestamp.
+    Rejected,
+    /// An older uncommitted writer owns the granule: wait for its outcome,
+    /// then retry the access.
+    WaitFor(TxnToken),
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Stamps {
+    rts: u64,
+    wts: u64,
+    /// Uncommitted writer: (timestamp, owner).
+    pending: Option<(u64, TxnToken)>,
+}
+
+/// Per-site basic timestamp-ordering manager.
+///
+/// Transactions use their (monotonically assigned) ids as timestamps.
+///
+/// ```
+/// use carat_lock::{TimestampManager, TsOutcome};
+/// let mut tso = TimestampManager::new();
+/// assert_eq!(tso.write(10, 0), TsOutcome::Allowed);   // pending
+/// assert_eq!(tso.read(12, 0), TsOutcome::WaitFor(10)); // newer reader waits
+/// assert_eq!(tso.read(5, 0), TsOutcome::Rejected);     // older reader restarts
+/// assert_eq!(tso.commit(10), vec![12]);                // waiter retries
+/// assert_eq!(tso.read(12, 0), TsOutcome::Allowed);
+/// ```
+#[derive(Debug, Default)]
+pub struct TimestampManager {
+    table: HashMap<u32, Stamps>,
+    /// Waiters per block, retried when the pending writer resolves.
+    waiters: HashMap<u32, VecDeque<TxnToken>>,
+    /// Blocks pending per transaction (for O(own) resolution).
+    pending_of: HashMap<TxnToken, Vec<u32>>,
+    thomas_rule: bool,
+    requests: u64,
+    rejections: u64,
+}
+
+impl TimestampManager {
+    /// Basic TO (reject on every out-of-order access).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Basic TO with the Thomas write rule (obsolete writes are skipped
+    /// rather than rejected).
+    pub fn new_with_thomas_rule() -> Self {
+        TimestampManager {
+            thomas_rule: true,
+            ..Self::default()
+        }
+    }
+
+    /// A read access by transaction `tx` (timestamp = `tx`).
+    pub fn read(&mut self, tx: TxnToken, block: u32) -> TsOutcome {
+        self.requests += 1;
+        let st = self.table.entry(block).or_default();
+        if let Some((p_ts, p_owner)) = st.pending {
+            if p_owner == tx {
+                return TsOutcome::Allowed; // reading own write
+            }
+            if tx > p_ts {
+                self.waiters.entry(block).or_default().push_back(tx);
+                return TsOutcome::WaitFor(p_owner);
+            }
+            // Older than the pending writer: the committed version was
+            // physically overwritten in place; conservatively reject.
+            self.rejections += 1;
+            return TsOutcome::Rejected;
+        }
+        if tx < st.wts {
+            self.rejections += 1;
+            return TsOutcome::Rejected;
+        }
+        st.rts = st.rts.max(tx);
+        TsOutcome::Allowed
+    }
+
+    /// A write access by transaction `tx`.
+    pub fn write(&mut self, tx: TxnToken, block: u32) -> TsOutcome {
+        self.requests += 1;
+        let st = self.table.entry(block).or_default();
+        if let Some((p_ts, p_owner)) = st.pending {
+            if p_owner == tx {
+                return TsOutcome::Allowed; // second write to own block
+            }
+            if tx > p_ts {
+                self.waiters.entry(block).or_default().push_back(tx);
+                return TsOutcome::WaitFor(p_owner);
+            }
+            self.rejections += 1;
+            return TsOutcome::Rejected;
+        }
+        if tx < st.rts {
+            self.rejections += 1;
+            return TsOutcome::Rejected;
+        }
+        if tx < st.wts {
+            if self.thomas_rule {
+                return TsOutcome::SkipWrite;
+            }
+            self.rejections += 1;
+            return TsOutcome::Rejected;
+        }
+        st.pending = Some((tx, tx));
+        self.pending_of.entry(tx).or_default().push(block);
+        TsOutcome::Allowed
+    }
+
+    /// Resolves every pending write of `tx` as committed; returns the
+    /// waiters to retry.
+    pub fn commit(&mut self, tx: TxnToken) -> Vec<TxnToken> {
+        self.resolve(tx, true)
+    }
+
+    /// Discards every pending write of `tx` (rollback); returns the
+    /// waiters to retry.
+    pub fn abort(&mut self, tx: TxnToken) -> Vec<TxnToken> {
+        self.resolve(tx, false)
+    }
+
+    fn resolve(&mut self, tx: TxnToken, committed: bool) -> Vec<TxnToken> {
+        let mut woken = Vec::new();
+        for block in self.pending_of.remove(&tx).unwrap_or_default() {
+            let st = self.table.get_mut(&block).expect("pending block exists");
+            if let Some((p_ts, p_owner)) = st.pending {
+                debug_assert_eq!(p_owner, tx);
+                if committed {
+                    st.wts = st.wts.max(p_ts);
+                }
+                st.pending = None;
+            }
+            if let Some(q) = self.waiters.remove(&block) {
+                woken.extend(q);
+            }
+        }
+        woken
+    }
+
+    /// Withdraws `tx` from every wait queue (it aborted while waiting).
+    pub fn cancel_waits(&mut self, tx: TxnToken) {
+        for q in self.waiters.values_mut() {
+            q.retain(|&t| t != tx);
+        }
+    }
+
+    /// Accesses processed.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Accesses rejected (each costs the caller an abort + restart).
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// True if `tx` still owns a pending write somewhere (used by tests).
+    pub fn has_pending(&self, tx: TxnToken) -> bool {
+        self.pending_of.contains_key(&tx)
+    }
+
+    /// True if `block` currently has an uncommitted (pending) write.
+    pub fn block_pending(&self, block: u32) -> bool {
+        self.table
+            .get(&block)
+            .is_some_and(|st| st.pending.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_advance_rts_and_block_old_writers() {
+        let mut tso = TimestampManager::new();
+        assert_eq!(tso.read(10, 0), TsOutcome::Allowed);
+        // An older writer now violates the read timestamp.
+        assert_eq!(tso.write(5, 0), TsOutcome::Rejected);
+        // A newer writer is fine.
+        assert_eq!(tso.write(11, 0), TsOutcome::Allowed);
+    }
+
+    #[test]
+    fn committed_write_blocks_older_reads() {
+        let mut tso = TimestampManager::new();
+        assert_eq!(tso.write(10, 0), TsOutcome::Allowed);
+        tso.commit(10);
+        assert_eq!(tso.read(5, 0), TsOutcome::Rejected, "value it needed is gone");
+        assert_eq!(tso.read(15, 0), TsOutcome::Allowed);
+    }
+
+    #[test]
+    fn pending_write_makes_newer_accesses_wait() {
+        let mut tso = TimestampManager::new();
+        assert_eq!(tso.write(10, 0), TsOutcome::Allowed);
+        assert_eq!(tso.read(12, 0), TsOutcome::WaitFor(10));
+        assert_eq!(tso.write(13, 0), TsOutcome::WaitFor(10));
+        // Older accesses are rejected, never wait → waits strictly point
+        // newer → older and cannot cycle.
+        assert_eq!(tso.read(7, 0), TsOutcome::Rejected);
+        let woken = tso.commit(10);
+        assert_eq!(woken, vec![12, 13]);
+        // After commit the waiters retry: 12's read now sees wts = 10.
+        assert_eq!(tso.read(12, 0), TsOutcome::Allowed);
+    }
+
+    #[test]
+    fn abort_discards_pending_without_advancing_wts() {
+        let mut tso = TimestampManager::new();
+        tso.write(10, 0);
+        let woken = tso.abort(10);
+        assert!(woken.is_empty());
+        // An older read is fine again (wts never advanced).
+        assert_eq!(tso.read(5, 0), TsOutcome::Allowed);
+        assert!(!tso.has_pending(10));
+    }
+
+    #[test]
+    fn own_pending_write_is_transparent() {
+        let mut tso = TimestampManager::new();
+        assert_eq!(tso.write(10, 0), TsOutcome::Allowed);
+        assert_eq!(tso.read(10, 0), TsOutcome::Allowed);
+        assert_eq!(tso.write(10, 0), TsOutcome::Allowed);
+        tso.commit(10);
+    }
+
+    #[test]
+    fn thomas_rule_skips_obsolete_writes() {
+        let mut basic = TimestampManager::new();
+        basic.write(20, 0);
+        basic.commit(20);
+        assert_eq!(basic.write(15, 0), TsOutcome::Rejected);
+
+        let mut thomas = TimestampManager::new_with_thomas_rule();
+        thomas.write(20, 0);
+        thomas.commit(20);
+        assert_eq!(thomas.write(15, 0), TsOutcome::SkipWrite);
+        // ...but not writes that violate a read timestamp.
+        thomas.read(30, 1);
+        assert_eq!(thomas.write(25, 1), TsOutcome::Rejected);
+    }
+
+    #[test]
+    fn waits_cannot_cycle() {
+        // T1 pends on A; T2 pends on B. T2 > T1: T2 accessing A waits;
+        // T1 accessing B must be REJECTED (older), not wait — so no cycle.
+        let mut tso = TimestampManager::new();
+        assert_eq!(tso.write(1, 0), TsOutcome::Allowed); // T1 → A
+        assert_eq!(tso.write(2, 1), TsOutcome::Allowed); // T2 → B
+        assert_eq!(tso.write(2, 0), TsOutcome::WaitFor(1)); // T2 waits on T1
+        assert_eq!(tso.write(1, 1), TsOutcome::Rejected); // T1 rejected, no cycle
+    }
+
+    #[test]
+    fn cancel_waits_removes_queued_tx() {
+        let mut tso = TimestampManager::new();
+        tso.write(1, 0);
+        assert_eq!(tso.read(5, 0), TsOutcome::WaitFor(1));
+        tso.cancel_waits(5);
+        let woken = tso.commit(1);
+        assert!(woken.is_empty(), "cancelled waiter must not be woken");
+    }
+
+    #[test]
+    fn stats_count_rejections() {
+        let mut tso = TimestampManager::new();
+        tso.read(10, 0);
+        tso.write(5, 0);
+        assert_eq!(tso.requests(), 2);
+        assert_eq!(tso.rejections(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Wait-for graph and local deadlock detection.
+//!
+//! CARAT detects local deadlocks "by searching the transaction-wait-for
+//! graph" (paper §2) at lock-request time: when a request blocks, the
+//! requester follows wait-for edges; if the walk returns to the requester a
+//! cycle exists and a victim must be rolled back. The analytical model's
+//! `Pd` derivation (DESIGN.md §6) assumes the *requester that closes the
+//! cycle* is the victim — this module implements exactly that policy, and
+//! the simulator inherits it.
+
+use std::collections::HashMap;
+
+use crate::manager::{LockManager, TxnToken};
+
+/// An explicit wait-for graph.
+///
+/// The simulator maintains one per site and augments it with cross-site
+/// edges discovered by Chandy–Misra–Haas probes; for purely local detection
+/// [`WaitForGraph::from_lock_manager`] snapshots the lock table.
+#[derive(Debug, Default, Clone)]
+pub struct WaitForGraph {
+    edges: HashMap<TxnToken, Vec<TxnToken>>,
+}
+
+impl WaitForGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the graph of all blocked transactions in `lm`.
+    pub fn from_lock_manager(lm: &LockManager) -> Self {
+        let mut g = WaitForGraph::new();
+        for t in lm.blocked_transactions() {
+            for target in lm.waits_for(t) {
+                g.add_edge(t, target);
+            }
+        }
+        g
+    }
+
+    /// Adds edge `from → to` ("from waits for to").
+    pub fn add_edge(&mut self, from: TxnToken, to: TxnToken) {
+        let v = self.edges.entry(from).or_default();
+        if !v.contains(&to) {
+            v.push(to);
+        }
+    }
+
+    /// Removes every edge adjacent to `t` (transaction finished/aborted).
+    pub fn remove_node(&mut self, t: TxnToken) {
+        self.edges.remove(&t);
+        for v in self.edges.values_mut() {
+            v.retain(|&x| x != t);
+        }
+    }
+
+    /// Direct successors of `t`.
+    pub fn successors(&self, t: TxnToken) -> &[TxnToken] {
+        self.edges.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Searches for a cycle through `start` (DFS). Returns the cycle as a
+    /// node sequence `start → ... → start` (without the final repeat) if
+    /// one exists.
+    ///
+    /// This is the operation CARAT performs when a lock request blocks: the
+    /// new edge(s) from the requester have just been added, so any deadlock
+    /// the request created necessarily passes through `start`.
+    pub fn find_cycle(&self, start: TxnToken) -> Option<Vec<TxnToken>> {
+        // Iterative DFS with an explicit path stack.
+        let mut path: Vec<TxnToken> = vec![start];
+        let mut iters: Vec<usize> = vec![0];
+        let mut visited: Vec<TxnToken> = Vec::new();
+
+        while let Some(&node) = path.last() {
+            let i = *iters.last().expect("stacks in sync");
+            let succs = self.successors(node);
+            if i >= succs.len() {
+                path.pop();
+                iters.pop();
+                visited.push(node);
+                continue;
+            }
+            *iters.last_mut().expect("stacks in sync") += 1;
+            let next = succs[i];
+            if next == start {
+                return Some(path.clone());
+            }
+            if path.contains(&next) || visited.contains(&next) {
+                continue; // cycle not through start, or already explored
+            }
+            path.push(next);
+            iters.push(0);
+        }
+        None
+    }
+
+    /// True when the whole graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.edges.keys().all(|&n| self.find_cycle(n).is_none())
+    }
+
+    /// Number of nodes with outgoing edges.
+    pub fn waiters(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{LockMode, LockManager};
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        let c = g.find_cycle(1).unwrap();
+        assert_eq!(c, vec![1, 2]);
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn three_cycle_detected_from_any_member() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 1);
+        for n in [1, 2, 3] {
+            assert!(g.find_cycle(n).is_some(), "node {n}");
+        }
+        assert!(g.find_cycle(4).is_none());
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_not_through_start_is_not_reported() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        // 0 reaches a cycle but is not on it.
+        assert!(g.find_cycle(0).is_none());
+        assert!(g.find_cycle(1).is_some());
+    }
+
+    #[test]
+    fn remove_node_breaks_cycle() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.remove_node(2);
+        assert!(g.is_acyclic());
+        assert_eq!(g.successors(1), &[] as &[u64]);
+    }
+
+    #[test]
+    fn diamond_with_back_edge() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 4);
+        g.add_edge(3, 4);
+        g.add_edge(4, 1);
+        let c = g.find_cycle(1).unwrap();
+        assert_eq!(c.first(), Some(&1));
+        assert!(g.successors(*c.last().unwrap()).contains(&1));
+    }
+
+    #[test]
+    fn lock_manager_two_cycle() {
+        // 1 holds A, 2 holds B; 1 requests B, 2 requests A.
+        let mut lm = LockManager::new();
+        lm.request(1, 0, LockMode::Exclusive);
+        lm.request(2, 1, LockMode::Exclusive);
+        lm.request(1, 1, LockMode::Exclusive); // 1 waits for 2
+        lm.request(2, 0, LockMode::Exclusive); // 2 waits for 1 → deadlock
+        let g = WaitForGraph::from_lock_manager(&lm);
+        assert!(g.find_cycle(2).is_some());
+        assert!(g.find_cycle(1).is_some());
+    }
+
+    #[test]
+    fn self_edges_never_happen_from_lock_manager() {
+        let mut lm = LockManager::new();
+        lm.request(1, 0, LockMode::Shared);
+        lm.request(2, 0, LockMode::Exclusive);
+        let g = WaitForGraph::from_lock_manager(&lm);
+        assert!(!g.successors(2).contains(&2));
+    }
+}

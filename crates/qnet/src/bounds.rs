@@ -1,0 +1,118 @@
+//! Asymptotic bounds analysis for closed networks.
+//!
+//! Quick sanity envelopes around the MVA solution (Denning–Buzen operational
+//! bounds): for a single chain with total queueing demand `D = Σ D_c`,
+//! bottleneck demand `D_max`, and think time `Z`,
+//!
+//! ```text
+//! X(N) ≤ min( N / (D + Z),  1 / D_max )                (upper bound)
+//! X(N) ≥ N / (N·D + Z)                                 (pessimistic lower)
+//! R(N) ≥ max( D,  N·D_max − Z )                        (response bounds)
+//! N*   = (D + Z) / D_max                               (saturation knee)
+//! ```
+//!
+//! The model's fixed point is free to move inside this envelope, but can
+//! never legitimately leave it — the bounds are used by tests and by quick
+//! capacity estimates that don't need a full solve.
+
+/// Operational bounds for one closed chain.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainBounds {
+    /// Throughput upper bound (jobs per time unit).
+    pub x_upper: f64,
+    /// Throughput lower bound (all customers queue behind each other).
+    pub x_lower: f64,
+    /// Response-time lower bound.
+    pub r_lower: f64,
+    /// Saturation population `N*` — beyond this the bottleneck caps
+    /// throughput.
+    pub n_star: f64,
+}
+
+/// Computes the operational bounds for a chain with population `n`,
+/// per-center queueing demands `demands`, and think/delay demand `z`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or no center has positive demand.
+pub fn chain_bounds(n: usize, demands: &[f64], z: f64) -> ChainBounds {
+    assert!(n > 0, "empty chain");
+    let d: f64 = demands.iter().sum();
+    let d_max = demands.iter().cloned().fold(0.0f64, f64::max);
+    assert!(d_max > 0.0, "no queueing demand");
+    let n_f = n as f64;
+    ChainBounds {
+        x_upper: (n_f / (d + z)).min(1.0 / d_max),
+        x_lower: n_f / (n_f * d + z),
+        r_lower: d.max(n_f * d_max - z),
+        n_star: (d + z) / d_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::{CenterKind, Network};
+
+    fn exact(n: usize, demands: &[f64], z: f64) -> f64 {
+        let mut net = Network::new();
+        let centers: Vec<usize> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, _)| net.add_center(format!("c{i}"), CenterKind::Queueing))
+            .collect();
+        let zc = net.add_center("Z", CenterKind::Delay);
+        let k = net.add_chain("jobs", n);
+        for (c, &d) in centers.iter().zip(demands) {
+            net.set_demand(k, *c, d);
+        }
+        net.set_demand(k, zc, z);
+        net.solve_exact().throughput[k]
+    }
+
+    #[test]
+    fn mva_respects_bounds_across_populations() {
+        let demands = [2.0, 5.0, 1.0];
+        let z = 10.0;
+        for n in 1..30 {
+            let x = exact(n, &demands, z);
+            let b = chain_bounds(n, &demands, z);
+            assert!(x <= b.x_upper + 1e-12, "N={n}: {x} > {}", b.x_upper);
+            assert!(x >= b.x_lower - 1e-12, "N={n}: {x} < {}", b.x_lower);
+            let r = n as f64 / x - z;
+            assert!(r >= b.r_lower - z - 1e-9, "N={n}");
+        }
+    }
+
+    #[test]
+    fn small_population_hits_the_optimistic_bound() {
+        // N = 1 with no interference: X = 1 / (D + Z) exactly.
+        let demands = [3.0, 4.0];
+        let b = chain_bounds(1, &demands, 7.0);
+        let x = exact(1, &demands, 7.0);
+        assert!((x - b.x_upper).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_population_hits_the_bottleneck_bound() {
+        let demands = [3.0, 4.0];
+        let x = exact(200, &demands, 7.0);
+        let b = chain_bounds(200, &demands, 7.0);
+        assert!((x - 1.0 / 4.0).abs() < 1e-9);
+        assert!((b.x_upper - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knee_is_where_the_regimes_cross() {
+        let demands = [3.0, 4.0];
+        let b = chain_bounds(1, &demands, 7.0);
+        // N* = (7 + 7) / 4 = 3.5.
+        assert!((b.n_star - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no queueing demand")]
+    fn zero_demand_panics() {
+        chain_bounds(1, &[0.0, 0.0], 1.0);
+    }
+}

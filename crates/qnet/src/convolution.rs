@@ -1,0 +1,214 @@
+//! The convolution algorithm for closed product-form networks \[CHAN80\].
+//!
+//! Buzen's normalizing-constant method, cited by the paper as the classic
+//! alternative to MVA ("Computational Algorithms for Product Form Queueing
+//! Networks", Chandy & Sauer, CACM 1980). For a single closed chain of `N`
+//! customers over load-independent queueing centers with demands `D_c` and
+//! an aggregate delay (infinite-server) demand `Z`:
+//!
+//! ```text
+//! g₀(n) = Zⁿ / n!                                (delay "center")
+//! g_c(n) = Σ_{k=0}^{n} D_cᵏ · g_{c−1}(n−k)       (fold in each queueing center)
+//! X(N) = G(N−1) / G(N),  U_c(N) = D_c · X(N),
+//! Q_c(N) = Σ_{k=1}^{N} D_cᵏ · G(N−k) / G(N)
+//! ```
+//!
+//! MVA and convolution compute exactly the same product-form solution by
+//! different recursions; agreement between two independent implementations
+//! is a strong correctness check on both (see the cross-check tests here
+//! and the property tests in `tests/proptest_mva.rs`).
+//!
+//! `G(N)` can reach `D^N`, far beyond f64 range for saturated
+//! configurations — the implementation therefore runs entirely in log
+//! space (log-sum-exp folds); only scale-free ratios are ever
+//! exponentiated.
+
+/// Solution of a single-chain closed network computed via normalizing
+/// constants.
+#[derive(Debug, Clone)]
+pub struct ConvolutionSolution {
+    /// Chain throughput `X(N)` (per time unit).
+    pub throughput: f64,
+    /// Cycle time `N / X(N)`.
+    pub response: f64,
+    /// Per-queueing-center utilization.
+    pub utilization: Vec<f64>,
+    /// Per-queueing-center mean queue length.
+    pub queue_len: Vec<f64>,
+}
+
+/// Solves a single-chain network of load-independent queueing centers with
+/// `demands` and an aggregate delay demand `think` for `n` customers.
+///
+/// ```
+/// // One customer, no interference: X = 1 / (D + Z) exactly.
+/// let sol = carat_qnet::solve_convolution(1, &[3.0, 4.0], 7.0);
+/// assert!((sol.throughput - 1.0 / 14.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or any demand is negative/non-finite.
+pub fn solve_convolution(n: usize, demands: &[f64], think: f64) -> ConvolutionSolution {
+    assert!(n > 0, "empty chain");
+    assert!(
+        think >= 0.0 && think.is_finite(),
+        "bad think time {think}"
+    );
+    for &d in demands {
+        assert!(d >= 0.0 && d.is_finite(), "bad demand {d}");
+    }
+
+    // Everything in log space: G(N) can reach D^N, far beyond f64 range for
+    // the saturated configurations the tests exercise.
+    fn log_add(a: f64, b: f64) -> f64 {
+        if a == f64::NEG_INFINITY {
+            return b;
+        }
+        if b == f64::NEG_INFINITY {
+            return a;
+        }
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        hi + (lo - hi).exp().ln_1p()
+    }
+
+    // lg[k] = ln g(k); start with the delay center: Z^k / k!.
+    let mut lg = vec![f64::NEG_INFINITY; n + 1];
+    lg[0] = 0.0;
+    if think > 0.0 {
+        for k in 1..=n {
+            lg[k] = lg[k - 1] + think.ln() - (k as f64).ln();
+        }
+    }
+
+    // Fold in each queueing center: g_new(k) = g(k) + d · g_new(k−1).
+    for &d in demands {
+        if d == 0.0 {
+            continue;
+        }
+        let ld = d.ln();
+        for k in 1..=n {
+            lg[k] = log_add(lg[k], ld + lg[k - 1]);
+        }
+    }
+
+    // X(N) = G(N−1)/G(N).
+    let x = (lg[n - 1] - lg[n]).exp();
+
+    // Buzen: P(n_c ≥ k) = d^k · G(N−k)/G(N)  ⇒  Q_c = Σ_{k=1..N} of that.
+    let mut utilization = Vec::with_capacity(demands.len());
+    let mut queue_len = Vec::with_capacity(demands.len());
+    for &d in demands {
+        utilization.push(d * x);
+        if d == 0.0 {
+            queue_len.push(0.0);
+            continue;
+        }
+        let ld = d.ln();
+        let mut q = 0.0;
+        for k in 1..=n {
+            q += (k as f64 * ld + lg[n - k] - lg[n]).exp();
+        }
+        queue_len.push(q);
+    }
+
+    ConvolutionSolution {
+        throughput: x,
+        response: n as f64 / x.max(1e-300),
+        utilization,
+        queue_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mva::{CenterKind, Network};
+
+    fn mva(n: usize, demands: &[f64], think: f64) -> crate::mva::MvaSolution {
+        let mut net = Network::new();
+        let centers: Vec<usize> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, _)| net.add_center(format!("c{i}"), CenterKind::Queueing))
+            .collect();
+        let z = net.add_center("Z", CenterKind::Delay);
+        let k = net.add_chain("jobs", n);
+        for (c, &d) in centers.iter().zip(demands) {
+            net.set_demand(k, *c, d);
+        }
+        net.set_demand(k, z, think);
+        net.solve_exact()
+    }
+
+    #[test]
+    fn agrees_with_mva_across_configurations() {
+        let cases: &[(usize, &[f64], f64)] = &[
+            (1, &[2.0], 0.0),
+            (4, &[2.0, 5.0], 10.0),
+            (8, &[1.0, 1.0, 1.0], 0.0),
+            (12, &[0.5, 3.0, 1.5], 25.0),
+            (30, &[4.0, 2.0], 5.0),
+        ];
+        for &(n, demands, z) in cases {
+            let conv = solve_convolution(n, demands, z);
+            let exact = mva(n, demands, z);
+            assert!(
+                (conv.throughput - exact.throughput[0]).abs() / exact.throughput[0] < 1e-9,
+                "N={n}: conv {} vs mva {}",
+                conv.throughput,
+                exact.throughput[0]
+            );
+            for (c, &u) in conv.utilization.iter().enumerate() {
+                assert!((u - exact.utilization[c]).abs() < 1e-9, "util center {c}");
+                assert!(
+                    (conv.queue_len[c] - exact.queue_len[c]).abs() < 1e-6,
+                    "qlen center {c}: {} vs {}",
+                    conv.queue_len[c],
+                    exact.queue_len[c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn machine_repair_closed_form() {
+        // M/M/1//N with think Z: X = (1 − p(0)) / D, classic closed form.
+        let (n, d, z) = (6usize, 2.0, 10.0);
+        let conv = solve_convolution(n, &[d], z);
+        let rho = d / z;
+        let mut terms = vec![1.0f64];
+        for k in 1..=n {
+            terms.push(terms[k - 1] * (n - k + 1) as f64 * rho);
+        }
+        let g: f64 = terms.iter().sum();
+        let x_ref = (1.0 - terms[0] / g) / d;
+        assert!((conv.throughput - x_ref).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescaling_survives_extreme_populations() {
+        // N = 400 with demand 50: naive D^k overflows f64 at ~k = 180.
+        let conv = solve_convolution(400, &[50.0, 1.0], 0.0);
+        assert!(conv.throughput.is_finite());
+        assert!((conv.throughput - 1.0 / 50.0).abs() < 1e-6, "bottleneck law");
+        assert!(conv.utilization[0] <= 1.0 + 1e-9);
+        // Nearly all customers pile up at the bottleneck.
+        assert!(conv.queue_len[0] > 395.0);
+    }
+
+    #[test]
+    fn population_conservation() {
+        let (n, demands, z) = (10usize, [1.5, 2.5, 0.5], 4.0);
+        let conv = solve_convolution(n, &demands, z);
+        let at_delay = conv.throughput * z; // Little's law at the IS center
+        let total: f64 = conv.queue_len.iter().sum::<f64>() + at_delay;
+        assert!((total - n as f64).abs() < 1e-6, "{total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chain")]
+    fn zero_population_panics() {
+        solve_convolution(0, &[1.0], 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # carat-qnet — queueing-network substrate
+//!
+//! The numeric machinery underneath the CARAT analytical model
+//! (`carat-model`):
+//!
+//! * [`mva`] — **Mean Value Analysis** for closed, multi-chain,
+//!   product-form queueing networks (BASK75-style networks of
+//!   load-independent queueing centers and infinite-server delay centers):
+//!   exact MVA over the full population lattice plus the Schweitzer–Bard
+//!   approximation for large populations.
+//! * [`linalg`] — a small dense linear solver (Gaussian elimination with
+//!   partial pivoting) used for the visit-count traffic equations
+//!   (paper Eq. 1).
+//! * [`yao`] — Yao's formula \[YAO77\] for the expected number of database
+//!   blocks touched when records are selected at random (paper §5.2).
+//! * [`ethernet`] — an Almes–Lazowska-style Ethernet delay model \[ALME79\]
+//!   for the inter-site communication delay α (paper §3); in the paper's
+//!   two-node validation α ≈ 0, but the knob is kept for sensitivity
+//!   studies.
+//!
+//! All code is dependency-free and deterministic.
+
+pub mod bounds;
+pub mod convolution;
+pub mod ethernet;
+pub mod linalg;
+pub mod mva;
+pub mod yao;
+
+pub use bounds::{chain_bounds, ChainBounds};
+pub use convolution::{solve_convolution, ConvolutionSolution};
+pub use ethernet::EthernetModel;
+pub use linalg::solve_dense;
+pub use mva::{Center, CenterKind, MvaSolution, Network};
+pub use yao::yao_blocks;

@@ -1,0 +1,468 @@
+//! Mean Value Analysis for closed multi-chain product-form networks.
+//!
+//! The CARAT Site Processing Model (paper §4, Figure 2) is a closed network
+//! with multiple routing chains \[BASK75\]: each transaction type present at
+//! a site is one chain with a finite population, the CPU and DISK are
+//! load-independent queueing centers, and the LW/RW/CW/UT synchronization
+//! stations are infinite-server *delay* centers. The paper solves each site
+//! "using the Mean Value Analysis algorithm for product form networks"
+//! (paper §6); this module supplies exactly that: the exact MVA recursion
+//! over the full population lattice, plus the Schweitzer–Bard fixed-point
+//! approximation for populations too large to enumerate.
+
+/// Kind of a service center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CenterKind {
+    /// Load-independent single-server queueing center (CPU, DISK).
+    Queueing,
+    /// Infinite-server delay center (lock wait, remote wait, commit wait,
+    /// user think time). Jobs never queue; residence time equals demand.
+    Delay,
+}
+
+/// A service center of the network.
+#[derive(Debug, Clone)]
+pub struct Center {
+    /// Human-readable label used in reports ("CPU", "DISK", "LW", ...).
+    pub name: String,
+    /// Queueing or delay.
+    pub kind: CenterKind,
+}
+
+/// A closed multi-chain queueing network.
+///
+/// Chains are indexed `0..chains()`, centers `0..centers()`. `demand[k][c]`
+/// is the total service demand (visit count × mean service time) of chain
+/// `k` at center `c` per passage, in the same time unit everywhere
+/// (milliseconds in this repository).
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    centers: Vec<Center>,
+    populations: Vec<usize>,
+    demands: Vec<Vec<f64>>, // demands[chain][center]
+    chain_names: Vec<String>,
+}
+
+/// Solution of a closed network: per-chain throughputs and response times,
+/// per-center utilizations and mean queue lengths.
+#[derive(Debug, Clone)]
+pub struct MvaSolution {
+    /// Per-chain throughput `X_k` (passages per millisecond).
+    pub throughput: Vec<f64>,
+    /// Per-chain cycle time `N_k / X_k` (total residence incl. delay
+    /// centers).
+    pub response: Vec<f64>,
+    /// Per-chain, per-center residence time per passage
+    /// (`residence[chain][center]`).
+    pub residence: Vec<Vec<f64>>,
+    /// Per-center utilization `Σ_k X_k · D_kc` (queueing centers only;
+    /// delay centers report the mean number of resident jobs instead).
+    pub utilization: Vec<f64>,
+    /// Per-center time-average population.
+    pub queue_len: Vec<f64>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a service center; returns its index.
+    pub fn add_center(&mut self, name: impl Into<String>, kind: CenterKind) -> usize {
+        self.centers.push(Center {
+            name: name.into(),
+            kind,
+        });
+        for d in &mut self.demands {
+            d.push(0.0);
+        }
+        self.centers.len() - 1
+    }
+
+    /// Adds a closed chain with `population` customers; returns its index.
+    pub fn add_chain(&mut self, name: impl Into<String>, population: usize) -> usize {
+        self.populations.push(population);
+        self.chain_names.push(name.into());
+        self.demands.push(vec![0.0; self.centers.len()]);
+        self.populations.len() - 1
+    }
+
+    /// Sets the total service demand of `chain` at `center`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite demand.
+    pub fn set_demand(&mut self, chain: usize, center: usize, demand: f64) {
+        assert!(
+            demand.is_finite() && demand >= 0.0,
+            "bad demand {demand} for chain {chain} at center {center}"
+        );
+        self.demands[chain][center] = demand;
+    }
+
+    /// Number of chains.
+    pub fn chains(&self) -> usize {
+        self.populations.len()
+    }
+
+    /// Number of centers.
+    pub fn centers(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Center metadata.
+    pub fn center(&self, c: usize) -> &Center {
+        &self.centers[c]
+    }
+
+    /// Chain population.
+    pub fn population(&self, k: usize) -> usize {
+        self.populations[k]
+    }
+
+    /// Chain label.
+    pub fn chain_name(&self, k: usize) -> &str {
+        &self.chain_names[k]
+    }
+
+    /// Number of population vectors the exact recursion must visit.
+    pub fn lattice_size(&self) -> usize {
+        self.populations
+            .iter()
+            .map(|&n| n + 1)
+            .product::<usize>()
+            .max(1)
+    }
+
+    /// Solves the network with **exact MVA**.
+    ///
+    /// Complexity is `O(lattice_size × chains × centers)`; use
+    /// [`Network::solve_approx`] when [`Network::lattice_size`] is large
+    /// (≳ 10⁷).
+    pub fn solve_exact(&self) -> MvaSolution {
+        let k_n = self.chains();
+        let c_n = self.centers();
+        let radices: Vec<usize> = self.populations.iter().map(|&n| n + 1).collect();
+        let lattice = self.lattice_size();
+
+        // Mean queue length at each queueing center for every population
+        // vector, indexed by mixed-radix encoding of the vector.
+        let mut q = vec![0.0f64; lattice * c_n];
+
+        // Strides for mixed-radix indexing: index = Σ n_k · stride_k.
+        let mut stride = vec![0usize; k_n];
+        let mut acc = 1usize;
+        for k in 0..k_n {
+            stride[k] = acc;
+            acc *= radices[k];
+        }
+
+        let mut pop = vec![0usize; k_n];
+        let mut x = vec![0.0f64; k_n];
+        let mut residence = vec![vec![0.0f64; c_n]; k_n];
+
+        // Enumerate population vectors in mixed-radix counting order; every
+        // n − e_k precedes n, so its queue lengths are already available.
+        for idx in 1..lattice.max(2) {
+            if k_n == 0 {
+                break;
+            }
+            // Decode idx → pop.
+            let mut rem = idx;
+            for k in 0..k_n {
+                pop[k] = rem % radices[k];
+                rem /= radices[k];
+            }
+            if idx >= lattice {
+                break;
+            }
+
+            for k in 0..k_n {
+                if pop[k] == 0 {
+                    x[k] = 0.0;
+                    continue;
+                }
+                let idx_minus = idx - stride[k];
+                let mut total_r = 0.0;
+                for c in 0..c_n {
+                    let d = self.demands[k][c];
+                    let r = match self.centers[c].kind {
+                        CenterKind::Delay => d,
+                        CenterKind::Queueing => d * (1.0 + q[idx_minus * c_n + c]),
+                    };
+                    residence[k][c] = r;
+                    total_r += r;
+                }
+                x[k] = if total_r > 0.0 {
+                    pop[k] as f64 / total_r
+                } else {
+                    // A chain with zero total demand has infinite throughput;
+                    // represent as 0 contribution to queues and flag with inf.
+                    f64::INFINITY
+                };
+            }
+
+            for c in 0..c_n {
+                let mut qc = 0.0;
+                for k in 0..k_n {
+                    if pop[k] > 0 && x[k].is_finite() {
+                        qc += x[k] * residence[k][c];
+                    }
+                }
+                q[idx * c_n + c] = qc;
+            }
+        }
+
+        self.package_solution(&x, &residence)
+    }
+
+    /// Solves the network with the **Schweitzer–Bard approximate MVA**
+    /// fixed point. Accuracy is typically within a few percent of exact for
+    /// the balanced populations used here; cost is independent of the
+    /// population sizes.
+    pub fn solve_approx(&self, tol: f64, max_iter: usize) -> MvaSolution {
+        let k_n = self.chains();
+        let c_n = self.centers();
+        // q[k][c]: per-chain queue length estimates at full population.
+        let mut q = vec![vec![0.0f64; c_n]; k_n];
+        // Initialize: population spread evenly over queueing centers.
+        for (k, qk) in q.iter_mut().enumerate() {
+            let nq = self
+                .centers
+                .iter()
+                .filter(|c| c.kind == CenterKind::Queueing)
+                .count()
+                .max(1);
+            for (c, qv) in qk.iter_mut().enumerate() {
+                if self.centers[c].kind == CenterKind::Queueing {
+                    *qv = self.populations[k] as f64 / nq as f64;
+                }
+            }
+        }
+
+        let mut x = vec![0.0f64; k_n];
+        let mut residence = vec![vec![0.0f64; c_n]; k_n];
+        for _ in 0..max_iter {
+            let mut delta: f64 = 0.0;
+            for k in 0..k_n {
+                let nk = self.populations[k] as f64;
+                if nk == 0.0 {
+                    continue;
+                }
+                let mut total_r = 0.0;
+                for c in 0..c_n {
+                    let d = self.demands[k][c];
+                    let r = match self.centers[c].kind {
+                        CenterKind::Delay => d,
+                        CenterKind::Queueing => {
+                            // Schweitzer estimate of Q_c(N − e_k):
+                            // all other chains' queue plus (n_k−1)/n_k of own.
+                            let others: f64 = (0..k_n)
+                                .filter(|&j| j != k)
+                                .map(|j| q[j][c])
+                                .sum();
+                            let own = q[k][c] * (nk - 1.0) / nk;
+                            d * (1.0 + others + own)
+                        }
+                    };
+                    residence[k][c] = r;
+                    total_r += r;
+                }
+                x[k] = if total_r > 0.0 { nk / total_r } else { 0.0 };
+            }
+            for k in 0..k_n {
+                for c in 0..c_n {
+                    let new_q = x[k] * residence[k][c];
+                    delta = delta.max((new_q - q[k][c]).abs());
+                    q[k][c] = new_q;
+                }
+            }
+            if delta < tol {
+                break;
+            }
+        }
+
+        self.package_solution(&x, &residence)
+    }
+
+    fn package_solution(&self, x: &[f64], residence: &[Vec<f64>]) -> MvaSolution {
+        let k_n = self.chains();
+        let c_n = self.centers();
+        let mut utilization = vec![0.0f64; c_n];
+        let mut queue_len = vec![0.0f64; c_n];
+        for c in 0..c_n {
+            for k in 0..k_n {
+                if !x[k].is_finite() {
+                    continue;
+                }
+                if self.centers[c].kind == CenterKind::Queueing {
+                    utilization[c] += x[k] * self.demands[k][c];
+                }
+                queue_len[c] += x[k] * residence[k][c];
+            }
+        }
+        let response: Vec<f64> = (0..k_n)
+            .map(|k| {
+                if x[k] > 0.0 && x[k].is_finite() {
+                    self.populations[k] as f64 / x[k]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        MvaSolution {
+            throughput: x.to_vec(),
+            response,
+            residence: residence.to_vec(),
+            utilization,
+            queue_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Closed single-class machine-repair model M/M/1//N with think time Z
+    /// and demand D has the classic closed-form solution; exact MVA must
+    /// match it.
+    fn mm1n_reference(n: usize, d: f64, z: f64) -> f64 {
+        // X(N) computed by the textbook MVA recursion itself would be
+        // circular; use the product-form normalizing-constant solution.
+        // p(k) ∝ (N!/(N-k)!) (D/Z)^k for k jobs at the queue (think stage
+        // is an IS center). Throughput = (1 - p(0)) / D.
+        let rho = d / z;
+        let mut terms = vec![0.0f64; n + 1];
+        let mut t = 1.0;
+        terms[0] = 1.0;
+        for (k, slot) in terms.iter_mut().enumerate().skip(1) {
+            t *= (n - k + 1) as f64 * rho;
+            *slot = t;
+        }
+        let g: f64 = terms.iter().sum();
+        (1.0 - terms[0] / g) / d
+    }
+
+    #[test]
+    fn exact_matches_machine_repair_closed_form() {
+        for &n in &[1usize, 2, 5, 10] {
+            let mut net = Network::new();
+            let cpu = net.add_center("CPU", CenterKind::Queueing);
+            let think = net.add_center("Z", CenterKind::Delay);
+            let k = net.add_chain("jobs", n);
+            net.set_demand(k, cpu, 2.0);
+            net.set_demand(k, think, 10.0);
+            let sol = net.solve_exact();
+            let x_ref = mm1n_reference(n, 2.0, 10.0);
+            assert!(
+                (sol.throughput[k] - x_ref).abs() < 1e-9,
+                "N={n}: {} vs {}",
+                sol.throughput[k],
+                x_ref
+            );
+        }
+    }
+
+    #[test]
+    fn littles_law_holds_per_center() {
+        let mut net = Network::new();
+        let cpu = net.add_center("CPU", CenterKind::Queueing);
+        let disk = net.add_center("DISK", CenterKind::Queueing);
+        let z = net.add_center("Z", CenterKind::Delay);
+        let a = net.add_chain("a", 3);
+        let b = net.add_chain("b", 2);
+        net.set_demand(a, cpu, 1.0);
+        net.set_demand(a, disk, 4.0);
+        net.set_demand(a, z, 5.0);
+        net.set_demand(b, cpu, 2.5);
+        net.set_demand(b, disk, 1.0);
+        net.set_demand(b, z, 0.0);
+        let sol = net.solve_exact();
+        // Little's law: Q_c = Σ_k X_k R_kc — package_solution computes it
+        // that way, so instead verify population conservation per chain:
+        for (k, n) in [(a, 3usize), (b, 2usize)] {
+            let pop: f64 = (0..3).map(|c| sol.throughput[k] * sol.residence[k][c]).sum();
+            assert!((pop - n as f64).abs() < 1e-9, "chain {k}");
+        }
+        // Utilization in (0, 1).
+        for c in [cpu, disk] {
+            assert!(sol.utilization[c] > 0.0 && sol.utilization[c] < 1.0);
+        }
+    }
+
+    #[test]
+    fn single_customer_has_no_queueing() {
+        let mut net = Network::new();
+        let cpu = net.add_center("CPU", CenterKind::Queueing);
+        let k = net.add_chain("solo", 1);
+        net.set_demand(k, cpu, 3.0);
+        let sol = net.solve_exact();
+        assert!((sol.response[k] - 3.0).abs() < 1e-12);
+        assert!((sol.throughput[k] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((sol.utilization[cpu] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_asymptote() {
+        // As N → ∞ the bottleneck saturates: X → 1 / D_max.
+        let mut net = Network::new();
+        let cpu = net.add_center("CPU", CenterKind::Queueing);
+        let disk = net.add_center("DISK", CenterKind::Queueing);
+        let k = net.add_chain("jobs", 200);
+        net.set_demand(k, cpu, 1.0);
+        net.set_demand(k, disk, 5.0);
+        let sol = net.solve_exact();
+        assert!((sol.throughput[k] - 0.2).abs() < 1e-6);
+        assert!(sol.utilization[disk] > 0.999);
+    }
+
+    #[test]
+    fn approx_close_to_exact() {
+        let mut net = Network::new();
+        let cpu = net.add_center("CPU", CenterKind::Queueing);
+        let disk = net.add_center("DISK", CenterKind::Queueing);
+        let z = net.add_center("Z", CenterKind::Delay);
+        let a = net.add_chain("a", 4);
+        let b = net.add_chain("b", 4);
+        net.set_demand(a, cpu, 1.2);
+        net.set_demand(a, disk, 3.0);
+        net.set_demand(a, z, 8.0);
+        net.set_demand(b, cpu, 2.0);
+        net.set_demand(b, disk, 0.7);
+        net.set_demand(b, z, 2.0);
+        let exact = net.solve_exact();
+        let approx = net.solve_approx(1e-10, 10_000);
+        for k in 0..2 {
+            let rel = (approx.throughput[k] - exact.throughput[k]).abs() / exact.throughput[k];
+            // Schweitzer–Bard is typically within ~5–10 % at small
+            // populations; it converges to exact as N grows.
+            assert!(rel < 0.10, "chain {k}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn zero_population_chain_is_inert() {
+        let mut net = Network::new();
+        let cpu = net.add_center("CPU", CenterKind::Queueing);
+        let a = net.add_chain("a", 2);
+        let ghost = net.add_chain("ghost", 0);
+        net.set_demand(a, cpu, 1.0);
+        net.set_demand(ghost, cpu, 100.0);
+        let sol = net.solve_exact();
+        assert_eq!(sol.throughput[ghost], 0.0);
+        assert!(sol.throughput[a] > 0.0);
+    }
+
+    #[test]
+    fn delay_only_network() {
+        let mut net = Network::new();
+        let z = net.add_center("Z", CenterKind::Delay);
+        let k = net.add_chain("jobs", 5);
+        net.set_demand(k, z, 2.0);
+        let sol = net.solve_exact();
+        // Pure delay: X = N / Z.
+        assert!((sol.throughput[k] - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Yao's formula for block accesses \[YAO77\].
+//!
+//! The paper (§5.2) estimates `g(t)`, the mean number of database granules
+//! (disk blocks) a transaction touches when it selects `k` records uniformly
+//! at random without replacement from a file of `m` records stored `m/n`
+//! per block over `n` blocks:
+//!
+//! ```text
+//! E[blocks] = n · [1 − C(m − m/n, k) / C(m, k)]
+//! ```
+//!
+//! computed here in the numerically stable product form
+//! `C(m−b, k)/C(m, k) = Π_{i=0}^{k−1} (m − b − i) / (m − i)` with
+//! `b = m/n` records per block.
+
+/// Expected number of distinct blocks touched when `k` records are chosen
+/// uniformly without replacement from `m` records packed `records_per_block`
+/// per block.
+///
+/// # Panics
+///
+/// Panics if `records_per_block` is zero or does not divide `m`, or if
+/// `k > m`.
+///
+/// ```
+/// // Selecting every record touches every block:
+/// assert!((carat_qnet::yao_blocks(18_000, 6, 18_000) - 3_000.0).abs() < 1e-6);
+/// // Selecting one record touches exactly one block:
+/// assert!((carat_qnet::yao_blocks(18_000, 6, 1) - 1.0).abs() < 1e-9);
+/// ```
+pub fn yao_blocks(m: u64, records_per_block: u64, k: u64) -> f64 {
+    assert!(records_per_block > 0, "empty blocks");
+    assert!(
+        m.is_multiple_of(records_per_block),
+        "m={m} not a multiple of records_per_block={records_per_block}"
+    );
+    assert!(k <= m, "cannot select {k} of {m} records");
+    let n = m / records_per_block;
+    if k == 0 {
+        return 0.0;
+    }
+    // Π (m - b - i)/(m - i), i = 0..k-1; zero once m - b - i goes negative
+    // (i.e. k > m - b: some block must have been hit).
+    let b = records_per_block;
+    let mut prod = 1.0f64;
+    for i in 0..k {
+        let denom = (m - i) as f64;
+        let numer = m as f64 - b as f64 - i as f64;
+        if numer <= 0.0 {
+            prod = 0.0;
+            break;
+        }
+        prod *= numer / denom;
+    }
+    n as f64 * (1.0 - prod)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_selection_touches_nothing() {
+        assert_eq!(yao_blocks(600, 6, 0), 0.0);
+    }
+
+    #[test]
+    fn one_record_one_block() {
+        assert!((yao_blocks(600, 6, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_records_all_blocks() {
+        assert!((yao_blocks(600, 6, 600) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let mut prev = 0.0;
+        for k in 0..=600 {
+            let g = yao_blocks(600, 6, k);
+            assert!(g >= prev - 1e-12, "k={k}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn bounded_by_k_and_n() {
+        for k in [1u64, 4, 16, 64, 80] {
+            let g = yao_blocks(18_000, 6, k);
+            assert!(g <= k as f64 + 1e-9);
+            assert!(g <= 3000.0);
+            // With k ≪ m the chance of two records sharing a block is tiny;
+            // the paper notes g(t) ≈ N_r(t) for its workloads.
+            if k <= 80 {
+                assert!(g > 0.98 * k as f64, "k={k}, g={g}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_combinatorial_evaluation() {
+        // Small case where C(m−b,k)/C(m,k) is computable directly.
+        fn choose(n: u64, k: u64) -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            (0..k).fold(1.0, |acc, i| acc * (n - i) as f64 / (i + 1) as f64)
+        }
+        let (m, b, k) = (30u64, 5u64, 7u64);
+        let expect = (m / b) as f64 * (1.0 - choose(m - b, k) / choose(m, k));
+        assert!((yao_blocks(m, b, k) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn overselection_panics() {
+        yao_blocks(10, 5, 11);
+    }
+}

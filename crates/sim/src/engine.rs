@@ -1,0 +1,1182 @@
+//! The event-driven simulation engine.
+//!
+//! Each transaction submission is compiled to a linear micro-op program
+//! (`program::compile`); the engine advances program counters, parking
+//! transactions on the CPU/disk queues, the TM server, the DM pool, or a
+//! lock queue. Deadlock victims have their program replaced by an abort
+//! program (rollback I/O per touched site, then resubmission after think
+//! time).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use carat_des::{Fcfs, Histogram, Scheduler, Tally, Time};
+use carat_lock::{LockManager, LockMode, Outcome, TimestampManager, TsOutcome, WaitForGraph};
+use carat_storage::Database;
+use carat_workload::TxType;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{CcProtocol, DeadlockMode, SimConfig, VictimPolicy};
+use crate::metrics::{NodeReport, SimReport, TypeReport};
+use crate::program::{compile, distinct_blocks_at, Op, Plan, Program, Seg};
+
+/// Events of the simulation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A CPU service burst finished at `site` for transaction `gid`.
+    CpuDone { site: usize, gid: u64 },
+    /// A database-disk transfer finished.
+    DiskDone { site: usize, gid: u64 },
+    /// A log-disk transfer finished (separate-log-disk configurations).
+    LogDone { site: usize, gid: u64 },
+    /// A network message arrived.
+    NetDone { gid: u64 },
+    /// A user (re)submits a transaction.
+    Submit { user: usize },
+    /// A Chandy–Misra–Haas probe arrives at `target`'s current location
+    /// (`DeadlockMode::Probes` only).
+    Probe { initiator: u64, target: u64, ttl: u8 },
+    /// Injected node crash (volatile state lost, journal recovery runs).
+    Crash { site: usize },
+    /// End of the warm-up transient: reset statistics.
+    Warmup,
+}
+
+/// One simulated node: shared CPU, shared database/journal disk, the
+/// serialised TM server, the DM pool, the lock table, and the storage
+/// engine.
+struct NodeState {
+    cpu: Fcfs<u64>,
+    disk: Fcfs<u64>,
+    log_disk: Fcfs<u64>,
+    tm_busy: Option<u64>,
+    tm_queue: VecDeque<u64>,
+    dm_free: usize,
+    dm_queue: VecDeque<u64>,
+    locks: LockManager,
+    tso: TimestampManager,
+    db: Database,
+    io_ops: u64,
+    base_lock_requests: u64,
+    base_lock_conflicts: u64,
+    base_cc_rejections: u64,
+}
+
+/// A live transaction (one submission).
+struct Txn {
+    user: usize,
+    home: usize,
+    ty: TxType,
+    prog: Program,
+    pc: usize,
+    submit_time: Time,
+    plan: Plan,
+    begun_sites: Vec<usize>,
+    dm_sites: Vec<usize>,
+    aborting: bool,
+    /// When the transaction entered its current lock wait, if blocked.
+    blocked_since: Option<Time>,
+    /// Records this transaction has updated (for the commit audit).
+    updated: Vec<(usize, carat_storage::RecordId)>,
+    /// When the currently-dispatched timed op (or queue wait) began, for
+    /// the per-phase residence accounting.
+    op_started: Time,
+    /// TM server currently held, if any (a crash diversion must wait until
+    /// the TM is released so the server is never orphaned).
+    tm_held: Option<usize>,
+    /// A node this transaction had touched crashed: abort at the next safe
+    /// point.
+    poisoned: bool,
+}
+
+#[derive(Default)]
+struct Stats {
+    commits: HashMap<(usize, TxType), u64>,
+    aborts: HashMap<(usize, TxType), u64>,
+    resp: HashMap<(usize, TxType), Tally>,
+    resp_hist: HashMap<(usize, TxType), Histogram>,
+    records: HashMap<usize, u64>,
+    local_deadlocks: u64,
+    global_deadlocks: u64,
+    probe_hops: u64,
+    /// One sample per completed lock wait (paper's LW phase occupancy).
+    lock_wait: Tally,
+    /// Measured wall-time residence per (home, type, phase) — the
+    /// simulator-side analogue of the model's phase decomposition.
+    phase_ms: HashMap<(usize, TxType, Seg), f64>,
+    crashes: u64,
+    crash_kills: u64,
+    window_start: Time,
+}
+
+/// The CARAT testbed simulator.
+///
+/// ```
+/// use carat_sim::{Sim, SimConfig};
+/// use carat_workload::StandardWorkload;
+///
+/// let mut cfg = SimConfig::new(StandardWorkload::Lb8.spec(2), 4, 42);
+/// cfg.warmup_ms = 5_000.0;
+/// cfg.measure_ms = 20_000.0;
+/// let report = Sim::new(cfg).run();
+/// assert!(report.total_tx_per_s() > 0.0);
+/// ```
+pub struct Sim {
+    cfg: SimConfig,
+    sched: Scheduler<Ev>,
+    nodes: Vec<NodeState>,
+    txs: HashMap<u64, Txn>,
+    users: Vec<(usize, TxType)>,
+    next_gid: u64,
+    rng: StdRng,
+    ready: VecDeque<u64>,
+    stats: Stats,
+    /// Commit audit: last committed writer of each record. At the end of
+    /// the run the storage engines must hold exactly these writers' values
+    /// — an end-to-end check that 2PL + WAL + 2PC preserved integrity.
+    last_committed: HashMap<(usize, carat_storage::RecordId), u64>,
+}
+
+impl Sim {
+    /// Builds the simulator from a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert_eq!(
+            cfg.workload.sites(),
+            cfg.params.sites(),
+            "workload and parameters disagree on the number of nodes"
+        );
+        let nodes = (0..cfg.params.sites())
+            .map(|_| {
+                let mut db = Database::new(cfg.params.n_granules);
+                db.load_default();
+                NodeState {
+                    cpu: Fcfs::new(0.0),
+                    disk: Fcfs::new(0.0),
+                    log_disk: Fcfs::new(0.0),
+                    tm_busy: None,
+                    tm_queue: VecDeque::new(),
+                    dm_free: cfg.dm_pool,
+                    dm_queue: VecDeque::new(),
+                    locks: LockManager::new(),
+                    tso: if cfg.cc == CcProtocol::TimestampOrderingThomas {
+                        TimestampManager::new_with_thomas_rule()
+                    } else {
+                        TimestampManager::new()
+                    },
+                    db,
+                    io_ops: 0,
+                    base_lock_requests: 0,
+                    base_lock_conflicts: 0,
+                    base_cc_rejections: 0,
+                }
+            })
+            .collect();
+        let mut users = Vec::new();
+        for (node, node_users) in cfg.workload.users.iter().enumerate() {
+            for &(ty, count) in node_users {
+                for _ in 0..count {
+                    users.push((node, ty));
+                }
+            }
+        }
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Sim {
+            cfg,
+            sched: Scheduler::new(),
+            nodes,
+            txs: HashMap::new(),
+            users,
+            next_gid: 1,
+            rng,
+            ready: VecDeque::new(),
+            stats: Stats::default(),
+            last_committed: HashMap::new(),
+        }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        for u in 0..self.users.len() {
+            self.sched.schedule(0.0, Ev::Submit { user: u });
+        }
+        self.sched.schedule(self.cfg.warmup_ms, Ev::Warmup);
+        for &(at, site) in &self.cfg.crashes.clone() {
+            assert!(site < self.nodes.len(), "crash site {site} out of range");
+            self.sched.schedule(at, Ev::Crash { site });
+        }
+        let end = self.cfg.warmup_ms + self.cfg.measure_ms;
+
+        while let Some((t, ev)) = self.sched.pop() {
+            if t > end {
+                break;
+            }
+            self.handle(ev);
+            while let Some(gid) = self.ready.pop_front() {
+                self.advance(gid);
+            }
+        }
+        self.report(end)
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        let now = self.sched.now();
+        match ev {
+            Ev::CpuDone { site, gid } => {
+                if let Some(started) = self.nodes[site].cpu.complete(now) {
+                    self.sched.schedule_in(
+                        started.service,
+                        Ev::CpuDone {
+                            site,
+                            gid: started.job,
+                        },
+                    );
+                }
+                self.step_past(gid);
+            }
+            Ev::DiskDone { site, gid } => {
+                if let Some(started) = self.nodes[site].disk.complete(now) {
+                    self.sched.schedule_in(
+                        started.service,
+                        Ev::DiskDone {
+                            site,
+                            gid: started.job,
+                        },
+                    );
+                }
+                self.step_past(gid);
+            }
+            Ev::LogDone { site, gid } => {
+                if let Some(started) = self.nodes[site].log_disk.complete(now) {
+                    self.sched.schedule_in(
+                        started.service,
+                        Ev::LogDone {
+                            site,
+                            gid: started.job,
+                        },
+                    );
+                }
+                self.step_past(gid);
+            }
+            Ev::NetDone { gid } => self.step_past(gid),
+            Ev::Submit { user } => self.submit(user),
+            Ev::Probe {
+                initiator,
+                target,
+                ttl,
+            } => self.handle_probe(initiator, target, ttl),
+            Ev::Crash { site } => self.crash_node(site),
+            Ev::Warmup => self.reset_stats(now),
+        }
+    }
+
+    /// Injected node failure: lose the site's volatile state, run journal
+    /// recovery, and poison every transaction that had touched the site.
+    ///
+    /// In-flight disk/CPU transfers at the site are allowed to drain (their
+    /// completions are harmless — the owning transactions are poisoned and
+    /// divert to their abort path at the next safe point).
+    fn crash_node(&mut self, site: usize) {
+        self.stats.crashes += 1;
+        let now = self.sched.now();
+
+        // 1. Storage-level crash + recovery (un-forced journal tail lost,
+        //    every uncommitted transaction's images restored).
+        self.nodes[site].db.crash_and_recover();
+
+        // 2. Volatile protocol state is gone: collect everyone parked in
+        //    the site's queues so they can be re-activated, then reset.
+        let mut stranded: Vec<u64> = Vec::new();
+        stranded.extend(self.nodes[site].locks.blocked_transactions());
+        stranded.extend(self.nodes[site].tm_queue.drain(..));
+        stranded.extend(self.nodes[site].dm_queue.drain(..));
+        if let Some(holder) = self.nodes[site].tm_busy.take() {
+            // The TM process restarted; its current client no longer holds
+            // the (new) server.
+            if let Some(tx) = self.txs.get_mut(&holder) {
+                tx.tm_held = None;
+            }
+        }
+        self.nodes[site].locks = LockManager::new();
+        self.nodes[site].tso = if self.cfg.cc == CcProtocol::TimestampOrderingThomas {
+            TimestampManager::new_with_thomas_rule()
+        } else {
+            TimestampManager::new()
+        };
+        self.nodes[site].dm_free = self.cfg.dm_pool;
+        // The site's DM server processes restarted: nobody holds one any
+        // more (without this, the pool over-fills when poisoned holders
+        // "release" their vanished servers at abort time).
+        for tx in self.txs.values_mut() {
+            tx.dm_sites.retain(|&s| s != site);
+        }
+
+        // 3. Poison every live transaction that had touched the site.
+        let victims: Vec<u64> = self
+            .txs
+            .iter()
+            .filter(|(_, tx)| {
+                tx.home == site
+                    || tx.begun_sites.contains(&site)
+                    || tx.dm_sites.contains(&site)
+                    || tx.plan.requests.iter().any(|(s, _)| *s == site)
+            })
+            .map(|(&gid, _)| gid)
+            .collect();
+        for gid in victims {
+            let tx = self.txs.get_mut(&gid).expect("live tx");
+            if !tx.aborting && !tx.poisoned {
+                tx.poisoned = true;
+                self.stats.crash_kills += 1;
+            }
+        }
+        // Re-activate the stranded (their waits evaporated with the site).
+        for gid in stranded {
+            if let Some(tx) = self.txs.get_mut(&gid) {
+                if let Some(since) = tx.blocked_since.take() {
+                    self.stats.lock_wait.record(now - since);
+                }
+                if !self.ready.contains(&gid) {
+                    self.ready.push_back(gid);
+                }
+            }
+        }
+        while let Some(gid) = self.ready.pop_front() {
+            self.advance(gid);
+        }
+    }
+
+    /// Completion of a timed op: account its residence (queueing +
+    /// service) to its phase, move past it, and make the tx runnable.
+    fn step_past(&mut self, gid: u64) {
+        let now = self.sched.now();
+        if let Some(tx) = self.txs.get_mut(&gid) {
+            let seg = tx.prog.segs[tx.pc];
+            let key = (tx.home, tx.ty, seg);
+            let elapsed = now - tx.op_started;
+            tx.pc += 1;
+            self.ready.push_back(gid);
+            *self.stats.phase_ms.entry(key).or_default() += elapsed;
+        }
+    }
+
+    fn submit(&mut self, user: usize) {
+        let (home, ty) = self.users[user];
+        let gid = self.next_gid;
+        self.next_gid += 1;
+        let plan = Plan::sample(
+            &mut self.rng,
+            &self.cfg.params,
+            home,
+            ty,
+            self.cfg.n_requests,
+        );
+        let prog = compile(&self.cfg.params, home, ty, &plan);
+        self.txs.insert(
+            gid,
+            Txn {
+                user,
+                home,
+                ty,
+                prog,
+                pc: 0,
+                submit_time: self.sched.now(),
+                plan,
+                begun_sites: Vec::new(),
+                dm_sites: Vec::new(),
+                aborting: false,
+                blocked_since: None,
+                updated: Vec::new(),
+                op_started: 0.0,
+                tm_held: None,
+                poisoned: false,
+            },
+        );
+        self.ready.push_back(gid);
+    }
+
+    fn reset_stats(&mut self, now: Time) {
+        for n in &mut self.nodes {
+            n.cpu.reset_stats(now);
+            n.disk.reset_stats(now);
+            n.log_disk.reset_stats(now);
+            n.io_ops = 0;
+            n.base_lock_requests = n.locks.requests();
+            n.base_lock_conflicts = n.locks.conflicts();
+            n.base_cc_rejections = n.tso.rejections();
+        }
+        self.stats = Stats {
+            window_start: now,
+            ..Stats::default()
+        };
+    }
+
+    /// Advances a transaction's program until it parks or finishes.
+    fn advance(&mut self, gid: u64) {
+        loop {
+            let now = self.sched.now();
+            let Some(tx) = self.txs.get(&gid) else { return };
+            if tx.poisoned && !tx.aborting && tx.tm_held.is_none() {
+                // A node this transaction touched crashed: divert to the
+                // abort path now that no TM server is held.
+                self.divert_after_crash(gid);
+                continue;
+            }
+            let Some(tx) = self.txs.get(&gid) else { return };
+            debug_assert!(tx.pc < tx.prog.len(), "program ran off the end");
+            let op = tx.prog.ops[tx.pc].clone();
+            match op {
+                Op::UseCpu { site, ms } => {
+                    self.txs.get_mut(&gid).expect("live tx").op_started = now;
+                    if let Some(started) = self.nodes[site].cpu.arrive(now, gid, ms) {
+                        self.sched
+                            .schedule_in(started.service, Ev::CpuDone { site, gid });
+                    }
+                    return;
+                }
+                Op::UseDisk { site, ms, ios, log } => {
+                    self.txs.get_mut(&gid).expect("live tx").op_started = now;
+                    self.nodes[site].io_ops += ios as u64;
+                    if log && self.cfg.separate_log_disk {
+                        if let Some(started) = self.nodes[site].log_disk.arrive(now, gid, ms)
+                        {
+                            self.sched
+                                .schedule_in(started.service, Ev::LogDone { site, gid });
+                        }
+                    } else if let Some(started) = self.nodes[site].disk.arrive(now, gid, ms) {
+                        self.sched
+                            .schedule_in(started.service, Ev::DiskDone { site, gid });
+                    }
+                    return;
+                }
+                Op::Net { ms } => {
+                    self.txs.get_mut(&gid).expect("live tx").op_started = now;
+                    self.sched.schedule_in(ms, Ev::NetDone { gid });
+                    return;
+                }
+                Op::AcquireTm { site } => {
+                    let node = &mut self.nodes[site];
+                    if node.tm_busy.is_none() {
+                        node.tm_busy = Some(gid);
+                        let tx = self.txs.get_mut(&gid).expect("live tx");
+                        tx.tm_held = Some(site);
+                        tx.pc += 1;
+                    } else {
+                        node.tm_queue.push_back(gid);
+                        self.txs.get_mut(&gid).expect("live tx").op_started = now;
+                        return;
+                    }
+                }
+                Op::ReleaseTm { site } => {
+                    let node = &mut self.nodes[site];
+                    debug_assert_eq!(node.tm_busy, Some(gid), "TM released by non-holder");
+                    node.tm_busy = node.tm_queue.pop_front();
+                    if let Some(next) = node.tm_busy {
+                        // The waiter was parked at its AcquireTm op.
+                        let w = self.txs.get_mut(&next).expect("queued tx exists");
+                        let waited = now - w.op_started;
+                        let key = (w.home, w.ty, Seg::TmWait);
+                        w.pc += 1;
+                        w.tm_held = Some(site);
+                        *self.stats.phase_ms.entry(key).or_default() += waited;
+                        self.ready.push_back(next);
+                    }
+                    let tx = self.txs.get_mut(&gid).expect("live tx");
+                    tx.tm_held = None;
+                    tx.pc += 1;
+                }
+                Op::AcquireDm { site } => {
+                    if self.txs[&gid].dm_sites.contains(&site) {
+                        self.bump(gid);
+                    } else {
+                        let node = &mut self.nodes[site];
+                        if node.dm_free > 0 {
+                            node.dm_free -= 1;
+                            let tx = self.txs.get_mut(&gid).expect("live tx");
+                            tx.dm_sites.push(site);
+                            tx.pc += 1;
+                        } else {
+                            node.dm_queue.push_back(gid);
+                            self.txs.get_mut(&gid).expect("live tx").op_started = now;
+                            return;
+                        }
+                    }
+                }
+                Op::Lock {
+                    site,
+                    block,
+                    exclusive,
+                } => {
+                    if self.cfg.cc != CcProtocol::TwoPhaseLocking {
+                        // Timestamp ordering: the transaction id is its
+                        // timestamp (ids are assigned monotonically and a
+                        // restart gets a fresh, larger one).
+                        let out = if exclusive {
+                            self.nodes[site].tso.write(gid, block)
+                        } else {
+                            self.nodes[site].tso.read(gid, block)
+                        };
+                        match out {
+                            TsOutcome::Allowed => self.bump(gid),
+                            TsOutcome::SkipWrite => {
+                                // Thomas write rule: skip the granule's
+                                // physical I/O and functional update — fast
+                                // forward past its Access op.
+                                let tx = self.txs.get_mut(&gid).expect("live tx");
+                                while !matches!(
+                                    tx.prog.ops[tx.pc],
+                                    Op::Access { site: s, rid, .. }
+                                        if s == site && rid.block == block
+                                ) {
+                                    tx.pc += 1;
+                                }
+                                tx.pc += 1; // past the Access itself
+                            }
+                            TsOutcome::Rejected => {
+                                self.start_abort(gid, site);
+                                // Continue: run the abort program.
+                            }
+                            TsOutcome::WaitFor(_) => {
+                                let t = self.sched.now();
+                                self.txs.get_mut(&gid).expect("live tx").blocked_since =
+                                    Some(t);
+                                return; // parked until the writer resolves
+                            }
+                        }
+                        continue;
+                    }
+                    let mode = if exclusive {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    };
+                    match self.nodes[site].locks.request(gid, block, mode) {
+                        Outcome::Granted => self.bump(gid),
+                        Outcome::Queued => {
+                            if self.deadlock_check(gid, site) {
+                                self.start_abort(gid, site);
+                                // Continue: run the abort program.
+                            } else if self.nodes[site].locks.waiting_block(gid).is_some() {
+                                let t = self.sched.now();
+                                self.txs.get_mut(&gid).expect("live tx").blocked_since =
+                                    Some(t);
+                                return; // parked until lock grant
+                            } else {
+                                // A youngest-policy victim abort already
+                                // promoted and granted this request: wake()
+                                // bumped our pc and queued us in `ready`,
+                                // so just yield to the drain loop.
+                                return;
+                            }
+                        }
+                    }
+                }
+                Op::Access { site, rid, update } => {
+                    self.ensure_begun(gid, site);
+                    let node = &mut self.nodes[site];
+                    if update {
+                        let value = format!("g{gid}b{}s{}", rid.block, rid.slot);
+                        node.db
+                            .update_record(gid, rid, value.as_bytes())
+                            .expect("functional update");
+                        self.txs
+                            .get_mut(&gid)
+                            .expect("live tx")
+                            .updated
+                            .push((site, rid));
+                    } else {
+                        node.db.read_record(gid, rid).expect("functional read");
+                    }
+                    self.bump(gid);
+                }
+                Op::PrepareSite { site } => {
+                    self.ensure_begun(gid, site);
+                    self.nodes[site].db.prepare(gid).expect("prepare");
+                    self.bump(gid);
+                }
+                Op::CommitSite { site } => {
+                    if self.txs[&gid].begun_sites.contains(&site) {
+                        self.nodes[site].db.commit(gid).expect("commit");
+                        let updated = self.txs[&gid].updated.clone();
+                        for (s, rid) in updated {
+                            if s == site {
+                                self.last_committed.insert((s, rid), gid);
+                            }
+                        }
+                    }
+                    if self.cfg.cc == CcProtocol::TwoPhaseLocking {
+                        let woken = self.nodes[site].locks.release_all(gid);
+                        self.wake(woken);
+                    } else {
+                        let woken = self.nodes[site].tso.commit(gid);
+                        self.wake_retry(woken);
+                    }
+                    self.bump(gid);
+                }
+                Op::AbortSite { site } => {
+                    // After a crash the site's recovery already rolled this
+                    // transaction back (it is no longer active there).
+                    if self.txs[&gid].begun_sites.contains(&site)
+                        && self.nodes[site].db.is_active(gid)
+                    {
+                        self.nodes[site].db.rollback(gid).expect("rollback");
+                    }
+                    if self.cfg.cc == CcProtocol::TwoPhaseLocking {
+                        let woken = self.nodes[site].locks.release_all(gid);
+                        self.wake(woken);
+                    } else {
+                        let woken = self.nodes[site].tso.abort(gid);
+                        self.wake_retry(woken);
+                    }
+                    self.bump(gid);
+                }
+                Op::End => {
+                    self.finish(gid);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Moves `gid` past a zero-time op.
+    fn bump(&mut self, gid: u64) {
+        self.txs.get_mut(&gid).expect("live tx").pc += 1;
+    }
+
+    /// Wakes transactions granted a lock by a release: they were parked at
+    /// their `Lock` op, which is now satisfied.
+    fn wake(&mut self, woken: Vec<(u64, u32)>) {
+        let now = self.sched.now();
+        for (gid, _block) in woken {
+            if let Some(tx) = self.txs.get_mut(&gid) {
+                debug_assert!(
+                    matches!(tx.prog.ops[tx.pc], Op::Lock { .. }),
+                    "woken tx not parked on a lock"
+                );
+                if let Some(since) = tx.blocked_since.take() {
+                    self.stats.lock_wait.record(now - since);
+                    *self
+                        .stats
+                        .phase_ms
+                        .entry((tx.home, tx.ty, Seg::Lw))
+                        .or_default() += now - since;
+                }
+                tx.pc += 1;
+                self.ready.push_back(gid);
+            }
+        }
+    }
+
+    /// Wakes transactions whose pending-writer wait resolved (timestamp
+    /// ordering): they were parked at their access op, which must now be
+    /// *retried* (the retry may itself reject).
+    fn wake_retry(&mut self, woken: Vec<u64>) {
+        let now = self.sched.now();
+        for gid in woken {
+            if let Some(tx) = self.txs.get_mut(&gid) {
+                debug_assert!(
+                    matches!(tx.prog.ops[tx.pc], Op::Lock { .. }),
+                    "retried tx not parked on an access"
+                );
+                if let Some(since) = tx.blocked_since.take() {
+                    self.stats.lock_wait.record(now - since);
+                    *self
+                        .stats
+                        .phase_ms
+                        .entry((tx.home, tx.ty, Seg::Lw))
+                        .or_default() += now - since;
+                }
+                self.ready.push_back(gid);
+            }
+        }
+    }
+
+    fn ensure_begun(&mut self, gid: u64, site: usize) {
+        let tx = self.txs.get_mut(&gid).expect("live tx");
+        if !tx.begun_sites.contains(&site) {
+            tx.begun_sites.push(site);
+            self.nodes[site].db.begin(gid).expect("begin");
+        }
+    }
+
+    /// Deadlock detection at lock-request time.
+    ///
+    /// The local WFG of the request's site is always searched immediately
+    /// (CARAT's local detector). Cross-site cycles are handled per
+    /// [`DeadlockMode`]: either by searching the union of all sites' graphs
+    /// right away, or by launching real Chandy–Misra–Haas probe messages.
+    ///
+    /// Returns true iff `gid` is a deadlock victim *now*.
+    fn deadlock_check(&mut self, gid: u64, site: usize) -> bool {
+        if self.cfg.deadlock_mode == DeadlockMode::Probes {
+            // Local search first.
+            let local_g = WaitForGraph::from_lock_manager(&self.nodes[site].locks);
+            if local_g.find_cycle(gid).is_some() {
+                self.stats.local_deadlocks += 1;
+                return true;
+            }
+            // Launch probes along the blocked edges (the holders may be
+            // active or blocked at other sites; the probe chases them).
+            let alpha = self.cfg.params.comm_delay_ms;
+            for h in self.nodes[site].locks.waits_for(gid) {
+                self.sched.schedule_in(
+                    alpha,
+                    Ev::Probe {
+                        initiator: gid,
+                        target: h,
+                        ttl: 32,
+                    },
+                );
+            }
+            return false;
+        }
+
+        let mut g = WaitForGraph::new();
+        for node in &self.nodes {
+            for t in node.locks.blocked_transactions() {
+                for target in node.locks.waits_for(t) {
+                    g.add_edge(t, target);
+                }
+            }
+        }
+        let Some(cycle) = g.find_cycle(gid) else {
+            return false;
+        };
+        // Locality: at which site does each cycle member wait?
+        let wait_site = |t: u64| -> usize {
+            self.nodes
+                .iter()
+                .position(|n| n.locks.waiting_block(t).is_some())
+                .expect("cycle member is blocked somewhere")
+        };
+        let sites: Vec<usize> = cycle.iter().map(|&t| wait_site(t)).collect();
+        let local = sites.iter().all(|&s| s == sites[0]);
+        if local {
+            self.stats.local_deadlocks += 1;
+        } else {
+            self.stats.global_deadlocks += 1;
+            // One probe hop per cross-site edge in the chased cycle.
+            let mut hops = 0;
+            for i in 0..sites.len() {
+                if sites[i] != sites[(i + 1) % sites.len()] {
+                    hops += 1;
+                }
+            }
+            self.stats.probe_hops += hops;
+        }
+        match self.cfg.victim {
+            VictimPolicy::Requester => true,
+            VictimPolicy::Youngest => {
+                // Unlike the requester policy (which breaks every cycle
+                // through `gid` at once), aborting one cycle's youngest may
+                // leave other cycles through `gid` intact — loop until no
+                // cycle through the requester remains, or the requester
+                // itself is chosen.
+                let mut cycle = cycle;
+                loop {
+                    let victim = *cycle.iter().max().expect("non-empty cycle");
+                    if victim == gid {
+                        return true;
+                    }
+                    // Abort the chosen victim in place: it is parked on a
+                    // lock (a safe point — no TM held), so withdraw its
+                    // request, run its abort program, and let the requester
+                    // keep waiting; the victim's releases will wake it.
+                    self.abort_parked(victim);
+                    let mut g = WaitForGraph::new();
+                    for node in &self.nodes {
+                        for t in node.locks.blocked_transactions() {
+                            for target in node.locks.waits_for(t) {
+                                g.add_edge(t, target);
+                            }
+                        }
+                    }
+                    match g.find_cycle(gid) {
+                        Some(c) => cycle = c,
+                        None => return false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aborts a transaction that is currently parked on a lock wait
+    /// (deadlock victim under [`VictimPolicy::Youngest`]).
+    fn abort_parked(&mut self, victim: u64) {
+        debug_assert!(
+            self.txs
+                .get(&victim)
+                .is_some_and(|t| matches!(t.prog.ops[t.pc], Op::Lock { .. })),
+            "victim not parked on a lock"
+        );
+        let now = self.sched.now();
+        if let Some(site) = self.blocked_site(victim) {
+            let woken = self.nodes[site].locks.cancel_request(victim);
+            self.wake(woken);
+        }
+        if let Some(tx) = self.txs.get_mut(&victim) {
+            if let Some(since) = tx.blocked_since.take() {
+                self.stats.lock_wait.record(now - since);
+                *self
+                    .stats
+                    .phase_ms
+                    .entry((tx.home, tx.ty, Seg::Lw))
+                    .or_default() += now - since;
+            }
+        }
+        self.start_abort_program(victim);
+        self.ready.push_back(victim);
+    }
+
+    /// Site at which `gid` is currently lock-blocked, if any.
+    fn blocked_site(&self, gid: u64) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| n.locks.waiting_block(gid).is_some())
+    }
+
+    /// Delivery of a Chandy–Misra–Haas probe (`DeadlockMode::Probes`).
+    ///
+    /// Classic edge-chasing: if the probe reached its initiator, a cycle
+    /// exists and the initiator is the victim; if the target is itself
+    /// blocked, the probe is forwarded along the target's wait-for edges;
+    /// a running target absorbs the probe (it will initiate fresh probes
+    /// if it blocks later).
+    fn handle_probe(&mut self, initiator: u64, target: u64, ttl: u8) {
+        self.stats.probe_hops += 1;
+        if ttl == 0 {
+            return;
+        }
+        // Stale probe: the initiator moved on (granted or already aborted).
+        let Some(init_site) = self.blocked_site(initiator) else {
+            return;
+        };
+        if !self.txs.contains_key(&initiator) {
+            return;
+        }
+        if target == initiator {
+            // Cycle closed. Like the real protocol this may be a phantom
+            // if an edge vanished while the probe was in flight; the victim
+            // retries either way, so only performance is at stake.
+            self.stats.global_deadlocks += 1;
+            if let Some(tx) = self.txs.get_mut(&initiator) {
+                if let Some(since) = tx.blocked_since.take() {
+                    self.stats.lock_wait.record(self.sched.now() - since);
+                }
+            }
+            self.start_abort(initiator, init_site);
+            self.ready.push_back(initiator);
+            return;
+        }
+        let Some(target_site) = self.blocked_site(target) else {
+            return; // target is running; it makes progress, no deadlock here
+        };
+        let alpha = self.cfg.params.comm_delay_ms;
+        for h in self.nodes[target_site].locks.waits_for(target) {
+            let next_hop_remote = self.blocked_site(h).map(|s| s != target_site);
+            let delay = match next_hop_remote {
+                Some(true) | None => alpha,
+                Some(false) => 0.0,
+            };
+            self.sched.schedule_in(
+                delay,
+                Ev::Probe {
+                    initiator,
+                    target: h,
+                    ttl: ttl - 1,
+                },
+            );
+        }
+    }
+
+    /// Converts `gid` into an aborting transaction: withdraw the pending
+    /// request and replace the remaining program with the rollback
+    /// sequence.
+    fn start_abort(&mut self, gid: u64, blocked_site: usize) {
+        if self.cfg.cc == CcProtocol::TwoPhaseLocking {
+            let woken = self.nodes[blocked_site].locks.cancel_request(gid);
+            self.wake(woken);
+        } else {
+            for node in &mut self.nodes {
+                node.tso.cancel_waits(gid);
+            }
+        }
+        self.start_abort_program(gid);
+    }
+
+    /// Replaces `gid`'s remaining program with the rollback sequence.
+    fn start_abort_program(&mut self, gid: u64) {
+
+        let (home, ty, abort_sites) = {
+            let tx = &self.txs[&gid];
+            // Rollback is needed wherever the transaction has touched data
+            // (begun ⟺ accessed ⟹ holds locks there); the home site is
+            // always visited so the coordinator processes the abort even if
+            // nothing was touched yet.
+            let mut sites: Vec<usize> = tx.begun_sites.clone();
+            if !sites.contains(&tx.home) {
+                sites.push(tx.home);
+            }
+            sites.sort_unstable();
+            (tx.home, tx.ty, sites)
+        };
+        *self
+            .stats
+            .aborts
+            .entry((home, ty))
+            .or_default() += 1;
+
+        let b = &self.cfg.params.basic;
+        let alpha = self.cfg.params.comm_delay_ms;
+        let chain = ty.coordinator_chain();
+        let mut prog = Program::with_capacity(8 + abort_sites.len() * 8);
+        for &site in &abort_sites {
+            let exec_chain = if site == home {
+                chain
+            } else {
+                ty.slave_chain().expect("remote site implies distributed")
+            };
+            if site != home {
+                prog.push(Op::Net { ms: alpha }, Seg::Ta);
+            }
+            // TA phase: abort message processing.
+            prog.push(
+                Op::UseCpu {
+                    site,
+                    ms: b.ta_cpu(exec_chain),
+                },
+                Seg::Ta,
+            );
+            // TAIO phase: restore the journaled before-images, one block
+            // write at a time, then force the abort record (see
+            // `carat_storage::Database::rollback` for why the force is
+            // required for correctness).
+            if ty.is_update() {
+                let updated = self.rollback_extent(gid, site);
+                if updated > 0 {
+                    // `updated` block restores + the forced abort record.
+                    for i in 0..(updated + 1) {
+                        prog.push(
+                            Op::UseDisk {
+                                site,
+                                ms: self.cfg.params.nodes[site].disk_io_ms,
+                                ios: 1,
+                                log: i == updated,
+                            },
+                            Seg::Taio,
+                        );
+                    }
+                }
+            }
+            prog.push(Op::AbortSite { site }, Seg::Ta);
+            if site != home {
+                prog.push(Op::Net { ms: alpha }, Seg::Ta);
+            }
+        }
+        prog.push(Op::End, Seg::Ta);
+
+        let tx = self.txs.get_mut(&gid).expect("live tx");
+        tx.aborting = true;
+        tx.prog = prog;
+        tx.pc = 0;
+    }
+
+    /// Diverts a crash-poisoned transaction onto its abort path: withdraw
+    /// any pending waits at live sites, then run the usual abort program
+    /// (rollback I/O is only charged where the storage engine still has the
+    /// transaction active — the crashed site's recovery already undid it).
+    fn divert_after_crash(&mut self, gid: u64) {
+        if let Some(site) = self.blocked_site(gid) {
+            if self.cfg.cc == CcProtocol::TwoPhaseLocking {
+                let woken = self.nodes[site].locks.cancel_request(gid);
+                self.wake(woken);
+            }
+        }
+        if self.cfg.cc != CcProtocol::TwoPhaseLocking {
+            for node in &mut self.nodes {
+                node.tso.cancel_waits(gid);
+            }
+        }
+        if let Some(tx) = self.txs.get_mut(&gid) {
+            tx.blocked_since = None;
+        }
+        self.start_abort_program(gid);
+    }
+
+    /// Number of blocks whose before-images must be restored at `site`:
+    /// the distinct blocks this transaction has actually updated there
+    /// (exactly what the storage engine journaled).
+    fn rollback_extent(&self, gid: u64, site: usize) -> u32 {
+        let tx = &self.txs[&gid];
+        if !tx.begun_sites.contains(&site) || !self.nodes[site].db.is_active(gid) {
+            return 0;
+        }
+        let distinct: std::collections::HashSet<u32> = tx
+            .updated
+            .iter()
+            .filter(|(s, _)| *s == site)
+            .map(|(_, rid)| rid.block)
+            .collect();
+        let planned = distinct_blocks_at(&tx.plan, site);
+        (distinct.len() as u32).min(planned)
+    }
+
+    /// Transaction end: commit bookkeeping, free DMs, schedule the user's
+    /// next submission (rollback already happened in `AbortSite` ops).
+    fn finish(&mut self, gid: u64) {
+        let now = self.sched.now();
+        let tx = self.txs.remove(&gid).expect("live tx");
+        if !tx.aborting {
+            let key = (tx.home, tx.ty);
+            *self.stats.commits.entry(key).or_default() += 1;
+            *self.stats.records.entry(tx.home).or_default() += tx.plan.total_records();
+            self.stats
+                .resp
+                .entry(key)
+                .or_default()
+                .record(now - tx.submit_time);
+            self.stats
+                .resp_hist
+                .entry(key)
+                .or_insert_with(Histogram::for_latency_ms)
+                .record(now - tx.submit_time);
+        }
+        for &site in &tx.dm_sites {
+            let node = &mut self.nodes[site];
+            if let Some(next) = node.dm_queue.pop_front() {
+                // Hand the DM directly to the waiter.
+                let w = self.txs.get_mut(&next).expect("queued tx");
+                w.dm_sites.push(site);
+                w.pc += 1;
+                let waited = now - w.op_started;
+                let key = (w.home, w.ty, Seg::DmWait);
+                *self.stats.phase_ms.entry(key).or_default() += waited;
+                self.ready.push_back(next);
+            } else {
+                node.dm_free = node.dm_free.saturating_add(1);
+            }
+        }
+        self.sched.schedule_in(
+            self.cfg.params.think_time_ms,
+            Ev::Submit { user: tx.user },
+        );
+    }
+
+    fn report(&self, end: Time) -> SimReport {
+        let window = end - self.stats.window_start;
+        let window_s = window / 1000.0;
+        let mut nodes = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut per_type: BTreeMap<TxType, TypeReport> = BTreeMap::new();
+            let mut tx_total = 0u64;
+            for ty in TxType::ALL {
+                let key = (i, ty);
+                let commits = self.stats.commits.get(&key).copied().unwrap_or(0);
+                let aborts = self.stats.aborts.get(&key).copied().unwrap_or(0);
+                if commits == 0 && aborts == 0 {
+                    continue;
+                }
+                tx_total += commits;
+                let mut phase_ms: BTreeMap<&'static str, f64> = BTreeMap::new();
+                if commits > 0 {
+                    for ((h, t, seg), total) in &self.stats.phase_ms {
+                        if *h == i && *t == ty {
+                            *phase_ms.entry(seg.label()).or_default() +=
+                                total / commits as f64;
+                        }
+                    }
+                }
+                per_type.insert(
+                    ty,
+                    TypeReport {
+                        phase_ms,
+                        commits,
+                        aborts,
+                        xput_per_s: commits as f64 / window_s,
+                        mean_response_ms: self
+                            .stats
+                            .resp
+                            .get(&key)
+                            .map(Tally::mean)
+                            .unwrap_or(0.0),
+                        p50_response_ms: self
+                            .stats
+                            .resp_hist
+                            .get(&key)
+                            .map(|h| h.quantile(0.5))
+                            .unwrap_or(0.0),
+                        p95_response_ms: self
+                            .stats
+                            .resp_hist
+                            .get(&key)
+                            .map(|h| h.quantile(0.95))
+                            .unwrap_or(0.0),
+                    },
+                );
+            }
+            let records = self.stats.records.get(&i).copied().unwrap_or(0);
+            nodes.push(NodeReport {
+                name: self.cfg.params.nodes[i].name.clone(),
+                cpu_util: node.cpu.utilization(end),
+                disk_util: node.disk.utilization(end),
+                log_disk_util: node.log_disk.utilization(end),
+                dio_per_s: node.io_ops as f64 / window_s,
+                tx_per_s: tx_total as f64 / window_s,
+                records_per_s: records as f64 / window_s,
+                per_type,
+            });
+        }
+        // Commit audit: every record's stored bytes must be the value
+        // written by its last committed writer (proof that rollback and
+        // recovery never leaked an aborted write into committed state).
+        let mut audit_violations = 0u64;
+        let mut audited = 0u64;
+        for (&(site, rid), &gid) in &self.last_committed {
+            if self.nodes[site].locks.is_contended(rid.block)
+                || self.nodes[site].tso.block_pending(rid.block)
+            {
+                // An in-flight transaction holds the block (2PL lock or
+                // TSO pending write) and may have legitimately overwritten
+                // it; skip until it resolves.
+                continue;
+            }
+            audited += 1;
+            let expect = format!("g{gid}b{}s{}", rid.block, rid.slot);
+            let got = self.nodes[site].db.read_committed(rid);
+            if !got.starts_with(expect.as_bytes()) {
+                audit_violations += 1;
+            }
+        }
+
+        let lock_requests: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.locks.requests() - n.base_lock_requests)
+            .sum();
+        let lock_conflicts: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.locks.conflicts() - n.base_lock_conflicts)
+            .sum();
+        let cc_rejections: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.tso.rejections() - n.base_cc_rejections)
+            .sum();
+        SimReport {
+            nodes,
+            local_deadlocks: self.stats.local_deadlocks,
+            global_deadlocks: self.stats.global_deadlocks,
+            probe_hops: self.stats.probe_hops,
+            lock_requests,
+            lock_conflicts,
+            cc_rejections,
+            mean_lock_wait_ms: self.stats.lock_wait.mean(),
+            lock_waits_completed: self.stats.lock_wait.count(),
+            crashes: self.stats.crashes,
+            crash_kills: self.stats.crash_kills,
+            audited_records: audited,
+            audit_violations,
+            window_ms: window,
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # carat-sim — a discrete-event simulation of the CARAT testbed
+//!
+//! This crate stands in for the hardware testbed of the paper (two VAX
+//! 11/780s running the CARAT distributed database system): it is the
+//! **"measurement" side** of every model-vs-measurement comparison in the
+//! reproduction. It simulates CARAT at the message level:
+//!
+//! * per node: one FCFS **CPU**, one FCFS **disk** (shared by database and
+//!   recovery journal, as in the testbed — paper §2), a serialised **TM
+//!   server**, and a pool of **DM servers** dynamically allocated to
+//!   transactions for their lifetime;
+//! * user (TR) processes submitting LRO/LU/DRO/DU transactions with think
+//!   time between submissions;
+//! * the CARAT message flows (TBEGIN/DBOPEN, TDO→DOSTEP/REMDO and their
+//!   acknowledgments, TEND, PREPARE/COMMIT) with an inter-site
+//!   communication delay α;
+//! * **strict two-phase locking** at block granularity with shared and
+//!   exclusive modes (via `carat-lock`);
+//! * **deadlock detection at lock-request time**: a local wait-for-graph
+//!   search, extended across sites in the manner of the Chandy–Misra–Haas
+//!   edge-chasing probes \[CHAN83\] — the requester that closes a cycle is
+//!   the victim;
+//! * **before-image journaling and rollback** against a real block storage
+//!   engine (via `carat-storage`) — aborted transactions physically restore
+//!   their before-images and pay the rollback I/O;
+//! * **centralized two-phase commit** with forced log writes at the
+//!   coordinator and slaves;
+//! * Table 2 service times charged for every CPU burst and disk transfer.
+//!
+//! Because the entire simulation is event-driven with a deterministic
+//! scheduler and a seeded RNG, every run is exactly reproducible.
+//!
+//! ## Fidelity notes (vs. the real testbed)
+//!
+//! * The TM server *is* modelled as a serialisation point (it holds the
+//!   server while force-writing commit records). The analytical model
+//!   deliberately ignores this (paper §5.5) — which is exactly why the
+//!   paper reports model-over-measurement deviations at small transaction
+//!   sizes; the simulator reproduces that asymmetry.
+//! * With the experiments' α ≈ 0, probe messages are evaluated at
+//!   lock-request time on the union of the per-site wait-for graphs, which
+//!   is precisely what the probe protocol converges to; the probe hops are
+//!   counted in the statistics.
+//! * 2PC rounds visit slave sites sequentially; the validation topology has
+//!   a single slave site per transaction, so this equals the parallel
+//!   protocol there.
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod program;
+
+pub use config::{CcProtocol, DeadlockMode, SimConfig, VictimPolicy};
+pub use engine::Sim;
+pub use metrics::{NodeReport, SimReport, TypeReport};

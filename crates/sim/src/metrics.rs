@@ -1,0 +1,150 @@
+//! Simulation output reports.
+
+use std::collections::BTreeMap;
+
+use carat_workload::TxType;
+
+/// Per-transaction-type results at one node (attributed to the
+/// transaction's *home* node, as in the paper's Table 5).
+#[derive(Debug, Clone, Default)]
+pub struct TypeReport {
+    /// Measured wall-time spent in each transaction phase, as mean
+    /// milliseconds per committed transaction — the simulator-side analogue
+    /// of the model's phase decomposition (labels follow the paper:
+    /// INIT, U, TM, TM-wait, DM, LR, DMIO, LW, RW, TC, TCIO, CW, TA,
+    /// TAIO, UL).
+    pub phase_ms: BTreeMap<&'static str, f64>,
+    /// Committed transactions in the measurement window.
+    pub commits: u64,
+    /// Aborted (and resubmitted) executions.
+    pub aborts: u64,
+    /// Throughput, transactions per second.
+    pub xput_per_s: f64,
+    /// Mean response time of a successful submission (ms), submission to
+    /// commit.
+    pub mean_response_ms: f64,
+    /// Median response time (ms), from a log-scale histogram.
+    pub p50_response_ms: f64,
+    /// 95th-percentile response time (ms).
+    pub p95_response_ms: f64,
+}
+
+impl TypeReport {
+    /// Mean submissions per commit, `N_s` in the paper (Eq. 4).
+    pub fn submissions_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            1.0 + self.aborts as f64 / self.commits as f64
+        }
+    }
+}
+
+/// Per-node results.
+#[derive(Debug, Clone, Default)]
+pub struct NodeReport {
+    /// Node label ("A", "B").
+    pub name: String,
+    /// CPU utilization in the measurement window.
+    pub cpu_util: f64,
+    /// Database-disk utilization.
+    pub disk_util: f64,
+    /// Log-disk utilization (0 unless `separate_log_disk` is enabled).
+    pub log_disk_util: f64,
+    /// Disk I/O rate, granule transfers per second (the paper's
+    /// Total-DIO).
+    pub dio_per_s: f64,
+    /// Committed transactions per second homed at this node (TR-XPUT).
+    pub tx_per_s: f64,
+    /// Records accessed by committed transactions per second (the
+    /// normalized record throughput of Figures 5/8).
+    pub records_per_s: f64,
+    /// Per-type detail.
+    pub per_type: BTreeMap<TxType, TypeReport>,
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Per-node results, indexed like the configuration's nodes.
+    pub nodes: Vec<NodeReport>,
+    /// Deadlocks whose cycle was contained in one site.
+    pub local_deadlocks: u64,
+    /// Deadlocks whose cycle crossed sites (found by probes).
+    pub global_deadlocks: u64,
+    /// Probe hops performed by the distributed detector.
+    pub probe_hops: u64,
+    /// Total lock requests across sites.
+    pub lock_requests: u64,
+    /// Lock requests that blocked.
+    pub lock_conflicts: u64,
+    /// Timestamp-ordering rejections (each forced an abort + restart);
+    /// 0 under two-phase locking.
+    pub cc_rejections: u64,
+    /// Mean duration of a completed lock wait (ms) — the LW-phase residence
+    /// the model predicts with `R_LW` (paper Eq. 20).
+    pub mean_lock_wait_ms: f64,
+    /// Number of lock waits that ended in a grant during the window.
+    pub lock_waits_completed: u64,
+    /// Injected node crashes executed.
+    pub crashes: u64,
+    /// Transactions killed by crashes (each restarted afterwards).
+    pub crash_kills: u64,
+    /// Records covered by the end-of-run commit audit.
+    pub audited_records: u64,
+    /// Audit failures: records whose stored bytes are NOT the last
+    /// committed writer's value. Always 0 for a correct 2PL + WAL + 2PC
+    /// implementation.
+    pub audit_violations: u64,
+    /// Measurement window (ms).
+    pub window_ms: f64,
+}
+
+impl SimReport {
+    /// System-wide committed transactions per second.
+    pub fn total_tx_per_s(&self) -> f64 {
+        self.nodes.iter().map(|n| n.tx_per_s).sum()
+    }
+
+    /// Observed blocking probability per lock request (`Pb` analogue).
+    pub fn blocking_probability(&self) -> f64 {
+        if self.lock_requests == 0 {
+            0.0
+        } else {
+            self.lock_conflicts as f64 / self.lock_requests as f64
+        }
+    }
+
+    /// Observed probability that a blocked request dies in a deadlock
+    /// (`Pd` analogue).
+    pub fn deadlock_given_blocked(&self) -> f64 {
+        if self.lock_conflicts == 0 {
+            0.0
+        } else {
+            (self.local_deadlocks + self.global_deadlocks) as f64 / self.lock_conflicts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submissions_per_commit_matches_eq4() {
+        let t = TypeReport {
+            commits: 100,
+            aborts: 25,
+            ..Default::default()
+        };
+        assert!((t.submissions_per_commit() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_are_safe_on_empty() {
+        let r = SimReport::default();
+        assert_eq!(r.blocking_probability(), 0.0);
+        assert_eq!(r.deadlock_given_blocked(), 0.0);
+        assert_eq!(r.total_tx_per_s(), 0.0);
+    }
+}

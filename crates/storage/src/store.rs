@@ -1,0 +1,104 @@
+//! The page store: a site's database "disk".
+//!
+//! An array of [`Block`]s addressed by block number, with read/write I/O
+//! counting. In the testbed this was a DEC RM05 (Node A) or RP06 (Node B)
+//! volume of 3 000 blocks; timing is supplied by the simulator, the store
+//! only performs the data movement and the accounting.
+
+use crate::block::{Block, BLOCK_SIZE};
+
+/// A volume of fixed-size blocks.
+#[derive(Debug, Clone)]
+pub struct PageStore {
+    blocks: Vec<Block>,
+    reads: u64,
+    writes: u64,
+}
+
+impl PageStore {
+    /// Creates a zero-filled volume of `n_blocks` blocks.
+    pub fn new(n_blocks: u32) -> Self {
+        PageStore {
+            blocks: vec![Block::zeroed(); n_blocks as usize],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Number of blocks in the volume.
+    pub fn n_blocks(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+
+    /// Reads block `id` ("transfers it from disk"): returns a copy, counts
+    /// one read I/O.
+    pub fn read(&mut self, id: u32) -> Block {
+        self.reads += 1;
+        self.blocks[id as usize].clone()
+    }
+
+    /// Peeks at block `id` without counting an I/O (used by assertions and
+    /// tests, never by the transaction path).
+    pub fn peek(&self, id: u32) -> &Block {
+        &self.blocks[id as usize]
+    }
+
+    /// Writes block `id` in place, counting one write I/O.
+    pub fn write(&mut self, id: u32, block: Block) {
+        assert_eq!(block.bytes().len(), BLOCK_SIZE);
+        self.writes += 1;
+        self.blocks[id as usize] = block;
+    }
+
+    /// Read I/Os since creation (or last [`PageStore::reset_io`]).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Write I/Os since creation (or last [`PageStore::reset_io`]).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Zeroes the I/O counters.
+    pub fn reset_io(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_counts_io() {
+        let mut s = PageStore::new(10);
+        let mut b = s.read(3);
+        b.set_record(0, b"hello");
+        s.write(3, b);
+        let back = s.read(3);
+        assert_eq!(&back.record(0)[..5], b"hello");
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.n_blocks(), 10);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut s = PageStore::new(2);
+        let _ = s.peek(0);
+        assert_eq!(s.reads(), 0);
+        s.reset_io();
+        s.read(1);
+        s.reset_io();
+        assert_eq!(s.reads(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_block_panics() {
+        let mut s = PageStore::new(1);
+        s.read(1);
+    }
+}

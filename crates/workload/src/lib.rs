@@ -1,0 +1,28 @@
+//! # carat-workload — synthetic transaction workloads and basic parameters
+//!
+//! The parameterised synthetic workload of the paper (§2):
+//!
+//! * four **transaction types** — local read-only (LRO), local update (LU),
+//!   distributed read-only (DRO), distributed update (DU) — which the model
+//!   decomposes into six **chain types** by splitting each distributed type
+//!   into a coordinator and slave part (§4.2);
+//! * the four **standard workloads** used for validation — LB8, MB4, MB8,
+//!   UB6 — as per-node user populations;
+//! * the **Table 2 basic parameter values** (milliseconds) for Node A
+//!   (DEC RM05 database disk) and Node B (DEC RP06), plus the derived phase
+//!   costs the paper takes from \[JENQ86\] (re-derived in DESIGN.md §6);
+//! * the database geometry: 3 000 blocks per site, 6 records per block,
+//!   4 records accessed per request, uniform random record selection.
+//!
+//! Everything here is shared *verbatim* by the analytical model
+//! (`carat-model`) and the testbed simulator (`carat-sim`) so that both
+//! sides of every model-vs-measurement comparison are parameterised
+//! identically, exactly as in the paper's validation methodology.
+
+pub mod params;
+pub mod spec;
+pub mod types;
+
+pub use params::{AccessPattern, BasicParams, NodeParams, SystemParams};
+pub use spec::{StandardWorkload, WorkloadSpec};
+pub use types::{ChainType, TxType};

@@ -1,0 +1,384 @@
+//! Basic parameter values (paper Table 2) and derived phase costs.
+//!
+//! All times in **milliseconds**. The six measured basic parameters per
+//! transaction type and node are Table 2 of the paper; the remaining phase
+//! costs (INIT, TC, TCIO, TA, TAIO, UL) were calibrated in \[JENQ86\] and
+//! are re-derived from the CARAT message flows in DESIGN.md §6. Both the
+//! analytical model and the simulator draw every cost from this module, so
+//! the two sides of each validation experiment are parameterised
+//! identically.
+
+use crate::types::ChainType;
+
+/// How transactions pick the records they access.
+///
+/// The paper's experiments were uniform ("transactions access records
+/// randomly and uniformly", §3) and its §7 lists "nonuniform and nonrandom
+/// database access patterns" as needed future work — this enum supplies
+/// the classic b–c skew (e.g. 80 % of accesses to 20 % of the data) for
+/// both the simulator and the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Every record equally likely (the paper's assumption).
+    Uniform,
+    /// A fraction `hot_access_prob` of accesses goes to the first
+    /// `hot_data_frac` of the records.
+    Hotspot {
+        /// Fraction of the database that is hot (0 < x < 1).
+        hot_data_frac: f64,
+        /// Fraction of accesses that hit the hot set (0 < x < 1).
+        hot_access_prob: f64,
+    },
+}
+
+impl AccessPattern {
+    /// Contention inflation relative to uniform access.
+    ///
+    /// For the blocking probability the only thing that matters is the
+    /// chance that a requested granule coincides with a held one. With a
+    /// two-temperature skew (probability `p` on a fraction `h` of the
+    /// granules) both the request and the held lock land hot with
+    /// probability `p`, so
+    ///
+    /// ```text
+    /// P[collision] = (1/N_g) · (p²/h + (1−p)²/(1−h)) = factor / N_g
+    /// ```
+    ///
+    /// Uniform access (`p = h`) gives factor 1; skew always gives ≥ 1.
+    pub fn contention_factor(&self) -> f64 {
+        match *self {
+            AccessPattern::Uniform => 1.0,
+            AccessPattern::Hotspot {
+                hot_data_frac: h,
+                hot_access_prob: p,
+            } => {
+                assert!((0.0..1.0).contains(&h) && h > 0.0, "bad hot_data_frac {h}");
+                assert!((0.0..1.0).contains(&p) && p > 0.0, "bad hot_access_prob {p}");
+                p * p / h + (1.0 - p) * (1.0 - p) / (1.0 - h)
+            }
+        }
+    }
+}
+
+/// CPU-time basic parameters (identical for Node A and Node B in Table 2 —
+/// both were VAX 11/780s; only the disks differed).
+#[derive(Debug, Clone, Copy)]
+pub struct BasicParams {
+    /// `R_U`: user application processing per request (7.8).
+    pub r_u: f64,
+    /// `R_TM` for local transactions: TM message processing (8.0).
+    pub r_tm_local: f64,
+    /// `R_TM` for distributed transactions: includes network send/receive
+    /// CPU (12.0).
+    pub r_tm_dist: f64,
+    /// `R_DM` per DM-phase visit, read request (5.4).
+    pub r_dm_read: f64,
+    /// `R_DM` per DM-phase visit, update request (8.6).
+    pub r_dm_update: f64,
+    /// `R_LR`: lock request processing incl. local deadlock detection (2.2).
+    pub r_lr: f64,
+    /// `R_DMIO` CPU part, read (1.5).
+    pub r_dmio_cpu_read: f64,
+    /// `R_DMIO` CPU part, update (2.5).
+    pub r_dmio_cpu_update: f64,
+    /// TM messages processed during INIT (TBEGIN + DBOPEN → 2).
+    pub init_tm_msgs: f64,
+    /// CPU to release one lock, as a fraction of `R_LR` (release does no
+    /// deadlock search).
+    pub unlock_frac: f64,
+}
+
+impl Default for BasicParams {
+    /// Paper Table 2 values.
+    fn default() -> Self {
+        BasicParams {
+            r_u: 7.8,
+            r_tm_local: 8.0,
+            r_tm_dist: 12.0,
+            r_dm_read: 5.4,
+            r_dm_update: 8.6,
+            r_lr: 2.2,
+            r_dmio_cpu_read: 1.5,
+            r_dmio_cpu_update: 2.5,
+            init_tm_msgs: 2.0,
+            unlock_frac: 0.3,
+        }
+    }
+}
+
+impl BasicParams {
+    /// `R_TM` for a chain type: distributed chains pay the network CPU.
+    pub fn r_tm(&self, t: ChainType) -> f64 {
+        if t.is_local() {
+            self.r_tm_local
+        } else {
+            self.r_tm_dist
+        }
+    }
+
+    /// `R_DM` per DM-phase visit.
+    pub fn r_dm(&self, t: ChainType) -> f64 {
+        if t.is_update() {
+            self.r_dm_update
+        } else {
+            self.r_dm_read
+        }
+    }
+
+    /// CPU part of a DMIO-phase visit.
+    pub fn r_dmio_cpu(&self, t: ChainType) -> f64 {
+        if t.is_update() {
+            self.r_dmio_cpu_update
+        } else {
+            self.r_dmio_cpu_read
+        }
+    }
+
+    /// Disk I/O operations per granule access: 1 read for a retrieval;
+    /// read + journal write + in-place write for an update (paper §6:
+    /// "three disk I/O operations ... are needed to update a database
+    /// record").
+    pub fn ios_per_granule(&self, t: ChainType) -> u32 {
+        if t.is_update() {
+            3
+        } else {
+            1
+        }
+    }
+
+    /// Forced/synchronous log I/Os in the commit path (TCIO phase).
+    ///
+    /// Read-only chains skip the commit log write (nothing was changed);
+    /// a local update forces one commit record; a distributed-update
+    /// coordinator forces its commit record; a distributed-update slave
+    /// writes a forced prepare record and then the commit record.
+    pub fn commit_ios(&self, t: ChainType) -> u32 {
+        match t {
+            ChainType::Lro | ChainType::Droc | ChainType::Dros => 0,
+            ChainType::Lu | ChainType::Duc => 1,
+            ChainType::Dus => 2,
+        }
+    }
+
+    /// CPU consumed in the TC (commit processing) phase.
+    ///
+    /// Local: the TEND/commit message at the single TM. Distributed:
+    /// PREPARE plus COMMIT message rounds at both coordinator and slave.
+    pub fn tc_cpu(&self, t: ChainType) -> f64 {
+        match t {
+            ChainType::Lro | ChainType::Lu => self.r_tm_local,
+            _ => 2.0 * self.r_tm_dist,
+        }
+    }
+
+    /// CPU consumed in the TA (abort processing) phase.
+    pub fn ta_cpu(&self, t: ChainType) -> f64 {
+        self.r_tm(t)
+    }
+
+    /// CPU of the INIT phase (TBEGIN + DBOPEN processing). Slave chains
+    /// have no INIT phase (they are entered by the first REMDO).
+    pub fn init_cpu(&self, t: ChainType) -> f64 {
+        if t.is_slave() {
+            0.0
+        } else {
+            self.init_tm_msgs * self.r_tm(t)
+        }
+    }
+
+    /// CPU of the UL phase per lock released.
+    pub fn ul_cpu_per_lock(&self) -> f64 {
+        self.unlock_frac * self.r_lr
+    }
+}
+
+/// Per-node parameters: the only hardware difference between the testbed
+/// nodes was the database disk (Node A: DEC RM05; Node B: DEC RP06).
+#[derive(Debug, Clone)]
+pub struct NodeParams {
+    /// Display name ("A", "B").
+    pub name: String,
+    /// Service time of one disk block transfer, ms (A: 28, B: 40 —
+    /// Table 2's `R_DMIO^(disk)` read values; update values are exactly
+    /// 3 × this).
+    pub disk_io_ms: f64,
+}
+
+/// Full system parameterisation shared by model and simulator.
+#[derive(Debug, Clone)]
+pub struct SystemParams {
+    /// CPU basic parameters (Table 2).
+    pub basic: BasicParams,
+    /// Participating nodes.
+    pub nodes: Vec<NodeParams>,
+    /// `N_g`: database granules (blocks) per site (3 000).
+    pub n_granules: u32,
+    /// `N_b`: records per granule (6).
+    pub records_per_granule: u32,
+    /// Records accessed by each request (4).
+    pub records_per_request: u32,
+    /// `R_UT`: user think time between transactions (0 in the experiments).
+    pub think_time_ms: f64,
+    /// α: one-way inter-site communication delay (≈ 0 in the experiments).
+    pub comm_delay_ms: f64,
+    /// Record-selection skew.
+    pub access: AccessPattern,
+}
+
+impl Default for SystemParams {
+    /// The paper's two-node testbed configuration (§2).
+    fn default() -> Self {
+        SystemParams {
+            basic: BasicParams::default(),
+            nodes: vec![
+                NodeParams {
+                    name: "A".into(),
+                    disk_io_ms: 28.0,
+                },
+                NodeParams {
+                    name: "B".into(),
+                    disk_io_ms: 40.0,
+                },
+            ],
+            n_granules: 3_000,
+            records_per_granule: 6,
+            records_per_request: 4,
+            think_time_ms: 0.0,
+            comm_delay_ms: 0.0,
+            access: AccessPattern::Uniform,
+        }
+    }
+}
+
+impl SystemParams {
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Records in one site's database file.
+    pub fn records_per_site(&self) -> u64 {
+        self.n_granules as u64 * self.records_per_granule as u64
+    }
+
+    /// Splits a distributed transaction's `n` requests into
+    /// `(local, remote)` counts. Requests are spread as evenly as possible
+    /// over all sites, home site first — for the two-node testbed this is
+    /// the half/half split implied by the paper's symmetric DRO/DU
+    /// throughputs (Table 5).
+    pub fn split_requests(&self, n: u32) -> (u32, u32) {
+        let sites = self.sites().max(1) as u32;
+        let local = n.div_ceil(sites);
+        (local, n - local)
+    }
+
+    /// `f(t, i, j)`: fraction of a distributed transaction's remote requests
+    /// sent to each particular remote site (uniform over the other sites).
+    pub fn remote_fraction(&self) -> f64 {
+        let others = self.sites().saturating_sub(1);
+        if others == 0 {
+            0.0
+        } else {
+            1.0 / others as f64
+        }
+    }
+
+    /// `R_DMIO^(disk)` per DMIO-phase visit for chain `t` at `node`
+    /// (Table 2's 28/84 and 40/120 values).
+    pub fn dmio_disk(&self, t: ChainType, node: usize) -> f64 {
+        self.basic.ios_per_granule(t) as f64 * self.nodes[node].disk_io_ms
+    }
+
+    /// Effective granule count for the contention equations: skewed access
+    /// behaves like a uniformly-accessed database shrunk by
+    /// [`AccessPattern::contention_factor`].
+    pub fn effective_granules(&self) -> f64 {
+        self.n_granules as f64 / self.access.contention_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ChainType::*;
+
+    #[test]
+    fn table2_values_reproduced() {
+        let p = SystemParams::default();
+        // Node A rows of Table 2.
+        assert_eq!(p.basic.r_u, 7.8);
+        assert_eq!(p.basic.r_tm(Lro), 8.0);
+        assert_eq!(p.basic.r_tm(Droc), 12.0);
+        assert_eq!(p.basic.r_dm(Lro), 5.4);
+        assert_eq!(p.basic.r_dm(Lu), 8.6);
+        assert_eq!(p.basic.r_lr, 2.2);
+        assert_eq!(p.basic.r_dmio_cpu(Droc), 1.5);
+        assert_eq!(p.basic.r_dmio_cpu(Dus), 2.5);
+        assert_eq!(p.dmio_disk(Lro, 0), 28.0);
+        assert_eq!(p.dmio_disk(Lu, 0), 84.0);
+        // Node B rows.
+        assert_eq!(p.dmio_disk(Dros, 1), 40.0);
+        assert_eq!(p.dmio_disk(Dus, 1), 120.0);
+    }
+
+    #[test]
+    fn database_geometry() {
+        let p = SystemParams::default();
+        assert_eq!(p.records_per_site(), 18_000);
+        assert_eq!(p.sites(), 2);
+    }
+
+    #[test]
+    fn request_split_two_nodes() {
+        let p = SystemParams::default();
+        for n in [4u32, 8, 12, 16, 20] {
+            assert_eq!(p.split_requests(n), (n / 2, n / 2));
+        }
+        assert_eq!(p.split_requests(5), (3, 2));
+        assert!((p.remote_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commit_io_pattern() {
+        let p = BasicParams::default();
+        assert_eq!(p.commit_ios(Lro), 0);
+        assert_eq!(p.commit_ios(Lu), 1);
+        assert_eq!(p.commit_ios(Duc), 1);
+        assert_eq!(p.commit_ios(Dus), 2);
+        assert_eq!(p.commit_ios(Dros), 0);
+    }
+
+    #[test]
+    fn contention_factor_limits() {
+        assert_eq!(AccessPattern::Uniform.contention_factor(), 1.0);
+        // p = h is uniform-equivalent.
+        let f = AccessPattern::Hotspot {
+            hot_data_frac: 0.2,
+            hot_access_prob: 0.2,
+        }
+        .contention_factor();
+        assert!((f - 1.0).abs() < 1e-12);
+        // 80/20 rule: 0.64/0.2 + 0.04/0.8 = 3.25.
+        let f = AccessPattern::Hotspot {
+            hot_data_frac: 0.2,
+            hot_access_prob: 0.8,
+        }
+        .contention_factor();
+        assert!((f - 3.25).abs() < 1e-12);
+        let p = SystemParams {
+            access: AccessPattern::Hotspot {
+                hot_data_frac: 0.2,
+                hot_access_prob: 0.8,
+            },
+            ..SystemParams::default()
+        };
+        assert!((p.effective_granules() - 3000.0 / 3.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slave_has_no_init_or_user_phase_cost() {
+        let p = BasicParams::default();
+        assert_eq!(p.init_cpu(Dros), 0.0);
+        assert!(p.init_cpu(Duc) > 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Standard workload specifications (paper §2).
+
+use crate::types::{ChainType, TxType};
+
+/// The four standard two-node workloads of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StandardWorkload {
+    /// Local-only, eight users per node: 4 LRO + 4 LU.
+    Lb8,
+    /// Mixed, four users per node: 1 each of LRO, LU, DRO, DU.
+    Mb4,
+    /// Mixed, eight users per node: 2 each of LRO, LU, DRO, DU.
+    Mb8,
+    /// Local-intensive, six users per node: 2 LRO, 2 LU, 1 DRO, 1 DU.
+    Ub6,
+}
+
+impl StandardWorkload {
+    /// All four standard workloads.
+    pub const ALL: [StandardWorkload; 4] = [
+        StandardWorkload::Lb8,
+        StandardWorkload::Mb4,
+        StandardWorkload::Mb8,
+        StandardWorkload::Ub6,
+    ];
+
+    /// Paper name.
+    pub fn label(self) -> &'static str {
+        match self {
+            StandardWorkload::Lb8 => "LB8",
+            StandardWorkload::Mb4 => "MB4",
+            StandardWorkload::Mb8 => "MB8",
+            StandardWorkload::Ub6 => "UB6",
+        }
+    }
+
+    /// Instantiates the workload for `sites` nodes (the paper used 2).
+    pub fn spec(self, sites: usize) -> WorkloadSpec {
+        let per_node: Vec<(TxType, usize)> = match self {
+            StandardWorkload::Lb8 => vec![(TxType::Lro, 4), (TxType::Lu, 4)],
+            StandardWorkload::Mb4 => vec![
+                (TxType::Lro, 1),
+                (TxType::Lu, 1),
+                (TxType::Dro, 1),
+                (TxType::Du, 1),
+            ],
+            StandardWorkload::Mb8 => vec![
+                (TxType::Lro, 2),
+                (TxType::Lu, 2),
+                (TxType::Dro, 2),
+                (TxType::Du, 2),
+            ],
+            StandardWorkload::Ub6 => vec![
+                (TxType::Lro, 2),
+                (TxType::Lu, 2),
+                (TxType::Dro, 1),
+                (TxType::Du, 1),
+            ],
+        };
+        WorkloadSpec {
+            name: self.label().to_string(),
+            users: vec![per_node; sites],
+        }
+    }
+}
+
+impl std::fmt::Display for StandardWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A workload: user populations per node.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Display name.
+    pub name: String,
+    /// `users[node]` lists `(type, count)` of user (TR) processes at that
+    /// node. Each user submits transactions of its type sequentially.
+    pub users: Vec<Vec<(TxType, usize)>>,
+}
+
+impl WorkloadSpec {
+    /// Number of nodes.
+    pub fn sites(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Users of `t` at `node`.
+    pub fn user_count(&self, node: usize, t: TxType) -> usize {
+        self.users[node]
+            .iter()
+            .filter(|&&(ty, _)| ty == t)
+            .map(|&(_, c)| c)
+            .sum()
+    }
+
+    /// Total users at `node`.
+    pub fn users_at(&self, node: usize) -> usize {
+        self.users[node].iter().map(|&(_, c)| c).sum()
+    }
+
+    /// `N(t, i)` of the model (paper §4.2): chain populations at `node`,
+    /// including the slave chains induced by *other* nodes' distributed
+    /// users. With uniform request spreading, every distributed transaction
+    /// has one slave at each other site.
+    pub fn chain_populations(&self, node: usize) -> Vec<(ChainType, usize)> {
+        let mut pops: Vec<(ChainType, usize)> = Vec::new();
+        let mut add = |c: ChainType, n: usize| {
+            if n == 0 {
+                return;
+            }
+            if let Some(e) = pops.iter_mut().find(|(ty, _)| *ty == c) {
+                e.1 += n;
+            } else {
+                pops.push((c, n));
+            }
+        };
+        for (i, node_users) in self.users.iter().enumerate() {
+            for &(t, count) in node_users {
+                if i == node {
+                    add(t.coordinator_chain(), count);
+                } else if let Some(slave) = t.slave_chain() {
+                    add(slave, count);
+                }
+            }
+        }
+        pops.sort_by_key(|&(c, _)| ChainType::ALL.iter().position(|&x| x == c));
+        pops
+    }
+
+    /// Population of one chain at `node`.
+    pub fn population(&self, node: usize, chain: ChainType) -> usize {
+        self.chain_populations(node)
+            .into_iter()
+            .find(|&(c, _)| c == chain)
+            .map_or(0, |(_, n)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lb8_is_local_only() {
+        let w = StandardWorkload::Lb8.spec(2);
+        assert_eq!(w.users_at(0), 8);
+        assert_eq!(w.users_at(1), 8);
+        let pops = w.chain_populations(1);
+        assert_eq!(
+            pops,
+            vec![(ChainType::Lro, 4), (ChainType::Lu, 4)],
+            "no distributed chains in LB8"
+        );
+    }
+
+    #[test]
+    fn mb4_has_one_of_each_plus_slaves() {
+        let w = StandardWorkload::Mb4.spec(2);
+        let pops = w.chain_populations(0);
+        assert_eq!(
+            pops,
+            vec![
+                (ChainType::Lro, 1),
+                (ChainType::Lu, 1),
+                (ChainType::Droc, 1),
+                (ChainType::Duc, 1),
+                (ChainType::Dros, 1),
+                (ChainType::Dus, 1),
+            ]
+        );
+        // 4 users + 2 foreign slaves = 6 chains, but only 4 users:
+        assert_eq!(w.users_at(0), 4);
+    }
+
+    #[test]
+    fn mb8_doubles_mb4() {
+        let w = StandardWorkload::Mb8.spec(2);
+        for (c, n) in w.chain_populations(0) {
+            assert_eq!(n, 2, "{c}");
+        }
+    }
+
+    #[test]
+    fn ub6_is_local_intensive() {
+        let w = StandardWorkload::Ub6.spec(2);
+        assert_eq!(w.population(0, ChainType::Lro), 2);
+        assert_eq!(w.population(0, ChainType::Duc), 1);
+        assert_eq!(w.population(0, ChainType::Dus), 1);
+        assert_eq!(w.users_at(0), 6);
+    }
+
+    #[test]
+    fn three_site_slaves_multiply() {
+        // Generalisation beyond the paper: with 3 sites each DU user puts
+        // one slave at each of the 2 other sites.
+        let w = StandardWorkload::Mb4.spec(3);
+        assert_eq!(w.population(0, ChainType::Dus), 2);
+        assert_eq!(w.population(0, ChainType::Dros), 2);
+    }
+
+    #[test]
+    fn user_count_accessor() {
+        let w = StandardWorkload::Ub6.spec(2);
+        assert_eq!(w.user_count(0, TxType::Lro), 2);
+        assert_eq!(w.user_count(0, TxType::Du), 1);
+        assert_eq!(w.user_count(1, TxType::Dro), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for workload specifications and parameters.
+
+use carat_workload::{AccessPattern, ChainType, StandardWorkload, SystemParams, TxType, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arbitrary_spec() -> impl Strategy<Value = WorkloadSpec> {
+    proptest::collection::vec(
+        (0usize..4, 0usize..4, 0usize..4, 0usize..4),
+        2..5, // nodes
+    )
+    .prop_map(|nodes| WorkloadSpec {
+        name: "random".into(),
+        users: nodes
+            .into_iter()
+            .map(|(lro, lu, dro, du)| {
+                vec![
+                    (TxType::Lro, lro),
+                    (TxType::Lu, lu),
+                    (TxType::Dro, dro),
+                    (TxType::Du, du),
+                ]
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Chain-population bookkeeping: at every node the local chains equal
+    /// that node's users, and the slave chains equal the *other* nodes'
+    /// distributed users.
+    #[test]
+    fn chain_populations_conserve_users(spec in arbitrary_spec()) {
+        let sites = spec.sites();
+        for node in 0..sites {
+            prop_assert_eq!(
+                spec.population(node, ChainType::Lro),
+                spec.user_count(node, TxType::Lro)
+            );
+            prop_assert_eq!(
+                spec.population(node, ChainType::Droc),
+                spec.user_count(node, TxType::Dro)
+            );
+            let foreign_dro: usize = (0..sites)
+                .filter(|&j| j != node)
+                .map(|j| spec.user_count(j, TxType::Dro))
+                .sum();
+            prop_assert_eq!(spec.population(node, ChainType::Dros), foreign_dro);
+            let foreign_du: usize = (0..sites)
+                .filter(|&j| j != node)
+                .map(|j| spec.user_count(j, TxType::Du))
+                .sum();
+            prop_assert_eq!(spec.population(node, ChainType::Dus), foreign_du);
+        }
+        // Global conservation: total coordinator chains == total users.
+        let total_users: usize = (0..sites).map(|n| spec.users_at(n)).sum();
+        let total_coord: usize = (0..sites)
+            .flat_map(|n| spec.chain_populations(n))
+            .filter(|(c, _)| !c.is_slave())
+            .map(|(_, n)| n)
+            .sum();
+        prop_assert_eq!(total_coord, total_users);
+    }
+
+    /// Request splitting conserves requests and spreads remotes evenly.
+    #[test]
+    fn request_split_conserves(n in 1u32..100, extra_sites in 0usize..5) {
+        let mut p = SystemParams::default();
+        for i in 0..extra_sites {
+            p.nodes.push(carat_workload::NodeParams {
+                name: format!("X{i}"),
+                disk_io_ms: 30.0,
+            });
+        }
+        let (l, r) = p.split_requests(n);
+        prop_assert_eq!(l + r, n);
+        prop_assert!(l >= 1);
+        // Even spreading: home gets the ceiling share.
+        prop_assert_eq!(l, n.div_ceil(p.sites() as u32));
+    }
+
+    /// The hotspot contention factor is ≥ 1, continuous at the uniform
+    /// point, and increases with skew concentration.
+    #[test]
+    fn contention_factor_properties(h in 0.01f64..0.99, p_extra in 0.0f64..0.5) {
+        let p_hot = (h + p_extra * (1.0 - h)).min(0.99);
+        let f = AccessPattern::Hotspot {
+            hot_data_frac: h,
+            hot_access_prob: p_hot,
+        }
+        .contention_factor();
+        prop_assert!(f >= 1.0 - 1e-12, "factor {f} < 1");
+        // More concentrated access (same data fraction, higher access
+        // probability) never reduces contention.
+        if p_hot > h {
+            let less = AccessPattern::Hotspot {
+                hot_data_frac: h,
+                hot_access_prob: (h + p_hot) / 2.0,
+            }
+            .contention_factor();
+            prop_assert!(f >= less - 1e-12);
+        }
+    }
+}
+
+#[test]
+fn standard_workloads_match_paper_populations() {
+    // Straight from paper §2.
+    let lb8 = StandardWorkload::Lb8.spec(2);
+    assert_eq!(lb8.users_at(0), 8);
+    assert_eq!(lb8.user_count(0, TxType::Lro), 4);
+    let ub6 = StandardWorkload::Ub6.spec(2);
+    assert_eq!(ub6.users_at(1), 6);
+    assert_eq!(ub6.user_count(1, TxType::Du), 1);
+}

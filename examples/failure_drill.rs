@@ -1,0 +1,51 @@
+//! Failure drill: crash a node mid-run and watch the system recover.
+//!
+//! Node B dies at t = 150 s and again at t = 400 s. Each crash loses B's
+//! volatile state (lock table, TM/DM servers, un-forced journal tail);
+//! journal recovery restores the before-images of every in-flight
+//! transaction, everyone who had touched B aborts and restarts, and the
+//! run continues. The end-of-run commit audit proves no committed data was
+//! lost or corrupted.
+//!
+//! ```sh
+//! cargo run --release -p carat --example failure_drill
+//! ```
+
+use carat::prelude::*;
+
+fn main() {
+    let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 8, 2026);
+    cfg.warmup_ms = 0.0;
+    cfg.measure_ms = 600_000.0;
+    cfg.crashes = vec![(150_000.0, 1), (400_000.0, 1)];
+    let with_crashes = Sim::new(cfg).run();
+
+    let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 8, 2026);
+    cfg.warmup_ms = 0.0;
+    cfg.measure_ms = 600_000.0;
+    let clean = Sim::new(cfg).run();
+
+    println!("## Ten simulated minutes of MB8, with node B crashing twice\n");
+    println!(
+        "crashes injected: {}   transactions killed: {}",
+        with_crashes.crashes, with_crashes.crash_kills
+    );
+    for (c, n) in with_crashes.nodes.iter().zip(&clean.nodes) {
+        println!(
+            "node {}: {:.2} tx/s with crashes vs {:.2} clean  ({:+.0}%)",
+            c.name,
+            c.tx_per_s,
+            n.tx_per_s,
+            (c.tx_per_s - n.tx_per_s) / n.tx_per_s * 100.0
+        );
+    }
+    println!(
+        "\ncommit audit: {} records checked, {} violations",
+        with_crashes.audited_records, with_crashes.audit_violations
+    );
+    assert_eq!(with_crashes.audit_violations, 0);
+    assert!(with_crashes.nodes[1].tx_per_s > 0.0, "node B came back");
+    println!("\n→ every record holds exactly its last committed writer's value;");
+    println!("  the before-image journal (forced ahead of every in-place write)");
+    println!("  survived both crashes. Write-ahead logging works.");
+}

@@ -1,0 +1,464 @@
+//! Cross-crate integration tests: the simulator, the model, and the
+//! substrates working together on the paper's workloads.
+
+use carat::prelude::*;
+
+fn quick_sim(wl: StandardWorkload, n: u32, seed: u64) -> SimReport {
+    let mut cfg = SimConfig::new(wl.spec(2), n, seed);
+    cfg.warmup_ms = 10_000.0;
+    cfg.measure_ms = 90_000.0;
+    Sim::new(cfg).run()
+}
+
+#[test]
+fn every_standard_workload_simulates() {
+    for wl in StandardWorkload::ALL {
+        let r = quick_sim(wl, 8, 5);
+        assert_eq!(r.nodes.len(), 2, "{wl}");
+        assert!(r.total_tx_per_s() > 0.0, "{wl}: no progress");
+        for node in &r.nodes {
+            assert!(node.cpu_util > 0.0 && node.cpu_util <= 1.0, "{wl}");
+            assert!(node.disk_util > 0.0 && node.disk_util <= 1.0, "{wl}");
+            assert!(node.dio_per_s > 0.0, "{wl}");
+        }
+    }
+}
+
+#[test]
+fn every_standard_workload_solves() {
+    for wl in StandardWorkload::ALL {
+        for n in [4u32, 12, 20] {
+            let r = Model::new(ModelConfig::new(wl.spec(2), n)).solve();
+            assert!(r.converged, "{wl} n={n} did not converge");
+            assert!(r.total_tx_per_s() > 0.0, "{wl} n={n}");
+            for node in &r.nodes {
+                assert!(
+                    node.cpu_util > 0.0 && node.cpu_util < 1.0,
+                    "{wl} n={n}: cpu {:.3}",
+                    node.cpu_util
+                );
+                assert!(
+                    node.disk_util > 0.0 && node.disk_util <= 1.0 + 1e-9,
+                    "{wl} n={n}: disk {:.3}",
+                    node.disk_util
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_under_a_seed() {
+    let a = quick_sim(StandardWorkload::Mb4, 8, 99);
+    let b = quick_sim(StandardWorkload::Mb4, 8, 99);
+    assert_eq!(a.local_deadlocks, b.local_deadlocks);
+    assert_eq!(a.global_deadlocks, b.global_deadlocks);
+    assert_eq!(a.lock_requests, b.lock_requests);
+    for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(na.tx_per_s, nb.tx_per_s);
+        assert_eq!(na.cpu_util, nb.cpu_util);
+        assert_eq!(na.dio_per_s, nb.dio_per_s);
+        for (ta, tb) in na.per_type.values().zip(nb.per_type.values()) {
+            assert_eq!(ta.commits, tb.commits);
+            assert_eq!(ta.aborts, tb.aborts);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_but_similar_results() {
+    let a = quick_sim(StandardWorkload::Lb8, 8, 1);
+    let b = quick_sim(StandardWorkload::Lb8, 8, 2);
+    // Different sample paths...
+    assert_ne!(a.lock_requests, b.lock_requests);
+    // ...but statistically close throughput (same physics).
+    let (xa, xb) = (a.total_tx_per_s(), b.total_tx_per_s());
+    assert!((xa - xb).abs() / xa < 0.25, "{xa} vs {xb}");
+}
+
+#[test]
+fn distributed_workloads_commit_with_2pc_and_probes_fire_under_contention() {
+    // High contention (n = 20) on a distributed workload must exercise the
+    // global deadlock path eventually.
+    let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 20, 13);
+    cfg.warmup_ms = 0.0;
+    cfg.measure_ms = 600_000.0;
+    let r = Sim::new(cfg).run();
+    let du_commits: u64 = r
+        .nodes
+        .iter()
+        .filter_map(|nd| nd.per_type.get(&TxType::Du))
+        .map(|t| t.commits)
+        .sum();
+    assert!(du_commits > 0, "distributed updates must commit through 2PC");
+    assert!(
+        r.local_deadlocks + r.global_deadlocks > 0,
+        "n=20 must produce deadlocks"
+    );
+}
+
+#[test]
+fn lb8_has_no_distributed_machinery() {
+    let r = quick_sim(StandardWorkload::Lb8, 8, 3);
+    assert_eq!(r.global_deadlocks, 0);
+    assert_eq!(r.probe_hops, 0);
+    for node in &r.nodes {
+        assert!(!node.per_type.contains_key(&TxType::Dro));
+        assert!(!node.per_type.contains_key(&TxType::Du));
+    }
+}
+
+#[test]
+fn node_a_outperforms_node_b() {
+    // Node A's RM05 (28 ms) beats node B's RP06 (40 ms) in both views.
+    let sim = quick_sim(StandardWorkload::Mb4, 8, 77);
+    assert!(sim.nodes[0].tx_per_s > sim.nodes[1].tx_per_s);
+    let model = Model::new(ModelConfig::new(StandardWorkload::Mb4.spec(2), 8)).solve();
+    assert!(model.nodes[0].tx_per_s > model.nodes[1].tx_per_s);
+}
+
+#[test]
+fn read_types_outpace_update_types() {
+    // Updates pay 3× the I/O per granule plus the commit force.
+    let model = Model::new(ModelConfig::new(StandardWorkload::Mb4.spec(2), 8)).solve();
+    for node in &model.nodes {
+        assert!(node.per_type[&TxType::Lro].xput_per_s > node.per_type[&TxType::Lu].xput_per_s);
+        assert!(node.per_type[&TxType::Dro].xput_per_s > node.per_type[&TxType::Du].xput_per_s);
+    }
+}
+
+#[test]
+fn model_ablations_bracket_the_baseline() {
+    let wl = StandardWorkload::Mb8.spec(2);
+    let base = Model::new(ModelConfig::new(wl.clone(), 16)).solve();
+    let no_dl = Model::with_options(
+        ModelConfig::new(wl.clone(), 16),
+        ModelOptions {
+            ignore_deadlocks: true,
+            ..ModelOptions::default()
+        },
+    )
+    .solve();
+    let all_x = Model::with_options(
+        ModelConfig::new(wl, 16),
+        ModelOptions {
+            all_locks_exclusive: true,
+            ..ModelOptions::default()
+        },
+    )
+    .solve();
+    // Exclusive-only locking always predicts extra conflicts → less
+    // throughput.
+    assert!(all_x.total_tx_per_s() < base.total_tx_per_s());
+    // Ignoring deadlocks at high contention removes the abort "pressure
+    // valve": blocked transactions hold their locks indefinitely instead of
+    // being rolled back, so lock waits grow and predicted throughput DROPS —
+    // one of the integrated-model effects the paper argues cannot be
+    // captured when concurrency control and recovery are modelled
+    // separately.
+    assert!(no_dl.total_tx_per_s() < base.total_tx_per_s());
+    // At low contention the deadlock machinery is irrelevant.
+    let wl = StandardWorkload::Mb8.spec(2);
+    let base4 = Model::new(ModelConfig::new(wl.clone(), 4)).solve();
+    let no_dl4 = Model::with_options(
+        ModelConfig::new(wl, 4),
+        ModelOptions {
+            ignore_deadlocks: true,
+            ..ModelOptions::default()
+        },
+    )
+    .solve();
+    let rel = (base4.total_tx_per_s() - no_dl4.total_tx_per_s()).abs() / base4.total_tx_per_s();
+    assert!(rel < 0.02, "deadlocks barely matter at n = 4 ({rel:.4})");
+}
+
+#[test]
+fn think_time_reduces_utilization() {
+    let mut cfg = ModelConfig::new(StandardWorkload::Lb8.spec(2), 8);
+    cfg.params.think_time_ms = 10_000.0;
+    let with_think = Model::new(cfg).solve();
+    let without = Model::new(ModelConfig::new(StandardWorkload::Lb8.spec(2), 8)).solve();
+    assert!(with_think.nodes[0].disk_util < without.nodes[0].disk_util);
+    assert!(with_think.total_tx_per_s() < without.total_tx_per_s());
+}
+
+#[test]
+fn communication_delay_slows_distributed_types_only_modestly_at_lan_speeds() {
+    let mut cfg = ModelConfig::new(StandardWorkload::Mb4.spec(2), 8);
+    cfg.params.comm_delay_ms = 0.5; // LAN-ish
+    let lan = Model::new(cfg).solve();
+    let mut cfg = ModelConfig::new(StandardWorkload::Mb4.spec(2), 8);
+    cfg.params.comm_delay_ms = 50.0; // WAN
+    let wan = Model::new(cfg).solve();
+    let du_lan = lan.nodes[0].per_type[&TxType::Du].xput_per_s;
+    let du_wan = wan.nodes[0].per_type[&TxType::Du].xput_per_s;
+    assert!(du_wan < du_lan, "WAN latency must hurt DU throughput");
+    let lro_lan = lan.nodes[0].per_type[&TxType::Lro].xput_per_s;
+    let lro_wan = wan.nodes[0].per_type[&TxType::Lro].xput_per_s;
+    let du_drop = (du_lan - du_wan) / du_lan;
+    let lro_drop = (lro_lan - lro_wan).abs() / lro_lan;
+    assert!(
+        du_drop > lro_drop,
+        "latency must hit distributed types hardest (DU {du_drop:.3} vs LRO {lro_drop:.3})"
+    );
+}
+
+#[test]
+fn three_node_generalization() {
+    // The paper's architecture "generalizes to any number of nodes" (§2);
+    // so do the simulator and the model. Three nodes, mixed workload.
+    use carat::workload::NodeParams;
+    let mut params = SystemParams::default();
+    params.nodes.push(NodeParams {
+        name: "C".into(),
+        disk_io_ms: 33.0,
+    });
+
+    let workload = StandardWorkload::Mb4.spec(3);
+
+    let mut cfg = SimConfig::new(workload.clone(), 9, 5);
+    cfg.params = params.clone();
+    cfg.warmup_ms = 10_000.0;
+    cfg.measure_ms = 120_000.0;
+    let sim = Sim::new(cfg).run();
+    assert_eq!(sim.nodes.len(), 3);
+    for node in &sim.nodes {
+        assert!(node.tx_per_s > 0.0, "node {} made no progress", node.name);
+        assert!(node.per_type.contains_key(&TxType::Du));
+    }
+
+    let mut mcfg = ModelConfig::new(workload, 9);
+    mcfg.params = params;
+    let model = Model::new(mcfg).solve();
+    assert!(model.converged);
+    assert_eq!(model.nodes.len(), 3);
+    // Every node hosts two foreign DUS slaves (one per other node's DU user).
+    for node in &model.nodes {
+        let dus: Vec<_> = node
+            .per_chain
+            .iter()
+            .filter(|(c, _)| *c == carat::workload::ChainType::Dus)
+            .collect();
+        assert_eq!(dus.len(), 1);
+        assert!(node.tx_per_s > 0.0);
+    }
+    // Model and sim stay in the same ballpark off the validated 2-node path.
+    for i in 0..3 {
+        let rel = (model.nodes[i].tx_per_s - sim.nodes[i].tx_per_s).abs()
+            / sim.nodes[i].tx_per_s;
+        assert!(rel < 0.8, "node {i}: model {} vs sim {}", model.nodes[i].tx_per_s, sim.nodes[i].tx_per_s);
+    }
+}
+
+#[test]
+fn separate_log_disk_helps_update_workloads_in_both_views() {
+    let mk_sim = |separate: bool| {
+        let mut cfg = SimConfig::new(StandardWorkload::Lb8.spec(2), 8, 3);
+        cfg.warmup_ms = 10_000.0;
+        cfg.measure_ms = 120_000.0;
+        cfg.separate_log_disk = separate;
+        Sim::new(cfg).run()
+    };
+    let shared = mk_sim(false);
+    let separate = mk_sim(true);
+    assert!(separate.total_tx_per_s() > shared.total_tx_per_s());
+    assert!(separate.nodes[0].log_disk_util > 0.05);
+    assert_eq!(shared.nodes[0].log_disk_util, 0.0);
+
+    let m_shared = Model::new(ModelConfig::new(StandardWorkload::Lb8.spec(2), 8)).solve();
+    let m_sep = Model::with_options(
+        ModelConfig::new(StandardWorkload::Lb8.spec(2), 8),
+        ModelOptions {
+            separate_log_disk: true,
+            ..ModelOptions::default()
+        },
+    )
+    .solve();
+    assert!(m_sep.total_tx_per_s() > m_shared.total_tx_per_s());
+    assert!(m_sep.nodes[0].log_disk_util > 0.05);
+}
+
+#[test]
+fn probe_mode_agrees_with_instant_global_detection() {
+    use carat::sim::DeadlockMode;
+    let run = |mode: DeadlockMode| {
+        let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 16, 21);
+        cfg.warmup_ms = 10_000.0;
+        cfg.measure_ms = 400_000.0;
+        cfg.deadlock_mode = mode;
+        Sim::new(cfg).run()
+    };
+    let instant = run(DeadlockMode::InstantGlobal);
+    let probes = run(DeadlockMode::Probes);
+
+    // Both modes must make comparable progress and find comparable numbers
+    // of deadlocks (with α = 0 the probe protocol converges to the instant
+    // search; sample paths differ, so compare loosely).
+    assert!(probes.global_deadlocks > 0, "probes found no global deadlocks");
+    assert!(probes.probe_hops > probes.global_deadlocks);
+    let dl_i = (instant.local_deadlocks + instant.global_deadlocks) as f64;
+    let dl_p = (probes.local_deadlocks + probes.global_deadlocks) as f64;
+    assert!(
+        dl_p / dl_i < 3.0 && dl_i / dl_p < 3.0,
+        "deadlock totals diverge: instant {dl_i}, probes {dl_p}"
+    );
+    let rel = (probes.total_tx_per_s() - instant.total_tx_per_s()).abs()
+        / instant.total_tx_per_s();
+    assert!(rel < 0.25, "throughput diverges between detector modes: {rel:.2}");
+}
+
+#[test]
+fn probe_mode_never_wedges_under_heavy_contention() {
+    use carat::sim::DeadlockMode;
+    // Tiny database → brutal conflict rate; the probe protocol must keep
+    // resolving deadlocks and the system must keep committing.
+    let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 12, 9);
+    cfg.params.n_granules = 60;
+    cfg.warmup_ms = 0.0;
+    cfg.measure_ms = 300_000.0;
+    cfg.deadlock_mode = DeadlockMode::Probes;
+    let r = Sim::new(cfg).run();
+    assert!(r.total_tx_per_s() > 0.0, "system wedged");
+    assert!(r.local_deadlocks + r.global_deadlocks > 10);
+}
+
+#[test]
+fn commit_audit_finds_no_integrity_violations() {
+    // End-to-end integrity: after minutes of concurrent 2PL + WAL + 2PC
+    // traffic with deadlock aborts, every quiescent record holds exactly
+    // its last committed writer's value.
+    for (wl, n) in [(StandardWorkload::Mb8, 16), (StandardWorkload::Lb8, 12)] {
+        let mut cfg = SimConfig::new(wl.spec(2), n, 31);
+        cfg.warmup_ms = 0.0;
+        cfg.measure_ms = 400_000.0;
+        let r = Sim::new(cfg).run();
+        assert!(r.audited_records > 100, "{wl}: audit covered too little");
+        assert_eq!(
+            r.audit_violations, 0,
+            "{wl}: {} of {} audited records corrupted",
+            r.audit_violations, r.audited_records
+        );
+    }
+}
+
+#[test]
+fn hotspot_skew_raises_contention_in_both_views() {
+    use carat::workload::AccessPattern;
+    let skew = AccessPattern::Hotspot {
+        hot_data_frac: 0.1,
+        hot_access_prob: 0.9,
+    };
+    let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 12, 5);
+    cfg.warmup_ms = 10_000.0;
+    cfg.measure_ms = 200_000.0;
+    cfg.params.access = skew;
+    let hot = Sim::new(cfg).run();
+    let uniform = quick_sim(StandardWorkload::Mb8, 12, 5);
+    assert!(hot.blocking_probability() > uniform.blocking_probability() * 1.5);
+
+    let mut mcfg = ModelConfig::new(StandardWorkload::Mb8.spec(2), 12);
+    mcfg.params.access = skew;
+    let hot_m = Model::new(mcfg).solve();
+    let uni_m = Model::new(ModelConfig::new(StandardWorkload::Mb8.spec(2), 12)).solve();
+    assert!(hot_m.total_tx_per_s() < uni_m.total_tx_per_s());
+    assert!(
+        hot_m.nodes[0].per_type[&TxType::Lu].pb > uni_m.nodes[0].per_type[&TxType::Lu].pb * 1.5
+    );
+}
+
+#[test]
+fn timestamp_ordering_never_deadlocks_and_preserves_integrity() {
+    use carat::sim::CcProtocol;
+    for cc in [
+        CcProtocol::TimestampOrdering,
+        CcProtocol::TimestampOrderingThomas,
+    ] {
+        let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 16, 17);
+        cfg.warmup_ms = 10_000.0;
+        cfg.measure_ms = 300_000.0;
+        cfg.cc = cc;
+        let r = Sim::new(cfg).run();
+        assert_eq!(r.local_deadlocks + r.global_deadlocks, 0, "{cc:?}");
+        assert!(r.cc_rejections > 0, "{cc:?}: contention must cause rejections");
+        assert_eq!(r.audit_violations, 0, "{cc:?}");
+        assert!(r.total_tx_per_s() > 0.0, "{cc:?}");
+        // Restarts show up as aborts in the per-type stats.
+        let aborts: u64 = r
+            .nodes
+            .iter()
+            .flat_map(|nd| nd.per_type.values())
+            .map(|t| t.aborts)
+            .sum();
+        assert_eq!(aborts, r.cc_rejections, "{cc:?}: every rejection restarts");
+    }
+}
+
+#[test]
+fn node_crash_recovery_preserves_integrity_and_liveness() {
+    // Crash node B twice mid-run: all volatile state at B is lost, journal
+    // recovery undoes in-flight transactions, everyone who touched B
+    // aborts and restarts — and the system keeps committing with zero
+    // integrity violations.
+    let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 8, 23);
+    cfg.warmup_ms = 0.0;
+    cfg.measure_ms = 600_000.0;
+    cfg.crashes = vec![(150_000.0, 1), (350_000.0, 1)];
+    let r = Sim::new(cfg).run();
+    assert_eq!(r.crashes, 2);
+    assert!(r.crash_kills > 0, "crashes must hit in-flight transactions");
+    assert_eq!(r.audit_violations, 0, "crash recovery corrupted data");
+    assert!(r.total_tx_per_s() > 0.0);
+    // Node B itself keeps committing after its crashes.
+    assert!(r.nodes[1].tx_per_s > 0.0);
+    // Distributed transactions (which always touch B) keep committing too.
+    let du: u64 = r
+        .nodes
+        .iter()
+        .filter_map(|nd| nd.per_type.get(&TxType::Du))
+        .map(|t| t.commits)
+        .sum();
+    assert!(du > 0, "distributed updates survived the crashes");
+}
+
+#[test]
+fn crash_determinism_and_comparability() {
+    let run = |crashes: Vec<(f64, usize)>| {
+        let mut cfg = SimConfig::new(StandardWorkload::Lb8.spec(2), 8, 41);
+        cfg.warmup_ms = 0.0;
+        cfg.measure_ms = 300_000.0;
+        cfg.crashes = crashes;
+        Sim::new(cfg).run()
+    };
+    // Deterministic under a seed.
+    let a = run(vec![(100_000.0, 0)]);
+    let b = run(vec![(100_000.0, 0)]);
+    assert_eq!(a.crash_kills, b.crash_kills);
+    assert_eq!(a.nodes[0].tx_per_s, b.nodes[0].tx_per_s);
+    // A crash costs throughput relative to the undisturbed run.
+    let clean = run(vec![]);
+    assert!(a.nodes[0].tx_per_s < clean.nodes[0].tx_per_s);
+    assert_eq!(a.audit_violations, 0);
+}
+
+#[test]
+fn youngest_victim_policy_resolves_deadlocks_too() {
+    use carat::sim::VictimPolicy;
+    let run = |victim: VictimPolicy| {
+        let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 16, 29);
+        cfg.warmup_ms = 10_000.0;
+        cfg.measure_ms = 400_000.0;
+        cfg.victim = victim;
+        Sim::new(cfg).run()
+    };
+    let requester = run(VictimPolicy::Requester);
+    let youngest = run(VictimPolicy::Youngest);
+    for r in [&requester, &youngest] {
+        assert!(r.local_deadlocks + r.global_deadlocks > 10);
+        assert_eq!(r.audit_violations, 0);
+        assert!(r.total_tx_per_s() > 0.0);
+    }
+    // Different victims, same physics: throughputs in the same band.
+    let rel = (youngest.total_tx_per_s() - requester.total_tx_per_s()).abs()
+        / requester.total_tx_per_s();
+    assert!(rel < 0.3, "victim policy changed throughput by {rel:.2}");
+}

@@ -1,0 +1,196 @@
+//! The validation tests: the analytical model must reproduce the simulated
+//! testbed's behaviour — in absolute terms within a generous band, and in
+//! *shape* exactly (who wins, where throughput peaks, how deadlocks grow).
+//!
+//! These mirror the paper's §6 validation; the full sweeps live in the
+//! `exp_*` binaries of `carat-bench`, which use longer measurement windows.
+
+use carat::prelude::*;
+
+fn sim(wl: StandardWorkload, n: u32) -> SimReport {
+    let mut cfg = SimConfig::new(wl.spec(2), n, 7);
+    cfg.warmup_ms = 20_000.0;
+    cfg.measure_ms = 300_000.0;
+    Sim::new(cfg).run()
+}
+
+fn model(wl: StandardWorkload, n: u32) -> carat::model::ModelReport {
+    Model::new(ModelConfig::new(wl.spec(2), n)).solve()
+}
+
+/// Relative deviation |model − sim| / sim.
+fn rel(m: f64, s: f64) -> f64 {
+    (m - s).abs() / s.max(1e-12)
+}
+
+#[test]
+fn lb8_throughput_tracks_the_simulator() {
+    for n in [4u32, 8, 16] {
+        let s = sim(StandardWorkload::Lb8, n);
+        let m = model(StandardWorkload::Lb8, n);
+        for i in 0..2 {
+            let d = rel(m.nodes[i].tx_per_s, s.nodes[i].tx_per_s);
+            assert!(
+                d < 0.35,
+                "LB8 n={n} node {i}: model {:.3} vs sim {:.3} ({:.0}% off)",
+                m.nodes[i].tx_per_s,
+                s.nodes[i].tx_per_s,
+                d * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn mb4_throughput_tracks_the_simulator() {
+    for n in [4u32, 12] {
+        let s = sim(StandardWorkload::Mb4, n);
+        let m = model(StandardWorkload::Mb4, n);
+        for i in 0..2 {
+            let d = rel(m.nodes[i].tx_per_s, s.nodes[i].tx_per_s);
+            assert!(
+                d < 0.5,
+                "MB4 n={n} node {i}: model {:.3} vs sim {:.3}",
+                m.nodes[i].tx_per_s,
+                s.nodes[i].tx_per_s
+            );
+        }
+    }
+}
+
+#[test]
+fn utilization_and_dio_track_the_simulator_at_low_contention() {
+    // At n = 4 contention is negligible: the queueing part of the model
+    // must match tightly (the paper's model is *most* stressed here by TM
+    // serialisation; ours models the same force-write path in both views).
+    let s = sim(StandardWorkload::Lb8, 4);
+    let m = model(StandardWorkload::Lb8, 4);
+    for i in 0..2 {
+        assert!(
+            rel(m.nodes[i].cpu_util, s.nodes[i].cpu_util) < 0.2,
+            "CPU node {i}: {:.3} vs {:.3}",
+            m.nodes[i].cpu_util,
+            s.nodes[i].cpu_util
+        );
+        assert!(
+            rel(m.nodes[i].dio_per_s, s.nodes[i].dio_per_s) < 0.2,
+            "DIO node {i}: {:.1} vs {:.1}",
+            m.nodes[i].dio_per_s,
+            s.nodes[i].dio_per_s
+        );
+    }
+}
+
+#[test]
+fn record_throughput_declines_past_the_peak_in_both_views() {
+    // The paper's headline shape: normalized record throughput decreases
+    // beyond n ≈ 8 because deadlock aborts grow rapidly with n.
+    let wl = StandardWorkload::Mb8;
+    let (s8, s20) = (sim(wl, 8), sim(wl, 20));
+    let (m8, m20) = (model(wl, 8), model(wl, 20));
+    for i in 0..2 {
+        assert!(
+            s20.nodes[i].records_per_s < s8.nodes[i].records_per_s,
+            "sim node {i}"
+        );
+        assert!(
+            m20.nodes[i].records_per_s < m8.nodes[i].records_per_s,
+            "model node {i}"
+        );
+    }
+}
+
+#[test]
+fn abort_rates_grow_with_n_in_both_views() {
+    let wl = StandardWorkload::Mb8;
+    let s8 = sim(wl, 8);
+    let s20 = sim(wl, 20);
+    let abort_ratio = |r: &SimReport| {
+        let (c, a) = r
+            .nodes
+            .iter()
+            .flat_map(|nd| nd.per_type.values())
+            .fold((0u64, 0u64), |(c, a), t| (c + t.commits, a + t.aborts));
+        a as f64 / c.max(1) as f64
+    };
+    assert!(abort_ratio(&s20) > abort_ratio(&s8) * 2.0);
+
+    let m8 = model(wl, 8);
+    let m20 = model(wl, 20);
+    let pa = |r: &carat::model::ModelReport| r.nodes[0].per_type[&TxType::Lu].p_a;
+    assert!(pa(&m20) > pa(&m8) * 1.5, "{} vs {}", pa(&m20), pa(&m8));
+}
+
+#[test]
+fn blocking_probability_same_order_of_magnitude() {
+    let wl = StandardWorkload::Mb8;
+    for n in [8u32, 16] {
+        let s = sim(wl, n);
+        let m = model(wl, n);
+        // Model Pb is per-chain; compare the LU chain against the sim's
+        // aggregate (reads rarely block, updates dominate conflicts).
+        let pb_model = m.nodes[0].per_type[&TxType::Lu].pb;
+        let pb_sim = s.blocking_probability();
+        assert!(
+            pb_model / pb_sim < 5.0 && pb_sim / pb_model < 5.0,
+            "n={n}: model Pb {pb_model:.4} vs sim {pb_sim:.4}"
+        );
+    }
+}
+
+#[test]
+fn per_type_ordering_matches_table5() {
+    // Table 5's qualitative content: reads beat updates everywhere, and at
+    // the fast node local reads beat distributed reads. (At node B the
+    // paper itself shows DRO ≥ LRO — e.g. 0.14 vs 0.13 at n = 8 — because a
+    // distributed read homed at the slow node offloads half its I/O to the
+    // fast node.)
+    let m = model(StandardWorkload::Mb4, 8);
+    let s = sim(StandardWorkload::Mb4, 8);
+    let a = &m.nodes[0].per_type;
+    assert!(a[&TxType::Lro].xput_per_s >= a[&TxType::Dro].xput_per_s);
+    for nodes in [&m.nodes[0].per_type, &m.nodes[1].per_type] {
+        assert!(nodes[&TxType::Lro].xput_per_s >= nodes[&TxType::Lu].xput_per_s);
+        assert!(nodes[&TxType::Dro].xput_per_s >= nodes[&TxType::Du].xput_per_s);
+    }
+    for nd in &s.nodes {
+        assert!(nd.per_type[&TxType::Lro].xput_per_s >= nd.per_type[&TxType::Du].xput_per_s);
+    }
+}
+
+#[test]
+fn lock_wait_times_match_the_models_r_lw_scale() {
+    // The sim now measures actual LW-phase residence; the model predicts
+    // R_LW (Eq. 20). They must live on the same scale.
+    let s = sim(StandardWorkload::Mb8, 12);
+    let m = model(StandardWorkload::Mb8, 12);
+    assert!(s.lock_waits_completed > 10, "need enough conflicts to compare");
+    let r_lw_model = m.nodes[0].per_type[&TxType::Lu].r_lw_ms;
+    let r_lw_sim = s.mean_lock_wait_ms;
+    assert!(
+        r_lw_model / r_lw_sim < 6.0 && r_lw_sim / r_lw_model < 6.0,
+        "model R_LW {r_lw_model:.0} ms vs sim {r_lw_sim:.0} ms"
+    );
+}
+
+#[test]
+fn blocking_ratio_in_the_papers_measured_range() {
+    // Paper §5.4.4: measured BR (mean blocking time over the blocker's
+    // execution time) ranged 0.23–0.41, matching BR ≈ 1/3. Compare the
+    // simulator's mean lock wait against its mean successful response.
+    let s = sim(StandardWorkload::Lb8, 12);
+    assert!(s.lock_waits_completed > 10);
+    let (mut resp_sum, mut commits) = (0.0, 0u64);
+    for nd in &s.nodes {
+        for t in nd.per_type.values() {
+            resp_sum += t.mean_response_ms * t.commits as f64;
+            commits += t.commits;
+        }
+    }
+    let mean_resp = resp_sum / commits as f64;
+    let br = s.mean_lock_wait_ms / mean_resp;
+    assert!(
+        (0.05..=0.75).contains(&br),
+        "BR-like ratio {br:.2} far outside the paper's 0.23–0.41 band"
+    );
+}

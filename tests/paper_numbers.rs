@@ -1,0 +1,160 @@
+//! Cross-checks against the numbers printed in the paper itself.
+//!
+//! Absolute agreement with a 1987 VAX testbed is not the goal (DESIGN.md
+//! §2) — but our model and simulated measurements must stay within a
+//! modest factor of the published Tables 3–5 and reproduce their trends
+//! point by point. These constants are typed in directly from the paper.
+
+use carat::prelude::*;
+
+/// Paper Table 3 (MB8): (n, node, measured TR-XPUT, model TR-XPUT).
+const PAPER_TABLE3: &[(u32, usize, f64, f64)] = &[
+    (4, 0, 0.94, 1.11),
+    (4, 1, 0.72, 0.79),
+    (8, 0, 0.45, 0.54),
+    (8, 1, 0.39, 0.41),
+    (12, 0, 0.23, 0.27),
+    (12, 1, 0.21, 0.23),
+    (16, 0, 0.15, 0.14),
+    (16, 1, 0.12, 0.13),
+    (20, 0, 0.09, 0.09),
+    (20, 1, 0.08, 0.08),
+];
+
+/// Paper Table 4 (UB6): (n, node, measured TR-XPUT, model TR-XPUT).
+const PAPER_TABLE4: &[(u32, usize, f64, f64)] = &[
+    (4, 0, 0.99, 1.13),
+    (4, 1, 0.70, 0.81),
+    (8, 0, 0.53, 0.56),
+    (8, 1, 0.39, 0.42),
+    (12, 0, 0.27, 0.32),
+    (12, 1, 0.21, 0.24),
+    (16, 0, 0.15, 0.17),
+    (16, 1, 0.14, 0.14),
+    (20, 0, 0.10, 0.10),
+    (20, 1, 0.08, 0.08),
+];
+
+/// Paper Table 5 (MB4, model column, node A): (n, type, xput).
+const PAPER_TABLE5_MODEL_A: &[(u32, TxType, f64)] = &[
+    (4, TxType::Lro, 0.46),
+    (4, TxType::Lu, 0.21),
+    (4, TxType::Dro, 0.25),
+    (4, TxType::Du, 0.11),
+    (8, TxType::Lro, 0.22),
+    (8, TxType::Lu, 0.11),
+    (8, TxType::Dro, 0.14),
+    (8, TxType::Du, 0.06),
+    (12, TxType::Lro, 0.12),
+    (12, TxType::Lu, 0.06),
+    (12, TxType::Dro, 0.09),
+    (12, TxType::Du, 0.04),
+    (20, TxType::Lro, 0.04),
+    (20, TxType::Lu, 0.01),
+    (20, TxType::Dro, 0.04),
+    (20, TxType::Du, 0.02),
+];
+
+fn our_model(wl: StandardWorkload, n: u32) -> carat::model::ModelReport {
+    Model::new(ModelConfig::new(wl.spec(2), n)).solve()
+}
+
+/// Within a multiplicative band (handles small numbers gracefully).
+fn within_factor(ours: f64, paper: f64, factor: f64) -> bool {
+    ours <= paper * factor + 0.02 && paper <= ours * factor + 0.02
+}
+
+#[test]
+fn table3_model_column_within_band_of_papers() {
+    for &(n, node, _meas, paper_model) in PAPER_TABLE3 {
+        let m = our_model(StandardWorkload::Mb8, n);
+        let ours = m.nodes[node].tx_per_s;
+        assert!(
+            within_factor(ours, paper_model, 1.7),
+            "MB8 n={n} node {node}: our model {ours:.2} vs paper's model {paper_model:.2}"
+        );
+    }
+}
+
+#[test]
+fn table4_model_column_within_band_of_papers() {
+    for &(n, node, _meas, paper_model) in PAPER_TABLE4 {
+        let m = our_model(StandardWorkload::Ub6, n);
+        let ours = m.nodes[node].tx_per_s;
+        assert!(
+            within_factor(ours, paper_model, 1.7),
+            "UB6 n={n} node {node}: our model {ours:.2} vs paper's model {paper_model:.2}"
+        );
+    }
+}
+
+#[test]
+fn table3_trend_matches_point_by_point() {
+    // The published series declines strictly with n at both nodes; ours
+    // must too, with comparable decay (n=4 → n=20 drops by ~12×).
+    for node in 0..2 {
+        let series: Vec<f64> = [4u32, 8, 12, 16, 20]
+            .iter()
+            .map(|&n| our_model(StandardWorkload::Mb8, n).nodes[node].tx_per_s)
+            .collect();
+        for w in series.windows(2) {
+            assert!(w[1] < w[0], "node {node}: series not declining: {series:?}");
+        }
+        let decay = series[0] / series[4];
+        assert!(
+            (4.0..=40.0).contains(&decay),
+            "node {node}: decay {decay:.1} vs paper's ≈ 10–12×"
+        );
+    }
+}
+
+#[test]
+fn table5_per_type_model_within_band_of_papers() {
+    for &(n, ty, paper) in PAPER_TABLE5_MODEL_A {
+        let m = our_model(StandardWorkload::Mb4, n);
+        let ours = m.nodes[0].per_type[&ty].xput_per_s;
+        assert!(
+            within_factor(ours, paper, 2.0),
+            "MB4 n={n} {ty}: ours {ours:.3} vs paper {paper:.3}"
+        );
+    }
+}
+
+#[test]
+fn measured_column_simulated_testbed_within_band_of_papers() {
+    // Our "measurement" is a simulator, not their VAXes; still, with the
+    // same Table 2 costs it should land within ~1.7× of the published
+    // measured throughputs at every point.
+    for &(n, node, paper_meas, _model) in PAPER_TABLE3 {
+        let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), n, 7);
+        cfg.warmup_ms = 30_000.0;
+        cfg.measure_ms = 300_000.0;
+        let sim = Sim::new(cfg).run();
+        let ours = sim.nodes[node].tx_per_s;
+        assert!(
+            within_factor(ours, paper_meas, 1.7),
+            "MB8 n={n} node {node}: our sim {ours:.2} vs paper measured {paper_meas:.2}"
+        );
+    }
+}
+
+#[test]
+fn model_optimism_sign_matches_paper_at_small_n() {
+    // Paper §6: "the modeled disk I/O rates, and thus, the transaction
+    // throughputs, are higher in the model than in the real system"
+    // at small n. Check our model sits above our simulated measurement at
+    // n = 4 (and the paper's model sits above its measurement too).
+    let m = our_model(StandardWorkload::Mb8, 4);
+    let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 4, 7);
+    cfg.warmup_ms = 30_000.0;
+    cfg.measure_ms = 300_000.0;
+    let s = Sim::new(cfg).run();
+    assert!(
+        m.nodes[0].tx_per_s >= s.nodes[0].tx_per_s * 0.98,
+        "model {:.2} should not sit below measurement {:.2} at n=4",
+        m.nodes[0].tx_per_s,
+        s.nodes[0].tx_per_s
+    );
+    // And in the paper itself: model 1.11 ≥ measured 0.94 at node A,
+    // 0.79 ≥ 0.72 at node B (Table 3, n = 4).
+}

@@ -1,0 +1,158 @@
+//! Recovery integration tests: the before-image journal must make
+//! arbitrary interleavings of commit, rollback, and crash safe — and the
+//! property must hold under randomly generated schedules.
+
+use carat::storage::{Database, RecordId};
+use proptest::prelude::*;
+
+fn rid(block: u32, slot: u8) -> RecordId {
+    RecordId { block, slot }
+}
+
+#[test]
+fn interleaved_winners_and_losers() {
+    let mut db = Database::new(64);
+    db.load_default();
+    let before: Vec<Vec<u8>> = (0..10).map(|b| db.read_committed(rid(b, 0))).collect();
+
+    // Three transactions interleaved: 1 commits, 2 rolls back, 3 crashes.
+    db.begin(1).unwrap();
+    db.begin(2).unwrap();
+    db.begin(3).unwrap();
+    db.update_record(1, rid(0, 0), b"one").unwrap();
+    db.update_record(2, rid(1, 0), b"two").unwrap();
+    db.update_record(3, rid(2, 0), b"three").unwrap();
+    db.update_record(1, rid(3, 0), b"one-again").unwrap();
+    db.rollback(2).unwrap();
+    db.commit(1).unwrap();
+    db.update_record(3, rid(4, 0), b"three-again").unwrap();
+    db.prepare(3).unwrap();
+
+    let undone = db.crash_and_recover();
+    assert_eq!(undone, vec![3]);
+
+    assert_eq!(&db.read_committed(rid(0, 0))[..3], b"one");
+    assert_eq!(&db.read_committed(rid(3, 0))[..9], b"one-again");
+    assert_eq!(db.read_committed(rid(1, 0)), before[1], "rolled back");
+    assert_eq!(db.read_committed(rid(2, 0)), before[2], "crash-undone");
+    assert_eq!(db.read_committed(rid(4, 0)), before[4], "crash-undone");
+}
+
+#[test]
+fn crash_right_after_update_is_always_undoable() {
+    // The write-ahead rule: `update_record` forces the before-image before
+    // the in-place write, so even a crash immediately afterwards (no
+    // prepare, no commit) can undo the scribble. (An earlier version
+    // buffered the image; crash-injection testing in the full simulator
+    // caught the resulting un-undoable page and the force was added.)
+    let mut db = Database::new(16);
+    db.load_default();
+    let orig = db.read_committed(rid(5, 5));
+    db.begin(9).unwrap();
+    db.update_record(9, rid(5, 5), b"volatile").unwrap();
+    let undone = db.crash_and_recover();
+    assert_eq!(undone, vec![9]);
+    assert_eq!(db.read_committed(rid(5, 5)), orig);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random schedules of begin/update/commit/rollback + crash: after
+    /// recovery, every committed transaction's last write is visible and
+    /// every other transaction's effects are gone.
+    #[test]
+    fn recovery_preserves_exactly_the_committed_transactions(
+        ops in proptest::collection::vec((0u64..6, 0u32..24, 0u8..4), 5..60)
+    ) {
+        let mut db = Database::new(24);
+        db.load_default();
+
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        enum TxState { NotStarted, Active, Committed, Aborted }
+        let mut state = [TxState::NotStarted; 6];
+        // expected[block][slot] = bytes after recovery
+        let mut committed_view: std::collections::HashMap<(u32, u8), Vec<u8>> =
+            Default::default();
+        type PendingWrites = std::collections::HashMap<u64, Vec<((u32, u8), Vec<u8>)>>;
+        let mut pending: PendingWrites = Default::default();
+        // Blocks written by an active tx cannot be touched by another
+        // (strict 2PL would forbid it, and recovery's reverse-order undo
+        // assumes it); track ownership.
+        let mut owner: std::collections::HashMap<u32, u64> = Default::default();
+
+        for (tx, block, action) in ops {
+            match state[tx as usize] {
+                TxState::NotStarted => {
+                    db.begin(tx).unwrap();
+                    state[tx as usize] = TxState::Active;
+                }
+                TxState::Active => {}
+                _ => continue, // finished transactions stay finished
+            }
+            match action {
+                0..=1 => {
+                    // update a record in an unowned-or-own block
+                    if *owner.get(&block).unwrap_or(&tx) != tx {
+                        continue;
+                    }
+                    owner.insert(block, tx);
+                    let slot = (block % 6) as u8;
+                    let val = format!("t{tx}b{block}");
+                    db.update_record(tx, rid(block, slot), val.as_bytes()).unwrap();
+                    pending.entry(tx).or_default().push(((block, slot), val.into_bytes()));
+                }
+                2 => {
+                    db.commit(tx).unwrap();
+                    state[tx as usize] = TxState::Committed;
+                    for (k, v) in pending.remove(&tx).unwrap_or_default() {
+                        committed_view.insert(k, v);
+                    }
+                    owner.retain(|_, &mut o| o != tx);
+                }
+                _ => {
+                    db.rollback(tx).unwrap();
+                    state[tx as usize] = TxState::Aborted;
+                    pending.remove(&tx);
+                    owner.retain(|_, &mut o| o != tx);
+                }
+            }
+        }
+        // Force everything still active (so recovery can see the frames),
+        // then crash.
+        for tx in 0..6u64 {
+            if state[tx as usize] == TxState::Active {
+                db.prepare(tx).unwrap();
+            }
+        }
+        let undone = db.crash_and_recover();
+        for tx in &undone {
+            prop_assert_eq!(state[*tx as usize], TxState::Active);
+        }
+
+        // Committed writes visible.
+        for ((block, slot), val) in &committed_view {
+            let got = db.read_committed(rid(*block, *slot));
+            prop_assert_eq!(&got[..val.len()], &val[..],
+                "committed write lost at block {} slot {}", block, slot);
+        }
+        // Active (crashed) transactions' writes gone: their blocks read as
+        // either the default content or the last committed value.
+        for (tx, writes) in &pending {
+            if state[*tx as usize] != TxState::Active {
+                continue;
+            }
+            for ((block, slot), val) in writes {
+                if committed_view.contains_key(&(*block, *slot)) {
+                    continue; // overwritten legitimately (same tx committed later — impossible; skip)
+                }
+                let got = db.read_committed(rid(*block, *slot));
+                prop_assert_ne!(&got[..val.len()], &val[..],
+                    "crashed tx {}'s write survived at block {}", tx, block);
+            }
+        }
+        // Recovery is idempotent.
+        let again = db.crash_and_recover();
+        prop_assert!(again.is_empty());
+    }
+}
