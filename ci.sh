@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Local CI: the same gate .github/workflows/ci.yml runs, for offline use.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check" && cargo fmt --all -- --check
+echo "== cargo clippy -D warnings" && cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo build --release" && cargo build --release
+echo "== cargo test -q" && cargo test -q
+echo "== CI green"

@@ -23,7 +23,7 @@ fn sim_point(wl: StandardWorkload, n: u32) -> f64 {
     let mut cfg = SimConfig::new(wl.spec(2), n, 7);
     cfg.warmup_ms = 2_000.0;
     cfg.measure_ms = 20_000.0;
-    Sim::new(cfg).run().total_tx_per_s()
+    Sim::new(cfg).expect("valid config").run().total_tx_per_s()
 }
 
 fn bench_workload(c: &mut Criterion, group_name: &str, wl: StandardWorkload) {

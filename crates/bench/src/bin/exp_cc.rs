@@ -17,7 +17,7 @@ fn run(cc: CcProtocol, n: u32, ms: f64) -> carat::sim::SimReport {
     cfg.warmup_ms = 60_000.0;
     cfg.measure_ms = ms;
     cfg.cc = cc;
-    Sim::new(cfg).run()
+    Sim::new(cfg).expect("valid config").run()
 }
 
 fn main() {
@@ -36,7 +36,11 @@ fn main() {
         assert_eq!(lk.audit_violations, 0);
         assert_eq!(to.audit_violations, 0);
         assert_eq!(th.audit_violations, 0);
-        assert_eq!(to.local_deadlocks + to.global_deadlocks, 0, "BTO cannot deadlock");
+        assert_eq!(
+            to.local_deadlocks + to.global_deadlocks,
+            0,
+            "BTO cannot deadlock"
+        );
         let verdict = if lk.total_tx_per_s() >= to.total_tx_per_s() {
             "2PL"
         } else {

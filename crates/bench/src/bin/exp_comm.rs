@@ -37,7 +37,7 @@ fn main() {
         cfg.warmup_ms = 30_000.0;
         cfg.measure_ms = ms;
         cfg.params.comm_delay_ms = alpha;
-        let sim = Sim::new(cfg).run();
+        let sim = Sim::new(cfg).expect("valid config").run();
 
         let mut mcfg = ModelConfig::new(wl.spec(2), n);
         mcfg.params.comm_delay_ms = alpha;

@@ -57,7 +57,7 @@ fn main() {
         cfg.warmup_ms = 60_000.0;
         cfg.measure_ms = ms;
         cfg.params.access = access;
-        let sim = Sim::new(cfg).run();
+        let sim = Sim::new(cfg).expect("valid config").run();
 
         let mut mcfg = ModelConfig::new(wl.spec(2), n);
         mcfg.params.access = access;

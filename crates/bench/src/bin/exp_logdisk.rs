@@ -27,7 +27,7 @@ fn main() {
             cfg.warmup_ms = 60_000.0;
             cfg.measure_ms = ms;
             cfg.separate_log_disk = separate;
-            Sim::new(cfg).run().total_tx_per_s()
+            Sim::new(cfg).expect("valid config").run().total_tx_per_s()
         };
         let run_model = |separate: bool| {
             Model::with_options(

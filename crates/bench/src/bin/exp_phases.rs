@@ -23,7 +23,7 @@ fn main() {
     let mut cfg = SimConfig::new(wl.spec(2), n, 7);
     cfg.warmup_ms = 60_000.0;
     cfg.measure_ms = ms;
-    let sim = Sim::new(cfg).run();
+    let sim = Sim::new(cfg).expect("valid config").run();
     let model = Model::new(ModelConfig::new(wl.spec(2), n)).solve();
 
     println!("## Measured phase residence (MB4, n = {n}, ms per committed transaction)");
@@ -34,8 +34,7 @@ fn main() {
                 "\nnode {} {ty} (mean response {:.0} ms; phases sum to {:.0} ms):",
                 node.name, t.mean_response_ms, total
             );
-            let mut entries: Vec<(&str, f64)> =
-                t.phase_ms.iter().map(|(k, v)| (*k, *v)).collect();
+            let mut entries: Vec<(&str, f64)> = t.phase_ms.iter().map(|(k, v)| (*k, *v)).collect();
             entries.sort_by(|a, b| b.1.total_cmp(&a.1));
             for (label, ms) in entries {
                 if ms < 0.5 {
@@ -59,7 +58,10 @@ fn main() {
     for ty in [TxType::Lro, TxType::Lu, TxType::Dro, TxType::Du] {
         let m = &model.nodes[0].per_type[&ty];
         let s = &sim.nodes[0].per_type[&ty];
-        println!("\n{ty}: model response {:.0} ms, measured {:.0} ms", m.response_ms, s.mean_response_ms);
+        println!(
+            "\n{ty}: model response {:.0} ms, measured {:.0} ms",
+            m.response_ms, s.mean_response_ms
+        );
         println!("    {:8} {:>10} {:>10}", "phase", "model", "measured");
         for ph in Phase::ALL {
             let mv = m.phase_ms.get(ph.label()).copied().unwrap_or(0.0);

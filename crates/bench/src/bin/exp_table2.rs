@@ -11,7 +11,12 @@ fn main() {
     println!("| Node | t   | R_U | R_TM | R_DM | R_LR | R_DMIO^cpu | R_DMIO^disk |");
     println!("|------|-----|-----|------|------|------|------------|-------------|");
     for (i, node) in p.nodes.iter().enumerate() {
-        for t in [ChainType::Lro, ChainType::Lu, ChainType::Droc, ChainType::Duc] {
+        for t in [
+            ChainType::Lro,
+            ChainType::Lu,
+            ChainType::Droc,
+            ChainType::Duc,
+        ] {
             let label = match t {
                 ChainType::Lro => "LRO",
                 ChainType::Lu => "LU",

@@ -23,7 +23,7 @@ fn main() {
             cfg.warmup_ms = 60_000.0;
             cfg.measure_ms = ms;
             cfg.victim = victim;
-            Sim::new(cfg).run()
+            Sim::new(cfg).expect("valid config").run()
         };
         let req = run(VictimPolicy::Requester);
         let yng = run(VictimPolicy::Youngest);

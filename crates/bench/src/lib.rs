@@ -75,7 +75,7 @@ pub fn run_sim(wl: StandardWorkload, n: u32, seed: u64, measure_ms: f64) -> SimR
     let mut cfg = SimConfig::new(wl.spec(2), n, seed);
     cfg.warmup_ms = 120_000.0;
     cfg.measure_ms = measure_ms;
-    Sim::new(cfg).run()
+    Sim::new(cfg).expect("valid config").run()
 }
 
 /// Runs the analytical model once.
@@ -260,11 +260,11 @@ mod tests {
         let mut cfg = SimConfig::new(StandardWorkload::Mb4.spec(2), 4, 3);
         cfg.warmup_ms = 5_000.0;
         cfg.measure_ms = 30_000.0;
-        let rep = Sim::new(cfg).run();
+        let rep = Sim::new(cfg).expect("valid config").run();
         assert_eq!(rep.nodes.len(), 2);
         let model = run_model(StandardWorkload::Mb4, 4);
         assert_eq!(model.nodes.len(), 2);
-        assert!(model.converged);
+        assert!(model.convergence.converged);
     }
 
     #[test]

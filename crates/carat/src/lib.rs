@@ -35,7 +35,7 @@
 //! let mut cfg = SimConfig::new(workload, 8, 42);
 //! cfg.warmup_ms = 20_000.0;
 //! cfg.measure_ms = 120_000.0;
-//! let measured = Sim::new(cfg).run();
+//! let measured = Sim::new(cfg).expect("valid config").run();
 //!
 //! let rel = (predicted.nodes[0].tx_per_s - measured.nodes[0].tx_per_s).abs()
 //!     / measured.nodes[0].tx_per_s;

@@ -45,6 +45,8 @@ pub struct RunSpec {
     pub crashes: Vec<(f64, usize)>,
     /// Deadlock victim policy (simulator, 2PL only).
     pub victim: carat::sim::VictimPolicy,
+    /// Fault-injection plan (simulator only).
+    pub fault: carat::sim::FaultPlan,
 }
 
 impl Default for RunSpec {
@@ -63,6 +65,7 @@ impl Default for RunSpec {
             cc: carat::sim::CcProtocol::TwoPhaseLocking,
             crashes: Vec::new(),
             victim: carat::sim::VictimPolicy::Requester,
+            fault: carat::sim::FaultPlan::default(),
         }
     }
 }
@@ -106,6 +109,13 @@ FLAGS:
     --cc <2pl|bto|thomas>          concurrency control (sim; default 2pl)
     --crash <secs:node>            inject a node crash (repeatable)
     --victim <requester|youngest>  deadlock victim policy (default requester)
+    --drop <prob>                  message drop probability (sim; default 0)
+    --dup <prob>                   message duplication probability (sim; default 0)
+    --jitter <ms>                  max extra network delivery delay (sim; default 0)
+    --mttf <secs>                  mean time to node failure (sim; 0 = off)
+    --mttr <secs>                  mean time to node repair (sim; 0 = instant)
+    --net-timeout <ms>             message timeout before retransmission (sim)
+    --net-retries <k>              retransmissions before presuming abort (sim)
 
 EXAMPLES:
     carat-cli compare --workload mb8 --n 4..20
@@ -116,7 +126,10 @@ EXAMPLES:
 /// Parses a `--n` value: `8`, `4..20` (step 4), or `4,8,12`.
 fn parse_n(s: &str) -> Result<Vec<u32>, String> {
     if let Some((a, b)) = s.split_once("..") {
-        let a: u32 = a.trim().parse().map_err(|_| format!("bad range start {a}"))?;
+        let a: u32 = a
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad range start {a}"))?;
         let b: u32 = b.trim().parse().map_err(|_| format!("bad range end {b}"))?;
         if a == 0 || b < a {
             return Err(format!("bad range {s}"));
@@ -166,31 +179,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut i = 1;
     let next = |i: &mut usize| -> Result<&String, String> {
         *i += 1;
-        args.get(*i).ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+        args.get(*i)
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
     };
     while i < args.len() {
         match args[i].as_str() {
             "--workload" => spec.workload = parse_workload(next(&mut i)?)?,
             "--n" => spec.n_values = parse_n(next(&mut i)?)?,
-            "--seed" => {
-                spec.seed = next(&mut i)?
-                    .parse()
-                    .map_err(|_| "bad seed".to_string())?
-            }
+            "--seed" => spec.seed = next(&mut i)?.parse().map_err(|_| "bad seed".to_string())?,
             "--measure-s" => {
                 spec.measure_s = next(&mut i)?
                     .parse()
                     .map_err(|_| "bad measure-s".to_string())?
             }
             "--alpha" => {
-                spec.alpha_ms = next(&mut i)?
-                    .parse()
-                    .map_err(|_| "bad alpha".to_string())?
+                spec.alpha_ms = next(&mut i)?.parse().map_err(|_| "bad alpha".to_string())?
             }
             "--think" => {
-                spec.think_ms = next(&mut i)?
-                    .parse()
-                    .map_err(|_| "bad think".to_string())?
+                spec.think_ms = next(&mut i)?.parse().map_err(|_| "bad think".to_string())?
             }
             "--hotspot" => spec.hotspot = Some(parse_hotspot(next(&mut i)?)?),
             "--separate-log" => spec.separate_log = true,
@@ -211,6 +217,39 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 let at: f64 = at.parse().map_err(|_| format!("bad crash time {at}"))?;
                 let node: usize = node.parse().map_err(|_| format!("bad crash node {node}"))?;
                 spec.crashes.push((at * 1000.0, node));
+            }
+            "--drop" => {
+                spec.fault.drop_prob = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad drop probability".to_string())?
+            }
+            "--dup" => {
+                spec.fault.duplicate_prob = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad duplicate probability".to_string())?
+            }
+            "--jitter" => {
+                spec.fault.jitter_ms = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad jitter".to_string())?
+            }
+            "--mttf" => {
+                let secs: f64 = next(&mut i)?.parse().map_err(|_| "bad mttf".to_string())?;
+                spec.fault.mttf_ms = secs * 1000.0;
+            }
+            "--mttr" => {
+                let secs: f64 = next(&mut i)?.parse().map_err(|_| "bad mttr".to_string())?;
+                spec.fault.mttr_ms = secs * 1000.0;
+            }
+            "--net-timeout" => {
+                spec.fault.timeout_ms = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad net-timeout".to_string())?
+            }
+            "--net-retries" => {
+                spec.fault.max_retries = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad net-retries".to_string())?
             }
             "--cc" => {
                 spec.cc = match next(&mut i)?.to_ascii_lowercase().as_str() {
@@ -267,8 +306,7 @@ mod tests {
         };
         assert_eq!(spec.cc, carat::sim::CcProtocol::TimestampOrdering);
         assert!(parse(&argv("sim --cc banana")).is_err());
-        let Command::Sim(spec) = parse(&argv("sim --crash 120:1 --crash 300:0")).unwrap()
-        else {
+        let Command::Sim(spec) = parse(&argv("sim --crash 120:1 --crash 300:0")).unwrap() else {
             panic!()
         };
         assert_eq!(spec.crashes, vec![(120_000.0, 1), (300_000.0, 0)]);
@@ -277,6 +315,26 @@ mod tests {
             panic!()
         };
         assert_eq!(spec.victim, carat::sim::VictimPolicy::Youngest);
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let Command::Sim(spec) = parse(&argv(
+            "sim --drop 0.05 --dup 0.01 --jitter 2 --mttf 600 --mttr 5 \
+             --net-timeout 50 --net-retries 6",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.fault.drop_prob, 0.05);
+        assert_eq!(spec.fault.duplicate_prob, 0.01);
+        assert_eq!(spec.fault.jitter_ms, 2.0);
+        assert_eq!(spec.fault.mttf_ms, 600_000.0);
+        assert_eq!(spec.fault.mttr_ms, 5_000.0);
+        assert_eq!(spec.fault.timeout_ms, 50.0);
+        assert_eq!(spec.fault.max_retries, 6);
+        assert!(parse(&argv("sim --drop lots")).is_err());
+        assert!(parse(&argv("sim --net-timeout")).is_err());
     }
 
     #[test]

@@ -27,8 +27,12 @@ fn main() {
             }
         }
         Ok(Command::Compare(spec)) => {
-            println!("| n  | node | sim tx/s | model tx/s | sim CPU | model CPU | sim DIO | model DIO |");
-            println!("|----|------|----------|------------|---------|-----------|---------|-----------|");
+            println!(
+                "| n  | node | sim tx/s | model tx/s | sim CPU | model CPU | sim DIO | model DIO |"
+            );
+            println!(
+                "|----|------|----------|------------|---------|-----------|---------|-----------|"
+            );
             for &n in &spec.n_values {
                 let s = run_sim(&spec, n);
                 let m = run_model(&spec, n);
@@ -79,14 +83,28 @@ fn run_sim(spec: &RunSpec, n: u32) -> SimReport {
     cfg.cc = spec.cc;
     cfg.victim = spec.victim;
     cfg.crashes = spec.crashes.clone();
-    Sim::new(cfg).run()
+    cfg.fault_plan = spec.fault.clone();
+    match Sim::new(cfg) {
+        Ok(sim) => sim.run(),
+        Err(e) => {
+            eprintln!("error: invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn print_model(n: u32, r: &ModelReport) {
     println!(
-        "model: n = {n} ({} iterations, converged = {})",
-        r.iterations, r.converged
+        "model: n = {n} ({} iterations, residual {:.2e})",
+        r.convergence.iterations, r.convergence.residual
     );
+    if !r.convergence.converged {
+        eprintln!(
+            "warning: model did not converge after {} iterations (residual {:.2e}); \
+             results are the last iterate",
+            r.convergence.iterations, r.convergence.residual
+        );
+    }
     for node in &r.nodes {
         println!(
             "  node {}: {:.2} tx/s | CPU {:.0}% | disk {:.0}%{} | {:.1} I/O-s | {:.1} rec/s",
@@ -151,8 +169,20 @@ fn print_sim(n: u32, r: &SimReport) {
     );
     if r.crashes > 0 {
         println!(
-            "  crashes: {} injected, {} transactions killed",
-            r.crashes, r.crash_kills
+            "  crashes: {} injected, {} transactions killed, {} recoveries",
+            r.crashes, r.crash_kills, r.recoveries
+        );
+    }
+    if r.net_messages > 0 {
+        println!(
+            "  network: {} messages, {} dropped, {} duplicated, {} retries | \
+             {} timeout aborts, {} in-doubt resolved",
+            r.net_messages,
+            r.net_drops,
+            r.net_duplicates,
+            r.net_retries,
+            r.timeout_aborts,
+            r.in_doubt_resolutions,
         );
     }
     println!(

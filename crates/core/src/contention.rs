@@ -139,11 +139,7 @@ pub fn blocked_by_distribution(
 /// fraction) *on a granule held by the specific `t` asking* (probability =
 /// `t`'s conflicting held locks over all locks conflicting with `s`'s
 /// request).
-pub fn deadlock_probability(
-    me_idx: usize,
-    chains: &[ChainLockState],
-    all_exclusive: bool,
-) -> f64 {
+pub fn deadlock_probability(me_idx: usize, chains: &[ChainLockState], all_exclusive: bool) -> f64 {
     let me = chains[me_idx].chain;
     let pb_dist = blocked_by_distribution(me, chains, all_exclusive);
     let mut pd = 0.0;
@@ -272,11 +268,9 @@ pub fn lock_wait_times_consistent(
     let solved = crate::phases_linalg_solve(&m, &b);
     let cap: Vec<f64> = b.iter().map(|&bi| bi * MAX_CHAIN_INFLATION).collect();
     match solved {
-        Some(x) if x.iter().all(|v| v.is_finite() && *v >= 0.0) => x
-            .into_iter()
-            .zip(cap)
-            .map(|(v, c)| v.min(c))
-            .collect(),
+        Some(x) if x.iter().all(|v| v.is_finite() && *v >= 0.0) => {
+            x.into_iter().zip(cap).map(|(v, c)| v.min(c)).collect()
+        }
         _ => cap,
     }
 }
@@ -368,7 +362,11 @@ mod tests {
 
     #[test]
     fn blocked_by_distribution_sums_to_one() {
-        let chains = [state(Lu, 2.0, 9.0), state(Lro, 2.0, 6.0), state(Duc, 1.0, 3.0)];
+        let chains = [
+            state(Lu, 2.0, 9.0),
+            state(Lro, 2.0, 6.0),
+            state(Duc, 1.0, 3.0),
+        ];
         let d = blocked_by_distribution(Lu, &chains, false);
         let sum: f64 = d.iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);

@@ -44,9 +44,7 @@ pub fn chain_contexts(
     for site in 0..params.sites() {
         for (chain, population) in workload.chain_populations(site) {
             let (n, l, r) = match chain {
-                ChainType::Lro | ChainType::Lu => {
-                    (n_requests as f64, n_requests as f64, 0.0)
-                }
+                ChainType::Lro | ChainType::Lu => (n_requests as f64, n_requests as f64, 0.0),
                 ChainType::Droc | ChainType::Duc => {
                     (n_requests as f64, l_split as f64, r_split as f64)
                 }
@@ -322,7 +320,10 @@ mod tests {
         // Disk (db + journal): n·q granules × 120 ms + 1 commit force × 40 ms.
         let expect_disk = lu.n * lu.q * 120.0 + 40.0;
         let total_disk = d.disk + d.log;
-        assert!((total_disk - expect_disk).abs() < 1e-9, "{total_disk} vs {expect_disk}");
+        assert!(
+            (total_disk - expect_disk).abs() < 1e-9,
+            "{total_disk} vs {expect_disk}"
+        );
         // The journal share: one before-image write per granule + the force.
         let expect_log = lu.n * lu.q * 40.0 + 40.0;
         assert!((d.log - expect_log).abs() < 1e-9);
@@ -340,7 +341,11 @@ mod tests {
             + nq * 2.5
             + 8.0
             + nq * 0.3 * 2.2;
-        assert!((d.cpu - expect_cpu).abs() < 1e-6, "{} vs {expect_cpu}", d.cpu);
+        assert!(
+            (d.cpu - expect_cpu).abs() < 1e-6,
+            "{} vs {expect_cpu}",
+            d.cpu
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod output;
 pub mod phases;
 pub mod solver;
 
-pub use output::{ModelNodeReport, ModelReport, ModelTypeReport};
+pub use output::{ConvergenceInfo, ModelNodeReport, ModelReport, ModelTypeReport};
 pub use phases::{Phase, TransitionMatrix, VisitCounts};
 pub use solver::{Model, ModelConfig, ModelOptions};
 

@@ -57,16 +57,28 @@ pub struct ModelNodeReport {
     pub per_chain: Vec<(ChainType, ModelTypeReport)>,
 }
 
+/// How the damped fixed-point iteration ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConvergenceInfo {
+    /// Whether the iteration met the tolerance before `max_iter`
+    /// (it practically always does; `false` means the damped iteration
+    /// ran out of iterations and the report is the last iterate).
+    pub converged: bool,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+    /// Largest relative change of any population estimate in the final
+    /// iteration — the residual the tolerance is compared against. A
+    /// non-converged solve reports how far it still was.
+    pub residual: f64,
+}
+
 /// Full model solution.
 #[derive(Debug, Clone, Default)]
 pub struct ModelReport {
     /// Per-node predictions.
     pub nodes: Vec<ModelNodeReport>,
-    /// Fixed-point iterations used.
-    pub iterations: usize,
-    /// Whether the iteration met the tolerance (it practically always
-    /// does; `false` means the damped iteration hit `max_iter`).
-    pub converged: bool,
+    /// Fixed-point termination diagnostics.
+    pub convergence: ConvergenceInfo,
 }
 
 impl ModelReport {

@@ -282,8 +282,23 @@ mod tests {
             let s = m.row_sum(ph);
             assert!((s - 1.0).abs() < 1e-12, "{ph:?}: {s}");
         }
-        let m = TransitionMatrix::slave(4.0, 3.9, Hazards { pb: 0.1, pd: 0.05, pra: 0.02 });
-        for ph in [Phase::Ut, Phase::Tm, Phase::Dm, Phase::Lr, Phase::Rw, Phase::Lw] {
+        let m = TransitionMatrix::slave(
+            4.0,
+            3.9,
+            Hazards {
+                pb: 0.1,
+                pd: 0.05,
+                pra: 0.02,
+            },
+        );
+        for ph in [
+            Phase::Ut,
+            Phase::Tm,
+            Phase::Dm,
+            Phase::Lr,
+            Phase::Rw,
+            Phase::Lw,
+        ] {
             assert!((m.row_sum(ph) - 1.0).abs() < 1e-12, "{ph:?}");
         }
     }
@@ -309,8 +324,14 @@ mod tests {
         let (n, l, r, q) = (8.0, 4.0, 4.0, 3.9);
         let m = TransitionMatrix::local_or_coordinator(n, l, r, q, no_hazards());
         let v = m.visit_counts();
-        assert!((v.get(Phase::Rw) - r).abs() < 1e-9, "one RW per remote request");
-        assert!((v.get(Phase::Lr) - l * q).abs() < 1e-9, "locks only for local requests");
+        assert!(
+            (v.get(Phase::Rw) - r).abs() < 1e-9,
+            "one RW per remote request"
+        );
+        assert!(
+            (v.get(Phase::Lr) - l * q).abs() < 1e-9,
+            "locks only for local requests"
+        );
         assert!((v.get(Phase::Tm) - (2.0 * n + 1.0)).abs() < 1e-9);
     }
 

@@ -17,7 +17,7 @@ use crate::contention::{
     ChainLockState,
 };
 use crate::demands::{chain_contexts, demands, phase_costs, ChainCtx, DelayTimes};
-use crate::output::{ModelNodeReport, ModelReport, ModelTypeReport};
+use crate::output::{ConvergenceInfo, ModelNodeReport, ModelReport, ModelTypeReport};
 use crate::phases::{Hazards, Phase, TransitionMatrix};
 
 /// What to solve: workload + transaction size on the standard parameters.
@@ -151,6 +151,7 @@ impl Model {
 
         let mut iterations = 0;
         let mut converged = false;
+        let mut residual = f64::INFINITY;
         let lam = self.opts.damping;
         // (CPU, disk) utilization per site, refreshed by each MVA pass.
         let mut site_util = vec![(0.0f64, 0.0f64); params.sites()];
@@ -188,9 +189,8 @@ impl Model {
 
             // --- Per-site MVA ----------------------------------------------
             for (site, util_slot) in site_util.iter_mut().enumerate() {
-                let site_idx: Vec<usize> = (0..ctxs.len())
-                    .filter(|&k| ctxs[k].site == site)
-                    .collect();
+                let site_idx: Vec<usize> =
+                    (0..ctxs.len()).filter(|&k| ctxs[k].site == site).collect();
                 let mut net = Network::new();
                 let cpu = net.add_center("CPU", CenterKind::Queueing);
                 let disk = net.add_center("DISK", CenterKind::Queueing);
@@ -209,8 +209,7 @@ impl Model {
                 for &k in &site_idx {
                     let ctx = &ctxs[k];
                     let s = &st[k];
-                    let chain_id =
-                        net.add_chain(ctx.chain.label(), ctx.population);
+                    let chain_id = net.add_chain(ctx.chain.label(), ctx.population);
                     let costs = phase_costs(params, ctx, s.sigma);
                     let d = demands(
                         params,
@@ -255,7 +254,11 @@ impl Model {
                     } else {
                         d.disk + d.log
                     };
-                    s.log_demand = if self.opts.separate_log_disk { d.log } else { 0.0 };
+                    s.log_demand = if self.opts.separate_log_disk {
+                        d.log
+                    } else {
+                        0.0
+                    };
                 }
 
                 let sol = if self.opts.exact_mva && net.lattice_size() <= 2_000_000 {
@@ -269,9 +272,7 @@ impl Model {
                     s.x = sol.throughput[pos];
                     s.r_cycle = sol.response[pos];
                     let think = s.n_s * params.think_time_ms;
-                    s.r_s = ((s.r_cycle - think)
-                        / (1.0 + (s.n_s - 1.0) * s.sigma))
-                        .max(1e-9);
+                    s.r_s = ((s.r_cycle - think) / (1.0 + (s.n_s - 1.0) * s.sigma)).max(1e-9);
                 }
 
                 // Stash site utilizations for the delay updates below.
@@ -283,20 +284,13 @@ impl Model {
             let mut new_pd = vec![0.0; ctxs.len()];
             let mut new_rlw = vec![0.0; ctxs.len()];
             for site in 0..params.sites() {
-                let site_idx: Vec<usize> = (0..ctxs.len())
-                    .filter(|&k| ctxs[k].site == site)
-                    .collect();
+                let site_idx: Vec<usize> =
+                    (0..ctxs.len()).filter(|&k| ctxs[k].site == site).collect();
                 // L_h and blocked-time fractions first.
                 for &k in &site_idx {
                     let ctx = &ctxs[k];
                     let s = &mut st[k];
-                    s.l_h = locks_held(
-                        ctx.n_lk,
-                        s.sigma,
-                        s.p_a,
-                        s.r_s,
-                        params.think_time_ms,
-                    );
+                    s.l_h = locks_held(ctx.n_lk, s.sigma, s.p_a, s.r_s, params.think_time_ms);
                     s.blocked_frac = if s.r_cycle > 0.0 {
                         (s.n_s * ctx.n_lk * s.pb * s.r_lw / s.r_cycle).clamp(0.0, 0.9)
                     } else {
@@ -319,8 +313,8 @@ impl Model {
                         // (bounded queueing inflation at sub-saturation
                         // utilizations).
                         let lw_content = ctxs[k].n_lk * s.pb * s.r_lw;
-                        let rw_cw_content = visits[k].get(Phase::Rw) * s.r_rw
-                            + visits[k].get(Phase::Cwc) * s.r_cwc;
+                        let rw_cw_content =
+                            visits[k].get(Phase::Rw) * s.r_rw + visits[k].get(Phase::Cwc) * s.r_cwc;
                         let service = (s.cpu_demand + s.disk_demand) / s.n_s;
                         let useful = (s.r_s - lw_content - rw_cw_content)
                             .clamp(service, 6.0 * service.max(1e-9));
@@ -388,11 +382,9 @@ impl Model {
                             // Slave time actively serving one remote request:
                             // its successful execution minus its own waits
                             // and commit processing, per request.
-                            let active = ((ss.r_s
-                                - visits_rw_estimate(sl) * ss.r_rw
-                                - commit_part)
-                                / sl.l)
-                                .max(0.0);
+                            let active =
+                                ((ss.r_s - visits_rw_estimate(sl) * ss.r_rw - commit_part) / sl.l)
+                                    .max(0.0);
                             active_sum += active;
                             commit_max = commit_max.max(commit_part);
                             pra_survive *= (1.0 - ss.pb * ss.pd).powf(sl.q);
@@ -425,15 +417,13 @@ impl Model {
                                 + params.basic.commit_ios(cc) as f64
                                     * params.nodes[co.site].disk_io_ms
                                     * infl_disk;
-                            let gap = ((cs.r_s - co.r * cs.r_rw - cs.r_cwc)
-                                / co.r.max(1.0))
-                            .max(0.0);
+                            let gap =
+                                ((cs.r_s - co.r * cs.r_rw - cs.r_cwc) / co.r.max(1.0)).max(0.0);
                             gap_sum += gap + 2.0 * alpha;
                             cwc_max = cwc_max.max(2.0 * alpha + decision);
                             // Coordinator-side aborts per slave wait: the
                             // coordinator acquires N_lk(c)/r locks per gap.
-                            pra_survive *= (1.0 - cs.pb * cs.pd)
-                                .powf(co.n_lk / co.r.max(1.0));
+                            pra_survive *= (1.0 - cs.pb * cs.pd).powf(co.n_lk / co.r.max(1.0));
                             n_coord += 1.0;
                         }
                         if n_coord > 0.0 {
@@ -464,21 +454,29 @@ impl Model {
                 upd(&mut s.r_cwa, new_cwa[k]);
                 upd(&mut s.pra, new_pra[k]);
             }
+            residual = delta;
             if delta < self.opts.tol {
                 converged = true;
                 break;
             }
         }
 
-        self.package(&ctxs, &st, iterations, converged)
+        self.package(
+            &ctxs,
+            &st,
+            ConvergenceInfo {
+                converged,
+                iterations,
+                residual,
+            },
+        )
     }
 
     fn package(
         &self,
         ctxs: &[ChainCtx],
         st: &[ChainState],
-        iterations: usize,
-        converged: bool,
+        convergence: ConvergenceInfo,
     ) -> ModelReport {
         let params = &self.cfg.params;
         let mut nodes = Vec::new();
@@ -520,9 +518,7 @@ impl Model {
                 let costs = phase_costs(params, ctx, s.sigma);
                 let mut phase_ms = std::collections::BTreeMap::new();
                 for ph in Phase::ALL {
-                    let service = costs.cpu[ph.idx()]
-                        + costs.disk[ph.idx()]
-                        + costs.log[ph.idx()];
+                    let service = costs.cpu[ph.idx()] + costs.disk[ph.idx()] + costs.log[ph.idx()];
                     let delay = match ph {
                         Phase::Lw => s.r_lw,
                         Phase::Rw => s.r_rw,
@@ -553,9 +549,7 @@ impl Model {
                     // User-visible throughput: local chains and coordinators
                     // are homed here.
                     tx_per_s += rep.xput_per_s;
-                    records_per_s += rep.xput_per_s
-                        * ctx.n
-                        * params.records_per_request as f64;
+                    records_per_s += rep.xput_per_s * ctx.n * params.records_per_request as f64;
                     per_type.insert(ctx.chain.user_type(), rep);
                 }
             }
@@ -571,11 +565,7 @@ impl Model {
                 per_chain,
             });
         }
-        ModelReport {
-            nodes,
-            iterations,
-            converged,
-        }
+        ModelReport { nodes, convergence }
     }
 }
 

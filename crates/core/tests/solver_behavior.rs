@@ -12,7 +12,7 @@ fn solve(wl: StandardWorkload, n: u32) -> carat_model::ModelReport {
 fn solver_is_deterministic() {
     let a = solve(StandardWorkload::Mb8, 12);
     let b = solve(StandardWorkload::Mb8, 12);
-    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.convergence.iterations, b.convergence.iterations);
     for (na, nb) in a.nodes.iter().zip(&b.nodes) {
         assert_eq!(na.tx_per_s, nb.tx_per_s);
         assert_eq!(na.cpu_util, nb.cpu_util);
@@ -21,7 +21,11 @@ fn solver_is_deterministic() {
 
 #[test]
 fn throughput_monotone_decreasing_in_n() {
-    for wl in [StandardWorkload::Lb8, StandardWorkload::Mb4, StandardWorkload::Ub6] {
+    for wl in [
+        StandardWorkload::Lb8,
+        StandardWorkload::Mb4,
+        StandardWorkload::Ub6,
+    ] {
         let mut prev = f64::INFINITY;
         for n in [4u32, 8, 12, 16, 20] {
             let x = solve(wl, n).total_tx_per_s();
@@ -88,7 +92,9 @@ fn adding_users_saturates_but_never_reduces_total_below_fewer_users_significantl
             name: "scale".into(),
             users: vec![vec![(TxType::Lro, per_node)]; 2],
         };
-        Model::new(ModelConfig::new(spec, 4)).solve().total_tx_per_s()
+        Model::new(ModelConfig::new(spec, 4))
+            .solve()
+            .total_tx_per_s()
     };
     let (x2, x4, x8) = (mk(2), mk(4), mk(8));
     assert!(x4 > x2);
@@ -108,7 +114,13 @@ fn approximate_mva_option_stays_close_to_exact() {
     .solve();
     for (e, a) in exact.nodes.iter().zip(&approx.nodes) {
         let rel = (e.tx_per_s - a.tx_per_s).abs() / e.tx_per_s;
-        assert!(rel < 0.15, "node {}: exact {} vs approx {}", e.name, e.tx_per_s, a.tx_per_s);
+        assert!(
+            rel < 0.15,
+            "node {}: exact {} vs approx {}",
+            e.name,
+            e.tx_per_s,
+            a.tx_per_s
+        );
     }
 }
 
@@ -139,5 +151,9 @@ fn phase_decomposition_sums_to_response_without_queueing() {
     let t = &r.nodes[0].per_type[&TxType::Lu];
     let phase_sum: f64 = t.phase_ms.values().sum();
     let rel = (phase_sum - t.response_ms).abs() / t.response_ms;
-    assert!(rel < 1e-6, "phases {phase_sum} vs response {}", t.response_ms);
+    assert!(
+        rel < 1e-6,
+        "phases {phase_sum} vs response {}",
+        t.response_ms
+    );
 }

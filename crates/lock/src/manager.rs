@@ -364,7 +364,7 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(1, 0, S);
         lm.request(2, 0, X); // queued
-        // A third reader must NOT barge past the queued writer.
+                             // A third reader must NOT barge past the queued writer.
         assert_eq!(lm.request(3, 0, S), Outcome::Queued);
         let woken = lm.release_all(1);
         assert_eq!(woken, vec![(2, 0)]);
@@ -397,7 +397,7 @@ mod tests {
         lm.request(2, 0, S);
         lm.request(3, 0, X); // queued behind both readers
         assert_eq!(lm.request(1, 0, X), Outcome::Queued); // upgrade
-        // Upgrade jumped the queue: when 2 releases, 1 gets X before 3.
+                                                          // Upgrade jumped the queue: when 2 releases, 1 gets X before 3.
         let woken = lm.release_all(2);
         assert_eq!(woken, vec![(1, 0)]);
         assert_eq!(lm.holds(1, 0), Some(X));
@@ -438,7 +438,7 @@ mod tests {
         lm.request(1, 0, S);
         lm.request(2, 0, X); // queued
         lm.request(3, 0, S); // queued behind 2
-        // 2 aborts; 3 is now compatible with holder 1.
+                             // 2 aborts; 3 is now compatible with holder 1.
         let woken = lm.release_all(2);
         assert_eq!(woken, vec![(3, 0)]);
         lm.check_invariants();

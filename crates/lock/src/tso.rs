@@ -230,7 +230,11 @@ mod tests {
         let mut tso = TimestampManager::new();
         assert_eq!(tso.write(10, 0), TsOutcome::Allowed);
         tso.commit(10);
-        assert_eq!(tso.read(5, 0), TsOutcome::Rejected, "value it needed is gone");
+        assert_eq!(
+            tso.read(5, 0),
+            TsOutcome::Rejected,
+            "value it needed is gone"
+        );
         assert_eq!(tso.read(15, 0), TsOutcome::Allowed);
     }
 

@@ -110,7 +110,7 @@ impl WaitForGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manager::{LockMode, LockManager};
+    use crate::manager::{LockManager, LockMode};
 
     #[test]
     fn two_cycle_detected() {

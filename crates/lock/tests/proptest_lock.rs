@@ -10,8 +10,14 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Request { tx: u64, block: u32, exclusive: bool },
-    Release { tx: u64 },
+    Request {
+        tx: u64,
+        block: u32,
+        exclusive: bool,
+    },
+    Release {
+        tx: u64,
+    },
 }
 
 fn op_strategy(n_tx: u64, n_blocks: u32) -> impl Strategy<Value = Op> {

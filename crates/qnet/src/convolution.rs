@@ -51,10 +51,7 @@ pub struct ConvolutionSolution {
 /// Panics if `n == 0` or any demand is negative/non-finite.
 pub fn solve_convolution(n: usize, demands: &[f64], think: f64) -> ConvolutionSolution {
     assert!(n > 0, "empty chain");
-    assert!(
-        think >= 0.0 && think.is_finite(),
-        "bad think time {think}"
-    );
+    assert!(think >= 0.0 && think.is_finite(), "bad think time {think}");
     for &d in demands {
         assert!(d >= 0.0 && d.is_finite(), "bad demand {d}");
     }
@@ -191,7 +188,10 @@ mod tests {
         // N = 400 with demand 50: naive D^k overflows f64 at ~k = 180.
         let conv = solve_convolution(400, &[50.0, 1.0], 0.0);
         assert!(conv.throughput.is_finite());
-        assert!((conv.throughput - 1.0 / 50.0).abs() < 1e-6, "bottleneck law");
+        assert!(
+            (conv.throughput - 1.0 / 50.0).abs() < 1e-6,
+            "bottleneck law"
+        );
         assert!(conv.utilization[0] <= 1.0 + 1e-9);
         // Nearly all customers pile up at the bottleneck.
         assert!(conv.queue_len[0] > 395.0);

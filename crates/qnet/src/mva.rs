@@ -258,10 +258,7 @@ impl Network {
                         CenterKind::Queueing => {
                             // Schweitzer estimate of Q_c(N − e_k):
                             // all other chains' queue plus (n_k−1)/n_k of own.
-                            let others: f64 = (0..k_n)
-                                .filter(|&j| j != k)
-                                .map(|j| q[j][c])
-                                .sum();
+                            let others: f64 = (0..k_n).filter(|&j| j != k).map(|j| q[j][c]).sum();
                             let own = q[k][c] * (nk - 1.0) / nk;
                             d * (1.0 + others + own)
                         }
@@ -383,7 +380,9 @@ mod tests {
         // Little's law: Q_c = Σ_k X_k R_kc — package_solution computes it
         // that way, so instead verify population conservation per chain:
         for (k, n) in [(a, 3usize), (b, 2usize)] {
-            let pop: f64 = (0..3).map(|c| sol.throughput[k] * sol.residence[k][c]).sum();
+            let pop: f64 = (0..3)
+                .map(|c| sol.throughput[k] * sol.residence[k][c])
+                .sum();
             assert!((pop - n as f64).abs() < 1e-9, "chain {k}");
         }
         // Utilization in (0, 1).

@@ -13,18 +13,12 @@ struct RandomNet {
 
 fn net_strategy() -> impl Strategy<Value = RandomNet> {
     proptest::collection::vec(
-        (
-            1usize..4,
-            (0.1f64..10.0, 0.1f64..10.0, 0.0f64..20.0),
-        ),
+        (1usize..4, (0.1f64..10.0, 0.1f64..10.0, 0.0f64..20.0)),
         1..4,
     )
     .prop_map(|chains| RandomNet {
         populations: chains.iter().map(|&(p, _)| p).collect(),
-        demands: chains
-            .iter()
-            .map(|&(_, (a, b, z))| [a, b, z])
-            .collect(),
+        demands: chains.iter().map(|&(_, (a, b, z))| [a, b, z]).collect(),
     })
 }
 

@@ -2,6 +2,166 @@
 
 use carat_workload::{SystemParams, WorkloadSpec};
 
+/// A configuration the simulator refuses to run, with enough structure for
+/// callers to report the problem instead of aborting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimConfigError {
+    /// Workload and system parameters disagree on the node count.
+    SiteCountMismatch {
+        /// Sites in the workload specification.
+        workload: usize,
+        /// Sites in the system parameters.
+        params: usize,
+    },
+    /// A scheduled crash names a site the topology does not have.
+    CrashSiteOutOfRange {
+        /// The offending site index.
+        site: usize,
+        /// Number of sites configured.
+        sites: usize,
+        /// When the crash was scheduled (ms).
+        at_ms: f64,
+    },
+    /// A scheduled crash instant is not a finite, non-negative time.
+    CrashTimeInvalid {
+        /// The offending instant (ms).
+        at_ms: f64,
+        /// The site it targeted.
+        site: usize,
+    },
+    /// The fault plan is internally inconsistent (see the reason).
+    InvalidFaultPlan {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimConfigError::SiteCountMismatch { workload, params } => write!(
+                f,
+                "workload has {workload} sites but parameters have {params}"
+            ),
+            SimConfigError::CrashSiteOutOfRange { site, sites, at_ms } => write!(
+                f,
+                "crash at {at_ms} ms targets site {site}, but only {sites} sites exist"
+            ),
+            SimConfigError::CrashTimeInvalid { at_ms, site } => write!(
+                f,
+                "crash time {at_ms} ms for site {site} is not a finite non-negative instant"
+            ),
+            SimConfigError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
+/// Deterministic fault-injection plan: a lossy/duplicating/reordering
+/// network, stochastic node crash/restart processes, and timeout-driven
+/// retry + presumed-abort termination. All randomness is drawn from a
+/// dedicated stream derived from [`SimConfig::seed`], so a fault plan never
+/// perturbs the workload sample and two runs with the same configuration
+/// are identical event for event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that any single network message is lost in transit.
+    /// Requires timeouts (`timeout_ms > 0`) so senders can recover.
+    pub drop_prob: f64,
+    /// Probability that a delivered message is delivered twice (the second
+    /// copy is detected as stale by the sequence token and ignored —
+    /// at-most-once processing over an at-least-once channel).
+    pub duplicate_prob: f64,
+    /// Maximum uniform extra latency added per delivery (ms). Nonzero
+    /// values reorder concurrent messages.
+    pub jitter_ms: f64,
+    /// Mean time to failure per node (ms), exponentially distributed;
+    /// `0` disables the stochastic crash process (scheduled crashes in
+    /// [`SimConfig::crashes`] still fire).
+    pub mttf_ms: f64,
+    /// Mean time to repair (ms), exponentially distributed downtime after a
+    /// stochastic crash. During the outage the node accepts no messages;
+    /// at restart it runs journal recovery and rejoins. `0` means the node
+    /// recovers instantly (the scheduled-crash semantics).
+    pub mttr_ms: f64,
+    /// Base retransmission timeout (ms). Each retry backs off
+    /// exponentially (`timeout_ms · 2^attempt`, exponent capped). `0`
+    /// disables timeouts entirely — only safe on a lossless network.
+    pub timeout_ms: f64,
+    /// Retransmissions attempted before the sender presumes the peer dead
+    /// and aborts the transaction (presumed abort). Transactions that have
+    /// already decided (commit applied / abort under way) retry past this
+    /// bound so cleanup always completes.
+    pub max_retries: u32,
+}
+
+impl FaultPlan {
+    /// True when any fault mechanism is enabled; an inactive plan draws no
+    /// random numbers and adds no events, keeping fault-free runs
+    /// bit-identical with pre-fault-layer builds.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.jitter_ms > 0.0
+            || self.mttf_ms > 0.0
+            || self.timeout_ms > 0.0
+    }
+
+    /// Delay after which an orphaned 2PC participant gives up on its
+    /// coordinator and runs the presumed-abort termination protocol: the
+    /// full retransmission schedule a live coordinator would have used.
+    pub fn termination_ms(&self) -> f64 {
+        self.timeout_ms * (self.max_retries as f64 + 1.0)
+    }
+
+    /// Bounded-exponential-backoff delay before retransmission `attempt`
+    /// (0-based).
+    pub fn backoff_ms(&self, attempt: u32) -> f64 {
+        self.timeout_ms * f64::from(1u32 << attempt.min(6))
+    }
+
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        let bad = |reason: String| Err(SimConfigError::InvalidFaultPlan { reason });
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("duplicate_prob", self.duplicate_prob),
+        ] {
+            if !(0.0..1.0).contains(&p) {
+                return bad(format!("{name} = {p} must lie in [0, 1)"));
+            }
+        }
+        for (name, v) in [
+            ("jitter_ms", self.jitter_ms),
+            ("mttf_ms", self.mttf_ms),
+            ("mttr_ms", self.mttr_ms),
+            ("timeout_ms", self.timeout_ms),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return bad(format!("{name} = {v} must be finite and non-negative"));
+            }
+        }
+        if self.timeout_ms > 0.0 && self.max_retries == 0 {
+            return bad("timeouts need max_retries >= 1".into());
+        }
+        if self.drop_prob > 0.0 && self.timeout_ms == 0.0 {
+            return bad("drop_prob > 0 without timeouts would hang senders forever".into());
+        }
+        if self.mttf_ms > 0.0 && self.mttr_ms > 0.0 && self.timeout_ms == 0.0 {
+            return bad(
+                "node downtime (mttf + mttr) without timeouts would hang senders forever".into(),
+            );
+        }
+        if self.mttr_ms > 0.0 && self.mttf_ms == 0.0 {
+            return bad("mttr_ms without mttf_ms has no effect; set mttf_ms > 0".into());
+        }
+        Ok(())
+    }
+}
+
 /// How global (cross-site) deadlocks are detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DeadlockMode {
@@ -82,6 +242,10 @@ pub struct SimConfig {
     /// journal tail), runs journal recovery, and every transaction that had
     /// touched the site aborts. Affected users resubmit as usual.
     pub crashes: Vec<(f64, usize)>,
+    /// Stochastic fault injection (lossy network, crash/restart processes,
+    /// timeouts). The default plan is inert: no drops, no stochastic
+    /// crashes, no timeouts — exactly the fault-free simulator.
+    pub fault_plan: FaultPlan,
 }
 
 impl SimConfig {
@@ -100,7 +264,31 @@ impl SimConfig {
             cc: CcProtocol::default(),
             victim: VictimPolicy::default(),
             crashes: Vec::new(),
+            fault_plan: FaultPlan::default(),
         }
+    }
+
+    /// Full validation of the configuration; [`crate::Sim::new`] calls this.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.workload.sites() != self.params.sites() {
+            return Err(SimConfigError::SiteCountMismatch {
+                workload: self.workload.sites(),
+                params: self.params.sites(),
+            });
+        }
+        for &(at_ms, site) in &self.crashes {
+            if !at_ms.is_finite() || at_ms < 0.0 {
+                return Err(SimConfigError::CrashTimeInvalid { at_ms, site });
+            }
+            if site >= self.params.sites() {
+                return Err(SimConfigError::CrashSiteOutOfRange {
+                    site,
+                    sites: self.params.sites(),
+                    at_ms,
+                });
+            }
+        }
+        self.fault_plan.validate()
     }
 }
 

@@ -14,9 +14,9 @@ use carat_lock::{LockManager, LockMode, Outcome, TimestampManager, TsOutcome, Wa
 use carat_storage::Database;
 use carat_workload::TxType;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use crate::config::{CcProtocol, DeadlockMode, SimConfig, VictimPolicy};
+use crate::config::{CcProtocol, DeadlockMode, SimConfig, SimConfigError, VictimPolicy};
 use crate::metrics::{NodeReport, SimReport, TypeReport};
 use crate::program::{compile, distinct_blocks_at, Op, Plan, Program, Seg};
 
@@ -29,15 +29,33 @@ enum Ev {
     DiskDone { site: usize, gid: u64 },
     /// A log-disk transfer finished (separate-log-disk configurations).
     LogDone { site: usize, gid: u64 },
-    /// A network message arrived.
-    NetDone { gid: u64 },
+    /// A network message arrived. `token` identifies the send attempt; a
+    /// mismatch with the transaction's current token means a duplicate or
+    /// superseded delivery, which is ignored (at-most-once processing).
+    NetDone { gid: u64, token: u64 },
+    /// A retransmission timer fired for the send attempt `token`.
+    NetTimeout { gid: u64, token: u64 },
     /// A user (re)submits a transaction.
     Submit { user: usize },
     /// A Chandy–Misra–Haas probe arrives at `target`'s current location
     /// (`DeadlockMode::Probes` only).
-    Probe { initiator: u64, target: u64, ttl: u8 },
+    Probe {
+        initiator: u64,
+        target: u64,
+        ttl: u8,
+    },
     /// Injected node crash (volatile state lost, journal recovery runs).
     Crash { site: usize },
+    /// Stochastic node crash from the fault plan's MTTF process.
+    FaultCrash { site: usize },
+    /// A crashed node comes back up: journal recovery runs, parked users
+    /// resubmit, the next stochastic crash is drawn.
+    Restart { site: usize },
+    /// Termination protocol at an orphaned 2PC participant: `gid`'s
+    /// coordinator died; after the full retransmission schedule elapsed
+    /// with no decision, the participant presumes abort, rolls back, and
+    /// releases its locks.
+    OrphanResolve { site: usize, gid: u64 },
     /// End of the warm-up transient: reset statistics.
     Warmup,
 }
@@ -60,6 +78,18 @@ struct NodeState {
     base_lock_requests: u64,
     base_lock_conflicts: u64,
     base_cc_rejections: u64,
+    /// False while the node is down between a stochastic crash and its
+    /// restart: no messages are accepted and no users submit.
+    up: bool,
+    /// Users homed here whose submission arrived (or whose transaction was
+    /// killed) while the node was down; they resubmit at restart.
+    parked_users: Vec<usize>,
+    /// Lifetime counter totals folded in from lock/TSO managers that were
+    /// replaced at a crash (the fresh managers restart from zero, so the
+    /// report adds these accumulators to the live counters).
+    acc_lock_requests: u64,
+    acc_lock_conflicts: u64,
+    acc_cc_rejections: u64,
 }
 
 /// A live transaction (one submission).
@@ -87,6 +117,16 @@ struct Txn {
     /// A node this transaction had touched crashed: abort at the next safe
     /// point.
     poisoned: bool,
+    /// Token of the in-flight network send, if parked on a `Net` op.
+    /// Deliveries and timeouts carrying any other token are stale.
+    net_token: Option<u64>,
+    /// Retransmission attempt of the current send (0 = first try).
+    net_attempt: u32,
+    /// The commit decision is under way (a `CommitSite` has executed):
+    /// message losses from here on retry past the bound instead of
+    /// presuming abort, so a made decision always reaches every
+    /// participant.
+    decided: bool,
 }
 
 #[derive(Default)]
@@ -106,6 +146,13 @@ struct Stats {
     phase_ms: HashMap<(usize, TxType, Seg), f64>,
     crashes: u64,
     crash_kills: u64,
+    recoveries: u64,
+    net_messages: u64,
+    net_drops: u64,
+    net_duplicates: u64,
+    net_retries: u64,
+    timeout_aborts: u64,
+    in_doubt_resolutions: u64,
     window_start: Time,
 }
 
@@ -118,7 +165,7 @@ struct Stats {
 /// let mut cfg = SimConfig::new(StandardWorkload::Lb8.spec(2), 4, 42);
 /// cfg.warmup_ms = 5_000.0;
 /// cfg.measure_ms = 20_000.0;
-/// let report = Sim::new(cfg).run();
+/// let report = Sim::new(cfg).expect("valid config").run();
 /// assert!(report.total_tx_per_s() > 0.0);
 /// ```
 pub struct Sim {
@@ -129,8 +176,19 @@ pub struct Sim {
     users: Vec<(usize, TxType)>,
     next_gid: u64,
     rng: StdRng,
+    /// Dedicated stream for fault decisions (drops, jitter, crash draws),
+    /// derived from the seed. Keeping it separate from the workload stream
+    /// means enabling faults never changes *which* transactions run —
+    /// only what happens to their messages and nodes.
+    fault_rng: StdRng,
+    next_token: u64,
     ready: VecDeque<u64>,
     stats: Stats,
+    /// Orphaned 2PC participants: `(site, gid) -> held a DM server there`.
+    /// Registered when a transaction's coordinator dies with downtime;
+    /// resolved by `OrphanResolve` (or swept away if the site itself
+    /// crashes first).
+    orphans: HashMap<(usize, u64), bool>,
     /// Commit audit: last committed writer of each record. At the end of
     /// the run the storage engines must hold exactly these writers' values
     /// — an end-to-end check that 2PL + WAL + 2PC preserved integrity.
@@ -138,13 +196,9 @@ pub struct Sim {
 }
 
 impl Sim {
-    /// Builds the simulator from a configuration.
-    pub fn new(cfg: SimConfig) -> Self {
-        assert_eq!(
-            cfg.workload.sites(),
-            cfg.params.sites(),
-            "workload and parameters disagree on the number of nodes"
-        );
+    /// Builds the simulator from a configuration, validating it first.
+    pub fn new(cfg: SimConfig) -> Result<Self, SimConfigError> {
+        cfg.validate()?;
         let nodes = (0..cfg.params.sites())
             .map(|_| {
                 let mut db = Database::new(cfg.params.n_granules);
@@ -168,6 +222,11 @@ impl Sim {
                     base_lock_requests: 0,
                     base_lock_conflicts: 0,
                     base_cc_rejections: 0,
+                    up: true,
+                    parked_users: Vec::new(),
+                    acc_lock_requests: 0,
+                    acc_lock_conflicts: 0,
+                    acc_cc_rejections: 0,
                 }
             })
             .collect();
@@ -180,7 +239,10 @@ impl Sim {
             }
         }
         let rng = StdRng::seed_from_u64(cfg.seed);
-        Sim {
+        // Independent fault stream; the constant is the 64-bit golden ratio
+        // (SplitMix64's increment), any fixed odd constant would do.
+        let fault_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+        Ok(Sim {
             cfg,
             sched: Scheduler::new(),
             nodes,
@@ -188,10 +250,13 @@ impl Sim {
             users,
             next_gid: 1,
             rng,
+            fault_rng,
+            next_token: 1,
             ready: VecDeque::new(),
             stats: Stats::default(),
+            orphans: HashMap::new(),
             last_committed: HashMap::new(),
-        }
+        })
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -201,8 +266,14 @@ impl Sim {
         }
         self.sched.schedule(self.cfg.warmup_ms, Ev::Warmup);
         for &(at, site) in &self.cfg.crashes.clone() {
-            assert!(site < self.nodes.len(), "crash site {site} out of range");
             self.sched.schedule(at, Ev::Crash { site });
+        }
+        if self.cfg.fault_plan.mttf_ms > 0.0 {
+            let mttf = self.cfg.fault_plan.mttf_ms;
+            for site in 0..self.nodes.len() {
+                let at = self.exp_sample(mttf);
+                self.sched.schedule(at, Ev::FaultCrash { site });
+            }
         }
         let end = self.cfg.warmup_ms + self.cfg.measure_ms;
 
@@ -213,6 +284,17 @@ impl Sim {
             self.handle(ev);
             while let Some(gid) = self.ready.pop_front() {
                 self.advance(gid);
+            }
+        }
+        // A node still inside a repair outage at the cutoff has not run
+        // journal recovery yet, so its storage can hold in-place updates of
+        // interrupted transactions (whose locks died with the crash). The
+        // commit audit reads what an operator would read after repair —
+        // recover those nodes first. Pure post-processing: no events, no
+        // statistics.
+        for node in &mut self.nodes {
+            if !node.up {
+                node.db.crash_and_recover();
             }
         }
         self.report(end)
@@ -257,34 +339,90 @@ impl Sim {
                 }
                 self.step_past(gid);
             }
-            Ev::NetDone { gid } => self.step_past(gid),
+            Ev::NetDone { gid, token } => self.net_delivered(gid, token),
+            Ev::NetTimeout { gid, token } => self.net_timed_out(gid, token),
             Ev::Submit { user } => self.submit(user),
             Ev::Probe {
                 initiator,
                 target,
                 ttl,
             } => self.handle_probe(initiator, target, ttl),
-            Ev::Crash { site } => self.crash_node(site),
+            Ev::Crash { site } => self.crash_node(site, None),
+            Ev::FaultCrash { site } => self.fault_crash(site),
+            Ev::Restart { site } => self.restart_node(site),
+            Ev::OrphanResolve { site, gid } => self.resolve_orphan(site, gid),
             Ev::Warmup => self.reset_stats(now),
         }
     }
 
-    /// Injected node failure: lose the site's volatile state, run journal
-    /// recovery, and poison every transaction that had touched the site.
+    /// Exponential sample with the given mean, from the fault stream.
+    fn exp_sample(&mut self, mean_ms: f64) -> f64 {
+        let u: f64 = self.fault_rng.gen_range(0.0..1.0);
+        -(1.0 - u).ln() * mean_ms
+    }
+
+    /// Stochastic crash from the MTTF process: with a repair time the node
+    /// goes down for an Exp(MTTR) outage (the next failure is drawn at
+    /// restart); without one it recovers instantly and the next failure is
+    /// drawn immediately.
+    fn fault_crash(&mut self, site: usize) {
+        if !self.nodes[site].up {
+            return;
+        }
+        let (mttf, mttr) = (self.cfg.fault_plan.mttf_ms, self.cfg.fault_plan.mttr_ms);
+        if mttr > 0.0 {
+            let downtime = self.exp_sample(mttr);
+            self.crash_node(site, Some(downtime));
+        } else {
+            self.crash_node(site, None);
+            let next = self.exp_sample(mttf);
+            self.sched.schedule_in(next, Ev::FaultCrash { site });
+        }
+    }
+
+    /// Injected node failure: lose the site's volatile state and poison or
+    /// kill every transaction that had touched the site.
+    ///
+    /// With `downtime = None` (scheduled crashes, MTTR = 0) the node
+    /// recovers instantly: journal recovery runs now and affected
+    /// transactions divert to their abort path. With `downtime = Some(d)`
+    /// the node stays down for `d` ms: recovery is deferred to the
+    /// `Restart`, transactions *homed* here are killed outright (their
+    /// coordinator state is gone — participants elsewhere become orphans
+    /// resolved by the presumed-abort termination protocol), and visiting
+    /// transactions are poisoned.
     ///
     /// In-flight disk/CPU transfers at the site are allowed to drain (their
     /// completions are harmless — the owning transactions are poisoned and
     /// divert to their abort path at the next safe point).
-    fn crash_node(&mut self, site: usize) {
+    fn crash_node(&mut self, site: usize, downtime: Option<f64>) {
+        if !self.nodes[site].up {
+            return; // a scheduled crash hit a node already down
+        }
         self.stats.crashes += 1;
         let now = self.sched.now();
 
         // 1. Storage-level crash + recovery (un-forced journal tail lost,
-        //    every uncommitted transaction's images restored).
-        self.nodes[site].db.crash_and_recover();
+        //    every uncommitted transaction's images restored). A node with
+        //    repair time runs recovery at restart instead — nothing touches
+        //    its storage while it is down.
+        if downtime.is_none() {
+            self.nodes[site].db.crash_and_recover();
+        } else {
+            self.nodes[site].up = false;
+        }
 
         // 2. Volatile protocol state is gone: collect everyone parked in
         //    the site's queues so they can be re-activated, then reset.
+        //    The lifetime lock/TSO counters are folded into accumulators
+        //    first — the replacement managers restart from zero, and the
+        //    report must not see totals go backwards.
+        {
+            let n = &mut self.nodes[site];
+            n.acc_lock_requests += n.locks.requests();
+            n.acc_lock_conflicts += n.locks.conflicts();
+            n.acc_cc_rejections += n.tso.rejections();
+        }
         let mut stranded: Vec<u64> = Vec::new();
         stranded.extend(self.nodes[site].locks.blocked_transactions());
         stranded.extend(self.nodes[site].tm_queue.drain(..));
@@ -309,9 +447,14 @@ impl Sim {
         for tx in self.txs.values_mut() {
             tx.dm_sites.retain(|&s| s != site);
         }
+        // Orphans registered *at* this site are swept away with the rest of
+        // its volatile state (a later restart's recovery undoes their
+        // storage side; their OrphanResolve events become no-ops).
+        self.orphans.retain(|&(s, _), _| s != site);
 
-        // 3. Poison every live transaction that had touched the site.
-        let victims: Vec<u64> = self
+        // 3. Poison every live transaction that had touched the site; with
+        //    downtime, transactions homed here are killed outright instead.
+        let mut victims: Vec<u64> = self
             .txs
             .iter()
             .filter(|(_, tx)| {
@@ -322,7 +465,15 @@ impl Sim {
             })
             .map(|(&gid, _)| gid)
             .collect();
+        // `txs` is a hash map: iteration order varies between `Sim`
+        // instances, and the kill/poison order below feeds the scheduler.
+        // Sort so identical configurations replay identically.
+        victims.sort_unstable();
         for gid in victims {
+            if downtime.is_some() && self.txs[&gid].home == site {
+                self.kill_homed_tx(gid, site);
+                continue;
+            }
             let tx = self.txs.get_mut(&gid).expect("live tx");
             if !tx.aborting && !tx.poisoned {
                 tx.poisoned = true;
@@ -343,6 +494,204 @@ impl Sim {
         while let Some(gid) = self.ready.pop_front() {
             self.advance(gid);
         }
+        if let Some(d) = downtime {
+            self.sched.schedule_in(d, Ev::Restart { site });
+        }
+    }
+
+    /// Kills a transaction whose home (coordinator) node crashed with
+    /// downtime: the coordinator's volatile state is gone, so the
+    /// transaction cannot continue *or* run a coordinated abort. Its user
+    /// is parked until the node restarts. At every other live site, pending
+    /// waits are withdrawn immediately (nothing must ever block *behind* a
+    /// dead transaction's queue entry) but held locks — including an
+    /// in-doubt prepared participant's — stay until the termination
+    /// protocol fires.
+    fn kill_homed_tx(&mut self, gid: u64, home: usize) {
+        let tx = self.txs.remove(&gid).expect("live tx");
+        self.stats.crash_kills += 1;
+        let term = self.cfg.fault_plan.termination_ms();
+        for s in 0..self.nodes.len() {
+            if s == home || !self.nodes[s].up {
+                continue;
+            }
+            let woken = self.nodes[s].locks.cancel_request(gid);
+            self.wake(woken);
+            self.nodes[s].tso.cancel_waits(gid);
+            self.nodes[s].tm_queue.retain(|&g| g != gid);
+            self.nodes[s].dm_queue.retain(|&g| g != gid);
+            if self.nodes[s].tm_busy == Some(gid) {
+                self.grant_tm_to_next(s);
+            }
+            // Whatever the participant still holds here (locks, a DM
+            // server, an in-doubt prepared state) is resolved by the
+            // termination protocol after the coordinator stays silent for
+            // the full retransmission schedule.
+            self.orphans.insert((s, gid), tx.dm_sites.contains(&s));
+            self.sched
+                .schedule_in(term, Ev::OrphanResolve { site: s, gid });
+        }
+        self.nodes[home].parked_users.push(tx.user);
+    }
+
+    /// A crashed node comes back up: run journal recovery (charging its
+    /// I/O to the background), release the recovered state, resubmit the
+    /// users parked during the outage, and draw the next failure.
+    fn restart_node(&mut self, site: usize) {
+        debug_assert!(!self.nodes[site].up, "restart of a node that is up");
+        self.nodes[site].up = true;
+        self.stats.recoveries += 1;
+        let undone = self.nodes[site].db.crash_and_recover();
+        if !undone.is_empty() {
+            // Background recovery I/O: one block restore per undone
+            // transaction's journal extent plus the forced abort records,
+            // charged to the reserved gid 0 so it contends with normal
+            // traffic without belonging to any transaction.
+            let ios = undone.len() as u32 + 1;
+            let ms = ios as f64 * self.cfg.params.nodes[site].disk_io_ms;
+            self.nodes[site].io_ops += ios as u64;
+            let now = self.sched.now();
+            if let Some(started) = self.nodes[site].disk.arrive(now, 0, ms) {
+                self.sched
+                    .schedule_in(started.service, Ev::DiskDone { site, gid: 0 });
+            }
+        }
+        for user in std::mem::take(&mut self.nodes[site].parked_users) {
+            self.sched
+                .schedule_in(self.cfg.params.think_time_ms, Ev::Submit { user });
+        }
+        let next = self.exp_sample(self.cfg.fault_plan.mttf_ms);
+        self.sched.schedule_in(next, Ev::FaultCrash { site });
+    }
+
+    /// Presumed-abort termination at an orphaned participant: the
+    /// coordinator has been silent for the full retransmission schedule,
+    /// so the participant — in doubt if it had prepared — unilaterally
+    /// aborts, rolls back, releases its locks, and frees its DM server.
+    fn resolve_orphan(&mut self, site: usize, gid: u64) {
+        let Some(dm_held) = self.orphans.remove(&(site, gid)) else {
+            return; // swept away by a crash of this site in the meantime
+        };
+        debug_assert!(self.nodes[site].up, "orphan entry survived a crash");
+        if self.nodes[site].db.is_prepared(gid) {
+            self.stats.in_doubt_resolutions += 1;
+        }
+        if self.nodes[site].db.is_active(gid) {
+            let io = self.nodes[site].db.rollback(gid).expect("orphan rollback");
+            let ios = io.total();
+            if ios > 0 {
+                let ms = ios as f64 * self.cfg.params.nodes[site].disk_io_ms;
+                self.nodes[site].io_ops += ios as u64;
+                let now = self.sched.now();
+                if let Some(started) = self.nodes[site].disk.arrive(now, 0, ms) {
+                    self.sched
+                        .schedule_in(started.service, Ev::DiskDone { site, gid: 0 });
+                }
+            }
+        }
+        let woken = self.nodes[site].locks.release_all(gid);
+        self.wake(woken);
+        let woken = self.nodes[site].tso.abort(gid);
+        self.wake_retry(woken);
+        if dm_held {
+            self.free_dm(site);
+        }
+    }
+
+    /// Sends (or retransmits) the network message of the `Net` op `gid` is
+    /// parked on. Draws the fault plan's coin flips from the dedicated
+    /// fault stream: the message may be lost (lossy link or dead
+    /// destination), delayed by jitter, or delivered twice. When timeouts
+    /// are enabled a retransmission timer with bounded exponential backoff
+    /// is armed alongside every attempt.
+    fn send_message(&mut self, gid: u64, to: usize, ms: f64, attempt: u32) {
+        let fp = self.cfg.fault_plan.clone();
+        let token = self.next_token;
+        self.next_token += 1;
+        {
+            let tx = self.txs.get_mut(&gid).expect("live tx");
+            tx.net_token = Some(token);
+            tx.net_attempt = attempt;
+        }
+        self.stats.net_messages += 1;
+        // The retransmission timer covers the worst-case delivery time plus
+        // the backed-off timeout, so it can never fire for a message that
+        // was actually delivered.
+        if fp.timeout_ms > 0.0 {
+            let deadline = fp.backoff_ms(attempt) + ms + fp.jitter_ms;
+            self.sched
+                .schedule_in(deadline, Ev::NetTimeout { gid, token });
+        }
+        let dropped =
+            !self.nodes[to].up || (fp.drop_prob > 0.0 && self.fault_rng.gen_bool(fp.drop_prob));
+        if dropped {
+            self.stats.net_drops += 1;
+            return; // the timer (armed above) will retransmit
+        }
+        let jitter = if fp.jitter_ms > 0.0 {
+            self.fault_rng.gen_range(0.0..fp.jitter_ms)
+        } else {
+            0.0
+        };
+        self.sched
+            .schedule_in(ms + jitter, Ev::NetDone { gid, token });
+        if fp.duplicate_prob > 0.0 && self.fault_rng.gen_bool(fp.duplicate_prob) {
+            self.stats.net_duplicates += 1;
+            let jitter2 = if fp.jitter_ms > 0.0 {
+                self.fault_rng.gen_range(0.0..fp.jitter_ms)
+            } else {
+                0.0
+            };
+            // Same token: whichever copy arrives second is stale.
+            self.sched
+                .schedule_in(ms + jitter2, Ev::NetDone { gid, token });
+        }
+    }
+
+    /// A network delivery arrived. Stale tokens (duplicates, copies of a
+    /// send the transaction has moved past) are ignored; a delivery to a
+    /// node that died in flight counts as a drop and leaves the
+    /// retransmission timer to recover.
+    fn net_delivered(&mut self, gid: u64, token: u64) {
+        let Some(tx) = self.txs.get(&gid) else { return };
+        if tx.net_token != Some(token) {
+            return;
+        }
+        let &Op::Net { to, .. } = &tx.prog.ops[tx.pc] else {
+            return;
+        };
+        if !self.nodes[to].up {
+            self.stats.net_drops += 1;
+            return;
+        }
+        self.txs.get_mut(&gid).expect("live tx").net_token = None;
+        self.step_past(gid);
+    }
+
+    /// A retransmission timer fired. If the send it covered is still
+    /// outstanding, retransmit — or, once the retry budget is exhausted on
+    /// the forward path, presume the peer dead and abort the transaction.
+    /// Aborting and decided transactions retry past the bound (at the
+    /// capped backoff) so cleanup and commit decisions always reach every
+    /// participant eventually.
+    fn net_timed_out(&mut self, gid: u64, token: u64) {
+        let Some(tx) = self.txs.get(&gid) else { return };
+        if tx.net_token != Some(token) {
+            return;
+        }
+        let &Op::Net { ms, to } = &tx.prog.ops[tx.pc] else {
+            return;
+        };
+        let (attempt, unbounded) = (tx.net_attempt, tx.aborting || tx.decided);
+        if unbounded || attempt < self.cfg.fault_plan.max_retries {
+            self.stats.net_retries += 1;
+            self.send_message(gid, to, ms, attempt.saturating_add(1));
+        } else {
+            self.stats.timeout_aborts += 1;
+            self.txs.get_mut(&gid).expect("live tx").net_token = None;
+            self.start_abort_program(gid);
+            self.ready.push_back(gid);
+        }
     }
 
     /// Completion of a timed op: account its residence (queueing +
@@ -361,6 +710,13 @@ impl Sim {
 
     fn submit(&mut self, user: usize) {
         let (home, ty) = self.users[user];
+        if !self.nodes[home].up {
+            // The user's terminal has nowhere to submit to; it re-enters
+            // the closed network when the node restarts. (Checked before
+            // any RNG draw so the workload stream is unperturbed.)
+            self.nodes[home].parked_users.push(user);
+            return;
+        }
         let gid = self.next_gid;
         self.next_gid += 1;
         let plan = Plan::sample(
@@ -389,6 +745,9 @@ impl Sim {
                 op_started: 0.0,
                 tm_held: None,
                 poisoned: false,
+                net_token: None,
+                net_attempt: 0,
+                decided: false,
             },
         );
         self.ready.push_back(gid);
@@ -400,9 +759,9 @@ impl Sim {
             n.disk.reset_stats(now);
             n.log_disk.reset_stats(now);
             n.io_ops = 0;
-            n.base_lock_requests = n.locks.requests();
-            n.base_lock_conflicts = n.locks.conflicts();
-            n.base_cc_rejections = n.tso.rejections();
+            n.base_lock_requests = n.acc_lock_requests + n.locks.requests();
+            n.base_lock_conflicts = n.acc_lock_conflicts + n.locks.conflicts();
+            n.base_cc_rejections = n.acc_cc_rejections + n.tso.rejections();
         }
         self.stats = Stats {
             window_start: now,
@@ -437,8 +796,7 @@ impl Sim {
                     self.txs.get_mut(&gid).expect("live tx").op_started = now;
                     self.nodes[site].io_ops += ios as u64;
                     if log && self.cfg.separate_log_disk {
-                        if let Some(started) = self.nodes[site].log_disk.arrive(now, gid, ms)
-                        {
+                        if let Some(started) = self.nodes[site].log_disk.arrive(now, gid, ms) {
                             self.sched
                                 .schedule_in(started.service, Ev::LogDone { site, gid });
                         }
@@ -448,9 +806,9 @@ impl Sim {
                     }
                     return;
                 }
-                Op::Net { ms } => {
+                Op::Net { ms, to } => {
                     self.txs.get_mut(&gid).expect("live tx").op_started = now;
-                    self.sched.schedule_in(ms, Ev::NetDone { gid });
+                    self.send_message(gid, to, ms, 0);
                     return;
                 }
                 Op::AcquireTm { site } => {
@@ -467,19 +825,12 @@ impl Sim {
                     }
                 }
                 Op::ReleaseTm { site } => {
-                    let node = &mut self.nodes[site];
-                    debug_assert_eq!(node.tm_busy, Some(gid), "TM released by non-holder");
-                    node.tm_busy = node.tm_queue.pop_front();
-                    if let Some(next) = node.tm_busy {
-                        // The waiter was parked at its AcquireTm op.
-                        let w = self.txs.get_mut(&next).expect("queued tx exists");
-                        let waited = now - w.op_started;
-                        let key = (w.home, w.ty, Seg::TmWait);
-                        w.pc += 1;
-                        w.tm_held = Some(site);
-                        *self.stats.phase_ms.entry(key).or_default() += waited;
-                        self.ready.push_back(next);
-                    }
+                    debug_assert_eq!(
+                        self.nodes[site].tm_busy,
+                        Some(gid),
+                        "TM released by non-holder"
+                    );
+                    self.grant_tm_to_next(site);
                     let tx = self.txs.get_mut(&gid).expect("live tx");
                     tx.tm_held = None;
                     tx.pc += 1;
@@ -537,8 +888,7 @@ impl Sim {
                             }
                             TsOutcome::WaitFor(_) => {
                                 let t = self.sched.now();
-                                self.txs.get_mut(&gid).expect("live tx").blocked_since =
-                                    Some(t);
+                                self.txs.get_mut(&gid).expect("live tx").blocked_since = Some(t);
                                 return; // parked until the writer resolves
                             }
                         }
@@ -557,8 +907,7 @@ impl Sim {
                                 // Continue: run the abort program.
                             } else if self.nodes[site].locks.waiting_block(gid).is_some() {
                                 let t = self.sched.now();
-                                self.txs.get_mut(&gid).expect("live tx").blocked_since =
-                                    Some(t);
+                                self.txs.get_mut(&gid).expect("live tx").blocked_since = Some(t);
                                 return; // parked until lock grant
                             } else {
                                 // A youngest-policy victim abort already
@@ -594,6 +943,11 @@ impl Sim {
                     self.bump(gid);
                 }
                 Op::CommitSite { site } => {
+                    // The commit decision is final from the first
+                    // `CommitSite` on: later message losses must deliver
+                    // the outcome, not presume abort (a participant may
+                    // already have committed).
+                    self.txs.get_mut(&gid).expect("live tx").decided = true;
                     if self.txs[&gid].begun_sites.contains(&site) {
                         self.nodes[site].db.commit(gid).expect("commit");
                         let updated = self.txs[&gid].updated.clone();
@@ -640,6 +994,54 @@ impl Sim {
     /// Moves `gid` past a zero-time op.
     fn bump(&mut self, gid: u64) {
         self.txs.get_mut(&gid).expect("live tx").pc += 1;
+    }
+
+    /// Hands the TM server at `site` to the next *live* queued waiter
+    /// (skipping transactions killed by a crash), or marks it free.
+    fn grant_tm_to_next(&mut self, site: usize) {
+        let now = self.sched.now();
+        let next = loop {
+            match self.nodes[site].tm_queue.pop_front() {
+                Some(cand) if self.txs.contains_key(&cand) => break Some(cand),
+                Some(_) => continue,
+                None => break None,
+            }
+        };
+        self.nodes[site].tm_busy = next;
+        if let Some(next) = next {
+            // The waiter was parked at its AcquireTm op.
+            let w = self.txs.get_mut(&next).expect("queued tx exists");
+            let waited = now - w.op_started;
+            let key = (w.home, w.ty, Seg::TmWait);
+            w.pc += 1;
+            w.tm_held = Some(site);
+            *self.stats.phase_ms.entry(key).or_default() += waited;
+            self.ready.push_back(next);
+        }
+    }
+
+    /// Returns one DM server at `site` to the pool, handing it directly to
+    /// the next *live* queued waiter if there is one.
+    fn free_dm(&mut self, site: usize) {
+        let now = self.sched.now();
+        let next = loop {
+            match self.nodes[site].dm_queue.pop_front() {
+                Some(cand) if self.txs.contains_key(&cand) => break Some(cand),
+                Some(_) => continue,
+                None => break None,
+            }
+        };
+        if let Some(next) = next {
+            let w = self.txs.get_mut(&next).expect("queued tx");
+            w.dm_sites.push(site);
+            w.pc += 1;
+            let waited = now - w.op_started;
+            let key = (w.home, w.ty, Seg::DmWait);
+            *self.stats.phase_ms.entry(key).or_default() += waited;
+            self.ready.push_back(next);
+        } else {
+            self.nodes[site].dm_free = self.nodes[site].dm_free.saturating_add(1);
+        }
     }
 
     /// Wakes transactions granted a lock by a release: they were parked at
@@ -905,25 +1307,22 @@ impl Sim {
 
     /// Replaces `gid`'s remaining program with the rollback sequence.
     fn start_abort_program(&mut self, gid: u64) {
-
         let (home, ty, abort_sites) = {
             let tx = &self.txs[&gid];
             // Rollback is needed wherever the transaction has touched data
             // (begun ⟺ accessed ⟹ holds locks there); the home site is
             // always visited so the coordinator processes the abort even if
-            // nothing was touched yet.
+            // nothing was touched yet. Down sites are skipped — their
+            // restart recovery undoes the transaction from the journal.
             let mut sites: Vec<usize> = tx.begun_sites.clone();
             if !sites.contains(&tx.home) {
                 sites.push(tx.home);
             }
+            sites.retain(|&s| self.nodes[s].up);
             sites.sort_unstable();
             (tx.home, tx.ty, sites)
         };
-        *self
-            .stats
-            .aborts
-            .entry((home, ty))
-            .or_default() += 1;
+        *self.stats.aborts.entry((home, ty)).or_default() += 1;
 
         let b = &self.cfg.params.basic;
         let alpha = self.cfg.params.comm_delay_ms;
@@ -936,7 +1335,13 @@ impl Sim {
                 ty.slave_chain().expect("remote site implies distributed")
             };
             if site != home {
-                prog.push(Op::Net { ms: alpha }, Seg::Ta);
+                prog.push(
+                    Op::Net {
+                        ms: alpha,
+                        to: site,
+                    },
+                    Seg::Ta,
+                );
             }
             // TA phase: abort message processing.
             prog.push(
@@ -969,7 +1374,13 @@ impl Sim {
             }
             prog.push(Op::AbortSite { site }, Seg::Ta);
             if site != home {
-                prog.push(Op::Net { ms: alpha }, Seg::Ta);
+                prog.push(
+                    Op::Net {
+                        ms: alpha,
+                        to: home,
+                    },
+                    Seg::Ta,
+                );
             }
         }
         prog.push(Op::End, Seg::Ta);
@@ -978,6 +1389,10 @@ impl Sim {
         tx.aborting = true;
         tx.prog = prog;
         tx.pc = 0;
+        // Any in-flight send belongs to the replaced program; its delivery
+        // and timer are stale from here on.
+        tx.net_token = None;
+        tx.net_attempt = 0;
     }
 
     /// Diverts a crash-poisoned transaction onto its abort path: withdraw
@@ -1041,24 +1456,10 @@ impl Sim {
                 .record(now - tx.submit_time);
         }
         for &site in &tx.dm_sites {
-            let node = &mut self.nodes[site];
-            if let Some(next) = node.dm_queue.pop_front() {
-                // Hand the DM directly to the waiter.
-                let w = self.txs.get_mut(&next).expect("queued tx");
-                w.dm_sites.push(site);
-                w.pc += 1;
-                let waited = now - w.op_started;
-                let key = (w.home, w.ty, Seg::DmWait);
-                *self.stats.phase_ms.entry(key).or_default() += waited;
-                self.ready.push_back(next);
-            } else {
-                node.dm_free = node.dm_free.saturating_add(1);
-            }
+            self.free_dm(site);
         }
-        self.sched.schedule_in(
-            self.cfg.params.think_time_ms,
-            Ev::Submit { user: tx.user },
-        );
+        self.sched
+            .schedule_in(self.cfg.params.think_time_ms, Ev::Submit { user: tx.user });
     }
 
     fn report(&self, end: Time) -> SimReport {
@@ -1080,8 +1481,7 @@ impl Sim {
                 if commits > 0 {
                     for ((h, t, seg), total) in &self.stats.phase_ms {
                         if *h == i && *t == ty {
-                            *phase_ms.entry(seg.label()).or_default() +=
-                                total / commits as f64;
+                            *phase_ms.entry(seg.label()).or_default() += total / commits as f64;
                         }
                     }
                 }
@@ -1092,12 +1492,7 @@ impl Sim {
                         commits,
                         aborts,
                         xput_per_s: commits as f64 / window_s,
-                        mean_response_ms: self
-                            .stats
-                            .resp
-                            .get(&key)
-                            .map(Tally::mean)
-                            .unwrap_or(0.0),
+                        mean_response_ms: self.stats.resp.get(&key).map(Tally::mean).unwrap_or(0.0),
                         p50_response_ms: self
                             .stats
                             .resp_hist
@@ -1147,21 +1542,35 @@ impl Sim {
             }
         }
 
+        // Lifetime totals = accumulators from replaced managers + the live
+        // manager's counters; the saturating subtraction guards the edge
+        // where the warm-up baseline was taken just before a crash reset.
         let lock_requests: u64 = self
             .nodes
             .iter()
-            .map(|n| n.locks.requests() - n.base_lock_requests)
+            .map(|n| {
+                (n.acc_lock_requests + n.locks.requests()).saturating_sub(n.base_lock_requests)
+            })
             .sum();
         let lock_conflicts: u64 = self
             .nodes
             .iter()
-            .map(|n| n.locks.conflicts() - n.base_lock_conflicts)
+            .map(|n| {
+                (n.acc_lock_conflicts + n.locks.conflicts()).saturating_sub(n.base_lock_conflicts)
+            })
             .sum();
         let cc_rejections: u64 = self
             .nodes
             .iter()
-            .map(|n| n.tso.rejections() - n.base_cc_rejections)
+            .map(|n| {
+                (n.acc_cc_rejections + n.tso.rejections()).saturating_sub(n.base_cc_rejections)
+            })
             .sum();
+        let oldest_inflight_ms = self
+            .txs
+            .values()
+            .map(|tx| end - tx.submit_time)
+            .fold(0.0_f64, f64::max);
         SimReport {
             nodes,
             local_deadlocks: self.stats.local_deadlocks,
@@ -1174,6 +1583,15 @@ impl Sim {
             lock_waits_completed: self.stats.lock_wait.count(),
             crashes: self.stats.crashes,
             crash_kills: self.stats.crash_kills,
+            recoveries: self.stats.recoveries,
+            net_messages: self.stats.net_messages,
+            net_drops: self.stats.net_drops,
+            net_duplicates: self.stats.net_duplicates,
+            net_retries: self.stats.net_retries,
+            timeout_aborts: self.stats.timeout_aborts,
+            in_doubt_resolutions: self.stats.in_doubt_resolutions,
+            live_at_end: self.txs.len() as u64,
+            oldest_inflight_ms,
             audited_records: audited,
             audit_violations,
             window_ms: window,

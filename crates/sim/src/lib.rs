@@ -30,6 +30,23 @@
 //! Because the entire simulation is event-driven with a deterministic
 //! scheduler and a seeded RNG, every run is exactly reproducible.
 //!
+//! ## Fault injection
+//!
+//! A [`FaultPlan`] adds, on top of the scheduled crash list: a lossy /
+//! duplicating / reordering network (per-message drop probability, delivery
+//! jitter, duplicate deliveries detected by sequence tokens), stochastic
+//! node crash/restart processes (exponential MTTF/MTTR; restarted nodes run
+//! journal recovery and rejoin), and timeout-driven retransmission with
+//! bounded exponential backoff on every inter-site message — including both
+//! two-phase-commit rounds. When the retry budget runs out on the forward
+//! path the sender presumes its peer dead and aborts; participants orphaned
+//! by a coordinator crash run the presumed-abort termination protocol,
+//! resolving in-doubt transactions and releasing their locks after the full
+//! retransmission schedule elapses. All fault randomness comes from a
+//! dedicated stream derived from the seed, so runs stay bit-reproducible
+//! and enabling faults never changes which transactions the workload
+//! submits.
+//!
 //! ## Fidelity notes (vs. the real testbed)
 //!
 //! * The TM server *is* modelled as a serialisation point (it holds the
@@ -50,6 +67,6 @@ pub mod engine;
 pub mod metrics;
 pub mod program;
 
-pub use config::{CcProtocol, DeadlockMode, SimConfig, VictimPolicy};
+pub use config::{CcProtocol, DeadlockMode, FaultPlan, SimConfig, SimConfigError, VictimPolicy};
 pub use engine::Sim;
 pub use metrics::{NodeReport, SimReport, TypeReport};

@@ -6,7 +6,7 @@ use carat_workload::TxType;
 
 /// Per-transaction-type results at one node (attributed to the
 /// transaction's *home* node, as in the paper's Table 5).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TypeReport {
     /// Measured wall-time spent in each transaction phase, as mean
     /// milliseconds per committed transaction — the simulator-side analogue
@@ -41,7 +41,7 @@ impl TypeReport {
 }
 
 /// Per-node results.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NodeReport {
     /// Node label ("A", "B").
     pub name: String,
@@ -64,7 +64,7 @@ pub struct NodeReport {
 }
 
 /// Results of one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Per-node results, indexed like the configuration's nodes.
     pub nodes: Vec<NodeReport>,
@@ -86,10 +86,34 @@ pub struct SimReport {
     pub mean_lock_wait_ms: f64,
     /// Number of lock waits that ended in a grant during the window.
     pub lock_waits_completed: u64,
-    /// Injected node crashes executed.
+    /// Injected node crashes executed (scheduled and stochastic).
     pub crashes: u64,
     /// Transactions killed by crashes (each restarted afterwards).
     pub crash_kills: u64,
+    /// Node restarts that ran journal recovery and rejoined.
+    pub recoveries: u64,
+    /// Network messages sent (including retransmissions).
+    pub net_messages: u64,
+    /// Messages lost in transit (lossy link or dead destination).
+    pub net_drops: u64,
+    /// Duplicate deliveries injected (all detected as stale and ignored).
+    pub net_duplicates: u64,
+    /// Retransmissions after a timeout fired.
+    pub net_retries: u64,
+    /// Transactions aborted because the retry budget ran out
+    /// (presumed-abort on unreachable peer).
+    pub timeout_aborts: u64,
+    /// In-doubt (prepared, decision unknown) participants resolved by the
+    /// presumed-abort termination protocol after losing their coordinator.
+    pub in_doubt_resolutions: u64,
+    /// Transactions still in flight when the run ended (normal: the closed
+    /// network always has one per user; the no-hang check uses
+    /// `oldest_inflight_ms` instead).
+    pub live_at_end: u64,
+    /// Age (ms) of the oldest transaction still in flight at the end of
+    /// the run. Bounded for any valid fault plan — an unbounded value
+    /// would mean a transaction hung forever.
+    pub oldest_inflight_ms: f64,
     /// Records covered by the end-of-run commit audit.
     pub audited_records: u64,
     /// Audit failures: records whose stored bytes are NOT the last

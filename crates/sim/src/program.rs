@@ -59,6 +59,10 @@ pub enum Op {
     Net {
         /// Delay (α) in ms.
         ms: f64,
+        /// Destination site — the node whose TM/DM the message is headed
+        /// for. The fault layer drops or delays the message if the link is
+        /// lossy or the destination is down.
+        to: usize,
     },
     /// Request a block lock; may block, may make the requester a deadlock
     /// victim.
@@ -153,8 +157,7 @@ impl Plan {
                     hot_data_frac,
                     hot_access_prob,
                 } => {
-                    let hot_records =
-                        ((n_records as f64 * hot_data_frac) as u64).max(1);
+                    let hot_records = ((n_records as f64 * hot_data_frac) as u64).max(1);
                     if rng.gen_bool(hot_access_prob) {
                         rng.gen_range(0..hot_records)
                     } else {
@@ -353,7 +356,13 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
 
         if remote {
             // REMDO to the slave TM.
-            prog.push(Op::Net { ms: alpha }, Seg::Rw);
+            prog.push(
+                Op::Net {
+                    ms: alpha,
+                    to: site,
+                },
+                Seg::Rw,
+            );
             prog.push(Op::AcquireTm { site }, Seg::Tm);
             prog.push(
                 Op::UseCpu {
@@ -377,13 +386,7 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
         );
         for &rid in records {
             if touched.insert((site, rid.block)) {
-                prog.push(
-                    Op::UseCpu {
-                        site,
-                        ms: b.r_lr,
-                    },
-                    Seg::Lr,
-                );
+                prog.push(Op::UseCpu { site, ms: b.r_lr }, Seg::Lr);
                 prog.push(
                     Op::Lock {
                         site,
@@ -438,7 +441,13 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
                 Seg::Tm,
             );
             prog.push(Op::ReleaseTm { site }, Seg::Tm);
-            prog.push(Op::Net { ms: alpha }, Seg::Rw);
+            prog.push(
+                Op::Net {
+                    ms: alpha,
+                    to: home,
+                },
+                Seg::Rw,
+            );
         }
         // DOSTEP_K / REMDO_K processed by the home TM.
         prog.push(Op::AcquireTm { site: home }, Seg::Tm);
@@ -497,7 +506,7 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
         );
         prog.push(Op::ReleaseTm { site: home }, Seg::Tc);
         for &s in &slave_sites {
-            prog.push(Op::Net { ms: alpha }, Seg::Cw);
+            prog.push(Op::Net { ms: alpha, to: s }, Seg::Cw);
             prog.push(Op::AcquireTm { site: s }, Seg::Tc);
             prog.push(
                 Op::UseCpu {
@@ -521,7 +530,13 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
                 );
             }
             prog.push(Op::ReleaseTm { site: s }, Seg::Tc);
-            prog.push(Op::Net { ms: alpha }, Seg::Cw);
+            prog.push(
+                Op::Net {
+                    ms: alpha,
+                    to: home,
+                },
+                Seg::Cw,
+            );
         }
         // Phase 2: coordinator decision + COMMIT round.
         prog.push(Op::AcquireTm { site: home }, Seg::Tc);
@@ -545,7 +560,7 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
         }
         prog.push(Op::ReleaseTm { site: home }, Seg::Tc);
         for &s in &slave_sites {
-            prog.push(Op::Net { ms: alpha }, Seg::Cw);
+            prog.push(Op::Net { ms: alpha, to: s }, Seg::Cw);
             prog.push(Op::AcquireTm { site: s }, Seg::Tc);
             prog.push(
                 Op::UseCpu {
@@ -569,7 +584,13 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
             // Slave releases its locks and ends its part.
             prog.push(Op::CommitSite { site: s }, Seg::Tc);
             prog.push(Op::ReleaseTm { site: s }, Seg::Tc);
-            prog.push(Op::Net { ms: alpha }, Seg::Cw);
+            prog.push(
+                Op::Net {
+                    ms: alpha,
+                    to: home,
+                },
+                Seg::Cw,
+            );
         }
     }
 
@@ -738,7 +759,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let plan = Plan::sample(&mut rng, &p, 0, TxType::Dro, 8);
         let prog = compile(&p, 0, TxType::Dro, &plan);
-        assert!(!prog.ops.iter().any(|op| matches!(op, Op::PrepareSite { .. })));
+        assert!(!prog
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::PrepareSite { .. })));
         // All disk bursts are single-granule reads.
         assert!(prog.ops.iter().all(|op| match op {
             Op::UseDisk { ios, .. } => *ios == 1,
@@ -757,7 +781,7 @@ mod tests {
                     let plan = Plan::sample(&mut rng, &p, node, t, 12);
                     let prog = compile(&p, node, t, &plan);
                     assert!(matches!(prog.ops.last(), Some(Op::End)));
-                assert_eq!(prog.ops.len(), prog.segs.len());
+                    assert_eq!(prog.ops.len(), prog.segs.len());
                 }
             }
         }

@@ -19,10 +19,12 @@ fn dm_pool_exhaustion_serialises_transactions() {
     // (Local-only workload: DM waits and lock waits cannot deadlock with
     // each other because a transaction only waits for its DM before it
     // holds any lock.)
-    let ample = Sim::new(cfg(StandardWorkload::Lb8, 8, 3)).run();
+    let ample = Sim::new(cfg(StandardWorkload::Lb8, 8, 3))
+        .expect("valid config")
+        .run();
     let mut starved_cfg = cfg(StandardWorkload::Lb8, 8, 3);
     starved_cfg.dm_pool = 2; // 8 users per node, 2 DM servers
-    let starved = Sim::new(starved_cfg).run();
+    let starved = Sim::new(starved_cfg).expect("valid config").run();
 
     assert!(
         starved.total_tx_per_s() < ample.total_tx_per_s(),
@@ -37,10 +39,12 @@ fn dm_pool_exhaustion_serialises_transactions() {
 
 #[test]
 fn think_time_stretches_the_cycle() {
-    let busy = Sim::new(cfg(StandardWorkload::Mb4, 8, 4)).run();
+    let busy = Sim::new(cfg(StandardWorkload::Mb4, 8, 4))
+        .expect("valid config")
+        .run();
     let mut lazy_cfg = cfg(StandardWorkload::Mb4, 8, 4);
     lazy_cfg.params.think_time_ms = 20_000.0;
-    let lazy = Sim::new(lazy_cfg).run();
+    let lazy = Sim::new(lazy_cfg).expect("valid config").run();
     assert!(lazy.total_tx_per_s() < busy.total_tx_per_s());
     for (l, b) in lazy.nodes.iter().zip(&busy.nodes) {
         assert!(l.disk_util < b.disk_util);
@@ -49,12 +53,14 @@ fn think_time_stretches_the_cycle() {
 
 #[test]
 fn faster_disks_mean_more_throughput() {
-    let base = Sim::new(cfg(StandardWorkload::Lb8, 8, 5)).run();
+    let base = Sim::new(cfg(StandardWorkload::Lb8, 8, 5))
+        .expect("valid config")
+        .run();
     let mut fast_cfg = cfg(StandardWorkload::Lb8, 8, 5);
     for node in &mut fast_cfg.params.nodes {
         node.disk_io_ms /= 2.0;
     }
-    let fast = Sim::new(fast_cfg).run();
+    let fast = Sim::new(fast_cfg).expect("valid config").run();
     assert!(fast.total_tx_per_s() > base.total_tx_per_s() * 1.4);
 }
 
@@ -67,7 +73,7 @@ fn single_user_never_conflicts() {
     let mut c = SimConfig::new(wl, 8, 6);
     c.warmup_ms = 5_000.0;
     c.measure_ms = 100_000.0;
-    let r = Sim::new(c).run();
+    let r = Sim::new(c).expect("valid config").run();
     assert_eq!(r.lock_conflicts, 0);
     assert_eq!(r.local_deadlocks + r.global_deadlocks, 0);
     assert!(r.nodes[0].tx_per_s > 0.0);
@@ -85,7 +91,9 @@ fn single_user_never_conflicts() {
 
 #[test]
 fn percentiles_are_ordered_and_bracket_the_mean() {
-    let r = Sim::new(cfg(StandardWorkload::Mb8, 12, 8)).run();
+    let r = Sim::new(cfg(StandardWorkload::Mb8, 12, 8))
+        .expect("valid config")
+        .run();
     for node in &r.nodes {
         for (ty, t) in &node.per_type {
             if t.commits < 20 {
@@ -127,7 +135,7 @@ fn alpha_delays_show_up_in_uncontended_distributed_response_times() {
         c.warmup_ms = 5_000.0;
         c.measure_ms = 150_000.0;
         c.params.comm_delay_ms = alpha;
-        Sim::new(c).run().nodes[0].per_type[&TxType::Du].mean_response_ms
+        Sim::new(c).expect("valid config").run().nodes[0].per_type[&TxType::Du].mean_response_ms
     };
     let base = run(0.0);
     let slow = run(200.0);

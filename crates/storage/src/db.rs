@@ -82,6 +82,9 @@ struct TxState {
     journaled: HashSet<u32>,
     /// Before-images in journaling order, for in-memory rollback.
     undo: Vec<(u32, Block)>,
+    /// Entered the 2PC prepared state (prepare record forced); such a
+    /// participant is *in doubt* until the coordinator's decision arrives.
+    prepared: bool,
 }
 
 /// A single site's transactional storage engine.
@@ -231,9 +234,8 @@ impl Database {
     /// Enters the prepared state for `tx` (2PC participant): forces the
     /// journal so every before-image plus the prepare record is durable.
     pub fn prepare(&mut self, tx: TxId) -> Result<IoCounts, DbError> {
-        if !self.active.contains_key(&tx) {
-            return Err(DbError::UnknownTx(tx));
-        }
+        let state = self.active.get_mut(&tx).ok_or(DbError::UnknownTx(tx))?;
+        state.prepared = true;
         self.journal.append_forced(&LogRecord {
             tx,
             payload: LogPayload::Prepare,
@@ -242,6 +244,26 @@ impl Database {
             forced_writes: 1,
             ..IoCounts::default()
         })
+    }
+
+    /// True if `tx` is active and has entered the prepared state.
+    pub fn is_prepared(&self, tx: TxId) -> bool {
+        self.active.get(&tx).map(|s| s.prepared).unwrap_or(false)
+    }
+
+    /// Active transactions in the in-doubt window: prepared (vote YES
+    /// durable) but neither committed nor rolled back yet. These hold their
+    /// locks until the coordinator's decision — or a termination protocol —
+    /// resolves them.
+    pub fn in_doubt(&self) -> Vec<TxId> {
+        let mut v: Vec<TxId> = self
+            .active
+            .iter()
+            .filter(|(_, s)| s.prepared)
+            .map(|(&tx, _)| tx)
+            .collect();
+        v.sort_unstable();
+        v
     }
 
     /// Rolls `tx` back: restores before-images in reverse order and writes

@@ -53,7 +53,10 @@ impl AccessPattern {
                 hot_access_prob: p,
             } => {
                 assert!((0.0..1.0).contains(&h) && h > 0.0, "bad hot_data_frac {h}");
-                assert!((0.0..1.0).contains(&p) && p > 0.0, "bad hot_access_prob {p}");
+                assert!(
+                    (0.0..1.0).contains(&p) && p > 0.0,
+                    "bad hot_access_prob {p}"
+                );
                 p * p / h + (1.0 - p) * (1.0 - p) / (1.0 - h)
             }
         }

@@ -1,6 +1,8 @@
 //! Property-based tests for workload specifications and parameters.
 
-use carat_workload::{AccessPattern, ChainType, StandardWorkload, SystemParams, TxType, WorkloadSpec};
+use carat_workload::{
+    AccessPattern, ChainType, StandardWorkload, SystemParams, TxType, WorkloadSpec,
+};
 use proptest::prelude::*;
 
 fn arbitrary_spec() -> impl Strategy<Value = WorkloadSpec> {

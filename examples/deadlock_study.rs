@@ -37,7 +37,7 @@ fn main() {
         let mut cfg = SimConfig::new(wl.spec(2), n, 11);
         cfg.warmup_ms = 60_000.0;
         cfg.measure_ms = 600_000.0;
-        let sim = Sim::new(cfg).run();
+        let sim = Sim::new(cfg).expect("valid config").run();
         let (commits, aborts) = sim
             .nodes
             .iter()

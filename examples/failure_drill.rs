@@ -18,12 +18,12 @@ fn main() {
     cfg.warmup_ms = 0.0;
     cfg.measure_ms = 600_000.0;
     cfg.crashes = vec![(150_000.0, 1), (400_000.0, 1)];
-    let with_crashes = Sim::new(cfg).run();
+    let with_crashes = Sim::new(cfg).expect("valid config").run();
 
     let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 8, 2026);
     cfg.warmup_ms = 0.0;
     cfg.measure_ms = 600_000.0;
-    let clean = Sim::new(cfg).run();
+    let clean = Sim::new(cfg).expect("valid config").run();
 
     println!("## Ten simulated minutes of MB8, with node B crashing twice\n");
     println!(

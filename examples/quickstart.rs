@@ -17,7 +17,10 @@ fn main() {
 
     // 1. Analytical prediction — milliseconds of CPU time.
     let model = Model::new(ModelConfig::new(workload.clone(), n_requests)).solve();
-    println!("analytical model ({} fixed-point iterations):", model.iterations);
+    println!(
+        "analytical model ({} fixed-point iterations):",
+        model.convergence.iterations
+    );
     for node in &model.nodes {
         println!(
             "  node {}: {:.2} tx/s, CPU {:.0}%, disk {:.0}%, {:.1} I/O-s",
@@ -43,7 +46,7 @@ fn main() {
     let mut cfg = SimConfig::new(workload, n_requests, 42);
     cfg.warmup_ms = 60_000.0;
     cfg.measure_ms = 600_000.0;
-    let sim = Sim::new(cfg).run();
+    let sim = Sim::new(cfg).expect("valid config").run();
     println!("\nsimulated testbed (10 simulated minutes):");
     for node in &sim.nodes {
         println!(

@@ -16,7 +16,7 @@ fn main() {
     let mut cfg = SimConfig::new(StandardWorkload::Ub6.spec(2), 12, 2024);
     cfg.warmup_ms = 60_000.0;
     cfg.measure_ms = 600_000.0;
-    let report = Sim::new(cfg).run();
+    let report = Sim::new(cfg).expect("valid config").run();
 
     println!("## UB6 workload, n = 12, ten simulated minutes");
     for node in &report.nodes {
@@ -62,18 +62,28 @@ fn main() {
     db.begin(1).unwrap();
     db.update_record(1, rid, b"paid:$250").unwrap();
     db.commit(1).unwrap();
-    println!("after committed update:   {:?}", text(&db.read_committed(rid)));
+    println!(
+        "after committed update:   {:?}",
+        text(&db.read_committed(rid))
+    );
 
     // ...an aborted one rolls back...
     db.begin(2).unwrap();
     db.update_record(2, rid, b"paid:$999999").unwrap();
-    println!("uncommitted scribble:     {:?}", text(&db.read_committed(rid)));
+    println!(
+        "uncommitted scribble:     {:?}",
+        text(&db.read_committed(rid))
+    );
     db.rollback(2).unwrap();
-    println!("after rollback:           {:?}", text(&db.read_committed(rid)));
+    println!(
+        "after rollback:           {:?}",
+        text(&db.read_committed(rid))
+    );
 
     // ...and a crash undoes every loser transaction.
     db.begin(3).unwrap();
-    db.update_record(3, rid, b"paid:$0 (crash incoming)").unwrap();
+    db.update_record(3, rid, b"paid:$0 (crash incoming)")
+        .unwrap();
     db.prepare(3).unwrap(); // force the before-image to the journal
     let undone = db.crash_and_recover();
     println!(

@@ -1,0 +1,106 @@
+//! Fault-injection acceptance tests: determinism under faults and the
+//! no-hang / presumed-abort guarantees at scale.
+
+use carat::sim::{FaultPlan, Sim, SimConfig, SimReport};
+use carat::workload::StandardWorkload;
+
+fn faulty_config(seed: u64, measure_ms: f64) -> SimConfig {
+    let mut cfg = SimConfig::new(StandardWorkload::Mb4.spec(2), 4, seed);
+    cfg.warmup_ms = 5_000.0;
+    cfg.measure_ms = measure_ms;
+    cfg.params.comm_delay_ms = 20.0;
+    cfg.fault_plan = FaultPlan {
+        drop_prob: 0.2,
+        duplicate_prob: 0.02,
+        jitter_ms: 5.0,
+        mttf_ms: 25_000.0,
+        mttr_ms: 4_000.0,
+        timeout_ms: 60.0,
+        max_retries: 4,
+    };
+    cfg
+}
+
+fn transactions_processed(r: &SimReport) -> u64 {
+    let commits: u64 = r
+        .nodes
+        .iter()
+        .flat_map(|n| n.per_type.values())
+        .map(|t| t.commits)
+        .sum();
+    let aborts: u64 = r
+        .nodes
+        .iter()
+        .flat_map(|n| n.per_type.values())
+        .map(|t| t.aborts)
+        .sum();
+    commits + aborts + r.crash_kills
+}
+
+/// Determinism guard: the fault stream is seeded, so two runs of the same
+/// configuration must produce byte-identical reports — drops, crash times,
+/// retry counts and all.
+#[test]
+fn same_seed_same_faults_same_report() {
+    let a = Sim::new(faulty_config(42, 120_000.0))
+        .expect("valid config")
+        .run();
+    let b = Sim::new(faulty_config(42, 120_000.0))
+        .expect("valid config")
+        .run();
+    assert_eq!(a, b, "same seed and config must reproduce exactly");
+    assert!(a.net_drops > 0, "fault plan was not actually active");
+
+    let c = Sim::new(faulty_config(43, 120_000.0))
+        .expect("valid config")
+        .run();
+    assert_ne!(a, c, "different seeds should see different fault streams");
+}
+
+/// The headline robustness acceptance run: >10k transactions through a
+/// lossy, duplicating, crash-prone two-node system with 2PC timeouts on.
+/// Every transaction must resolve (commit, abort, or crash-kill + orphan
+/// termination) — nothing may hang — and the in-doubt participants created
+/// by coordinator crashes must all be resolved by presumed abort. Run
+/// twice to pin determinism at scale.
+#[test]
+fn ten_thousand_transactions_under_faults_none_hang() {
+    let r1 = Sim::new(faulty_config(7, 4_500_000.0))
+        .expect("valid config")
+        .run();
+    let r2 = Sim::new(faulty_config(7, 4_500_000.0))
+        .expect("valid config")
+        .run();
+    assert_eq!(r1, r2, "acceptance run must be deterministic");
+
+    assert!(
+        transactions_processed(&r1) >= 10_000,
+        "only {} transactions processed",
+        transactions_processed(&r1)
+    );
+    // Every fault mechanism actually fired.
+    assert!(r1.net_drops > 0);
+    assert!(r1.net_duplicates > 0);
+    assert!(r1.net_retries > 0);
+    assert!(r1.timeout_aborts > 0);
+    assert!(r1.crashes > 0);
+    assert!(r1.recoveries > 0);
+    assert!(
+        r1.in_doubt_resolutions > 0,
+        "no coordinator crash left an in-doubt participant — widen the window"
+    );
+    // No transaction hung: the oldest in-flight work at the cutoff is
+    // bounded by the ordinary response-time tail, nowhere near the run
+    // length (a hang would sit in flight for millions of ms).
+    assert!(
+        r1.oldest_inflight_ms < 60_000.0,
+        "transaction in flight for {:.0} ms looks hung",
+        r1.oldest_inflight_ms
+    );
+    // The closed network keeps one transaction per user in flight; nothing
+    // beyond that is stuck.
+    let users: u64 = 8 * 2;
+    assert!(r1.live_at_end <= users);
+    // And none of it scratched committed state.
+    assert_eq!(r1.audit_violations, 0);
+}

@@ -7,7 +7,7 @@ fn quick_sim(wl: StandardWorkload, n: u32, seed: u64) -> SimReport {
     let mut cfg = SimConfig::new(wl.spec(2), n, seed);
     cfg.warmup_ms = 10_000.0;
     cfg.measure_ms = 90_000.0;
-    Sim::new(cfg).run()
+    Sim::new(cfg).expect("valid config").run()
 }
 
 #[test]
@@ -29,7 +29,7 @@ fn every_standard_workload_solves() {
     for wl in StandardWorkload::ALL {
         for n in [4u32, 12, 20] {
             let r = Model::new(ModelConfig::new(wl.spec(2), n)).solve();
-            assert!(r.converged, "{wl} n={n} did not converge");
+            assert!(r.convergence.converged, "{wl} n={n} did not converge");
             assert!(r.total_tx_per_s() > 0.0, "{wl} n={n}");
             for node in &r.nodes {
                 assert!(
@@ -83,14 +83,17 @@ fn distributed_workloads_commit_with_2pc_and_probes_fire_under_contention() {
     let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 20, 13);
     cfg.warmup_ms = 0.0;
     cfg.measure_ms = 600_000.0;
-    let r = Sim::new(cfg).run();
+    let r = Sim::new(cfg).expect("valid config").run();
     let du_commits: u64 = r
         .nodes
         .iter()
         .filter_map(|nd| nd.per_type.get(&TxType::Du))
         .map(|t| t.commits)
         .sum();
-    assert!(du_commits > 0, "distributed updates must commit through 2PC");
+    assert!(
+        du_commits > 0,
+        "distributed updates must commit through 2PC"
+    );
     assert!(
         r.local_deadlocks + r.global_deadlocks > 0,
         "n=20 must produce deadlocks"
@@ -220,7 +223,7 @@ fn three_node_generalization() {
     cfg.params = params.clone();
     cfg.warmup_ms = 10_000.0;
     cfg.measure_ms = 120_000.0;
-    let sim = Sim::new(cfg).run();
+    let sim = Sim::new(cfg).expect("valid config").run();
     assert_eq!(sim.nodes.len(), 3);
     for node in &sim.nodes {
         assert!(node.tx_per_s > 0.0, "node {} made no progress", node.name);
@@ -230,7 +233,7 @@ fn three_node_generalization() {
     let mut mcfg = ModelConfig::new(workload, 9);
     mcfg.params = params;
     let model = Model::new(mcfg).solve();
-    assert!(model.converged);
+    assert!(model.convergence.converged);
     assert_eq!(model.nodes.len(), 3);
     // Every node hosts two foreign DUS slaves (one per other node's DU user).
     for node in &model.nodes {
@@ -244,9 +247,13 @@ fn three_node_generalization() {
     }
     // Model and sim stay in the same ballpark off the validated 2-node path.
     for i in 0..3 {
-        let rel = (model.nodes[i].tx_per_s - sim.nodes[i].tx_per_s).abs()
-            / sim.nodes[i].tx_per_s;
-        assert!(rel < 0.8, "node {i}: model {} vs sim {}", model.nodes[i].tx_per_s, sim.nodes[i].tx_per_s);
+        let rel = (model.nodes[i].tx_per_s - sim.nodes[i].tx_per_s).abs() / sim.nodes[i].tx_per_s;
+        assert!(
+            rel < 0.8,
+            "node {i}: model {} vs sim {}",
+            model.nodes[i].tx_per_s,
+            sim.nodes[i].tx_per_s
+        );
     }
 }
 
@@ -257,7 +264,7 @@ fn separate_log_disk_helps_update_workloads_in_both_views() {
         cfg.warmup_ms = 10_000.0;
         cfg.measure_ms = 120_000.0;
         cfg.separate_log_disk = separate;
-        Sim::new(cfg).run()
+        Sim::new(cfg).expect("valid config").run()
     };
     let shared = mk_sim(false);
     let separate = mk_sim(true);
@@ -286,7 +293,7 @@ fn probe_mode_agrees_with_instant_global_detection() {
         cfg.warmup_ms = 10_000.0;
         cfg.measure_ms = 400_000.0;
         cfg.deadlock_mode = mode;
-        Sim::new(cfg).run()
+        Sim::new(cfg).expect("valid config").run()
     };
     let instant = run(DeadlockMode::InstantGlobal);
     let probes = run(DeadlockMode::Probes);
@@ -294,7 +301,10 @@ fn probe_mode_agrees_with_instant_global_detection() {
     // Both modes must make comparable progress and find comparable numbers
     // of deadlocks (with α = 0 the probe protocol converges to the instant
     // search; sample paths differ, so compare loosely).
-    assert!(probes.global_deadlocks > 0, "probes found no global deadlocks");
+    assert!(
+        probes.global_deadlocks > 0,
+        "probes found no global deadlocks"
+    );
     assert!(probes.probe_hops > probes.global_deadlocks);
     let dl_i = (instant.local_deadlocks + instant.global_deadlocks) as f64;
     let dl_p = (probes.local_deadlocks + probes.global_deadlocks) as f64;
@@ -302,9 +312,11 @@ fn probe_mode_agrees_with_instant_global_detection() {
         dl_p / dl_i < 3.0 && dl_i / dl_p < 3.0,
         "deadlock totals diverge: instant {dl_i}, probes {dl_p}"
     );
-    let rel = (probes.total_tx_per_s() - instant.total_tx_per_s()).abs()
-        / instant.total_tx_per_s();
-    assert!(rel < 0.25, "throughput diverges between detector modes: {rel:.2}");
+    let rel = (probes.total_tx_per_s() - instant.total_tx_per_s()).abs() / instant.total_tx_per_s();
+    assert!(
+        rel < 0.25,
+        "throughput diverges between detector modes: {rel:.2}"
+    );
 }
 
 #[test]
@@ -317,7 +329,7 @@ fn probe_mode_never_wedges_under_heavy_contention() {
     cfg.warmup_ms = 0.0;
     cfg.measure_ms = 300_000.0;
     cfg.deadlock_mode = DeadlockMode::Probes;
-    let r = Sim::new(cfg).run();
+    let r = Sim::new(cfg).expect("valid config").run();
     assert!(r.total_tx_per_s() > 0.0, "system wedged");
     assert!(r.local_deadlocks + r.global_deadlocks > 10);
 }
@@ -331,7 +343,7 @@ fn commit_audit_finds_no_integrity_violations() {
         let mut cfg = SimConfig::new(wl.spec(2), n, 31);
         cfg.warmup_ms = 0.0;
         cfg.measure_ms = 400_000.0;
-        let r = Sim::new(cfg).run();
+        let r = Sim::new(cfg).expect("valid config").run();
         assert!(r.audited_records > 100, "{wl}: audit covered too little");
         assert_eq!(
             r.audit_violations, 0,
@@ -352,7 +364,7 @@ fn hotspot_skew_raises_contention_in_both_views() {
     cfg.warmup_ms = 10_000.0;
     cfg.measure_ms = 200_000.0;
     cfg.params.access = skew;
-    let hot = Sim::new(cfg).run();
+    let hot = Sim::new(cfg).expect("valid config").run();
     let uniform = quick_sim(StandardWorkload::Mb8, 12, 5);
     assert!(hot.blocking_probability() > uniform.blocking_probability() * 1.5);
 
@@ -377,9 +389,12 @@ fn timestamp_ordering_never_deadlocks_and_preserves_integrity() {
         cfg.warmup_ms = 10_000.0;
         cfg.measure_ms = 300_000.0;
         cfg.cc = cc;
-        let r = Sim::new(cfg).run();
+        let r = Sim::new(cfg).expect("valid config").run();
         assert_eq!(r.local_deadlocks + r.global_deadlocks, 0, "{cc:?}");
-        assert!(r.cc_rejections > 0, "{cc:?}: contention must cause rejections");
+        assert!(
+            r.cc_rejections > 0,
+            "{cc:?}: contention must cause rejections"
+        );
         assert_eq!(r.audit_violations, 0, "{cc:?}");
         assert!(r.total_tx_per_s() > 0.0, "{cc:?}");
         // Restarts show up as aborts in the per-type stats.
@@ -403,7 +418,7 @@ fn node_crash_recovery_preserves_integrity_and_liveness() {
     cfg.warmup_ms = 0.0;
     cfg.measure_ms = 600_000.0;
     cfg.crashes = vec![(150_000.0, 1), (350_000.0, 1)];
-    let r = Sim::new(cfg).run();
+    let r = Sim::new(cfg).expect("valid config").run();
     assert_eq!(r.crashes, 2);
     assert!(r.crash_kills > 0, "crashes must hit in-flight transactions");
     assert_eq!(r.audit_violations, 0, "crash recovery corrupted data");
@@ -427,7 +442,7 @@ fn crash_determinism_and_comparability() {
         cfg.warmup_ms = 0.0;
         cfg.measure_ms = 300_000.0;
         cfg.crashes = crashes;
-        Sim::new(cfg).run()
+        Sim::new(cfg).expect("valid config").run()
     };
     // Deterministic under a seed.
     let a = run(vec![(100_000.0, 0)]);
@@ -448,7 +463,7 @@ fn youngest_victim_policy_resolves_deadlocks_too() {
         cfg.warmup_ms = 10_000.0;
         cfg.measure_ms = 400_000.0;
         cfg.victim = victim;
-        Sim::new(cfg).run()
+        Sim::new(cfg).expect("valid config").run()
     };
     let requester = run(VictimPolicy::Requester);
     let youngest = run(VictimPolicy::Youngest);
@@ -458,7 +473,7 @@ fn youngest_victim_policy_resolves_deadlocks_too() {
         assert!(r.total_tx_per_s() > 0.0);
     }
     // Different victims, same physics: throughputs in the same band.
-    let rel = (youngest.total_tx_per_s() - requester.total_tx_per_s()).abs()
-        / requester.total_tx_per_s();
+    let rel =
+        (youngest.total_tx_per_s() - requester.total_tx_per_s()).abs() / requester.total_tx_per_s();
     assert!(rel < 0.3, "victim policy changed throughput by {rel:.2}");
 }

@@ -11,7 +11,7 @@ fn sim(wl: StandardWorkload, n: u32) -> SimReport {
     let mut cfg = SimConfig::new(wl.spec(2), n, 7);
     cfg.warmup_ms = 20_000.0;
     cfg.measure_ms = 300_000.0;
-    Sim::new(cfg).run()
+    Sim::new(cfg).expect("valid config").run()
 }
 
 fn model(wl: StandardWorkload, n: u32) -> carat::model::ModelReport {
@@ -164,7 +164,10 @@ fn lock_wait_times_match_the_models_r_lw_scale() {
     // R_LW (Eq. 20). They must live on the same scale.
     let s = sim(StandardWorkload::Mb8, 12);
     let m = model(StandardWorkload::Mb8, 12);
-    assert!(s.lock_waits_completed > 10, "need enough conflicts to compare");
+    assert!(
+        s.lock_waits_completed > 10,
+        "need enough conflicts to compare"
+    );
     let r_lw_model = m.nodes[0].per_type[&TxType::Lu].r_lw_ms;
     let r_lw_sim = s.mean_lock_wait_ms;
     assert!(

@@ -129,7 +129,7 @@ fn measured_column_simulated_testbed_within_band_of_papers() {
         let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), n, 7);
         cfg.warmup_ms = 30_000.0;
         cfg.measure_ms = 300_000.0;
-        let sim = Sim::new(cfg).run();
+        let sim = Sim::new(cfg).expect("valid config").run();
         let ours = sim.nodes[node].tx_per_s;
         assert!(
             within_factor(ours, paper_meas, 1.7),
@@ -148,7 +148,7 @@ fn model_optimism_sign_matches_paper_at_small_n() {
     let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), 4, 7);
     cfg.warmup_ms = 30_000.0;
     cfg.measure_ms = 300_000.0;
-    let s = Sim::new(cfg).run();
+    let s = Sim::new(cfg).expect("valid config").run();
     assert!(
         m.nodes[0].tx_per_s >= s.nodes[0].tx_per_s * 0.98,
         "model {:.2} should not sit below measurement {:.2} at n=4",

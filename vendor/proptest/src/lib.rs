@@ -1,0 +1,436 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal implementation. It keeps proptest's *testing
+//! model* — run each property over many generated inputs from a
+//! deterministic per-test RNG — but drops shrinking: a failing case
+//! reports the (fully `Debug`-printable) inputs via the normal assert
+//! message instead of minimising them. The supported surface is exactly
+//! what the CARAT test suite consumes:
+//!
+//! * `proptest!` with an optional `#![proptest_config(...)]` header,
+//!   `ProptestConfig::with_cases`
+//! * strategies: numeric `Range` / `RangeInclusive`, tuples up to arity 6,
+//!   `any::<T>()`, `proptest::collection::vec`, `.prop_map`, `prop_oneof!`
+//! * `proptest::sample::Index`
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`
+
+use std::marker::PhantomData;
+
+/// Re-exports used by the generated test bodies. Not public API.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::{Rng, SeedableRng};
+
+    /// FNV-1a over the test path: gives every property its own stable,
+    /// deterministic seed without any global state.
+    pub const fn fnv1a(s: &str) -> u64 {
+        let bytes = s.as_bytes();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            i += 1;
+        }
+        hash
+    }
+}
+
+use __rt::{Rng, StdRng};
+
+/// How many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values. Unlike upstream there is no value tree or
+/// shrinking — `sample` draws a single concrete value.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen_range(0..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Finite values only; property tests here never want NaN/inf.
+        rng.gen_range(-1e12f64..1e12)
+    }
+}
+
+/// See [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Weighted union of boxed strategies — the engine behind `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total = arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Boxes one `prop_oneof!` arm. Not public API.
+#[doc(hidden)]
+pub fn __oneof_arm<T, S>(weight: u32, strat: S) -> (u32, Box<dyn Strategy<Value = T>>)
+where
+    S: Strategy<Value = T> + 'static,
+{
+    (weight, Box::new(strat))
+}
+
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Sizes accepted by [`vec`]: an exact `usize` or a (half-open or
+    /// inclusive) range of lengths.
+    pub trait IntoSizeRange {
+        /// Inclusive `(lo, hi)` bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty length range");
+            (self.start, self.end - 1)
+        }
+    }
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty length range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.lo..=self.hi);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `size` elements (or a length drawn from the range),
+    /// each generated by `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { elem, lo, hi }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, StdRng};
+    use rand::Rng;
+
+    /// A position drawn uniformly from `[0, 1)`, resolved against a
+    /// collection length with [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(f64);
+
+    impl Index {
+        /// Maps this index onto `0..len`.
+        ///
+        /// # Panics
+        /// Panics if `len == 0` (matching upstream).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 * len as f64) as usize).min(len - 1)
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Index {
+            Index(rng.gen_range(0.0f64..1.0))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when `cond` does not hold. Expands to a
+/// `continue` of the per-case loop generated by `proptest!`, so it is only
+/// meaningful at the top level of a property body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::__oneof_arm($weight as u32, $strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::__oneof_arm(1u32, $strat)),+])
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written inside the macro, as with
+/// upstream proptest) that runs `body` for `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::__rt::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        prop_oneof![
+            3 => 0u32..10,
+            1 => (90u32..100).prop_map(|x| x),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respected(
+            v in crate::collection::vec(0u8..5, 2..7),
+            exact in crate::collection::vec(any::<bool>(), 3usize),
+        ) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 3);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn oneof_hits_both_arms_and_assume_skips(x in small(), idx in any::<crate::sample::Index>()) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+            prop_assert!(x < 10 || (90..100).contains(&x));
+            let i = idx.index(7);
+            prop_assert!(i < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::__rt::{SeedableRng, StdRng};
+        use crate::Strategy;
+        let strat = crate::collection::vec((0u64..1000, 0.0f64..1.0), 1..20);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal, dependency-free implementation instead of the real
+//! crate. Only the surface actually consumed by the CARAT crates is
+//! provided: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! extension methods `gen_range` / `gen_bool` / `gen`.
+//!
+//! `StdRng` here is xoshiro256** seeded through SplitMix64 — a different
+//! stream than upstream `rand`'s ChaCha-based `StdRng`, but every consumer
+//! in this repository only relies on *determinism for a given seed*, never
+//! on a specific stream, so the substitution is behaviourally transparent.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (only the `seed_from_u64` entry point is offered).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it with
+    /// SplitMix64 exactly once per state word.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator behind the upstream name.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = super::splitmix64(&mut sm);
+            }
+            // Avoid the all-zero state (cannot occur from SplitMix64 in
+            // practice, but cheap to guard).
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+mod sealed {
+    /// Types `Rng::gen` can produce.
+    pub trait Standard: Sized {
+        fn from_u64(word: u64) -> Self;
+    }
+
+    impl Standard for bool {
+        fn from_u64(word: u64) -> bool {
+            word & 1 == 1
+        }
+    }
+    impl Standard for u8 {
+        fn from_u64(word: u64) -> u8 {
+            (word >> 56) as u8
+        }
+    }
+    impl Standard for u16 {
+        fn from_u64(word: u64) -> u16 {
+            (word >> 48) as u16
+        }
+    }
+    impl Standard for u32 {
+        fn from_u64(word: u64) -> u32 {
+            (word >> 32) as u32
+        }
+    }
+    impl Standard for u64 {
+        fn from_u64(word: u64) -> u64 {
+            word
+        }
+    }
+    impl Standard for usize {
+        fn from_u64(word: u64) -> usize {
+            word as usize
+        }
+    }
+    impl Standard for f64 {
+        /// Uniform in [0, 1) with 53 bits of precision.
+        fn from_u64(word: u64) -> f64 {
+            (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Multiply-shift bounded sampling (Lemire); the tiny bias
+                // for astronomically large spans is irrelevant here.
+                let word = rng.next_u64() as u128;
+                self.start + ((word * span) >> 64) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (a, b) = self.into_inner();
+                assert!(a <= b, "empty gen_range");
+                if a == 0 && b == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (b as u128) - (a as u128) + 1;
+                let word = rng.next_u64() as u128;
+                a + ((word * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let u = <f64 as sealed::Standard>::from_u64(rng.next_u64()) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (a, b) = self.into_inner();
+                assert!(a <= b, "empty gen_range");
+                let u = <f64 as sealed::Standard>::from_u64(rng.next_u64()) as $t;
+                a + u * (b - a)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// The user-facing extension trait (auto-implemented for every generator).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]` (matching upstream).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        <f64 as sealed::Standard>::from_u64(self.next_u64()) < p
+    }
+
+    /// A sample of the standard distribution of `T`.
+    fn r#gen<T: sealed::Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let differs =
+            (0..100).any(|_| a.gen_range(0u64..1_000_000) != c.gen_range(0u64..1_000_000));
+        assert!(differs, "different seeds should give different streams");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&y));
+            let z = r.gen_range(5usize..=5);
+            assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_frequency() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+}
