@@ -7,5 +7,10 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check" && cargo fmt --all -- --check
 echo "== cargo clippy -D warnings" && cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release" && cargo build --release
+echo "== cargo build --release --examples" && cargo build --release --examples
 echo "== cargo test -q" && cargo test -q
+echo "== sweep determinism gate"
+cargo run --release -p carat-bench --bin exp_bench -- --emit --threads 4 --out "${TMPDIR:-/tmp}/sweep_par.json"
+cargo run --release -p carat-bench --bin exp_bench -- --emit --sequential --out "${TMPDIR:-/tmp}/sweep_seq.json"
+cmp "${TMPDIR:-/tmp}/sweep_par.json" "${TMPDIR:-/tmp}/sweep_seq.json"
 echo "== CI green"

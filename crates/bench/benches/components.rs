@@ -5,8 +5,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use carat::lock::{LockManager, LockMode};
-use carat::qnet::{solve_convolution, yao_blocks, CenterKind, Network};
+use carat::model::ModelConfig;
+use carat::qnet::{solve_convolution, yao_blocks, CenterKind, MvaScratch, MvaSolution, Network};
 use carat::storage::{Database, RecordId};
+use carat::workload::StandardWorkload;
+use carat_bench::{run_tasks, solve_chain, ModelPoint, SweepOptions, N_SWEEP};
 
 /// Exact multi-chain MVA over growing population lattices.
 fn mva_exact(c: &mut Criterion) {
@@ -45,6 +48,65 @@ fn mva_approx(c: &mut Criterion) {
     }
     c.bench_function("mva_approx_6x50", |b| {
         b.iter(|| black_box(net.solve_approx(1e-10, 10_000)))
+    });
+}
+
+/// Allocation-free exact MVA: the same solve through reused scratch
+/// buffers (the per-iteration path of the fixed-point solver) vs the
+/// allocating convenience wrapper.
+fn mva_scratch_reuse(c: &mut Criterion) {
+    let mut net = Network::new();
+    let cpu = net.add_center("CPU", CenterKind::Queueing);
+    let disk = net.add_center("DISK", CenterKind::Queueing);
+    let z = net.add_center("Z", CenterKind::Delay);
+    for k in 0..4 {
+        let id = net.add_chain(format!("c{k}"), 3);
+        net.set_demand(id, cpu, 1.0 + k as f64 * 0.3);
+        net.set_demand(id, disk, 2.0 + k as f64 * 0.5);
+        net.set_demand(id, z, 5.0);
+    }
+    c.bench_function("mva_exact_4x3_allocating", |b| {
+        b.iter(|| black_box(net.solve_exact()))
+    });
+    c.bench_function("mva_exact_4x3_scratch_reuse", |b| {
+        let mut scratch = MvaScratch::default();
+        let mut out = MvaSolution::empty();
+        b.iter(|| {
+            net.solve_exact_into(&mut scratch, &mut out);
+            black_box(out.throughput[0])
+        })
+    });
+}
+
+/// The sweep engine's model path: a full MB8 n chain, cold vs warm-started
+/// fixed points, and the task scheduler itself on a trivial workload.
+fn sweep_engine(c: &mut Criterion) {
+    let points: Vec<ModelPoint> = N_SWEEP
+        .iter()
+        .map(|&n| {
+            ModelPoint::new(
+                format!("n{n}"),
+                ModelConfig::new(StandardWorkload::Mb8.spec(2), n),
+            )
+        })
+        .collect();
+    c.bench_function("model_chain_mb8_cold", |b| {
+        b.iter(|| black_box(solve_chain(&points, false)))
+    });
+    c.bench_function("model_chain_mb8_warm", |b| {
+        b.iter(|| black_box(solve_chain(&points, true)))
+    });
+
+    let opts = SweepOptions {
+        threads: 4,
+        warm: true,
+        partition_seed: 0,
+    };
+    c.bench_function("run_tasks_overhead_64", |b| {
+        b.iter(|| {
+            let tasks: Vec<u64> = (0..64).collect();
+            black_box(run_tasks(tasks, &opts, |_, t| t.wrapping_mul(t)))
+        })
     });
 }
 
@@ -136,6 +198,6 @@ fn yao(c: &mut Criterion) {
 criterion_group! {
     name = components;
     config = Criterion::default().sample_size(10);
-    targets = mva_exact, mva_approx, convolution, lock_manager, storage_updates, recovery, yao
+    targets = mva_exact, mva_approx, mva_scratch_reuse, sweep_engine, convolution, lock_manager, storage_updates, recovery, yao
 }
 criterion_main!(components);

@@ -10,70 +10,84 @@
 //!   paper *ignores* TM serialisation and flags the resulting optimism at
 //!   n = 4).
 
-use carat::model::ModelOptions;
+use carat::model::{ModelConfig, ModelOptions};
 use carat::workload::StandardWorkload;
-use carat_bench::{run_model_with, N_SWEEP};
+use carat_bench::{run_tasks, solve_chain, ModelPoint, SweepOptions, N_SWEEP};
 
 fn main() {
     let wl = StandardWorkload::Mb8;
-    println!("## Ablations on the MB8 workload (model TR-XPUT at node A, tx/s)");
-    println!("| n  | full model | no-deadlock | all-X | BR=1/3 | +TM |");
-    println!("|----|-----------|-------------|-------|--------|-----|");
-    for &n in &N_SWEEP {
-        let base = run_model_with(wl, n, ModelOptions::default());
-        let nodl = run_model_with(
-            wl,
-            n,
+    let opts = SweepOptions::from_env_args();
+
+    // One warm-start chain per model variant, ascending n; the chains are
+    // independent tasks on the sweep engine.
+    let variants: Vec<(&str, ModelOptions)> = vec![
+        ("full model", ModelOptions::default()),
+        (
+            "no-deadlock",
             ModelOptions {
                 ignore_deadlocks: true,
                 ..ModelOptions::default()
             },
-        );
-        let allx = run_model_with(
-            wl,
-            n,
+        ),
+        (
+            "all-X",
             ModelOptions {
                 all_locks_exclusive: true,
                 ..ModelOptions::default()
             },
-        );
-        let br3 = run_model_with(
-            wl,
-            n,
+        ),
+        (
+            "BR=1/3",
             ModelOptions {
                 fixed_br: Some(1.0 / 3.0),
                 ..ModelOptions::default()
             },
-        );
-        let tm = run_model_with(
-            wl,
-            n,
+        ),
+        (
+            "+TM",
             ModelOptions {
                 model_tm_serialization: true,
                 ..ModelOptions::default()
             },
-        );
+        ),
+    ];
+    let chains: Vec<Vec<ModelPoint>> = variants
+        .iter()
+        .map(|(name, o)| {
+            N_SWEEP
+                .iter()
+                .map(|&n| ModelPoint {
+                    label: format!("{name}/n{n}"),
+                    cfg: ModelConfig::new(wl.spec(2), n),
+                    opts: o.clone(),
+                })
+                .collect()
+        })
+        .collect();
+    let warm = opts.warm;
+    let solved = run_tasks(chains, &opts, |_, pts| solve_chain(&pts, warm));
+
+    println!("## Ablations on the MB8 workload (model TR-XPUT at node A, tx/s)");
+    println!("| n  | full model | no-deadlock | all-X | BR=1/3 | +TM |");
+    println!("|----|-----------|-------------|-------|--------|-----|");
+    for (i, &n) in N_SWEEP.iter().enumerate() {
         println!(
             "| {:2} |      {:5.2} |       {:5.2} | {:5.2} |  {:5.2} | {:5.2} |",
             n,
-            base.nodes[0].tx_per_s,
-            nodl.nodes[0].tx_per_s,
-            allx.nodes[0].tx_per_s,
-            br3.nodes[0].tx_per_s,
-            tm.nodes[0].tx_per_s,
+            solved[0][i].nodes[0].tx_per_s,
+            solved[1][i].nodes[0].tx_per_s,
+            solved[2][i].nodes[0].tx_per_s,
+            solved[3][i].nodes[0].tx_per_s,
+            solved[4][i].nodes[0].tx_per_s,
         );
     }
 
-    // Key qualitative claims.
-    let base20 = run_model_with(wl, 20, ModelOptions::default());
-    let nodl20 = run_model_with(
-        wl,
-        20,
-        ModelOptions {
-            ignore_deadlocks: true,
-            ..ModelOptions::default()
-        },
-    );
+    // Key qualitative claims, read off the solved chains (n indices into
+    // N_SWEEP: 8 -> 1, 20 -> 4).
+    let base8 = &solved[0][1];
+    let base20 = &solved[0][4];
+    let nodl20 = &solved[1][4];
+    let allx8 = &solved[2][1];
     // Integrated-model effect: ignoring the deadlock/rollback machinery at
     // high contention removes the abort pressure valve — blocked
     // transactions hold locks indefinitely, lock waits balloon, and the
@@ -83,15 +97,6 @@ fn main() {
         nodl20.nodes[0].tx_per_s < base20.nodes[0].tx_per_s,
         "without rollback modelling, predicted lock waits must grow at n=20"
     );
-    let allx8 = run_model_with(
-        wl,
-        8,
-        ModelOptions {
-            all_locks_exclusive: true,
-            ..ModelOptions::default()
-        },
-    );
-    let base8 = run_model_with(wl, 8, ModelOptions::default());
     assert!(
         allx8.nodes[0].tx_per_s < base8.nodes[0].tx_per_s,
         "exclusive-only locking must under-predict throughput (extra conflicts)"

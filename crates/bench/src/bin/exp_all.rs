@@ -4,14 +4,18 @@
 //!
 //! Control the simulated measurement window with `CARAT_MEASURE_MS`
 //! (default 600 000 ms of simulated time per seed; three seeds averaged).
+//! Sweep-engine flags apply: `--threads N`, `--sequential`, `--no-warm`
+//! (output is byte-identical for every choice; only wall clock changes).
 
 use carat::workload::StandardWorkload;
+use carat_bench::SweepOptions;
 
 fn main() {
     let ms: f64 = std::env::var("CARAT_MEASURE_MS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(600_000.0);
+    let opts = SweepOptions::from_env_args();
     println!("# CARAT model-vs-measurement report");
     println!(
         "(simulated testbed: {} seeds × {:.0} s measured window per point)",
@@ -19,19 +23,19 @@ fn main() {
         ms / 1000.0
     );
 
-    let lb8 = carat_bench::sweep(StandardWorkload::Lb8, ms);
+    let lb8 = carat_bench::sweep_with(StandardWorkload::Lb8, ms, &opts);
     carat_bench::print_figures("Figure 5-7 analogue: LB8, Node B", &lb8, 1);
     carat_bench::print_table("LB8 (full)", &lb8);
 
-    let mb4 = carat_bench::sweep(StandardWorkload::Mb4, ms);
+    let mb4 = carat_bench::sweep_with(StandardWorkload::Mb4, ms, &opts);
     carat_bench::print_figures("Figure 8-10 analogue: MB4, Node A", &mb4, 0);
     carat_bench::print_figures("Figure 8-10 analogue: MB4, Node B", &mb4, 1);
     carat_bench::print_per_type("Table 5 analogue: MB4 per-type throughput", &mb4);
 
-    let mb8 = carat_bench::sweep(StandardWorkload::Mb8, ms);
+    let mb8 = carat_bench::sweep_with(StandardWorkload::Mb8, ms, &opts);
     carat_bench::print_table("Table 3 analogue: MB8", &mb8);
 
-    let ub6 = carat_bench::sweep(StandardWorkload::Ub6, ms);
+    let ub6 = carat_bench::sweep_with(StandardWorkload::Ub6, ms, &opts);
     carat_bench::print_table("Table 4 analogue: UB6", &ub6);
 
     let mut all_problems = Vec::new();

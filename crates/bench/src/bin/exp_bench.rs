@@ -1,0 +1,212 @@
+//! Sweep-engine benchmark and determinism harness.
+//!
+//! Two modes:
+//!
+//! * **bench** (default): times the full-grid model sweep (4 workloads ×
+//!   the n sweep) cold-sequential, warm-sequential, cold-parallel and
+//!   warm-parallel, verifies that every variant renders byte-identical
+//!   canonical JSON where it must, and writes the timings plus per-point
+//!   iteration counts to `BENCH_sweep.json`;
+//! * **emit** (`--emit [--out PATH]`): solves the same grid honouring the
+//!   engine flags (`--threads N`, `--sequential`, `--no-warm`) and writes
+//!   the canonical JSON result rows. CI runs this twice — `--threads 4`
+//!   and `--sequential` — and byte-compares the files.
+//!
+//! Wall-clock numbers vary run to run; the JSON *result rows* may not.
+
+use std::time::Instant;
+
+use carat::model::ModelConfig;
+use carat::workload::StandardWorkload;
+use carat_bench::{
+    chain_to_json, json_f64, run_tasks, solve_chain, ModelPoint, SweepOptions, N_SWEEP,
+};
+
+const WORKLOADS: [StandardWorkload; 4] = [
+    StandardWorkload::Lb8,
+    StandardWorkload::Mb4,
+    StandardWorkload::Mb8,
+    StandardWorkload::Ub6,
+];
+
+/// Benchmark repetitions per variant (minimum wall clock is reported).
+const REPS: usize = 5;
+
+/// One warm-startable chain per workload, ascending n.
+fn chains() -> Vec<Vec<ModelPoint>> {
+    WORKLOADS
+        .iter()
+        .map(|&wl| {
+            N_SWEEP
+                .iter()
+                .map(|&n| ModelPoint::new(format!("{wl}/n{n}"), ModelConfig::new(wl.spec(2), n)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Solves the whole grid under the given options and renders one canonical
+/// JSON array over every point, in workload-then-n order. Warm sweeps keep
+/// each workload's chain in one task (the warm-start neighbor is the
+/// previous point of the chain); cold sweeps have no such dependency, so
+/// every point becomes its own task.
+fn solve_grid(opts: &SweepOptions) -> (String, Vec<(String, usize, bool)>) {
+    let (points, reports) = if opts.warm {
+        let solved = run_tasks(chains(), opts, |_, pts| {
+            let reports = solve_chain(&pts, true);
+            (pts, reports)
+        });
+        let mut points = Vec::new();
+        let mut reports = Vec::new();
+        for (pts, reps) in solved {
+            points.extend(pts);
+            reports.extend(reps);
+        }
+        (points, reports)
+    } else {
+        let points: Vec<ModelPoint> = chains().into_iter().flatten().collect();
+        let reports = run_tasks(points.clone(), opts, |_, p| {
+            solve_chain(std::slice::from_ref(&p), false)
+                .pop()
+                .expect("one report per point")
+        });
+        (points, reports)
+    };
+    let json = chain_to_json(&points, &reports);
+    let iters = points
+        .iter()
+        .zip(&reports)
+        .map(|(p, r)| {
+            (
+                p.label.clone(),
+                r.convergence.iterations,
+                r.convergence.warm_started,
+            )
+        })
+        .collect();
+    (json, iters)
+}
+
+/// Minimum wall time of `REPS` runs, milliseconds.
+fn time_grid(opts: &SweepOptions) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        std::hint::black_box(solve_grid(opts));
+        best = best.min(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+fn emit(opts: &SweepOptions, out: Option<&str>) {
+    let (json, _) = solve_grid(opts);
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write emit file");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = SweepOptions::from_env_args();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+
+    if args.iter().any(|a| a == "--emit") {
+        emit(&opts, out);
+        return;
+    }
+
+    let mk = |threads: usize, warm: bool| SweepOptions {
+        threads,
+        warm,
+        partition_seed: opts.partition_seed,
+    };
+    let variants: [(&str, SweepOptions); 4] = [
+        ("cold_seq", mk(1, false)),
+        ("warm_seq", mk(1, true)),
+        ("cold_par", mk(opts.threads, false)),
+        ("warm_par", mk(opts.threads, true)),
+    ];
+
+    // Determinism gate before any timing: parallel output must equal the
+    // matching sequential output byte for byte (warm and cold separately —
+    // warm starting changes iteration counts, so those two legitimately
+    // differ from each other).
+    let (cold_json, cold_iters) = solve_grid(&variants[0].1);
+    let (warm_json, warm_iters) = solve_grid(&variants[1].1);
+    assert_eq!(
+        cold_json,
+        solve_grid(&variants[2].1).0,
+        "parallel cold sweep diverged from sequential"
+    );
+    assert_eq!(
+        warm_json,
+        solve_grid(&variants[3].1).0,
+        "parallel warm sweep diverged from sequential"
+    );
+    println!(
+        "determinism: parallel ({} threads) == sequential, cold and warm: OK",
+        opts.threads
+    );
+
+    println!(
+        "\n## Sweep timings ({} model points, best of {REPS})",
+        cold_iters.len()
+    );
+    let mut walls = Vec::new();
+    for (name, o) in &variants {
+        let ms = time_grid(o);
+        println!(
+            "  {name:8}  {ms:9.2} ms  (threads={}, warm={})",
+            o.threads, o.warm
+        );
+        walls.push((*name, ms));
+    }
+    let wall = |name: &str| walls.iter().find(|(n, _)| *n == name).unwrap().1;
+    let speedup_par = wall("cold_seq") / wall("cold_par");
+    let speedup_warm = wall("cold_seq") / wall("warm_seq");
+    println!("\n  parallel speedup (cold_seq / cold_par): {speedup_par:.2}x");
+    println!("  warm-start speedup (cold_seq / warm_seq): {speedup_warm:.2}x");
+    let total =
+        |iters: &[(String, usize, bool)]| -> usize { iters.iter().map(|(_, i, _)| i).sum() };
+    println!(
+        "  iterations: {} cold -> {} warm",
+        total(&cold_iters),
+        total(&warm_iters)
+    );
+
+    // BENCH_sweep.json: timings + per-point iterations-to-convergence.
+    let points: Vec<String> = cold_iters
+        .iter()
+        .zip(&warm_iters)
+        .map(|((label, ic, _), (_, iw, ws))| {
+            format!(
+                "    {{\"point\": \"{label}\", \"iterations_cold\": {ic}, \
+                 \"iterations_warm\": {iw}, \"warm_started\": {ws}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"reps\": {REPS},\n  \"wall_ms\": {{{}}},\n  \
+         \"speedup_parallel\": {},\n  \"speedup_warm\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        opts.threads,
+        walls
+            .iter()
+            .map(|(n, ms)| format!("\"{n}\": {}", json_f64((ms * 1000.0).round() / 1000.0)))
+            .collect::<Vec<_>>()
+            .join(", "),
+        json_f64((speedup_par * 1000.0).round() / 1000.0),
+        json_f64((speedup_warm * 1000.0).round() / 1000.0),
+        points.join(",\n"),
+    );
+    let path = out.unwrap_or("BENCH_sweep.json");
+    std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    println!("\nwrote {path}");
+}

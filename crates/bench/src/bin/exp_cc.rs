@@ -11,6 +11,7 @@
 
 use carat::sim::{CcProtocol, Sim, SimConfig};
 use carat::workload::StandardWorkload;
+use carat_bench::{run_tasks, SweepOptions};
 
 fn run(cc: CcProtocol, n: u32, ms: f64) -> carat::sim::SimReport {
     let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), n, 7);
@@ -20,19 +21,36 @@ fn run(cc: CcProtocol, n: u32, ms: f64) -> carat::sim::SimReport {
     Sim::new(cfg).expect("valid config").run()
 }
 
+const NS: [u32; 5] = [4, 8, 12, 16, 20];
+const PROTOCOLS: [CcProtocol; 3] = [
+    CcProtocol::TwoPhaseLocking,
+    CcProtocol::TimestampOrdering,
+    CcProtocol::TimestampOrderingThomas,
+];
+
 fn main() {
     let ms: f64 = std::env::var("CARAT_MEASURE_MS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(600_000.0);
+    let opts = SweepOptions::from_env_args();
+
+    // The full protocol × n grid runs on the sweep engine; the report rows
+    // below read results back in grid order, so the printed table is
+    // byte-identical for every thread count.
+    let grid: Vec<(u32, CcProtocol)> = NS
+        .iter()
+        .flat_map(|&n| PROTOCOLS.iter().map(move |&cc| (n, cc)))
+        .collect();
+    let reports = run_tasks(grid, &opts, |_, (n, cc)| run(cc, n, ms));
 
     println!("## 2PL vs basic timestamp ordering (MB8, system tx/s)");
     println!("| n  | 2PL   | deadlocks | BTO   | rejections | BTO+Thomas | verdict |");
     println!("|----|-------|-----------|-------|------------|------------|---------|");
-    for n in [4u32, 8, 12, 16, 20] {
-        let lk = run(CcProtocol::TwoPhaseLocking, n, ms);
-        let to = run(CcProtocol::TimestampOrdering, n, ms);
-        let th = run(CcProtocol::TimestampOrderingThomas, n, ms);
+    for (i, &n) in NS.iter().enumerate() {
+        let lk = &reports[i * 3];
+        let to = &reports[i * 3 + 1];
+        let th = &reports[i * 3 + 2];
         assert_eq!(lk.audit_violations, 0);
         assert_eq!(to.audit_violations, 0);
         assert_eq!(th.audit_violations, 0);

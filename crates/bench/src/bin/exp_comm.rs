@@ -11,6 +11,7 @@ use carat::model::{Model, ModelConfig};
 use carat::qnet::EthernetModel;
 use carat::sim::{Sim, SimConfig};
 use carat::workload::{StandardWorkload, TxType};
+use carat_bench::{run_tasks, SweepOptions};
 
 fn main() {
     let ms: f64 = std::env::var("CARAT_MEASURE_MS")
@@ -31,18 +32,28 @@ fn main() {
     println!("## Throughput vs communication delay (MB4, n = {n})");
     println!("| α (ms) | DU sim | DU model | LRO sim | LRO model | total sim | total model |");
     println!("|--------|--------|----------|---------|-----------|-----------|-------------|");
+    // One engine task per α, each producing the (sim, model) pair; the
+    // monotonicity check below runs over the merged in-order results.
+    let alphas = vec![0.0, 1.0, 5.0, 20.0, 50.0, 100.0];
+    let pairs = run_tasks(
+        alphas.clone(),
+        &SweepOptions::from_env_args(),
+        |_, alpha| {
+            let mut cfg = SimConfig::new(wl.spec(2), n, 7);
+            cfg.warmup_ms = 30_000.0;
+            cfg.measure_ms = ms;
+            cfg.params.comm_delay_ms = alpha;
+            let sim = Sim::new(cfg).expect("valid config").run();
+
+            let mut mcfg = ModelConfig::new(wl.spec(2), n);
+            mcfg.params.comm_delay_ms = alpha;
+            let model = Model::new(mcfg).solve();
+            (sim, model)
+        },
+    );
+
     let mut prev_du_model = f64::INFINITY;
-    for alpha in [0.0, 1.0, 5.0, 20.0, 50.0, 100.0] {
-        let mut cfg = SimConfig::new(wl.spec(2), n, 7);
-        cfg.warmup_ms = 30_000.0;
-        cfg.measure_ms = ms;
-        cfg.params.comm_delay_ms = alpha;
-        let sim = Sim::new(cfg).expect("valid config").run();
-
-        let mut mcfg = ModelConfig::new(wl.spec(2), n);
-        mcfg.params.comm_delay_ms = alpha;
-        let model = Model::new(mcfg).solve();
-
+    for (alpha, (sim, model)) in alphas.iter().zip(&pairs) {
         let du_sim: f64 = sim
             .nodes
             .iter()

@@ -15,6 +15,7 @@
 
 use carat::sim::{FaultPlan, Sim, SimConfig, SimReport};
 use carat::workload::StandardWorkload;
+use carat_bench::{run_tasks, SweepOptions};
 
 const N: u32 = 8;
 const SEEDS: [u64; 3] = [7, 1987, 424242];
@@ -60,6 +61,24 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(600_000.0);
 
+    // The full (mttf, drop, seed) grid runs on the sweep engine; the
+    // per-point aggregation below walks the merged results in grid order,
+    // so the emitted JSON is byte-identical for every thread count.
+    let grid: Vec<(f64, f64, u64)> = MTTF_S
+        .iter()
+        .flat_map(|&mttf_s| {
+            DROP_PROBS
+                .iter()
+                .flat_map(move |&drop| SEEDS.iter().map(move |&seed| (mttf_s, drop, seed)))
+        })
+        .collect();
+    let reports = run_tasks(
+        grid,
+        &SweepOptions::from_env_args(),
+        |_, (mttf_s, drop, seed)| run(drop, mttf_s, seed, ms),
+    );
+    let mut next = reports.iter();
+
     let mut rows = Vec::new();
     for &mttf_s in &MTTF_S {
         for &drop in &DROP_PROBS {
@@ -71,8 +90,8 @@ fn main() {
             let (mut drops, mut retries, mut timeouts) = (0u64, 0u64, 0u64);
             let (mut recoveries, mut in_doubt) = (0u64, 0u64);
             let mut oldest = 0.0_f64;
-            for &seed in &SEEDS {
-                let r = run(drop, mttf_s, seed, ms);
+            for _ in &SEEDS {
+                let r = next.next().expect("one report per grid point");
                 assert_eq!(r.audit_violations, 0, "fault plan broke atomicity");
                 // No-hang invariant: nothing in flight is older than the
                 // retransmission schedule plus one repair window allows.
@@ -81,8 +100,8 @@ fn main() {
                     "transaction hung under drop={drop} mttf={mttf_s}"
                 );
                 tx += r.total_tx_per_s();
-                ab += aborts(&r);
-                cm += commits(&r);
+                ab += aborts(r);
+                cm += commits(r);
                 drops += r.net_drops;
                 retries += r.net_retries;
                 timeouts += r.timeout_aborts;

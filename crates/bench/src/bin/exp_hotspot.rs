@@ -9,6 +9,7 @@
 use carat::model::{Model, ModelConfig};
 use carat::sim::{Sim, SimConfig};
 use carat::workload::{AccessPattern, StandardWorkload};
+use carat_bench::{run_tasks, SweepOptions};
 
 fn main() {
     let ms: f64 = std::env::var("CARAT_MEASURE_MS")
@@ -50,18 +51,27 @@ fn main() {
     println!(
         "|---------|--------|--------|---------------|----------|--------------|------------|"
     );
+    // Each skew level is one engine task (sim + model together).
+    let results = run_tasks(
+        patterns.to_vec(),
+        &SweepOptions::from_env_args(),
+        |_, (_, access)| {
+            let mut cfg = SimConfig::new(wl.spec(2), n, 7);
+            cfg.warmup_ms = 60_000.0;
+            cfg.measure_ms = ms;
+            cfg.params.access = access;
+            let sim = Sim::new(cfg).expect("valid config").run();
+
+            let mut mcfg = ModelConfig::new(wl.spec(2), n);
+            mcfg.params.access = access;
+            let model = Model::new(mcfg).solve();
+            (sim, model)
+        },
+    );
+
     let mut sim_prev = f64::INFINITY;
     let mut model_prev = f64::INFINITY;
-    for (label, access) in patterns {
-        let mut cfg = SimConfig::new(wl.spec(2), n, 7);
-        cfg.warmup_ms = 60_000.0;
-        cfg.measure_ms = ms;
-        cfg.params.access = access;
-        let sim = Sim::new(cfg).expect("valid config").run();
-
-        let mut mcfg = ModelConfig::new(wl.spec(2), n);
-        mcfg.params.access = access;
-        let model = Model::new(mcfg).solve();
+    for ((label, access), (sim, model)) in patterns.iter().zip(&results) {
         let pb_lu = model.nodes[0]
             .per_type
             .get(&carat::workload::TxType::Lu)

@@ -7,7 +7,11 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(600_000.0);
-    let rows = carat_bench::sweep(carat::workload::StandardWorkload::Lb8, ms);
+    let rows = carat_bench::sweep_with(
+        carat::workload::StandardWorkload::Lb8,
+        ms,
+        &carat_bench::SweepOptions::from_env_args(),
+    );
     carat_bench::print_figures("Figure 5-7 analogue: LB8, Node B", &rows, 1);
     carat_bench::print_figures("LB8, Node A (not plotted in the paper)", &rows, 0);
     carat_bench::print_table("LB8 full comparison", &rows);

@@ -10,6 +10,9 @@
 use carat::model::{Model, ModelConfig, ModelOptions};
 use carat::sim::{Sim, SimConfig};
 use carat::workload::StandardWorkload;
+use carat_bench::{run_tasks, SweepOptions};
+
+const NS: [u32; 5] = [4, 8, 12, 16, 20];
 
 fn main() {
     let ms: f64 = std::env::var("CARAT_MEASURE_MS")
@@ -18,30 +21,36 @@ fn main() {
         .unwrap_or(600_000.0);
     let wl = StandardWorkload::Lb8;
 
+    // One engine task per (n, layout): the simulator run plus its matching
+    // model solve.
+    let grid: Vec<(u32, bool)> = NS
+        .iter()
+        .flat_map(|&n| [false, true].iter().map(move |&sep| (n, sep)))
+        .collect();
+    let results = run_tasks(grid, &SweepOptions::from_env_args(), |_, (n, separate)| {
+        let mut cfg = SimConfig::new(wl.spec(2), n, 7);
+        cfg.warmup_ms = 60_000.0;
+        cfg.measure_ms = ms;
+        cfg.separate_log_disk = separate;
+        let sim = Sim::new(cfg).expect("valid config").run().total_tx_per_s();
+        let model = Model::with_options(
+            ModelConfig::new(wl.spec(2), n),
+            ModelOptions {
+                separate_log_disk: separate,
+                ..ModelOptions::default()
+            },
+        )
+        .solve()
+        .total_tx_per_s();
+        (sim, model)
+    });
+
     println!("## Shared vs separate log disk (LB8, system-wide tx/s)");
     println!("| n  | sim shared | sim separate | model shared | model separate | gain (sim) |");
     println!("|----|------------|--------------|--------------|----------------|------------|");
-    for n in [4u32, 8, 12, 16, 20] {
-        let run_sim = |separate: bool| {
-            let mut cfg = SimConfig::new(wl.spec(2), n, 7);
-            cfg.warmup_ms = 60_000.0;
-            cfg.measure_ms = ms;
-            cfg.separate_log_disk = separate;
-            Sim::new(cfg).expect("valid config").run().total_tx_per_s()
-        };
-        let run_model = |separate: bool| {
-            Model::with_options(
-                ModelConfig::new(wl.spec(2), n),
-                ModelOptions {
-                    separate_log_disk: separate,
-                    ..ModelOptions::default()
-                },
-            )
-            .solve()
-            .total_tx_per_s()
-        };
-        let (ss, sp) = (run_sim(false), run_sim(true));
-        let (msh, msp) = (run_model(false), run_model(true));
+    for (i, &n) in NS.iter().enumerate() {
+        let (ss, msh) = results[i * 2];
+        let (sp, msp) = results[i * 2 + 1];
         println!(
             "| {n:2} |      {ss:5.2} |        {sp:5.2} |        {msh:5.2} |          {msp:5.2} |     {:+5.1}% |",
             (sp - ss) / ss * 100.0

@@ -6,7 +6,11 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(600_000.0);
-    let rows = carat_bench::sweep(carat::workload::StandardWorkload::Mb4, ms);
+    let rows = carat_bench::sweep_with(
+        carat::workload::StandardWorkload::Mb4,
+        ms,
+        &carat_bench::SweepOptions::from_env_args(),
+    );
     carat_bench::print_figures("Figure 8-10 analogue: MB4, Node A", &rows, 0);
     carat_bench::print_figures("Figure 8-10 analogue: MB4, Node B", &rows, 1);
     carat_bench::print_table("MB4 full comparison", &rows);

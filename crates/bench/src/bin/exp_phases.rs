@@ -8,9 +8,10 @@
 //! validates the decomposition itself — and quantifies the TM
 //! serialisation wait the paper's model deliberately ignores (§5.5).
 
-use carat::model::{Model, ModelConfig, Phase};
-use carat::sim::{Sim, SimConfig};
+use carat::model::{Model, ModelConfig, ModelReport, Phase};
+use carat::sim::{Sim, SimConfig, SimReport};
 use carat::workload::{StandardWorkload, TxType};
+use carat_bench::{run_tasks, SweepOptions};
 
 fn main() {
     let ms: f64 = std::env::var("CARAT_MEASURE_MS")
@@ -20,11 +21,30 @@ fn main() {
     let wl = StandardWorkload::Mb4;
     let n = 8;
 
-    let mut cfg = SimConfig::new(wl.spec(2), n, 7);
-    cfg.warmup_ms = 60_000.0;
-    cfg.measure_ms = ms;
-    let sim = Sim::new(cfg).expect("valid config").run();
-    let model = Model::new(ModelConfig::new(wl.spec(2), n)).solve();
+    // The measurement run and the model solve are independent: two engine
+    // tasks, merged back in task order.
+    enum Out {
+        Sim(Box<SimReport>),
+        Model(Box<ModelReport>),
+    }
+    let mut outs = run_tasks(vec![0u8, 1], &SweepOptions::from_env_args(), |_, which| {
+        if which == 0 {
+            let mut cfg = SimConfig::new(wl.spec(2), n, 7);
+            cfg.warmup_ms = 60_000.0;
+            cfg.measure_ms = ms;
+            Out::Sim(Box::new(Sim::new(cfg).expect("valid config").run()))
+        } else {
+            Out::Model(Box::new(
+                Model::new(ModelConfig::new(wl.spec(2), n)).solve(),
+            ))
+        }
+    });
+    let Some(Out::Model(model)) = outs.pop() else {
+        unreachable!("task order is fixed")
+    };
+    let Some(Out::Sim(sim)) = outs.pop() else {
+        unreachable!("task order is fixed")
+    };
 
     println!("## Measured phase residence (MB4, n = {n}, ms per committed transaction)");
     for node in &sim.nodes {

@@ -6,7 +6,11 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(600_000.0);
-    let rows = carat_bench::sweep(carat::workload::StandardWorkload::Ub6, ms);
+    let rows = carat_bench::sweep_with(
+        carat::workload::StandardWorkload::Ub6,
+        ms,
+        &carat_bench::SweepOptions::from_env_args(),
+    );
     carat_bench::print_table("Table 4 analogue: UB6 model vs measurement", &rows);
     let problems = carat_bench::shape_violations(&rows);
     assert!(problems.is_empty(), "shape violations: {problems:?}");

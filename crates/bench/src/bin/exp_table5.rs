@@ -6,7 +6,11 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(600_000.0);
-    let rows = carat_bench::sweep(carat::workload::StandardWorkload::Mb4, ms);
+    let rows = carat_bench::sweep_with(
+        carat::workload::StandardWorkload::Mb4,
+        ms,
+        &carat_bench::SweepOptions::from_env_args(),
+    );
     carat_bench::print_per_type("Table 5 analogue: MB4 per-type throughput", &rows);
     println!("\ndone");
 }

@@ -7,26 +7,39 @@
 
 use carat::sim::{Sim, SimConfig, VictimPolicy};
 use carat::workload::StandardWorkload;
+use carat_bench::{run_tasks, SweepOptions};
+
+const NS: [u32; 4] = [8, 12, 16, 20];
 
 fn main() {
     let ms: f64 = std::env::var("CARAT_MEASURE_MS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(600_000.0);
+    let opts = SweepOptions::from_env_args();
+
+    let grid: Vec<(u32, VictimPolicy)> = NS
+        .iter()
+        .flat_map(|&n| {
+            [VictimPolicy::Requester, VictimPolicy::Youngest]
+                .iter()
+                .map(move |&v| (n, v))
+        })
+        .collect();
+    let reports = run_tasks(grid, &opts, |_, (n, victim)| {
+        let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), n, 7);
+        cfg.warmup_ms = 60_000.0;
+        cfg.measure_ms = ms;
+        cfg.victim = victim;
+        Sim::new(cfg).expect("valid config").run()
+    });
 
     println!("## Deadlock victim policy (MB8, system tx/s | deadlocks | aborts)");
     println!("| n  | requester            | youngest             |");
     println!("|----|----------------------|----------------------|");
-    for n in [8u32, 12, 16, 20] {
-        let run = |victim: VictimPolicy| {
-            let mut cfg = SimConfig::new(StandardWorkload::Mb8.spec(2), n, 7);
-            cfg.warmup_ms = 60_000.0;
-            cfg.measure_ms = ms;
-            cfg.victim = victim;
-            Sim::new(cfg).expect("valid config").run()
-        };
-        let req = run(VictimPolicy::Requester);
-        let yng = run(VictimPolicy::Youngest);
+    for (i, &n) in NS.iter().enumerate() {
+        let req = &reports[i * 2];
+        let yng = &reports[i * 2 + 1];
         assert_eq!(req.audit_violations, 0);
         assert_eq!(yng.audit_violations, 0);
         let aborts = |r: &carat::sim::SimReport| -> u64 {
@@ -40,10 +53,10 @@ fn main() {
             "| {n:2} | {:5.2} | {:4} | {:5} | {:5.2} | {:4} | {:5} |",
             req.total_tx_per_s(),
             req.local_deadlocks + req.global_deadlocks,
-            aborts(&req),
+            aborts(req),
             yng.total_tx_per_s(),
             yng.local_deadlocks + yng.global_deadlocks,
-            aborts(&yng),
+            aborts(yng),
         );
     }
     println!(

@@ -11,9 +11,13 @@
 //! The `benches/` directory holds the matching criterion benchmarks (one
 //! group per paper artifact, plus component microbenchmarks).
 
+pub mod sweep;
+
 use carat::model::{Model, ModelConfig, ModelOptions, ModelReport};
 use carat::sim::{Sim, SimConfig, SimReport};
 use carat::workload::{StandardWorkload, TxType};
+
+pub use sweep::{chain_to_json, json_f64, run_tasks, solve_chain, ModelPoint, SweepOptions};
 
 /// Transaction sizes swept in the paper's evaluation.
 pub const N_SWEEP: [u32; 5] = [4, 8, 12, 16, 20];
@@ -88,19 +92,68 @@ pub fn run_model_with(wl: StandardWorkload, n: u32, opts: ModelOptions) -> Model
     Model::with_options(ModelConfig::new(wl.spec(2), n), opts).solve()
 }
 
-/// Full sweep of one workload: model + multi-seed simulation per (n, node).
+/// Full sweep of one workload, sequentially (the engine-backed
+/// [`sweep_with`] with one worker and no warm starting — the historical
+/// behaviour of this function).
 pub fn sweep(wl: StandardWorkload, measure_ms: f64) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let opts = SweepOptions {
+        warm: false,
+        ..SweepOptions::sequential()
+    };
+    sweep_with(wl, measure_ms, &opts)
+}
+
+/// Full sweep of one workload on the sweep engine: one warm-start model
+/// chain over [`N_SWEEP`] plus one simulator run per (n, seed), all
+/// scheduled as independent tasks on `opts.threads` workers. Results are
+/// byte-identical for every thread count and partition seed.
+pub fn sweep_with(wl: StandardWorkload, measure_ms: f64, opts: &SweepOptions) -> Vec<Row> {
+    enum Task {
+        Models(Vec<ModelPoint>),
+        Sim { n: u32, seed: u64 },
+    }
+    enum Out {
+        Models(Vec<ModelReport>),
+        Sim { n: u32, report: SimReport },
+    }
+
+    let points: Vec<ModelPoint> = N_SWEEP
+        .iter()
+        .map(|&n| ModelPoint::new(format!("{wl}/n{n}"), ModelConfig::new(wl.spec(2), n)))
+        .collect();
+    let mut tasks = vec![Task::Models(points)];
     for &n in &N_SWEEP {
-        let model = run_model(wl, n);
-        let sims: Vec<SimReport> = SEEDS
-            .iter()
-            .map(|&s| run_sim(wl, n, s, measure_ms))
-            .collect();
+        for &seed in &SEEDS {
+            tasks.push(Task::Sim { n, seed });
+        }
+    }
+
+    let warm = opts.warm;
+    let outs = run_tasks(tasks, opts, |_, task| match task {
+        Task::Models(pts) => Out::Models(solve_chain(&pts, warm)),
+        Task::Sim { n, seed } => Out::Sim {
+            n,
+            report: run_sim(wl, n, seed, measure_ms),
+        },
+    });
+
+    let mut models: Vec<ModelReport> = Vec::new();
+    let mut sims_by_n: std::collections::BTreeMap<u32, Vec<SimReport>> = Default::default();
+    for out in outs {
+        match out {
+            Out::Models(reports) => models = reports,
+            Out::Sim { n, report } => sims_by_n.entry(n).or_default().push(report),
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (i, &n) in N_SWEEP.iter().enumerate() {
+        let model = &models[i];
+        let sims = &sims_by_n[&n];
         for node in 0..2 {
             let mut sim_m = Metrics::default();
             let mut sim_types: std::collections::BTreeMap<TxType, f64> = Default::default();
-            for r in &sims {
+            for r in sims {
                 let nr = &r.nodes[node];
                 sim_m.add(Metrics {
                     xput: nr.tx_per_s,

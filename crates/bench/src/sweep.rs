@@ -1,0 +1,355 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Every experiment binary evaluates a *grid* of configurations — model
+//! solves and simulator runs that are independent of one another except
+//! where warm starting deliberately chains them. This module runs such a
+//! grid across a fixed pool of worker threads while guaranteeing that the
+//! produced results (and therefore any output rendered from them) are
+//! **byte-identical to a sequential run**, for every thread count:
+//!
+//! * the partition of tasks onto workers is a pure function of the task
+//!   index and [`SweepOptions::partition_seed`] — never of timing;
+//! * results are merged back in task order, so downstream printing sees
+//!   the same sequence a `for` loop would have produced;
+//! * each task's computation is untouched by the scheduling (the model
+//!   solver and the simulator are themselves deterministic), so the values
+//!   are bitwise equal, not merely statistically equivalent;
+//! * warm-start chains ([`solve_chain`]) keep their points in one task, so
+//!   the neighbor a point is seeded from is fixed by the chain layout, not
+//!   by which point happened to finish first.
+//!
+//! The engine is dependency-free: `std::thread::scope` only.
+
+use carat::model::{Model, ModelConfig, ModelOptions, ModelReport, WarmStart};
+
+/// How a sweep should be executed.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads for independent tasks (1 = fully sequential). The
+    /// results are byte-identical for every value; this only trades wall
+    /// clock for cores.
+    pub threads: usize,
+    /// Seed warm-startable chains from their nearest solved neighbor
+    /// (see [`solve_chain`]); `false` forces every point to a cold start.
+    pub warm: bool,
+    /// Rotates the task → worker assignment. Any value yields identical
+    /// results (that is the point — it exists so tests can prove it).
+    pub partition_seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            warm: true,
+            partition_seed: 0,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// The `--sequential` escape hatch: one worker, everything in task
+    /// order on the calling thread.
+    pub fn sequential() -> Self {
+        SweepOptions {
+            threads: 1,
+            ..SweepOptions::default()
+        }
+    }
+
+    /// Builds options from the process environment: `CARAT_THREADS` /
+    /// `CARAT_SEQUENTIAL` variables first, then command-line flags
+    /// (`--threads N`, `--sequential`, `--warm-start`, `--no-warm`), which
+    /// take precedence. Unknown arguments are ignored so experiment
+    /// binaries keep accepting their own flags.
+    pub fn from_env_args() -> Self {
+        let mut opts = SweepOptions::default();
+        if let Ok(v) = std::env::var("CARAT_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                opts.threads = n.max(1);
+            }
+        }
+        if std::env::var("CARAT_SEQUENTIAL").is_ok_and(|v| v != "0" && !v.is_empty()) {
+            opts.threads = 1;
+        }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        opts.apply_args(&args);
+        opts
+    }
+
+    /// Applies the sweep-related flags found in `args` (ignoring the rest).
+    pub fn apply_args(&mut self, args: &[String]) {
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--threads" => {
+                    if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                        self.threads = n.max(1);
+                        i += 1;
+                    }
+                }
+                "--sequential" => self.threads = 1,
+                "--warm-start" => self.warm = true,
+                "--no-warm" => self.warm = false,
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Runs `f` over every task on a fixed worker pool and returns the results
+/// **in task order**. Task `i` is assigned to worker
+/// `(i + partition_seed) % threads`; the partition is static, so the same
+/// options always run the same task on the same worker, and the merged
+/// output is identical to `tasks.map(f)` for any thread count.
+///
+/// A panic inside any task propagates to the caller (after the scope has
+/// joined every worker), exactly as it would sequentially.
+pub fn run_tasks<T, R, F>(tasks: Vec<T>, opts: &SweepOptions, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = tasks.len();
+    let threads = opts.threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        buckets[(i + opts.partition_seed as usize) % threads].push((i, task));
+    }
+
+    let f = &f;
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, task)| (i, f(i, task)))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every task produces exactly one result"))
+        .collect()
+}
+
+/// One model configuration inside a warm-start chain.
+#[derive(Debug, Clone)]
+pub struct ModelPoint {
+    /// Display label (workload, n, variant — whatever the caller sweeps).
+    pub label: String,
+    /// The configuration to solve.
+    pub cfg: ModelConfig,
+    /// Solver options for this point.
+    pub opts: ModelOptions,
+}
+
+impl ModelPoint {
+    /// A standard-parameter point.
+    pub fn new(label: impl Into<String>, cfg: ModelConfig) -> Self {
+        ModelPoint {
+            label: label.into(),
+            cfg,
+            opts: ModelOptions::default(),
+        }
+    }
+}
+
+/// Solves a chain of related model points in order, seeding each fixed
+/// point from its **nearest already-solved neighbor** — the previous point
+/// in the chain (callers lay chains out along their sweep axis, e.g.
+/// ascending n). The first point, and any point whose chain structure is
+/// incompatible with the snapshot, falls back to a cold start; which one
+/// was used is recorded in `ConvergenceInfo::warm_started`. With
+/// `warm = false` every point starts cold.
+pub fn solve_chain(points: &[ModelPoint], warm: bool) -> Vec<ModelReport> {
+    let mut reports = Vec::with_capacity(points.len());
+    let mut snapshot: Option<WarmStart> = None;
+    for point in points {
+        let model = Model::with_options(point.cfg.clone(), point.opts.clone());
+        let (report, ws) = model.solve_warm(if warm { snapshot.as_ref() } else { None });
+        snapshot = Some(ws);
+        reports.push(report);
+    }
+    reports
+}
+
+/// Canonical JSON float: `f64`'s shortest-round-trip `Display`, which is a
+/// pure function of the bits — two bitwise-equal solves render the same
+/// bytes. Non-finite values (never produced by a healthy solve) are
+/// rendered as `null`.
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Canonical JSON rendering of a solved model chain: one object per point,
+/// every field ordered by construction (no hash-map iteration anywhere on
+/// the path). This is the byte stream the determinism gate compares across
+/// thread counts.
+pub fn chain_to_json(points: &[ModelPoint], reports: &[ModelReport]) -> String {
+    assert_eq!(points.len(), reports.len());
+    let mut rows = Vec::with_capacity(points.len());
+    for (p, r) in points.iter().zip(reports) {
+        let nodes: Vec<String> = r
+            .nodes
+            .iter()
+            .map(|n| {
+                format!(
+                    "{{\"name\": \"{}\", \"tx_per_s\": {}, \"cpu_util\": {}, \
+                     \"disk_util\": {}, \"dio_per_s\": {}, \"records_per_s\": {}}}",
+                    n.name,
+                    json_f64(n.tx_per_s),
+                    json_f64(n.cpu_util),
+                    json_f64(n.disk_util),
+                    json_f64(n.dio_per_s),
+                    json_f64(n.records_per_s),
+                )
+            })
+            .collect();
+        rows.push(format!(
+            "  {{\"point\": \"{}\", \"iterations\": {}, \"residual\": {}, \
+             \"warm_started\": {}, \"nodes\": [{}]}}",
+            p.label,
+            r.convergence.iterations,
+            json_f64(r.convergence.residual),
+            r.convergence.warm_started,
+            nodes.join(", "),
+        ));
+    }
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carat::workload::StandardWorkload;
+
+    fn opts(threads: usize, seed: u64) -> SweepOptions {
+        SweepOptions {
+            threads,
+            warm: true,
+            partition_seed: seed,
+        }
+    }
+
+    #[test]
+    fn run_tasks_preserves_task_order_for_any_partition() {
+        let tasks: Vec<u64> = (0..23).collect();
+        let expected: Vec<u64> = tasks.iter().map(|t| t * t).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            for seed in [0u64, 1, 7, 1987] {
+                let got = run_tasks(tasks.clone(), &opts(threads, seed), |_, t| t * t);
+                assert_eq!(got, expected, "threads={threads} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_model_chain_is_byte_identical_to_sequential() {
+        // Two chains (two workloads) across a short n sweep: the rendered
+        // JSON must match byte for byte between 1 worker and many, and be
+        // independent of the partition seed.
+        let chains: Vec<Vec<ModelPoint>> = [StandardWorkload::Mb4, StandardWorkload::Mb8]
+            .iter()
+            .map(|&wl| {
+                [4u32, 8]
+                    .iter()
+                    .map(|&n| {
+                        ModelPoint::new(format!("{wl}/n{n}"), ModelConfig::new(wl.spec(2), n))
+                    })
+                    .collect()
+            })
+            .collect();
+        let render = |o: &SweepOptions| -> String {
+            let reports = run_tasks(chains.clone(), o, |_, pts| {
+                (pts.clone(), solve_chain(&pts, o.warm))
+            });
+            reports
+                .iter()
+                .map(|(pts, reps)| chain_to_json(pts, reps))
+                .collect::<Vec<_>>()
+                .join("")
+        };
+        let seq = render(&opts(1, 0));
+        for threads in [2usize, 4] {
+            for seed in [0u64, 3] {
+                assert_eq!(
+                    seq,
+                    render(&opts(threads, seed)),
+                    "threads={threads} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_chain_warm_starts_every_point_after_the_first() {
+        let points: Vec<ModelPoint> = [4u32, 8, 12]
+            .iter()
+            .map(|&n| {
+                ModelPoint::new(
+                    format!("n{n}"),
+                    ModelConfig::new(StandardWorkload::Mb8.spec(2), n),
+                )
+            })
+            .collect();
+        let warm = solve_chain(&points, true);
+        assert!(!warm[0].convergence.warm_started);
+        assert!(warm[1].convergence.warm_started);
+        assert!(warm[2].convergence.warm_started);
+        let cold = solve_chain(&points, false);
+        assert!(cold.iter().all(|r| !r.convergence.warm_started));
+        // Warm iterations never exceed cold anywhere, and win in total.
+        let iters =
+            |rs: &[ModelReport]| -> usize { rs.iter().map(|r| r.convergence.iterations).sum() };
+        assert!(
+            iters(&warm) < iters(&cold),
+            "{} !< {}",
+            iters(&warm),
+            iters(&cold)
+        );
+    }
+
+    #[test]
+    fn flag_parsing_overrides_env_defaults() {
+        let mut o = SweepOptions::default();
+        o.apply_args(&[
+            "--out".into(),
+            "x.json".into(),
+            "--threads".into(),
+            "6".into(),
+            "--no-warm".into(),
+        ]);
+        assert_eq!(o.threads, 6);
+        assert!(!o.warm);
+        o.apply_args(&["--sequential".into(), "--warm-start".into()]);
+        assert_eq!(o.threads, 1);
+        assert!(o.warm);
+    }
+}

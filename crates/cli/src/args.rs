@@ -47,6 +47,12 @@ pub struct RunSpec {
     pub victim: carat::sim::VictimPolicy,
     /// Fault-injection plan (simulator only).
     pub fault: carat::sim::FaultPlan,
+    /// Worker threads for the model's per-site MVA solves (results are
+    /// bitwise identical for every value).
+    pub threads: usize,
+    /// Warm-start each model solve from the previous transaction size's
+    /// converged fixed point.
+    pub warm_start: bool,
 }
 
 impl Default for RunSpec {
@@ -66,6 +72,8 @@ impl Default for RunSpec {
             crashes: Vec::new(),
             victim: carat::sim::VictimPolicy::Requester,
             fault: carat::sim::FaultPlan::default(),
+            threads: 1,
+            warm_start: false,
         }
     }
 }
@@ -116,6 +124,9 @@ FLAGS:
     --mttr <secs>                  mean time to node repair (sim; 0 = instant)
     --net-timeout <ms>             message timeout before retransmission (sim)
     --net-retries <k>              retransmissions before presuming abort (sim)
+    --threads <k>                  parallel per-site MVA solves (model; identical results)
+    --warm-start                   seed each model solve from the previous n's fixed point
+    --sequential                   force single-threaded solving (same as --threads 1)
 
 EXAMPLES:
     carat-cli compare --workload mb8 --n 4..20
@@ -251,6 +262,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| "bad net-retries".to_string())?
             }
+            "--threads" => {
+                spec.threads = next(&mut i)?
+                    .parse::<usize>()
+                    .map_err(|_| "bad threads".to_string())?
+                    .max(1)
+            }
+            "--sequential" => spec.threads = 1,
+            "--warm-start" => spec.warm_start = true,
             "--cc" => {
                 spec.cc = match next(&mut i)?.to_ascii_lowercase().as_str() {
                     "2pl" => carat::sim::CcProtocol::TwoPhaseLocking,
@@ -335,6 +354,27 @@ mod tests {
         assert_eq!(spec.fault.max_retries, 6);
         assert!(parse(&argv("sim --drop lots")).is_err());
         assert!(parse(&argv("sim --net-timeout")).is_err());
+    }
+
+    #[test]
+    fn parses_solver_flags() {
+        let Command::Model(spec) =
+            parse(&argv("model --n 4..20 --threads 4 --warm-start")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(spec.threads, 4);
+        assert!(spec.warm_start);
+        let Command::Model(spec) = parse(&argv("model --threads 8 --sequential")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.threads, 1, "--sequential overrides --threads");
+        assert!(parse(&argv("model --threads zero")).is_err());
+        // --threads 0 clamps to 1 rather than erroring.
+        let Command::Model(spec) = parse(&argv("model --threads 0")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.threads, 1);
     }
 
     #[test]

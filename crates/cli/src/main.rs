@@ -9,7 +9,7 @@
 mod args;
 
 use args::{parse, Command, RunSpec, USAGE};
-use carat::model::{Model, ModelConfig, ModelOptions, ModelReport};
+use carat::model::{Model, ModelConfig, ModelOptions, ModelReport, WarmStart};
 use carat::sim::{DeadlockMode, Sim, SimConfig, SimReport};
 
 fn main() {
@@ -17,8 +17,9 @@ fn main() {
     match parse(&argv) {
         Ok(Command::Help) => print!("{USAGE}"),
         Ok(Command::Model(spec)) => {
+            let mut warm = Warm::default();
             for &n in &spec.n_values {
-                print_model(n, &run_model(&spec, n));
+                print_model(n, &run_model(&spec, n, &mut warm));
             }
         }
         Ok(Command::Sim(spec)) => {
@@ -33,9 +34,10 @@ fn main() {
             println!(
                 "|----|------|----------|------------|---------|-----------|---------|-----------|"
             );
+            let mut warm = Warm::default();
             for &n in &spec.n_values {
                 let s = run_sim(&spec, n);
-                let m = run_model(&spec, n);
+                let m = run_model(&spec, n, &mut warm);
                 for i in 0..s.nodes.len() {
                     println!(
                         "| {:2} | {}    |    {:5.2} |      {:5.2} |    {:4.2} |      {:4.2} |   {:5.1} |     {:5.1} |",
@@ -58,15 +60,27 @@ fn main() {
     }
 }
 
-fn run_model(spec: &RunSpec, n: u32) -> ModelReport {
+/// Warm-start state threaded through an ascending-n model sweep.
+#[derive(Default)]
+struct Warm(Option<WarmStart>);
+
+fn run_model(spec: &RunSpec, n: u32, warm: &mut Warm) -> ModelReport {
     let mut cfg = ModelConfig::new(spec.workload.spec(2), n);
     cfg.params = spec.params();
     let opts = ModelOptions {
         separate_log_disk: spec.separate_log,
         model_tm_serialization: spec.tm_center,
+        threads: spec.threads,
         ..ModelOptions::default()
     };
-    Model::with_options(cfg, opts).solve()
+    let seed = if spec.warm_start {
+        warm.0.as_ref()
+    } else {
+        None
+    };
+    let (report, snapshot) = Model::with_options(cfg, opts).solve_warm(seed);
+    warm.0 = Some(snapshot);
+    report
 }
 
 fn run_sim(spec: &RunSpec, n: u32) -> SimReport {
@@ -95,8 +109,14 @@ fn run_sim(spec: &RunSpec, n: u32) -> SimReport {
 
 fn print_model(n: u32, r: &ModelReport) {
     println!(
-        "model: n = {n} ({} iterations, residual {:.2e})",
-        r.convergence.iterations, r.convergence.residual
+        "model: n = {n} ({} iterations, residual {:.2e}{})",
+        r.convergence.iterations,
+        r.convergence.residual,
+        if r.convergence.warm_started {
+            ", warm-started"
+        } else {
+            ""
+        }
     );
     if !r.convergence.converged {
         eprintln!(

@@ -12,16 +12,30 @@ use carat_workload::ChainType;
 /// P[Y = i] ∝ (1 − p)^i · p,   E[Y] = (1−p)/p − n_lk(1−p)^n_lk / (1 − (1−p)^n_lk)
 /// ```
 ///
-/// As `p → 0` this tends to the uniform mean `(n_lk − 1)/2`, which is used
-/// directly below `p = 1e-9` for numerical stability.
+/// As `p → 0` this tends to the uniform mean `(n_lk − 1)/2`.
+///
+/// The textbook form subtracts two `O(1/p)` terms that agree to leading
+/// order, so evaluating it literally loses all significant digits for small
+/// `p`. With `u = −n_lk·ln(1−p)` (so `(1−p)^n_lk = e^(−u)`) it rewrites as
+/// `(1−p)/p − n_lk/(e^u − 1)`, computed via `ln_1p`/`exp_m1`; below
+/// `u = 1e-4` even that cancels catastrophically, so the series expansion
+/// around the uniform mean takes over:
+///
+/// ```text
+/// E[Y] = (n−1)/2 − (n²−1)·p/12 − (n²−1)·p²/24 + O(n⁴p³)
+/// ```
+///
+/// Both branches agree to ≈ 1e-11 relative at the switch point, so the
+/// function is continuous and monotone over the whole domain (see
+/// `expected_locks_small_p_stability`).
 pub fn expected_locks_at_abort(p: f64, n_lk: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "hazard out of range: {p}");
     assert!(n_lk >= 1.0);
-    if p < 1e-9 {
-        return (n_lk - 1.0) / 2.0;
+    let u = -n_lk * (-p).ln_1p();
+    if u < 1e-4 {
+        return (n_lk - 1.0) / 2.0 - (n_lk * n_lk - 1.0) * p / 12.0 * (1.0 + p / 2.0);
     }
-    let s = (1.0 - p).powf(n_lk);
-    (1.0 - p) / p - n_lk * s / (1.0 - s)
+    (1.0 - p) / p - n_lk / u.exp_m1()
 }
 
 /// `σ = E[Y]/N_lk` (paper §5.4.1).
@@ -307,6 +321,59 @@ mod tests {
             let e = expected_locks_at_abort(p, 17.0);
             assert!(e <= prev);
             prev = e;
+        }
+    }
+
+    #[test]
+    fn expected_locks_small_p_stability() {
+        for &n in &[2.0f64, 8.0, 17.0, 48.0, 100.0] {
+            let uniform = (n - 1.0) / 2.0;
+            // Log-spaced sweep p ∈ [1e-12, 0.5]: monotone non-increasing,
+            // never above the p → 0 uniform limit, and with no jumps —
+            // successive values (ratio 10^(1/16) apart in p) must stay
+            // within a sliver of each other, which a cancellation spike or
+            // a hard threshold cliff would violate.
+            let mut prev = uniform;
+            let steps = 16 * 12; // 16 per decade, 1e-12 → 1.0, stop at 0.5
+            for i in 0..=steps {
+                let p = 1e-12 * 10f64.powf(i as f64 / 16.0);
+                if p > 0.5 {
+                    break;
+                }
+                let e = expected_locks_at_abort(p, n);
+                assert!(
+                    e <= prev + uniform * 1e-9,
+                    "n={n}, p={p}: {e} > prev {prev}"
+                );
+                assert!(
+                    (prev - e) <= uniform * (n * n * p) + uniform * 1e-9,
+                    "n={n}, p={p}: jump {} too large",
+                    prev - e
+                );
+                prev = e;
+            }
+            // Continuity against the uniform-mean limit: tiny p must
+            // reproduce (n−1)/2 to near machine precision.
+            for p in [1e-12, 1e-11, 1e-10, 1e-9, 3e-9, 1e-8] {
+                let e = expected_locks_at_abort(p, n);
+                assert!(
+                    (e - uniform).abs() < uniform * 1e-6 + 1e-9,
+                    "n={n}, p={p}: {e} vs uniform {uniform}"
+                );
+            }
+            // Continuity across the series/closed-form switch at
+            // u = n·p ≈ 1e-4: both branches must agree there.
+            let p_switch = 1e-4 / n;
+            let below = expected_locks_at_abort(p_switch * 0.99, n);
+            let above = expected_locks_at_abort(p_switch * 1.01, n);
+            // The analytic slope here is ≈ −(n²−1)/12, so that much drop
+            // over the 2 % straddle is genuine; anything beyond a sliver
+            // more would be a branch cliff.
+            let slope = (n * n - 1.0) / 12.0 * (p_switch * 0.02);
+            assert!(
+                (below - above).abs() < 1.5 * slope + uniform * 1e-8,
+                "n={n}: branch mismatch {below} vs {above}"
+            );
         }
     }
 

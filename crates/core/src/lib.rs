@@ -55,6 +55,7 @@ pub mod solver;
 
 pub use output::{ConvergenceInfo, ModelNodeReport, ModelReport, ModelTypeReport};
 pub use phases::{Phase, TransitionMatrix, VisitCounts};
+pub use solver::WarmStart;
 pub use solver::{Model, ModelConfig, ModelOptions};
 
 /// Internal: dense solve returning `None` on singularity (thin wrapper so

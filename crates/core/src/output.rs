@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use carat_workload::{ChainType, TxType};
 
 /// Per-transaction-type model predictions at one node.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelTypeReport {
     /// Predicted time content per phase, as milliseconds per commit cycle:
     /// `N_s · V_c · (R_c^cpu + R_c^disk)` for the processing phases plus
@@ -34,7 +34,7 @@ pub struct ModelTypeReport {
 }
 
 /// Per-node model predictions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelNodeReport {
     /// Node label ("A", "B").
     pub name: String,
@@ -68,12 +68,19 @@ pub struct ConvergenceInfo {
     pub iterations: usize,
     /// Largest relative change of any population estimate in the final
     /// iteration — the residual the tolerance is compared against. A
-    /// non-converged solve reports how far it still was.
+    /// non-converged solve reports how far it still was. This is the
+    /// *undamped* step `|new − old| / (1 + |new|)`: the damping factor is
+    /// divided back out so the residual reflects the true distance from
+    /// the fixed point, not the (smaller) damped move actually applied.
     pub residual: f64,
+    /// Whether this solve was seeded from a neighboring point's converged
+    /// state ([`crate::Model::solve_warm`]) instead of the cold-start
+    /// defaults.
+    pub warm_started: bool,
 }
 
 /// Full model solution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModelReport {
     /// Per-node predictions.
     pub nodes: Vec<ModelNodeReport>,

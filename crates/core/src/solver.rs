@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use carat_qnet::{CenterKind, Network};
+use carat_qnet::{CenterKind, MvaScratch, MvaSolution, Network};
 use carat_workload::{ChainType, SystemParams, TxType, WorkloadSpec};
 
 use crate::contention::{
@@ -70,6 +70,12 @@ pub struct ModelOptions {
     /// sharing the database device (the testbed could not — paper §2 calls
     /// the shared disk a bottleneck a real deployment would avoid).
     pub separate_log_disk: bool,
+    /// Worker threads for solving the independent per-site MVA networks of
+    /// one iteration concurrently (1 = sequential). Sites are solved with
+    /// identical arithmetic into disjoint buffers, so the results are
+    /// bitwise identical for every value of `threads`; small lattices stay
+    /// sequential regardless because thread spawn would dominate.
+    pub threads: usize,
 }
 
 impl Default for ModelOptions {
@@ -84,6 +90,7 @@ impl Default for ModelOptions {
             fixed_br: None,
             model_tm_serialization: false,
             separate_log_disk: false,
+            threads: 1,
         }
     }
 }
@@ -116,6 +123,62 @@ struct ChainState {
     log_demand: f64,
 }
 
+/// Opaque snapshot of a converged fixed point, used to seed the solve of a
+/// neighboring parameter point ([`Model::solve_warm`]).
+///
+/// Adjacent sweep points (same workload, next transaction size or
+/// population) have nearby fixed points, so starting the iteration from a
+/// neighbor's converged state typically cuts the iteration count by a
+/// large factor. A snapshot is only compatible with a configuration that
+/// produces the same chain structure (same sites and chain types, in the
+/// same order); populations and per-request costs may differ — that is the
+/// point. Incompatible snapshots are ignored and the solve falls back to a
+/// cold start.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Chain structure this snapshot belongs to.
+    keys: Vec<(usize, ChainType)>,
+    /// The converged per-chain iteration state.
+    st: Vec<ChainState>,
+}
+
+/// One site's closed network plus the MVA buffers, built once per solve
+/// and reused across all fixed-point iterations: only the demands change
+/// between iterations, so the network topology, the lattice-sized scratch
+/// table, and the solution buffers persist.
+struct SiteSolver {
+    /// Indices into `ctxs`/`st` of the chains running at this site, in
+    /// chain-id order of `net`.
+    site_idx: Vec<usize>,
+    net: Network,
+    cpu: usize,
+    disk: usize,
+    log_disk: Option<usize>,
+    tm: Option<usize>,
+    delay: usize,
+    scratch: MvaScratch,
+    out: MvaSolution,
+}
+
+/// Lattices at or above the exact-MVA cap fall back to Schweitzer–Bard.
+const EXACT_LATTICE_MAX: usize = 2_000_000;
+
+/// Minimum per-site lattice size before parallel site solves pay for the
+/// thread-spawn overhead.
+const PARALLEL_LATTICE_MIN: usize = 4_096;
+
+impl SiteSolver {
+    /// Solves this site's network into the held buffers.
+    fn run(&mut self, exact_mva: bool) {
+        if exact_mva && self.net.lattice_size() <= EXACT_LATTICE_MAX {
+            self.net.solve_exact_into(&mut self.scratch, &mut self.out);
+        } else {
+            self.net
+                .solve_approx_into(1e-10, 20_000, &mut self.scratch, &mut self.out);
+        }
+    }
+}
+
 /// The analytical model of the CARAT testbed.
 pub struct Model {
     cfg: ModelConfig,
@@ -138,16 +201,30 @@ impl Model {
 
     /// Runs the fixed-point iteration and returns the predictions.
     pub fn solve(&self) -> ModelReport {
+        self.solve_warm(None).0
+    }
+
+    /// Like [`Model::solve`], but optionally seeds the iteration from a
+    /// neighboring point's converged state and returns this point's own
+    /// converged state for further chaining. `ConvergenceInfo::warm_started`
+    /// records whether the seed was actually used (an incompatible or
+    /// absent seed falls back to the cold start).
+    pub fn solve_warm(&self, warm: Option<&WarmStart>) -> (ModelReport, WarmStart) {
         let params = &self.cfg.params;
         let ctxs = chain_contexts(params, &self.cfg.workload, self.cfg.n_requests);
-        let mut st: Vec<ChainState> = ctxs
-            .iter()
-            .map(|_| ChainState {
-                n_s: 1.0,
-                sigma: 0.5,
-                ..ChainState::default()
-            })
-            .collect();
+        let keys: Vec<(usize, ChainType)> = ctxs.iter().map(|c| (c.site, c.chain)).collect();
+        let warm_st = warm.filter(|w| w.keys == keys);
+        let mut st: Vec<ChainState> = match warm_st {
+            Some(w) => w.st.clone(),
+            None => ctxs
+                .iter()
+                .map(|_| ChainState {
+                    n_s: 1.0,
+                    sigma: 0.5,
+                    ..ChainState::default()
+                })
+                .collect(),
+        };
 
         let mut iterations = 0;
         let mut converged = false;
@@ -155,6 +232,52 @@ impl Model {
         let lam = self.opts.damping;
         // (CPU, disk) utilization per site, refreshed by each MVA pass.
         let mut site_util = vec![(0.0f64, 0.0f64); params.sites()];
+
+        // Per-site networks + MVA buffers, built once and reused across
+        // iterations (topology and populations are fixed; only demands
+        // change), keeping the iteration loop allocation-free.
+        let mut solvers: Vec<SiteSolver> = (0..params.sites())
+            .map(|site| {
+                let site_idx: Vec<usize> =
+                    (0..ctxs.len()).filter(|&k| ctxs[k].site == site).collect();
+                let mut net = Network::new();
+                let cpu = net.add_center("CPU", CenterKind::Queueing);
+                let disk = net.add_center("DISK", CenterKind::Queueing);
+                let log_disk = if self.opts.separate_log_disk {
+                    Some(net.add_center("LOG", CenterKind::Queueing))
+                } else {
+                    None
+                };
+                let tm = if self.opts.model_tm_serialization {
+                    Some(net.add_center("TM", CenterKind::Queueing))
+                } else {
+                    None
+                };
+                let delay = net.add_center("DELAY", CenterKind::Delay);
+                for &k in &site_idx {
+                    net.add_chain(ctxs[k].chain.label(), ctxs[k].population);
+                }
+                SiteSolver {
+                    site_idx,
+                    net,
+                    cpu,
+                    disk,
+                    log_disk,
+                    tm,
+                    delay,
+                    scratch: MvaScratch::default(),
+                    out: MvaSolution::empty(),
+                }
+            })
+            .collect();
+        let threads = self.opts.threads.max(1).min(solvers.len().max(1));
+        let parallel_sites = threads > 1
+            && solvers
+                .iter()
+                .map(|sv| sv.net.lattice_size())
+                .max()
+                .unwrap_or(0)
+                >= PARALLEL_LATTICE_MIN;
 
         for iter in 0..self.opts.max_iter {
             iterations = iter + 1;
@@ -188,28 +311,11 @@ impl Model {
             }
 
             // --- Per-site MVA ----------------------------------------------
-            for (site, util_slot) in site_util.iter_mut().enumerate() {
-                let site_idx: Vec<usize> =
-                    (0..ctxs.len()).filter(|&k| ctxs[k].site == site).collect();
-                let mut net = Network::new();
-                let cpu = net.add_center("CPU", CenterKind::Queueing);
-                let disk = net.add_center("DISK", CenterKind::Queueing);
-                let log_disk = if self.opts.separate_log_disk {
-                    Some(net.add_center("LOG", CenterKind::Queueing))
-                } else {
-                    None
-                };
-                let tm = if self.opts.model_tm_serialization {
-                    Some(net.add_center("TM", CenterKind::Queueing))
-                } else {
-                    None
-                };
-                let delay = net.add_center("DELAY", CenterKind::Delay);
-
-                for &k in &site_idx {
+            // Refresh the demands of every site's (pre-built) network.
+            for sv in &mut solvers {
+                for (chain_id, &k) in sv.site_idx.iter().enumerate() {
                     let ctx = &ctxs[k];
                     let s = &st[k];
-                    let chain_id = net.add_chain(ctx.chain.label(), ctx.population);
                     let costs = phase_costs(params, ctx, s.sigma);
                     let d = demands(
                         params,
@@ -223,19 +329,19 @@ impl Model {
                         },
                         s.n_s,
                     );
-                    net.set_demand(chain_id, cpu, d.cpu);
-                    match log_disk {
+                    sv.net.set_demand(chain_id, sv.cpu, d.cpu);
+                    match sv.log_disk {
                         Some(log_c) => {
-                            net.set_demand(chain_id, disk, d.disk);
-                            net.set_demand(chain_id, log_c, d.log);
+                            sv.net.set_demand(chain_id, sv.disk, d.disk);
+                            sv.net.set_demand(chain_id, log_c, d.log);
                         }
                         None => {
                             // Shared device (the testbed's forced layout).
-                            net.set_demand(chain_id, disk, d.disk + d.log);
+                            sv.net.set_demand(chain_id, sv.disk, d.disk + d.log);
                         }
                     }
-                    net.set_demand(chain_id, delay, d.delay);
-                    if let Some(tm) = tm {
+                    sv.net.set_demand(chain_id, sv.delay, d.delay);
+                    if let Some(tm) = sv.tm {
                         // Shadow-server approximation of the serialised TM:
                         // all TM-phase CPU plus the forced commit write.
                         let v = &visits[k];
@@ -243,7 +349,7 @@ impl Model {
                             * (v.get(Phase::Tm) * costs.cpu[Phase::Tm.idx()]
                                 + v.get(Phase::Tc) * costs.cpu[Phase::Tc.idx()]
                                 + v.get(Phase::Tcio) * costs.disk[Phase::Tcio.idx()]);
-                        net.set_demand(chain_id, tm, tm_demand);
+                        sv.net.set_demand(chain_id, tm, tm_demand);
                     }
                     let s = &mut st[k];
                     s.ios_per_cycle = d.ios;
@@ -260,23 +366,42 @@ impl Model {
                         0.0
                     };
                 }
+            }
 
-                let sol = if self.opts.exact_mva && net.lattice_size() <= 2_000_000 {
-                    net.solve_exact()
-                } else {
-                    net.solve_approx(1e-10, 20_000)
-                };
+            // Sites are independent closed networks: solve them
+            // concurrently when allowed and worthwhile. Each solve writes
+            // only its own buffers with arithmetic identical to the
+            // sequential path, so the results are bitwise equal for any
+            // thread count.
+            let exact_mva = self.opts.exact_mva;
+            if parallel_sites {
+                let per = solvers.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for chunk in solvers.chunks_mut(per) {
+                        scope.spawn(move || {
+                            for sv in chunk {
+                                sv.run(exact_mva);
+                            }
+                        });
+                    }
+                });
+            } else {
+                for sv in &mut solvers {
+                    sv.run(exact_mva);
+                }
+            }
 
-                for (pos, &k) in site_idx.iter().enumerate() {
+            for (site, sv) in solvers.iter().enumerate() {
+                for (pos, &k) in sv.site_idx.iter().enumerate() {
                     let s = &mut st[k];
-                    s.x = sol.throughput[pos];
-                    s.r_cycle = sol.response[pos];
+                    s.x = sv.out.throughput[pos];
+                    s.r_cycle = sv.out.response[pos];
                     let think = s.n_s * params.think_time_ms;
                     s.r_s = ((s.r_cycle - think) / (1.0 + (s.n_s - 1.0) * s.sigma)).max(1e-9);
                 }
 
                 // Stash site utilizations for the delay updates below.
-                *util_slot = (sol.utilization[cpu], sol.utilization[disk]);
+                site_util[site] = (sv.out.utilization[sv.cpu], sv.out.utilization[sv.disk]);
             }
 
             // --- Contention updates ----------------------------------------
@@ -442,9 +567,12 @@ impl Model {
             for k in 0..ctxs.len() {
                 let s = &mut st[k];
                 let mut upd = |old: &mut f64, new: f64| {
-                    let v = lam * new + (1.0 - lam) * *old;
-                    delta = delta.max((v - *old).abs() / (1.0 + v.abs()));
-                    *old = v;
+                    // Judge convergence on the *undamped* step. The damped
+                    // move `|v − old| = λ·|new − old|` under-states the
+                    // distance from the fixed point by the damping factor,
+                    // which declared convergence a factor 1/λ too early.
+                    delta = delta.max((new - *old).abs() / (1.0 + new.abs()));
+                    *old = lam * new + (1.0 - lam) * *old;
                 };
                 upd(&mut s.pb, new_pb[k]);
                 upd(&mut s.pd, new_pd[k]);
@@ -461,15 +589,17 @@ impl Model {
             }
         }
 
-        self.package(
+        let report = self.package(
             &ctxs,
             &st,
             ConvergenceInfo {
                 converged,
                 iterations,
                 residual,
+                warm_started: warm_st.is_some(),
             },
-        )
+        );
+        (report, WarmStart { keys, st })
     }
 
     fn package(

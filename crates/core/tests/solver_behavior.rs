@@ -1,8 +1,21 @@
 //! Behavioural tests of the fixed-point solver: the model must respond to
 //! its inputs the way queueing theory demands.
 
-use carat_model::{Model, ModelConfig, ModelOptions};
+use carat_model::{Model, ModelConfig, ModelOptions, ModelReport};
 use carat_workload::{NodeParams, StandardWorkload, SystemParams, TxType, WorkloadSpec};
+
+/// Bitwise equality of everything a report feeds into output.
+fn assert_reports_identical(a: &ModelReport, b: &ModelReport) {
+    for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(na.tx_per_s, nb.tx_per_s);
+        assert_eq!(na.records_per_s, nb.records_per_s);
+        assert_eq!(na.cpu_util, nb.cpu_util);
+        assert_eq!(na.disk_util, nb.disk_util);
+        assert_eq!(na.dio_per_s, nb.dio_per_s);
+        assert_eq!(na.per_type, nb.per_type);
+        assert_eq!(na.per_chain, nb.per_chain);
+    }
+}
 
 fn solve(wl: StandardWorkload, n: u32) -> carat_model::ModelReport {
     Model::new(ModelConfig::new(wl.spec(2), n)).solve()
@@ -16,6 +29,102 @@ fn solver_is_deterministic() {
     for (na, nb) in a.nodes.iter().zip(&b.nodes) {
         assert_eq!(na.tx_per_s, nb.tx_per_s);
         assert_eq!(na.cpu_util, nb.cpu_util);
+    }
+}
+
+#[test]
+fn tightened_tolerance_changes_iterations_not_solution() {
+    // Regression for the damped-residual bug: the residual is now the
+    // undamped step, so tightening the tolerance must cost extra
+    // iterations while leaving the converged solution in place.
+    let solve_tol = |tol: f64| {
+        Model::with_options(
+            ModelConfig::new(StandardWorkload::Mb8.spec(2), 12),
+            ModelOptions {
+                tol,
+                ..ModelOptions::default()
+            },
+        )
+        .solve()
+    };
+    let loose = solve_tol(1e-6);
+    let tight = solve_tol(1e-12);
+    assert!(loose.convergence.converged && tight.convergence.converged);
+    assert!(
+        tight.convergence.iterations > loose.convergence.iterations,
+        "tightening 1e-6 → 1e-12 must add iterations ({} vs {})",
+        tight.convergence.iterations,
+        loose.convergence.iterations
+    );
+    assert!(tight.convergence.residual < 1e-12);
+    for (l, t) in loose.nodes.iter().zip(&tight.nodes) {
+        let rel = (l.tx_per_s - t.tx_per_s).abs() / t.tx_per_s;
+        assert!(
+            rel < 1e-4,
+            "node {}: tolerance changed the solution ({} vs {})",
+            l.name,
+            l.tx_per_s,
+            t.tx_per_s
+        );
+    }
+}
+
+#[test]
+fn warm_start_converges_faster_to_the_same_fixed_point() {
+    let model_at = |n: u32| Model::new(ModelConfig::new(StandardWorkload::Mb8.spec(2), n));
+    let (_, ws) = model_at(8).solve_warm(None);
+    let (cold, _) = model_at(12).solve_warm(None);
+    let (warm, _) = model_at(12).solve_warm(Some(&ws));
+    assert!(!cold.convergence.warm_started);
+    assert!(warm.convergence.warm_started);
+    assert!(
+        warm.convergence.iterations < cold.convergence.iterations,
+        "warm {} !< cold {}",
+        warm.convergence.iterations,
+        cold.convergence.iterations
+    );
+    // Both end within tolerance of the same fixed point.
+    for (c, w) in cold.nodes.iter().zip(&warm.nodes) {
+        let rel = (c.tx_per_s - w.tx_per_s).abs() / c.tx_per_s;
+        assert!(
+            rel < 1e-5,
+            "node {}: {} vs {}",
+            c.name,
+            c.tx_per_s,
+            w.tx_per_s
+        );
+    }
+}
+
+#[test]
+fn incompatible_warm_start_falls_back_to_cold() {
+    // A one-site workload snapshot cannot seed the two-site testbed.
+    let spec = WorkloadSpec {
+        name: "solo".into(),
+        users: vec![vec![(TxType::Lro, 2)], vec![]],
+    };
+    let (_, ws) = Model::new(ModelConfig::new(spec, 4)).solve_warm(None);
+    let (r, _) =
+        Model::new(ModelConfig::new(StandardWorkload::Mb8.spec(2), 8)).solve_warm(Some(&ws));
+    assert!(!r.convergence.warm_started);
+    let cold = solve(StandardWorkload::Mb8, 8);
+    assert_reports_identical(&r, &cold);
+}
+
+#[test]
+fn threaded_site_solves_are_bitwise_identical() {
+    for threads in [2usize, 4, 8] {
+        let par = Model::with_options(
+            ModelConfig::new(StandardWorkload::Mb8.spec(2), 16),
+            ModelOptions {
+                threads,
+                ..ModelOptions::default()
+            },
+        )
+        .solve();
+        let seq = solve(StandardWorkload::Mb8, 16);
+        assert_eq!(par.convergence.iterations, seq.convergence.iterations);
+        assert_reports_identical(&par, &seq);
     }
 }
 

@@ -365,7 +365,13 @@ impl Histogram {
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             if seen + c >= target {
-                let into = (target - seen) as f64 / c.max(1) as f64;
+                // Midpoint rule: under the uniform-within-bucket assumption
+                // the j-th of a bucket's c samples (j = target − seen) sits
+                // at fraction (j − 0.5)/c of the bucket width. The earlier
+                // j/c rule was biased high by half a sub-interval and
+                // returned the bucket's *exclusive* upper edge whenever the
+                // rank landed on its last sample.
+                let into = ((target - seen) as f64 - 0.5) / c.max(1) as f64;
                 return self.lower(i) + into * (self.upper(i) - self.lower(i));
             }
             seen += c;
@@ -430,6 +436,20 @@ mod histogram_tests {
             assert!(v >= prev, "quantiles must be monotone");
             prev = v;
         }
+    }
+
+    #[test]
+    fn rank_on_bucket_boundary_stays_inside_the_bucket() {
+        // 4 samples in [1, 2), 4 in [4, 8): p50's rank is the last sample
+        // of the first occupied bucket. The estimate must stay strictly
+        // inside that bucket — returning the exclusive upper edge (the old
+        // j/c interpolation) jumps to the next bucket's lower edge.
+        let mut h = Histogram::new(1.0, 2.0, 8);
+        for x in [1.2, 1.4, 1.6, 1.8, 4.5, 5.0, 6.0, 7.0] {
+            h.record(x);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((1.0..2.0).contains(&p50), "p50 = {p50} escaped [1, 2)");
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub use bounds::{chain_bounds, ChainBounds};
 pub use convolution::{solve_convolution, ConvolutionSolution};
 pub use ethernet::EthernetModel;
 pub use linalg::solve_dense;
-pub use mva::{Center, CenterKind, MvaSolution, Network};
+pub use mva::{Center, CenterKind, MvaScratch, MvaSolution, Network};
 pub use yao::yao_blocks;

@@ -45,7 +45,7 @@ pub struct Network {
 
 /// Solution of a closed network: per-chain throughputs and response times,
 /// per-center utilizations and mean queue lengths.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MvaSolution {
     /// Per-chain throughput `X_k` (passages per millisecond).
     pub throughput: Vec<f64>,
@@ -60,6 +60,49 @@ pub struct MvaSolution {
     pub utilization: Vec<f64>,
     /// Per-center time-average population.
     pub queue_len: Vec<f64>,
+}
+
+impl MvaSolution {
+    /// An empty solution buffer for the `*_into` solvers.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Resizes every field for `k_n` chains × `c_n` centers and zeroes it,
+    /// keeping the existing allocations.
+    fn reset(&mut self, k_n: usize, c_n: usize) {
+        self.throughput.clear();
+        self.throughput.resize(k_n, 0.0);
+        self.response.clear();
+        self.response.resize(k_n, 0.0);
+        self.residence.truncate(k_n);
+        self.residence.resize_with(k_n, Vec::new);
+        for r in &mut self.residence {
+            r.clear();
+            r.resize(c_n, 0.0);
+        }
+        self.utilization.clear();
+        self.utilization.resize(c_n, 0.0);
+        self.queue_len.clear();
+        self.queue_len.resize(c_n, 0.0);
+    }
+}
+
+/// Reusable work buffers for [`Network::solve_exact_into`] and
+/// [`Network::solve_approx_into`].
+///
+/// The exact recursion's dominant cost is the `lattice_size × centers`
+/// queue-length table; holding it here lets a fixed-point solver that calls
+/// MVA hundreds of times per solve run allocation-free after the first
+/// iteration.
+#[derive(Debug, Clone, Default)]
+pub struct MvaScratch {
+    /// Queue lengths per population vector (exact) or per chain (approx).
+    q: Vec<f64>,
+    /// Mixed-radix strides of the population lattice.
+    stride: Vec<usize>,
+    /// Decoded population vector.
+    pop: Vec<usize>,
 }
 
 impl Network {
@@ -141,80 +184,98 @@ impl Network {
     /// [`Network::solve_approx`] when [`Network::lattice_size`] is large
     /// (≳ 10⁷).
     pub fn solve_exact(&self) -> MvaSolution {
+        let mut scratch = MvaScratch::default();
+        let mut out = MvaSolution::empty();
+        self.solve_exact_into(&mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Network::solve_exact`]: reuses the
+    /// buffers in `scratch` and writes the solution into `out`. Produces
+    /// bitwise-identical results to `solve_exact`.
+    pub fn solve_exact_into(&self, scratch: &mut MvaScratch, out: &mut MvaSolution) {
         let k_n = self.chains();
         let c_n = self.centers();
-        let radices: Vec<usize> = self.populations.iter().map(|&n| n + 1).collect();
         let lattice = self.lattice_size();
 
+        out.reset(k_n, c_n);
+        let MvaScratch { q, stride, pop } = scratch;
         // Mean queue length at each queueing center for every population
         // vector, indexed by mixed-radix encoding of the vector.
-        let mut q = vec![0.0f64; lattice * c_n];
-
+        q.clear();
+        q.resize(lattice * c_n, 0.0);
         // Strides for mixed-radix indexing: index = Σ n_k · stride_k.
-        let mut stride = vec![0usize; k_n];
+        stride.clear();
+        stride.resize(k_n, 0);
+        pop.clear();
+        pop.resize(k_n, 0);
         let mut acc = 1usize;
-        for k in 0..k_n {
-            stride[k] = acc;
-            acc *= radices[k];
+        for (s, &p) in stride.iter_mut().zip(&self.populations) {
+            *s = acc;
+            acc *= p + 1;
         }
 
-        let mut pop = vec![0usize; k_n];
-        let mut x = vec![0.0f64; k_n];
-        let mut residence = vec![vec![0.0f64; c_n]; k_n];
+        {
+            let x = &mut out.throughput;
+            let residence = &mut out.residence;
 
-        // Enumerate population vectors in mixed-radix counting order; every
-        // n − e_k precedes n, so its queue lengths are already available.
-        for idx in 1..lattice.max(2) {
-            if k_n == 0 {
-                break;
-            }
-            // Decode idx → pop.
-            let mut rem = idx;
-            for k in 0..k_n {
-                pop[k] = rem % radices[k];
-                rem /= radices[k];
-            }
-            if idx >= lattice {
-                break;
-            }
-
-            for k in 0..k_n {
-                if pop[k] == 0 {
-                    x[k] = 0.0;
-                    continue;
+            // Enumerate population vectors in mixed-radix counting order;
+            // every n − e_k precedes n, so its queue lengths are already
+            // available.
+            for idx in 1..lattice.max(2) {
+                if k_n == 0 {
+                    break;
                 }
-                let idx_minus = idx - stride[k];
-                let mut total_r = 0.0;
-                for c in 0..c_n {
-                    let d = self.demands[k][c];
-                    let r = match self.centers[c].kind {
-                        CenterKind::Delay => d,
-                        CenterKind::Queueing => d * (1.0 + q[idx_minus * c_n + c]),
-                    };
-                    residence[k][c] = r;
-                    total_r += r;
+                // Decode idx → pop.
+                let mut rem = idx;
+                for (p, &population) in pop.iter_mut().zip(&self.populations) {
+                    let radix = population + 1;
+                    *p = rem % radix;
+                    rem /= radix;
                 }
-                x[k] = if total_r > 0.0 {
-                    pop[k] as f64 / total_r
-                } else {
-                    // A chain with zero total demand has infinite throughput;
-                    // represent as 0 contribution to queues and flag with inf.
-                    f64::INFINITY
-                };
-            }
+                if idx >= lattice {
+                    break;
+                }
 
-            for c in 0..c_n {
-                let mut qc = 0.0;
                 for k in 0..k_n {
-                    if pop[k] > 0 && x[k].is_finite() {
-                        qc += x[k] * residence[k][c];
+                    if pop[k] == 0 {
+                        x[k] = 0.0;
+                        continue;
                     }
+                    let idx_minus = idx - stride[k];
+                    let mut total_r = 0.0;
+                    for c in 0..c_n {
+                        let d = self.demands[k][c];
+                        let r = match self.centers[c].kind {
+                            CenterKind::Delay => d,
+                            CenterKind::Queueing => d * (1.0 + q[idx_minus * c_n + c]),
+                        };
+                        residence[k][c] = r;
+                        total_r += r;
+                    }
+                    x[k] = if total_r > 0.0 {
+                        pop[k] as f64 / total_r
+                    } else {
+                        // A chain with zero total demand has infinite
+                        // throughput; represent as 0 contribution to queues
+                        // and flag with inf.
+                        f64::INFINITY
+                    };
                 }
-                q[idx * c_n + c] = qc;
+
+                for c in 0..c_n {
+                    let mut qc = 0.0;
+                    for k in 0..k_n {
+                        if pop[k] > 0 && x[k].is_finite() {
+                            qc += x[k] * residence[k][c];
+                        }
+                    }
+                    q[idx * c_n + c] = qc;
+                }
             }
         }
 
-        self.package_solution(&x, &residence)
+        self.finalize_solution(out);
     }
 
     /// Solves the network with the **Schweitzer–Bard approximate MVA**
@@ -222,98 +283,118 @@ impl Network {
     /// the balanced populations used here; cost is independent of the
     /// population sizes.
     pub fn solve_approx(&self, tol: f64, max_iter: usize) -> MvaSolution {
-        let k_n = self.chains();
-        let c_n = self.centers();
-        // q[k][c]: per-chain queue length estimates at full population.
-        let mut q = vec![vec![0.0f64; c_n]; k_n];
-        // Initialize: population spread evenly over queueing centers.
-        for (k, qk) in q.iter_mut().enumerate() {
-            let nq = self
-                .centers
-                .iter()
-                .filter(|c| c.kind == CenterKind::Queueing)
-                .count()
-                .max(1);
-            for (c, qv) in qk.iter_mut().enumerate() {
-                if self.centers[c].kind == CenterKind::Queueing {
-                    *qv = self.populations[k] as f64 / nq as f64;
-                }
-            }
-        }
-
-        let mut x = vec![0.0f64; k_n];
-        let mut residence = vec![vec![0.0f64; c_n]; k_n];
-        for _ in 0..max_iter {
-            let mut delta: f64 = 0.0;
-            for k in 0..k_n {
-                let nk = self.populations[k] as f64;
-                if nk == 0.0 {
-                    continue;
-                }
-                let mut total_r = 0.0;
-                for c in 0..c_n {
-                    let d = self.demands[k][c];
-                    let r = match self.centers[c].kind {
-                        CenterKind::Delay => d,
-                        CenterKind::Queueing => {
-                            // Schweitzer estimate of Q_c(N − e_k):
-                            // all other chains' queue plus (n_k−1)/n_k of own.
-                            let others: f64 = (0..k_n).filter(|&j| j != k).map(|j| q[j][c]).sum();
-                            let own = q[k][c] * (nk - 1.0) / nk;
-                            d * (1.0 + others + own)
-                        }
-                    };
-                    residence[k][c] = r;
-                    total_r += r;
-                }
-                x[k] = if total_r > 0.0 { nk / total_r } else { 0.0 };
-            }
-            for k in 0..k_n {
-                for c in 0..c_n {
-                    let new_q = x[k] * residence[k][c];
-                    delta = delta.max((new_q - q[k][c]).abs());
-                    q[k][c] = new_q;
-                }
-            }
-            if delta < tol {
-                break;
-            }
-        }
-
-        self.package_solution(&x, &residence)
+        let mut scratch = MvaScratch::default();
+        let mut out = MvaSolution::empty();
+        self.solve_approx_into(tol, max_iter, &mut scratch, &mut out);
+        out
     }
 
-    fn package_solution(&self, x: &[f64], residence: &[Vec<f64>]) -> MvaSolution {
+    /// Allocation-free variant of [`Network::solve_approx`]: reuses the
+    /// buffers in `scratch` and writes the solution into `out`. Produces
+    /// bitwise-identical results to `solve_approx`.
+    pub fn solve_approx_into(
+        &self,
+        tol: f64,
+        max_iter: usize,
+        scratch: &mut MvaScratch,
+        out: &mut MvaSolution,
+    ) {
         let k_n = self.chains();
         let c_n = self.centers();
-        let mut utilization = vec![0.0f64; c_n];
-        let mut queue_len = vec![0.0f64; c_n];
+
+        out.reset(k_n, c_n);
+        // q[k * c_n + c]: per-chain queue length estimates at full
+        // population. Initialize: population spread evenly over queueing
+        // centers.
+        let q = &mut scratch.q;
+        q.clear();
+        q.resize(k_n * c_n, 0.0);
+        let nq = self
+            .centers
+            .iter()
+            .filter(|c| c.kind == CenterKind::Queueing)
+            .count()
+            .max(1);
+        for k in 0..k_n {
+            for c in 0..c_n {
+                if self.centers[c].kind == CenterKind::Queueing {
+                    q[k * c_n + c] = self.populations[k] as f64 / nq as f64;
+                }
+            }
+        }
+
+        {
+            let x = &mut out.throughput;
+            let residence = &mut out.residence;
+            for _ in 0..max_iter {
+                let mut delta: f64 = 0.0;
+                for k in 0..k_n {
+                    let nk = self.populations[k] as f64;
+                    if nk == 0.0 {
+                        continue;
+                    }
+                    let mut total_r = 0.0;
+                    for c in 0..c_n {
+                        let d = self.demands[k][c];
+                        let r = match self.centers[c].kind {
+                            CenterKind::Delay => d,
+                            CenterKind::Queueing => {
+                                // Schweitzer estimate of Q_c(N − e_k):
+                                // all other chains' queue plus (n_k−1)/n_k
+                                // of own.
+                                let others: f64 =
+                                    (0..k_n).filter(|&j| j != k).map(|j| q[j * c_n + c]).sum();
+                                let own = q[k * c_n + c] * (nk - 1.0) / nk;
+                                d * (1.0 + others + own)
+                            }
+                        };
+                        residence[k][c] = r;
+                        total_r += r;
+                    }
+                    x[k] = if total_r > 0.0 { nk / total_r } else { 0.0 };
+                }
+                for k in 0..k_n {
+                    for c in 0..c_n {
+                        let new_q = x[k] * residence[k][c];
+                        delta = delta.max((new_q - q[k * c_n + c]).abs());
+                        q[k * c_n + c] = new_q;
+                    }
+                }
+                if delta < tol {
+                    break;
+                }
+            }
+        }
+
+        self.finalize_solution(out);
+    }
+
+    /// Fills `response`, `utilization`, and `queue_len` from the
+    /// `throughput` and `residence` already stored in `out`.
+    fn finalize_solution(&self, out: &mut MvaSolution) {
+        let k_n = self.chains();
+        let c_n = self.centers();
         for c in 0..c_n {
+            let mut u = 0.0;
+            let mut ql = 0.0;
             for k in 0..k_n {
-                if !x[k].is_finite() {
+                if !out.throughput[k].is_finite() {
                     continue;
                 }
                 if self.centers[c].kind == CenterKind::Queueing {
-                    utilization[c] += x[k] * self.demands[k][c];
+                    u += out.throughput[k] * self.demands[k][c];
                 }
-                queue_len[c] += x[k] * residence[k][c];
+                ql += out.throughput[k] * out.residence[k][c];
             }
+            out.utilization[c] = u;
+            out.queue_len[c] = ql;
         }
-        let response: Vec<f64> = (0..k_n)
-            .map(|k| {
-                if x[k] > 0.0 && x[k].is_finite() {
-                    self.populations[k] as f64 / x[k]
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        MvaSolution {
-            throughput: x.to_vec(),
-            response,
-            residence: residence.to_vec(),
-            utilization,
-            queue_len,
+        for k in 0..k_n {
+            out.response[k] = if out.throughput[k] > 0.0 && out.throughput[k].is_finite() {
+                self.populations[k] as f64 / out.throughput[k]
+            } else {
+                0.0
+            };
         }
     }
 }
@@ -452,6 +533,44 @@ mod tests {
         let sol = net.solve_exact();
         assert_eq!(sol.throughput[ghost], 0.0);
         assert!(sol.throughput[a] > 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_identical() {
+        // Solving different networks through the same scratch/out buffers
+        // must give exactly the same bits as the allocating entry points.
+        let mut scratch = MvaScratch::default();
+        let mut out = MvaSolution::empty();
+        for &(na, nb) in &[(3usize, 2usize), (1, 5), (4, 4), (0, 2)] {
+            let mut net = Network::new();
+            let cpu = net.add_center("CPU", CenterKind::Queueing);
+            let disk = net.add_center("DISK", CenterKind::Queueing);
+            let z = net.add_center("Z", CenterKind::Delay);
+            let a = net.add_chain("a", na);
+            let b = net.add_chain("b", nb);
+            net.set_demand(a, cpu, 1.0);
+            net.set_demand(a, disk, 4.0);
+            net.set_demand(a, z, 5.0);
+            net.set_demand(b, cpu, 2.5);
+            net.set_demand(b, disk, 1.0);
+            net.set_demand(b, z, 0.5);
+
+            let fresh = net.solve_exact();
+            net.solve_exact_into(&mut scratch, &mut out);
+            assert_eq!(fresh.throughput, out.throughput);
+            assert_eq!(fresh.residence, out.residence);
+            assert_eq!(fresh.response, out.response);
+            assert_eq!(fresh.utilization, out.utilization);
+            assert_eq!(fresh.queue_len, out.queue_len);
+
+            let fresh = net.solve_approx(1e-10, 10_000);
+            net.solve_approx_into(1e-10, 10_000, &mut scratch, &mut out);
+            assert_eq!(fresh.throughput, out.throughput);
+            assert_eq!(fresh.residence, out.residence);
+            assert_eq!(fresh.response, out.response);
+            assert_eq!(fresh.utilization, out.utilization);
+            assert_eq!(fresh.queue_len, out.queue_len);
+        }
     }
 
     #[test]

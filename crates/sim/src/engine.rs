@@ -131,11 +131,14 @@ struct Txn {
 
 #[derive(Default)]
 struct Stats {
-    commits: HashMap<(usize, TxType), u64>,
-    aborts: HashMap<(usize, TxType), u64>,
-    resp: HashMap<(usize, TxType), Tally>,
-    resp_hist: HashMap<(usize, TxType), Histogram>,
-    records: HashMap<usize, u64>,
+    // Everything here feeds `SimReport`: ordered maps so that iteration
+    // (and with it every accumulation and emission order) is identical
+    // across runs and processes — `HashMap`'s RandomState hasher is not.
+    commits: BTreeMap<(usize, TxType), u64>,
+    aborts: BTreeMap<(usize, TxType), u64>,
+    resp: BTreeMap<(usize, TxType), Tally>,
+    resp_hist: BTreeMap<(usize, TxType), Histogram>,
+    records: BTreeMap<usize, u64>,
     local_deadlocks: u64,
     global_deadlocks: u64,
     probe_hops: u64,
@@ -143,7 +146,7 @@ struct Stats {
     lock_wait: Tally,
     /// Measured wall-time residence per (home, type, phase) — the
     /// simulator-side analogue of the model's phase decomposition.
-    phase_ms: HashMap<(usize, TxType, Seg), f64>,
+    phase_ms: BTreeMap<(usize, TxType, Seg), f64>,
     crashes: u64,
     crash_kills: u64,
     recoveries: u64,
@@ -188,11 +191,11 @@ pub struct Sim {
     /// Registered when a transaction's coordinator dies with downtime;
     /// resolved by `OrphanResolve` (or swept away if the site itself
     /// crashes first).
-    orphans: HashMap<(usize, u64), bool>,
+    orphans: BTreeMap<(usize, u64), bool>,
     /// Commit audit: last committed writer of each record. At the end of
     /// the run the storage engines must hold exactly these writers' values
     /// — an end-to-end check that 2PL + WAL + 2PC preserved integrity.
-    last_committed: HashMap<(usize, carat_storage::RecordId), u64>,
+    last_committed: BTreeMap<(usize, carat_storage::RecordId), u64>,
 }
 
 impl Sim {
@@ -254,8 +257,8 @@ impl Sim {
             next_token: 1,
             ready: VecDeque::new(),
             stats: Stats::default(),
-            orphans: HashMap::new(),
-            last_committed: HashMap::new(),
+            orphans: BTreeMap::new(),
+            last_committed: BTreeMap::new(),
         })
     }
 

@@ -165,6 +165,39 @@ mod tests {
     }
 
     #[test]
+    fn p95_estimator_matches_exact_percentile_of_known_samples() {
+        // `p95_response_ms` is `Histogram::for_latency_ms().quantile(0.95)`
+        // over the per-type response samples (engine report assembly). Pin
+        // it against the exact order statistic of a known sample set whose
+        // p95 rank lands on the last sample of its bucket: the old
+        // interpolation returned that bucket's *exclusive* upper edge
+        // (≈ 43 ms for a 30 ms sample), more than half a bucket width off.
+        let mut h = carat_des::Histogram::for_latency_ms();
+        let mut samples = vec![2.0f64; 18];
+        samples.push(30.0);
+        samples.push(500.0);
+        for &s in &samples {
+            h.record(s);
+        }
+        // Exact p95 with the estimator's own rank convention
+        // (⌈q·n⌉-th order statistic): rank 19 of 20 → the 30 ms sample.
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = sorted[(0.95f64 * sorted.len() as f64).ceil() as usize - 1];
+        assert_eq!(exact, 30.0);
+        // 30 ms lives in the geometric bucket [26.84, 42.95): the estimate
+        // must stay inside it and within half a bucket width of the exact
+        // percentile (the resolution the histogram can promise).
+        let est = h.quantile(0.95);
+        let (lo, hi) = (1.6f64.powi(7), 1.6f64.powi(8));
+        assert!(lo <= est && est < hi, "p95 = {est} escaped [{lo}, {hi})");
+        assert!(
+            (est - exact).abs() <= (hi - lo) / 2.0,
+            "p95 = {est} vs exact {exact}: bucket upper-bound bias"
+        );
+    }
+
+    #[test]
     fn ratios_are_safe_on_empty() {
         let r = SimReport::default();
         assert_eq!(r.blocking_probability(), 0.0);

@@ -57,6 +57,61 @@ fn same_seed_same_faults_same_report() {
     assert_ne!(a, c, "different seeds should see different fault streams");
 }
 
+/// Child half of the cross-process determinism test: runs the faulty
+/// configuration and prints the full `Debug`-serialized report between
+/// markers. `#[ignore]`d so it only runs when the parent test spawns this
+/// binary with `--include-ignored --exact`.
+#[test]
+#[ignore = "helper: spawned by full_report_identical_across_processes"]
+fn print_faulty_report_child() {
+    let r = Sim::new(faulty_config(42, 60_000.0))
+        .expect("valid config")
+        .run();
+    println!("REPORT-BEGIN{r:?}REPORT-END");
+}
+
+fn report_from_child_process() -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "print_faulty_report_child",
+            "--include-ignored",
+            "--nocapture",
+        ])
+        .env_remove("RUST_LOG")
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "child test failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 child output");
+    let start = stdout.find("REPORT-BEGIN").expect("begin marker") + "REPORT-BEGIN".len();
+    let end = stdout.find("REPORT-END").expect("end marker");
+    stdout[start..end].to_string()
+}
+
+/// Cross-process determinism: the full serialized report — every field,
+/// every map, every float — must be byte-identical across two *separate
+/// process runs*. In-process `assert_eq!` cannot catch `HashMap`
+/// iteration-order leaks, because `RandomState` differs per process, not
+/// per run; this does.
+#[test]
+fn full_report_identical_across_processes() {
+    let first = report_from_child_process();
+    let second = report_from_child_process();
+    assert!(
+        first.contains("net_drops"),
+        "child output does not look like a SimReport: {first:.120}"
+    );
+    assert_eq!(
+        first, second,
+        "serialized report differs between processes — nondeterministic iteration order reached the report"
+    );
+}
+
 /// The headline robustness acceptance run: >10k transactions through a
 /// lossy, duplicating, crash-prone two-node system with 2PC timeouts on.
 /// Every transaction must resolve (commit, abort, or crash-kill + orphan
