@@ -13,4 +13,8 @@ echo "== sweep determinism gate"
 cargo run --release -p carat-bench --bin exp_bench -- --emit --threads 4 --out "${TMPDIR:-/tmp}/sweep_par.json"
 cargo run --release -p carat-bench --bin exp_bench -- --emit --sequential --out "${TMPDIR:-/tmp}/sweep_seq.json"
 cmp "${TMPDIR:-/tmp}/sweep_par.json" "${TMPDIR:-/tmp}/sweep_seq.json"
+echo "== sim determinism gate"
+cargo run --release -p carat-bench --bin exp_bench -- --emit-sim --threads 4 --out "${TMPDIR:-/tmp}/sim_par.json"
+cargo run --release -p carat-bench --bin exp_bench -- --emit-sim --sequential --out "${TMPDIR:-/tmp}/sim_seq.json"
+cmp "${TMPDIR:-/tmp}/sim_par.json" "${TMPDIR:-/tmp}/sim_seq.json"
 echo "== CI green"

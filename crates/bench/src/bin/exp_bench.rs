@@ -1,25 +1,35 @@
 //! Sweep-engine benchmark and determinism harness.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * **bench** (default): times the full-grid model sweep (4 workloads ×
 //!   the n sweep) cold-sequential, warm-sequential, cold-parallel and
 //!   warm-parallel, verifies that every variant renders byte-identical
 //!   canonical JSON where it must, and writes the timings plus per-point
-//!   iteration counts to `BENCH_sweep.json`;
-//! * **emit** (`--emit [--out PATH]`): solves the same grid honouring the
-//!   engine flags (`--threads N`, `--sequential`, `--no-warm`) and writes
-//!   the canonical JSON result rows. CI runs this twice — `--threads 4`
-//!   and `--sequential` — and byte-compares the files.
+//!   iteration counts to `BENCH_sweep.json`; then runs the **simulator
+//!   section**: the reference LB8/MB8 sweep timed for events/sec against
+//!   the recorded pre-fast-path baseline (written to `BENCH_sim.json`)
+//!   plus a parallel-vs-sequential replication determinism check;
+//! * **emit** (`--emit [--out PATH]`): solves the same model grid
+//!   honouring the engine flags (`--threads N`, `--sequential`,
+//!   `--no-warm`) and writes the canonical JSON result rows. CI runs this
+//!   twice — `--threads 4` and `--sequential` — and byte-compares the
+//!   files;
+//! * **emit-sim** (`--emit-sim [--reps R] [--out PATH]`): runs R
+//!   replications of every reference sim point on the deterministic pool
+//!   and writes the canonical replicated JSON. CI byte-compares
+//!   `--threads 4` against `--sequential`.
 //!
 //! Wall-clock numbers vary run to run; the JSON *result rows* may not.
 
 use std::time::Instant;
 
 use carat::model::ModelConfig;
+use carat::sim::{Sim, SimConfig};
 use carat::workload::StandardWorkload;
 use carat_bench::{
-    chain_to_json, json_f64, run_tasks, solve_chain, ModelPoint, SweepOptions, N_SWEEP,
+    chain_to_json, json_f64, replicated_to_json, run_replications, run_tasks, solve_chain,
+    ModelPoint, SweepOptions, N_SWEEP,
 };
 
 const WORKLOADS: [StandardWorkload; 4] = [
@@ -31,6 +41,46 @@ const WORKLOADS: [StandardWorkload; 4] = [
 
 /// Benchmark repetitions per variant (minimum wall clock is reported).
 const REPS: usize = 5;
+
+/// Reference simulator sweep for the events/sec benchmark and the sim
+/// determinism gate: the light- and medium-load base workloads at three
+/// transaction sizes each.
+const SIM_POINTS: [(StandardWorkload, u32); 6] = [
+    (StandardWorkload::Lb8, 4),
+    (StandardWorkload::Lb8, 8),
+    (StandardWorkload::Lb8, 16),
+    (StandardWorkload::Mb8, 4),
+    (StandardWorkload::Mb8, 8),
+    (StandardWorkload::Mb8, 16),
+];
+
+/// Base seed of the reference sim sweep.
+const SIM_SEED: u64 = 7;
+
+/// Default replications per point in `--emit-sim` and the determinism
+/// check.
+const SIM_REPS: u32 = 3;
+
+/// Events/sec of the engine *before* the fast path (slab store, in-place
+/// storage I/O, fx-hashed tables, dense phase accumulator) on exactly this
+/// sweep and protocol, measured on the reference machine when the fast
+/// path landed. The acceptance bar is 2× this.
+const BASELINE_EVENTS_PER_SEC: f64 = 1.90e6;
+
+/// The reference sim sweep: 10 s warm-up, 120 s measured, seed
+/// [`SIM_SEED`].
+fn sim_points() -> (Vec<String>, Vec<SimConfig>) {
+    let mut labels = Vec::new();
+    let mut cfgs = Vec::new();
+    for &(wl, n) in &SIM_POINTS {
+        let mut cfg = SimConfig::new(wl.spec(2), n, SIM_SEED);
+        cfg.warmup_ms = 10_000.0;
+        cfg.measure_ms = 120_000.0;
+        labels.push(format!("{wl}/n{n}"));
+        cfgs.push(cfg);
+    }
+    (labels, cfgs)
+}
 
 /// One warm-startable chain per workload, ascending n.
 fn chains() -> Vec<Vec<ModelPoint>> {
@@ -98,15 +148,71 @@ fn time_grid(opts: &SweepOptions) -> f64 {
     best
 }
 
-fn emit(opts: &SweepOptions, out: Option<&str>) {
-    let (json, _) = solve_grid(opts);
+fn write_or_print(json: &str, out: Option<&str>) {
     match out {
         Some(path) => {
-            std::fs::write(path, &json).expect("write emit file");
+            std::fs::write(path, json).expect("write emit file");
             eprintln!("wrote {path}");
         }
         None => print!("{json}"),
     }
+}
+
+fn emit(opts: &SweepOptions, out: Option<&str>) {
+    let (json, _) = solve_grid(opts);
+    write_or_print(&json, out);
+}
+
+/// Canonical replicated-sim JSON for the reference sweep under `opts`.
+fn sim_json(opts: &SweepOptions, reps: u32) -> String {
+    let (labels, cfgs) = sim_points();
+    replicated_to_json(&labels, &run_replications(cfgs, reps, opts))
+}
+
+/// Times the reference sweep (single run per point, base seed) and writes
+/// `BENCH_sim.json`. The wall clock includes `Sim::new` — the same
+/// protocol the recorded baseline was measured with.
+fn bench_sim(determinism_threads: usize) {
+    let (labels, cfgs) = sim_points();
+    let mut events = 0u64;
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let mut ev = 0u64;
+        for cfg in &cfgs {
+            ev += Sim::new(cfg.clone())
+                .expect("valid reference config")
+                .run()
+                .events;
+        }
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+        events = ev;
+    }
+    let events_per_sec = events as f64 / (best_ms / 1000.0);
+    let speedup = events_per_sec / BASELINE_EVENTS_PER_SEC;
+    println!(
+        "\n## Simulator fast path ({} points, best of {REPS})\n  \
+         {events} events in {best_ms:.2} ms -> {events_per_sec:.0} events/s \
+         ({speedup:.2}x the {BASELINE_EVENTS_PER_SEC:.2e} events/s baseline)",
+        labels.len()
+    );
+    let json = format!(
+        "{{\n  \"points\": [{}],\n  \"seed\": {SIM_SEED},\n  \"reps\": {REPS},\n  \
+         \"events\": {events},\n  \"wall_ms\": {},\n  \"events_per_sec\": {},\n  \
+         \"baseline_events_per_sec\": {},\n  \"speedup\": {},\n  \
+         \"determinism_threads\": {determinism_threads}\n}}\n",
+        labels
+            .iter()
+            .map(|l| format!("\"{l}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        json_f64((best_ms * 1000.0).round() / 1000.0),
+        json_f64(events_per_sec.round()),
+        json_f64(BASELINE_EVENTS_PER_SEC),
+        json_f64((speedup * 1000.0).round() / 1000.0),
+    );
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json");
 }
 
 fn main() {
@@ -120,6 +226,17 @@ fn main() {
 
     if args.iter().any(|a| a == "--emit") {
         emit(&opts, out);
+        return;
+    }
+    if args.iter().any(|a| a == "--emit-sim") {
+        let reps = args
+            .iter()
+            .position(|a| a == "--reps")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(SIM_REPS)
+            .max(1);
+        write_or_print(&sim_json(&opts, reps), out);
         return;
     }
 
@@ -209,4 +326,24 @@ fn main() {
     let path = out.unwrap_or("BENCH_sweep.json");
     std::fs::write(path, &json).expect("write BENCH_sweep.json");
     println!("\nwrote {path}");
+
+    // Simulator section: replication determinism first, then events/sec
+    // against the recorded pre-fast-path baseline.
+    let par = SweepOptions {
+        threads: opts.threads,
+        warm: false,
+        partition_seed: opts.partition_seed,
+    };
+    assert_eq!(
+        sim_json(&par, SIM_REPS),
+        sim_json(&SweepOptions::sequential(), SIM_REPS),
+        "parallel sim replications diverged from sequential"
+    );
+    println!(
+        "\nsim determinism: {SIM_REPS} replications x {} points, \
+         parallel ({} threads) == sequential: OK",
+        SIM_POINTS.len(),
+        par.threads
+    );
+    bench_sim(par.threads);
 }

@@ -11,12 +11,16 @@
 //! The `benches/` directory holds the matching criterion benchmarks (one
 //! group per paper artifact, plus component microbenchmarks).
 
+pub mod replicate;
 pub mod sweep;
 
 use carat::model::{Model, ModelConfig, ModelOptions, ModelReport};
 use carat::sim::{Sim, SimConfig, SimReport};
 use carat::workload::{StandardWorkload, TxType};
 
+pub use replicate::{
+    rep_seed, replicated_to_json, run_replications, splitmix64, MetricCi, ReplicatedReport,
+};
 pub use sweep::{chain_to_json, json_f64, run_tasks, solve_chain, ModelPoint, SweepOptions};
 
 /// Transaction sizes swept in the paper's evaluation.

@@ -1,0 +1,287 @@
+//! Deterministic parallel simulation replications.
+//!
+//! The model side of the reproduction produces exact fixed points; the
+//! simulator produces *estimates*, and a single run carries no notion of
+//! how tight those estimates are. This module runs R independent
+//! replications per configuration point and aggregates them into a
+//! [`ReplicatedReport`] with mean, sample standard deviation, and a 95 %
+//! Student-t confidence interval per metric — the standard terminating-
+//! simulation methodology (independent seeds, t-based intervals).
+//!
+//! Determinism contract (same as the model sweep engine):
+//!
+//! * replication `rep` of a point with base seed `s` always runs with seed
+//!   `s ^ splitmix64(rep)` — a pure function of `(s, rep)`, never of
+//!   scheduling;
+//! * the `(point, rep)` grid is flattened point-major and executed on
+//!   [`run_tasks`], which merges results back in task order, so the
+//!   reports a [`ReplicatedReport`] aggregates arrive in rep order for
+//!   every thread count;
+//! * therefore [`replicated_to_json`] renders byte-identical output for
+//!   `--threads 1/2/4/...` and `--sequential` alike.
+
+use carat::sim::{Sim, SimConfig, SimReport};
+
+use crate::sweep::{json_f64, run_tasks, SweepOptions};
+
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014): a bijective avalanche
+/// mix used to derive well-separated replication seeds from small indices.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of replication `rep` for a point whose configured seed is
+/// `base`: `base ^ splitmix64(rep)`. Every replication (including rep 0)
+/// gets a scrambled seed, so a replicated run never silently reuses a
+/// single-run result stream.
+pub fn rep_seed(base: u64, rep: u32) -> u64 {
+    base ^ splitmix64(rep as u64)
+}
+
+/// Two-sided 95 % Student-t critical values, indexed by `df - 1` for
+/// `df ∈ 1..=30`; beyond 30 degrees of freedom the normal 1.96 is used.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// `t_{0.975, df}` — the half-width multiplier of a 95 % confidence
+/// interval on a mean estimated from `df + 1` samples.
+pub fn t_95(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T_95[df - 1],
+        _ => 1.96,
+    }
+}
+
+/// One aggregated metric across replications.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricCi {
+    /// Sample mean over the replications.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator); 0 for fewer than two
+    /// samples.
+    pub stddev: f64,
+    /// Half-width of the 95 % Student-t confidence interval on the mean;
+    /// 0 for fewer than two samples (one run pins no interval).
+    pub ci95: f64,
+}
+
+impl MetricCi {
+    /// Aggregates a sample set.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return MetricCi::default();
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return MetricCi {
+                mean,
+                stddev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let stddev = var.sqrt();
+        MetricCi {
+            mean,
+            stddev,
+            ci95: t_95(n - 1) * stddev / (n as f64).sqrt(),
+        }
+    }
+
+    /// Lower edge of the 95 % interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper edge of the 95 % interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+}
+
+/// The replications of one configuration point, merged in rep order, plus
+/// aggregated headline metrics.
+#[derive(Debug, Clone)]
+pub struct ReplicatedReport {
+    /// Per-replication reports, in replication order (rep 0 first).
+    pub reports: Vec<SimReport>,
+    /// System-wide committed transactions per second.
+    pub tx_per_s: MetricCi,
+    /// System-wide committed record accesses per second.
+    pub records_per_s: MetricCi,
+    /// Mean completed lock-wait duration (ms).
+    pub mean_lock_wait_ms: MetricCi,
+}
+
+impl ReplicatedReport {
+    /// Builds the aggregate from reports already in rep order.
+    pub fn from_reports(reports: Vec<SimReport>) -> Self {
+        let agg = |f: fn(&SimReport) -> f64| {
+            MetricCi::from_samples(&reports.iter().map(f).collect::<Vec<f64>>())
+        };
+        let tx_per_s = agg(SimReport::total_tx_per_s);
+        let records_per_s = agg(|r| r.nodes.iter().map(|n| n.records_per_s).sum());
+        let mean_lock_wait_ms = agg(|r| r.mean_lock_wait_ms);
+        ReplicatedReport {
+            reports,
+            tx_per_s,
+            records_per_s,
+            mean_lock_wait_ms,
+        }
+    }
+
+    /// Number of replications.
+    pub fn reps(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Aggregates any per-run metric across the replications.
+    pub fn metric(&self, f: impl FnMut(&SimReport) -> f64) -> MetricCi {
+        MetricCi::from_samples(&self.reports.iter().map(f).collect::<Vec<f64>>())
+    }
+}
+
+/// Runs `reps` independent replications of every configuration on the
+/// deterministic worker pool and returns one [`ReplicatedReport`] per
+/// configuration, in input order. Replication `r` of point `p` runs
+/// `cfgs[p]` with seed [`rep_seed`]`(cfgs[p].seed, r)`; results are merged
+/// in `(point, rep)` order, so the output is byte-identical for every
+/// `opts.threads` value.
+pub fn run_replications(
+    cfgs: Vec<SimConfig>,
+    reps: u32,
+    opts: &SweepOptions,
+) -> Vec<ReplicatedReport> {
+    let reps = reps.max(1) as usize;
+    let mut tasks = Vec::with_capacity(cfgs.len() * reps);
+    for cfg in cfgs {
+        for rep in 0..reps {
+            let mut c = cfg.clone();
+            c.seed = rep_seed(cfg.seed, rep as u32);
+            tasks.push(c);
+        }
+    }
+    let reports = run_tasks(tasks, opts, |_, cfg| {
+        Sim::new(cfg).expect("valid replication config").run()
+    });
+
+    let mut out = Vec::with_capacity(reports.len() / reps);
+    let mut it = reports.into_iter();
+    loop {
+        let chunk: Vec<SimReport> = it.by_ref().take(reps).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        out.push(ReplicatedReport::from_reports(chunk));
+    }
+    out
+}
+
+/// Canonical JSON rendering of replicated results: one object per point,
+/// field order fixed by construction, floats via [`json_f64`] (shortest
+/// round-trip — a pure function of the bits). The per-rep `events` and
+/// `lock_requests` counters make the stream sensitive to the exact event
+/// sample path, so the CI byte-compare catches any scheduling leak, not
+/// just drift in the averaged metrics.
+pub fn replicated_to_json(labels: &[String], reports: &[ReplicatedReport]) -> String {
+    assert_eq!(labels.len(), reports.len());
+    let ci = |m: &MetricCi| {
+        format!(
+            "{{\"mean\": {}, \"stddev\": {}, \"ci95\": {}}}",
+            json_f64(m.mean),
+            json_f64(m.stddev),
+            json_f64(m.ci95)
+        )
+    };
+    let mut rows = Vec::with_capacity(reports.len());
+    for (label, rep) in labels.iter().zip(reports) {
+        let runs: Vec<String> = rep
+            .reports
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"tx_per_s\": {}, \"events\": {}, \"lock_requests\": {}, \
+                     \"commits\": {}}}",
+                    json_f64(r.total_tx_per_s()),
+                    r.events,
+                    r.lock_requests,
+                    r.nodes
+                        .iter()
+                        .flat_map(|n| n.per_type.values())
+                        .map(|t| t.commits)
+                        .sum::<u64>(),
+                )
+            })
+            .collect();
+        rows.push(format!(
+            "  {{\"point\": \"{}\", \"reps\": {}, \"tx_per_s\": {}, \
+             \"records_per_s\": {}, \"mean_lock_wait_ms\": {}, \"runs\": [{}]}}",
+            label,
+            rep.reps(),
+            ci(&rep.tx_per_s),
+            ci(&rep.records_per_s),
+            ci(&rep.mean_lock_wait_ms),
+            runs.join(", "),
+        ));
+    }
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // First output of the published SplitMix64 generator seeded with 0.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        // The finalizer is a bijection composed with a constant offset:
+        // consecutive inputs must avalanche to well-separated outputs.
+        let outs: std::collections::HashSet<u64> = (0..4096).map(splitmix64).collect();
+        assert_eq!(outs.len(), 4096);
+    }
+
+    #[test]
+    fn rep_seeds_are_distinct_and_pure() {
+        let base = 7u64;
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|r| rep_seed(base, r)).collect();
+        assert_eq!(seeds.len(), 1000, "derived seeds must not collide");
+        assert_eq!(rep_seed(base, 3), rep_seed(base, 3));
+        assert_ne!(rep_seed(base, 0), base, "rep 0 must also be scrambled");
+    }
+
+    #[test]
+    fn metric_ci_matches_hand_computation() {
+        // Samples 1, 2, 3: mean 2, stddev 1, ci95 = t(2) · 1/√3.
+        let m = MetricCi::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.stddev - 1.0).abs() < 1e-12);
+        assert!((m.ci95 - 4.303 / 3f64.sqrt()).abs() < 1e-9);
+        assert!(m.lo() < 2.0 && m.hi() > 2.0);
+    }
+
+    #[test]
+    fn metric_ci_degenerate_cases() {
+        assert_eq!(MetricCi::from_samples(&[]), MetricCi::default());
+        let one = MetricCi::from_samples(&[5.0]);
+        assert_eq!(one.mean, 5.0);
+        assert_eq!(one.stddev, 0.0);
+        assert_eq!(one.ci95, 0.0);
+    }
+
+    #[test]
+    fn t_table_edges() {
+        assert!((t_95(1) - 12.706).abs() < 1e-12);
+        assert!((t_95(30) - 2.042).abs() < 1e-12);
+        assert!((t_95(31) - 1.96).abs() < 1e-12);
+        assert!(t_95(0).is_infinite());
+    }
+}

@@ -47,8 +47,13 @@ pub struct RunSpec {
     pub victim: carat::sim::VictimPolicy,
     /// Fault-injection plan (simulator only).
     pub fault: carat::sim::FaultPlan,
-    /// Worker threads for the model's per-site MVA solves (results are
-    /// bitwise identical for every value).
+    /// Independent simulator replications per point (simulator only):
+    /// seeds derived as `seed ^ splitmix64(rep)`, results reported as
+    /// mean ± 95 % confidence interval.
+    pub reps: u32,
+    /// Worker threads — for the model's per-site MVA solves and for
+    /// parallel simulator replications (results are bitwise identical for
+    /// every value).
     pub threads: usize,
     /// Warm-start each model solve from the previous transaction size's
     /// converged fixed point.
@@ -72,6 +77,7 @@ impl Default for RunSpec {
             crashes: Vec::new(),
             victim: carat::sim::VictimPolicy::Requester,
             fault: carat::sim::FaultPlan::default(),
+            reps: 1,
             threads: 1,
             warm_start: false,
         }
@@ -124,7 +130,8 @@ FLAGS:
     --mttr <secs>                  mean time to node repair (sim; 0 = instant)
     --net-timeout <ms>             message timeout before retransmission (sim)
     --net-retries <k>              retransmissions before presuming abort (sim)
-    --threads <k>                  parallel per-site MVA solves (model; identical results)
+    --reps <k>                     independent sim replications, mean ± 95% CI (default 1)
+    --threads <k>                  parallel MVA solves / sim replications (identical results)
     --warm-start                   seed each model solve from the previous n's fixed point
     --sequential                   force single-threaded solving (same as --threads 1)
 
@@ -262,6 +269,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| "bad net-retries".to_string())?
             }
+            "--reps" => {
+                spec.reps = next(&mut i)?
+                    .parse::<u32>()
+                    .map_err(|_| "bad reps".to_string())?
+                    .max(1)
+            }
             "--threads" => {
                 spec.threads = next(&mut i)?
                     .parse::<usize>()
@@ -375,6 +388,22 @@ mod tests {
             panic!()
         };
         assert_eq!(spec.threads, 1);
+    }
+
+    #[test]
+    fn parses_reps() {
+        let Command::Sim(spec) = parse(&argv("sim --reps 5 --threads 4")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.reps, 5);
+        assert_eq!(spec.threads, 4);
+        // --reps 0 clamps to 1; default is a single run.
+        let Command::Sim(spec) = parse(&argv("sim --reps 0")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.reps, 1);
+        assert_eq!(RunSpec::default().reps, 1);
+        assert!(parse(&argv("sim --reps many")).is_err());
     }
 
     #[test]

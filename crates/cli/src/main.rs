@@ -11,6 +11,7 @@ mod args;
 use args::{parse, Command, RunSpec, USAGE};
 use carat::model::{Model, ModelConfig, ModelOptions, ModelReport, WarmStart};
 use carat::sim::{DeadlockMode, Sim, SimConfig, SimReport};
+use carat_bench::{run_replications, ReplicatedReport, SweepOptions};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -23,8 +24,14 @@ fn main() {
             }
         }
         Ok(Command::Sim(spec)) => {
-            for &n in &spec.n_values {
-                print_sim(n, &run_sim(&spec, n));
+            if spec.reps > 1 {
+                for (&n, rep) in spec.n_values.iter().zip(&run_sim_replicated(&spec)) {
+                    print_replicated(n, rep);
+                }
+            } else {
+                for &n in &spec.n_values {
+                    print_sim(n, &run_sim(&spec, n));
+                }
             }
         }
         Ok(Command::Compare(spec)) => {
@@ -83,7 +90,7 @@ fn run_model(spec: &RunSpec, n: u32, warm: &mut Warm) -> ModelReport {
     report
 }
 
-fn run_sim(spec: &RunSpec, n: u32) -> SimReport {
+fn sim_cfg(spec: &RunSpec, n: u32) -> SimConfig {
     let mut cfg = SimConfig::new(spec.workload.spec(2), n, spec.seed);
     cfg.params = spec.params();
     cfg.warmup_ms = (spec.measure_s * 1000.0 * 0.1).max(5_000.0);
@@ -97,14 +104,34 @@ fn run_sim(spec: &RunSpec, n: u32) -> SimReport {
     cfg.cc = spec.cc;
     cfg.victim = spec.victim;
     cfg.crashes = spec.crashes.clone();
-    cfg.fault_plan = spec.fault.clone();
-    match Sim::new(cfg) {
+    cfg.fault_plan = spec.fault;
+    if let Err(e) = cfg.validate() {
+        eprintln!("error: invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    cfg
+}
+
+fn run_sim(spec: &RunSpec, n: u32) -> SimReport {
+    match Sim::new(sim_cfg(spec, n)) {
         Ok(sim) => sim.run(),
         Err(e) => {
             eprintln!("error: invalid configuration: {e}");
             std::process::exit(2);
         }
     }
+}
+
+/// `--reps R`: R independent replications per transaction size on the
+/// deterministic worker pool (`--threads`), reported as mean ± 95 % CI.
+fn run_sim_replicated(spec: &RunSpec) -> Vec<ReplicatedReport> {
+    let opts = SweepOptions {
+        threads: spec.threads,
+        warm: false,
+        partition_seed: 0,
+    };
+    let cfgs = spec.n_values.iter().map(|&n| sim_cfg(spec, n)).collect();
+    run_replications(cfgs, spec.reps, &opts)
 }
 
 fn print_model(n: u32, r: &ModelReport) {
@@ -208,5 +235,37 @@ fn print_sim(n: u32, r: &SimReport) {
     println!(
         "  audit: {} records checked, {} violations",
         r.audited_records, r.audit_violations
+    );
+}
+
+fn print_replicated(n: u32, r: &ReplicatedReport) {
+    let first = &r.reports[0];
+    println!(
+        "sim: n = {n} ({} replications x {:.0} s measured; mean ± 95% CI)",
+        r.reps(),
+        first.window_ms / 1000.0
+    );
+    for (i, node) in first.nodes.iter().enumerate() {
+        let tx = r.metric(|rep| rep.nodes[i].tx_per_s);
+        let cpu = r.metric(|rep| rep.nodes[i].cpu_util);
+        let dio = r.metric(|rep| rep.nodes[i].dio_per_s);
+        let rec = r.metric(|rep| rep.nodes[i].records_per_s);
+        println!(
+            "  node {}: {:.2} ± {:.2} tx/s | CPU {:.0} ± {:.0}% | {:.1} ± {:.1} I/O-s | {:.1} ± {:.1} rec/s",
+            node.name,
+            tx.mean, tx.ci95,
+            cpu.mean * 100.0, cpu.ci95 * 100.0,
+            dio.mean, dio.ci95,
+            rec.mean, rec.ci95,
+        );
+    }
+    println!(
+        "  total: {:.2} ± {:.2} tx/s | {:.1} ± {:.1} rec/s | mean lock wait {:.0} ± {:.0} ms",
+        r.tx_per_s.mean,
+        r.tx_per_s.ci95,
+        r.records_per_s.mean,
+        r.records_per_s.ci95,
+        r.mean_lock_wait_ms.mean,
+        r.mean_lock_wait_ms.ci95,
     );
 }

@@ -1,0 +1,134 @@
+//! Fast deterministic hashing for simulation state.
+//!
+//! `std`'s default `RandomState` uses SipHash with a per-process random
+//! seed: robust against adversarial keys, but ~5× slower than needed for
+//! the simulator's small-integer keys (block numbers, transaction tokens),
+//! and seeded differently on every run. Simulation state tables are not
+//! attacker-controlled, and the engine's determinism contract wants
+//! identical behaviour across processes, so the hot maps use this fixed
+//! multiply-rotate hasher (the well-known "fx" construction) instead.
+//!
+//! Note: map *iteration order* still must not leak into simulation
+//! behaviour — the engine only iterates orderless maps through helpers that
+//! sort — but a fixed hasher removes the whole class of accidental
+//! cross-process divergence a random seed invites.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The "fx" multiply-rotate hasher (as used by rustc): one rotate, one
+/// xor, one multiply per word. Not collision-resistant against adversarial
+/// input — do not use outside simulation state.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// Deterministic [`std::hash::BuildHasher`] for [`FxHasher64`].
+pub type FastBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// `HashMap` with the fast deterministic hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// `HashSet` with the fast deterministic hasher.
+pub type FastSet<T> = std::collections::HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // Same value → same hash from independently constructed builders
+        // (the whole point vs. RandomState).
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(hash_of(&v), hash_of(&v));
+        }
+        assert_eq!(hash_of(&(3usize, 7u32)), hash_of(&(3usize, 7u32)));
+    }
+
+    #[test]
+    fn small_keys_do_not_collide_trivially() {
+        let hashes: std::collections::HashSet<u64> = (0u32..10_000).map(|v| hash_of(&v)).collect();
+        assert_eq!(hashes.len(), 10_000, "u32 keys must hash injectively here");
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        // `write` path: chunked + tail. Same bytes, same hash; different
+        // bytes, different hash (for these cases).
+        assert_eq!(hash_of(&b"hello world"[..]), hash_of(&b"hello world"[..]));
+        assert_ne!(hash_of(&b"hello world"[..]), hash_of(&b"hello worle"[..]));
+        assert_ne!(hash_of(&b""[..]), hash_of(&b"\0"[..]));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FastMap<u32, &str> = FastMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        let mut s: FastSet<u64> = FastSet::default();
+        assert!(s.insert(99));
+        assert!(!s.insert(99));
+    }
+}

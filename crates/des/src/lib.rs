@@ -22,10 +22,12 @@
 //! paper's Table 2 basic parameters.
 
 pub mod fcfs;
+pub mod hash;
 pub mod scheduler;
 pub mod stats;
 
 pub use fcfs::{Fcfs, Started};
+pub use hash::{FastBuildHasher, FastMap, FastSet, FxHasher64};
 pub use scheduler::Scheduler;
 pub use stats::{Counter, Histogram, Tally, TimeWeighted};
 

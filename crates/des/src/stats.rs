@@ -78,7 +78,7 @@ impl TimeWeighted {
 
 /// Sample statistics (count / mean / variance / min / max) computed online
 /// with Welford's algorithm, which is numerically stable for long runs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Tally {
     n: u64,
     mean: f64,
@@ -155,6 +155,29 @@ impl Tally {
     /// Forgets all observations.
     pub fn reset(&mut self) {
         *self = Tally::new();
+    }
+
+    /// Folds `other` into `self` so the result summarises the concatenated
+    /// observation streams (Chan et al.'s parallel-variance update). Used by
+    /// the replication harness to pool per-replication tallies; merging in a
+    /// fixed order is deterministic, and mean/variance agree with a single
+    /// tally over the combined stream to floating-point rounding.
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (n1, n2) = (self.n as f64, other.n as f64);
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -254,6 +277,47 @@ mod tests {
     }
 
     #[test]
+    fn tally_merge_equals_concatenated_stream() {
+        // Two disjoint halves of one stream: merge(a, b) must summarise the
+        // concatenation (exactly for count/min/max/sum, to FP rounding for
+        // mean and variance).
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, 0.5, 12.25, 3.0];
+        for split in 0..=xs.len() {
+            let (left, right) = xs.split_at(split);
+            let mut a = Tally::new();
+            let mut b = Tally::new();
+            left.iter().for_each(|&x| a.record(x));
+            right.iter().for_each(|&x| b.record(x));
+            let mut whole = Tally::new();
+            xs.iter().for_each(|&x| whole.record(x));
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count(), "split {split}");
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+            assert!((a.mean() - whole.mean()).abs() < 1e-12, "split {split}");
+            assert!(
+                (a.variance() - whole.variance()).abs() < 1e-9,
+                "split {split}: {} vs {}",
+                a.variance(),
+                whole.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn tally_merge_with_empty_is_identity() {
+        let mut a = Tally::new();
+        a.record(3.0);
+        a.record(5.0);
+        let before = a.clone();
+        a.merge(&Tally::new());
+        assert_eq!(a, before, "merging an empty tally must change nothing");
+        let mut e = Tally::new();
+        e.merge(&before);
+        assert_eq!(e, before, "merging into an empty tally must copy");
+    }
+
+    #[test]
     fn counter_rate() {
         let mut c = Counter::new();
         c.incr();
@@ -281,7 +345,7 @@ mod tests {
 /// assert!(h.quantile(0.5) < 20.0);
 /// assert!(h.quantile(0.95) > 100.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     base: f64,
     growth: f64,
@@ -385,6 +449,34 @@ impl Histogram {
         self.total = 0;
         self.overflow = 0;
     }
+
+    /// Folds `other` into `self` by adding bucket counts. Because the
+    /// layout is fixed, the merged histogram is *exactly* the histogram of
+    /// the concatenated streams — pooled quantiles carry no merge error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different layouts (base, growth,
+    /// or bucket count); their buckets would not line up.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.base == other.base
+                && self.growth == other.growth
+                && self.counts.len() == other.counts.len(),
+            "histogram layout mismatch: {}x{}^{} vs {}x{}^{}",
+            self.base,
+            self.growth,
+            self.counts.len(),
+            other.base,
+            other.growth,
+            other.counts.len()
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.overflow += other.overflow;
+    }
 }
 
 #[cfg(test)]
@@ -459,5 +551,76 @@ mod histogram_tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.9), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_histogram_of_concatenated_stream() {
+        // Same layout → merged counts are exactly the concatenated stream's
+        // counts, so every quantile matches to the last bit.
+        let mut state = 99u64;
+        let mut sample = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 40) as f64 / 16.0
+        };
+        let mut a = Histogram::for_latency_ms();
+        let mut b = Histogram::for_latency_ms();
+        let mut whole = Histogram::for_latency_ms();
+        for i in 0..4_000 {
+            let x = sample();
+            if i % 3 == 0 { &mut a } else { &mut b }.record(x);
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn merge_preserves_p95_boundary_interpolation() {
+        // The PR-2 interpolation fix: a p95 rank landing on the last sample
+        // of its bucket must stay inside the bucket. Split the known sample
+        // set across two histograms and merge — the pooled estimate must be
+        // identical to the single-histogram estimate, inside [26.84, 42.95).
+        let mut samples = vec![2.0f64; 18];
+        samples.push(30.0);
+        samples.push(500.0);
+        let mut a = Histogram::for_latency_ms();
+        let mut b = Histogram::for_latency_ms();
+        let mut whole = Histogram::for_latency_ms();
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.record(s);
+            whole.record(s);
+        }
+        a.merge(&b);
+        let est = a.quantile(0.95);
+        assert_eq!(est, whole.quantile(0.95));
+        let (lo, hi) = (1.6f64.powi(7), 1.6f64.powi(8));
+        assert!(
+            lo <= est && est < hi,
+            "pooled p95 = {est} escaped [{lo}, {hi})"
+        );
+    }
+
+    #[test]
+    fn merge_accumulates_overflow() {
+        let mut a = Histogram::new(1.0, 2.0, 4); // top edge 8
+        let mut b = Histogram::new(1.0, 2.0, 4);
+        a.record(1e9);
+        b.record(1e9);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        // 2 of 3 samples overflowed: the median clamps to the top edge.
+        assert_eq!(a.quantile(0.9), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram layout mismatch")]
+    fn merge_rejects_layout_mismatch() {
+        let mut a = Histogram::new(1.0, 2.0, 4);
+        let b = Histogram::new(1.0, 1.5, 4);
+        a.merge(&b);
     }
 }

@@ -1,6 +1,8 @@
 //! The lock table.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use carat_des::FastMap;
 
 /// Opaque transaction token (the simulator uses globally unique transaction
 /// ids so tokens are comparable across sites).
@@ -85,11 +87,14 @@ impl Entry {
 /// ```
 #[derive(Debug, Default)]
 pub struct LockManager {
-    table: HashMap<u32, Entry>,
+    table: FastMap<u32, Entry>,
     /// Blocks held per transaction (for O(held) release).
-    held: HashMap<TxnToken, Vec<u32>>,
+    held: FastMap<TxnToken, Vec<u32>>,
     /// Block each transaction is currently waiting on, if any.
-    waiting_on: HashMap<TxnToken, u32>,
+    waiting_on: FastMap<TxnToken, u32>,
+    /// Retired held-blocks vectors, recycled so the steady state allocates
+    /// nothing per transaction.
+    spare_held: Vec<Vec<u32>>,
     requests: u64,
     conflicts: u64,
 }
@@ -150,7 +155,10 @@ impl LockManager {
         };
         if entry.queue.is_empty() && entry.compatible_with_holders(&w) {
             entry.granted.push((owner, mode));
-            self.held.entry(owner).or_default().push(block);
+            self.held
+                .entry(owner)
+                .or_insert_with(|| self.spare_held.pop().unwrap_or_default())
+                .push(block);
             Outcome::Granted
         } else {
             self.conflicts += 1;
@@ -164,8 +172,19 @@ impl LockManager {
     /// of the block it is queued on whose mode conflicts, plus conflicting
     /// waiters queued ahead of it (they will be granted first under FIFO).
     pub fn waits_for(&self, owner: TxnToken) -> Vec<TxnToken> {
+        let mut out = Vec::new();
+        self.waits_for_into(owner, &mut out);
+        out
+    }
+
+    /// Allocation-free [`waits_for`](Self::waits_for): clears `out`, then
+    /// fills it (sorted, deduplicated). The deadlock detector calls this
+    /// once per blocked transaction on every conflict, so it reuses one
+    /// scratch vector instead of allocating a fresh `Vec` each time.
+    pub fn waits_for_into(&self, owner: TxnToken, out: &mut Vec<TxnToken>) {
+        out.clear();
         let Some(&block) = self.waiting_on.get(&owner) else {
-            return Vec::new();
+            return;
         };
         let entry = &self.table[&block];
         let me = entry
@@ -173,12 +192,13 @@ impl LockManager {
             .iter()
             .find(|w| w.owner == owner)
             .expect("waiting_on out of sync");
-        let mut out: Vec<TxnToken> = entry
-            .granted
-            .iter()
-            .filter(|&&(o, m)| o != owner && !m.compatible(me.mode))
-            .map(|&(o, _)| o)
-            .collect();
+        out.extend(
+            entry
+                .granted
+                .iter()
+                .filter(|&&(o, m)| o != owner && !m.compatible(me.mode))
+                .map(|&(o, _)| o),
+        );
         for w in &entry.queue {
             if w.owner == owner {
                 break;
@@ -189,7 +209,6 @@ impl LockManager {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Block `owner` is waiting on, if blocked.
@@ -224,27 +243,45 @@ impl LockManager {
     /// that became grantable.
     pub fn cancel_request(&mut self, owner: TxnToken) -> Vec<(TxnToken, u32)> {
         let mut woken = Vec::new();
+        self.cancel_request_into(owner, &mut woken);
+        woken
+    }
+
+    /// Allocation-free [`cancel_request`](Self::cancel_request): *appends*
+    /// newly grantable `(owner, block)` pairs to `woken` (callers clear the
+    /// scratch buffer between uses).
+    pub fn cancel_request_into(&mut self, owner: TxnToken, woken: &mut Vec<(TxnToken, u32)>) {
         if let Some(block) = self.waiting_on.remove(&owner) {
             if let Some(entry) = self.table.get_mut(&block) {
                 entry.queue.retain(|w| w.owner != owner);
             }
             // Removing a queue entry can unblock those behind it.
-            self.promote(block, &mut woken);
+            self.promote(block, woken);
         }
-        woken
     }
 
     /// Releases every lock held by `owner` and removes any queued request.
     /// Returns `(owner, block)` pairs for requests that became granted.
     pub fn release_all(&mut self, owner: TxnToken) -> Vec<(TxnToken, u32)> {
-        let mut woken = self.cancel_request(owner);
-
-        for block in self.held.remove(&owner).unwrap_or_default() {
-            let entry = self.table.get_mut(&block).expect("held lock has entry");
-            entry.granted.retain(|&(o, _)| o != owner);
-            self.promote(block, &mut woken);
-        }
+        let mut woken = Vec::new();
+        self.release_all_into(owner, &mut woken);
         woken
+    }
+
+    /// Allocation-free [`release_all`](Self::release_all): *appends* newly
+    /// granted `(owner, block)` pairs to `woken`. The held-blocks list of
+    /// `owner` is recycled internally rather than dropped.
+    pub fn release_all_into(&mut self, owner: TxnToken, woken: &mut Vec<(TxnToken, u32)>) {
+        self.cancel_request_into(owner, woken);
+
+        if let Some(mut blocks) = self.held.remove(&owner) {
+            for block in blocks.drain(..) {
+                let entry = self.table.get_mut(&block).expect("held lock has entry");
+                entry.granted.retain(|&(o, _)| o != owner);
+                self.promote(block, woken);
+            }
+            self.spare_held.push(blocks);
+        }
     }
 
     /// FIFO promotion at `block`: grant queued requests from the head while
@@ -272,7 +309,10 @@ impl LockManager {
                 }
             } else {
                 entry.granted.push((head.owner, head.mode));
-                self.held.entry(head.owner).or_default().push(block);
+                self.held
+                    .entry(head.owner)
+                    .or_insert_with(|| self.spare_held.pop().unwrap_or_default())
+                    .push(block);
             }
             self.waiting_on.remove(&head.owner);
             woken.push((head.owner, block));
@@ -284,9 +324,17 @@ impl LockManager {
 
     /// All transactions currently blocked.
     pub fn blocked_transactions(&self) -> Vec<TxnToken> {
-        let mut v: Vec<TxnToken> = self.waiting_on.keys().copied().collect();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        self.blocked_transactions_into(&mut v);
         v
+    }
+
+    /// Allocation-free [`blocked_transactions`](Self::blocked_transactions):
+    /// clears `out`, then fills it (sorted).
+    pub fn blocked_transactions_into(&self, out: &mut Vec<TxnToken>) {
+        out.clear();
+        out.extend(self.waiting_on.keys().copied());
+        out.sort_unstable();
     }
 
     /// Total lock requests processed.

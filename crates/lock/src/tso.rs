@@ -26,7 +26,9 @@
 //! deadlock is possible**, the protocol's classic selling point. Rejected
 //! transactions restart with a fresh, larger timestamp.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use carat_des::FastMap;
 
 use crate::manager::TxnToken;
 
@@ -57,24 +59,32 @@ struct Stamps {
 
 /// Per-site basic timestamp-ordering manager.
 ///
-/// Transactions use their (monotonically assigned) ids as timestamps.
+/// Accesses carry an explicit `(token, timestamp)` pair: the token names
+/// the transaction (for pending-write ownership, wait queues, and
+/// commit/abort), the timestamp orders it. The simulator derives
+/// timestamps from its monotone global transaction counter; tokens are
+/// slab handles with no ordering meaning.
 ///
 /// ```
 /// use carat_lock::{TimestampManager, TsOutcome};
 /// let mut tso = TimestampManager::new();
-/// assert_eq!(tso.write(10, 0), TsOutcome::Allowed);   // pending
-/// assert_eq!(tso.read(12, 0), TsOutcome::WaitFor(10)); // newer reader waits
-/// assert_eq!(tso.read(5, 0), TsOutcome::Rejected);     // older reader restarts
-/// assert_eq!(tso.commit(10), vec![12]);                // waiter retries
-/// assert_eq!(tso.read(12, 0), TsOutcome::Allowed);
+/// assert_eq!(tso.write(10, 10, 0), TsOutcome::Allowed);   // pending
+/// assert_eq!(tso.read(12, 12, 0), TsOutcome::WaitFor(10)); // newer reader waits
+/// assert_eq!(tso.read(5, 5, 0), TsOutcome::Rejected);      // older reader restarts
+/// assert_eq!(tso.commit(10), vec![12]);                    // waiter retries
+/// assert_eq!(tso.read(12, 12, 0), TsOutcome::Allowed);
 /// ```
 #[derive(Debug, Default)]
 pub struct TimestampManager {
-    table: HashMap<u32, Stamps>,
+    table: FastMap<u32, Stamps>,
     /// Waiters per block, retried when the pending writer resolves.
-    waiters: HashMap<u32, VecDeque<TxnToken>>,
+    waiters: FastMap<u32, VecDeque<TxnToken>>,
     /// Blocks pending per transaction (for O(own) resolution).
-    pending_of: HashMap<TxnToken, Vec<u32>>,
+    pending_of: FastMap<TxnToken, Vec<u32>>,
+    /// Retired per-transaction block vectors and per-block wait queues,
+    /// recycled so the steady state allocates nothing per transaction.
+    spare_pending: Vec<Vec<u32>>,
+    spare_waiters: Vec<VecDeque<TxnToken>>,
     thomas_rule: bool,
     requests: u64,
     rejections: u64,
@@ -95,16 +105,19 @@ impl TimestampManager {
         }
     }
 
-    /// A read access by transaction `tx` (timestamp = `tx`).
-    pub fn read(&mut self, tx: TxnToken, block: u32) -> TsOutcome {
+    /// A read access by transaction `tx` with timestamp `ts`.
+    pub fn read(&mut self, tx: TxnToken, ts: u64, block: u32) -> TsOutcome {
         self.requests += 1;
         let st = self.table.entry(block).or_default();
         if let Some((p_ts, p_owner)) = st.pending {
             if p_owner == tx {
                 return TsOutcome::Allowed; // reading own write
             }
-            if tx > p_ts {
-                self.waiters.entry(block).or_default().push_back(tx);
+            if ts > p_ts {
+                self.waiters
+                    .entry(block)
+                    .or_insert_with(|| self.spare_waiters.pop().unwrap_or_default())
+                    .push_back(tx);
                 return TsOutcome::WaitFor(p_owner);
             }
             // Older than the pending writer: the committed version was
@@ -112,60 +125,83 @@ impl TimestampManager {
             self.rejections += 1;
             return TsOutcome::Rejected;
         }
-        if tx < st.wts {
+        if ts < st.wts {
             self.rejections += 1;
             return TsOutcome::Rejected;
         }
-        st.rts = st.rts.max(tx);
+        st.rts = st.rts.max(ts);
         TsOutcome::Allowed
     }
 
-    /// A write access by transaction `tx`.
-    pub fn write(&mut self, tx: TxnToken, block: u32) -> TsOutcome {
+    /// A write access by transaction `tx` with timestamp `ts`.
+    pub fn write(&mut self, tx: TxnToken, ts: u64, block: u32) -> TsOutcome {
         self.requests += 1;
         let st = self.table.entry(block).or_default();
         if let Some((p_ts, p_owner)) = st.pending {
             if p_owner == tx {
                 return TsOutcome::Allowed; // second write to own block
             }
-            if tx > p_ts {
-                self.waiters.entry(block).or_default().push_back(tx);
+            if ts > p_ts {
+                self.waiters
+                    .entry(block)
+                    .or_insert_with(|| self.spare_waiters.pop().unwrap_or_default())
+                    .push_back(tx);
                 return TsOutcome::WaitFor(p_owner);
             }
             self.rejections += 1;
             return TsOutcome::Rejected;
         }
-        if tx < st.rts {
+        if ts < st.rts {
             self.rejections += 1;
             return TsOutcome::Rejected;
         }
-        if tx < st.wts {
+        if ts < st.wts {
             if self.thomas_rule {
                 return TsOutcome::SkipWrite;
             }
             self.rejections += 1;
             return TsOutcome::Rejected;
         }
-        st.pending = Some((tx, tx));
-        self.pending_of.entry(tx).or_default().push(block);
+        st.pending = Some((ts, tx));
+        self.pending_of
+            .entry(tx)
+            .or_insert_with(|| self.spare_pending.pop().unwrap_or_default())
+            .push(block);
         TsOutcome::Allowed
     }
 
     /// Resolves every pending write of `tx` as committed; returns the
     /// waiters to retry.
     pub fn commit(&mut self, tx: TxnToken) -> Vec<TxnToken> {
-        self.resolve(tx, true)
+        let mut woken = Vec::new();
+        self.commit_into(tx, &mut woken);
+        woken
     }
 
     /// Discards every pending write of `tx` (rollback); returns the
     /// waiters to retry.
     pub fn abort(&mut self, tx: TxnToken) -> Vec<TxnToken> {
-        self.resolve(tx, false)
+        let mut woken = Vec::new();
+        self.abort_into(tx, &mut woken);
+        woken
     }
 
-    fn resolve(&mut self, tx: TxnToken, committed: bool) -> Vec<TxnToken> {
-        let mut woken = Vec::new();
-        for block in self.pending_of.remove(&tx).unwrap_or_default() {
+    /// Allocation-free [`commit`](Self::commit): *appends* the waiters to
+    /// retry onto `woken` (callers clear the scratch between uses).
+    pub fn commit_into(&mut self, tx: TxnToken, woken: &mut Vec<TxnToken>) {
+        self.resolve_into(tx, true, woken);
+    }
+
+    /// Allocation-free [`abort`](Self::abort): *appends* onto `woken`.
+    pub fn abort_into(&mut self, tx: TxnToken, woken: &mut Vec<TxnToken>) {
+        self.resolve_into(tx, false, woken);
+    }
+
+    fn resolve_into(&mut self, tx: TxnToken, committed: bool, woken: &mut Vec<TxnToken>) {
+        let Some(mut blocks) = self.pending_of.remove(&tx) else {
+            return;
+        };
+        for block in blocks.drain(..) {
             let st = self.table.get_mut(&block).expect("pending block exists");
             if let Some((p_ts, p_owner)) = st.pending {
                 debug_assert_eq!(p_owner, tx);
@@ -174,11 +210,12 @@ impl TimestampManager {
                 }
                 st.pending = None;
             }
-            if let Some(q) = self.waiters.remove(&block) {
-                woken.extend(q);
+            if let Some(mut q) = self.waiters.remove(&block) {
+                woken.extend(q.drain(..));
+                self.spare_waiters.push(q);
             }
         }
-        woken
+        self.spare_pending.push(blocks);
     }
 
     /// Withdraws `tx` from every wait queue (it aborted while waiting).
@@ -218,75 +255,75 @@ mod tests {
     #[test]
     fn reads_advance_rts_and_block_old_writers() {
         let mut tso = TimestampManager::new();
-        assert_eq!(tso.read(10, 0), TsOutcome::Allowed);
+        assert_eq!(tso.read(10, 10, 0), TsOutcome::Allowed);
         // An older writer now violates the read timestamp.
-        assert_eq!(tso.write(5, 0), TsOutcome::Rejected);
+        assert_eq!(tso.write(5, 5, 0), TsOutcome::Rejected);
         // A newer writer is fine.
-        assert_eq!(tso.write(11, 0), TsOutcome::Allowed);
+        assert_eq!(tso.write(11, 11, 0), TsOutcome::Allowed);
     }
 
     #[test]
     fn committed_write_blocks_older_reads() {
         let mut tso = TimestampManager::new();
-        assert_eq!(tso.write(10, 0), TsOutcome::Allowed);
+        assert_eq!(tso.write(10, 10, 0), TsOutcome::Allowed);
         tso.commit(10);
         assert_eq!(
-            tso.read(5, 0),
+            tso.read(5, 5, 0),
             TsOutcome::Rejected,
             "value it needed is gone"
         );
-        assert_eq!(tso.read(15, 0), TsOutcome::Allowed);
+        assert_eq!(tso.read(15, 15, 0), TsOutcome::Allowed);
     }
 
     #[test]
     fn pending_write_makes_newer_accesses_wait() {
         let mut tso = TimestampManager::new();
-        assert_eq!(tso.write(10, 0), TsOutcome::Allowed);
-        assert_eq!(tso.read(12, 0), TsOutcome::WaitFor(10));
-        assert_eq!(tso.write(13, 0), TsOutcome::WaitFor(10));
+        assert_eq!(tso.write(10, 10, 0), TsOutcome::Allowed);
+        assert_eq!(tso.read(12, 12, 0), TsOutcome::WaitFor(10));
+        assert_eq!(tso.write(13, 13, 0), TsOutcome::WaitFor(10));
         // Older accesses are rejected, never wait → waits strictly point
         // newer → older and cannot cycle.
-        assert_eq!(tso.read(7, 0), TsOutcome::Rejected);
+        assert_eq!(tso.read(7, 7, 0), TsOutcome::Rejected);
         let woken = tso.commit(10);
         assert_eq!(woken, vec![12, 13]);
         // After commit the waiters retry: 12's read now sees wts = 10.
-        assert_eq!(tso.read(12, 0), TsOutcome::Allowed);
+        assert_eq!(tso.read(12, 12, 0), TsOutcome::Allowed);
     }
 
     #[test]
     fn abort_discards_pending_without_advancing_wts() {
         let mut tso = TimestampManager::new();
-        tso.write(10, 0);
+        tso.write(10, 10, 0);
         let woken = tso.abort(10);
         assert!(woken.is_empty());
         // An older read is fine again (wts never advanced).
-        assert_eq!(tso.read(5, 0), TsOutcome::Allowed);
+        assert_eq!(tso.read(5, 5, 0), TsOutcome::Allowed);
         assert!(!tso.has_pending(10));
     }
 
     #[test]
     fn own_pending_write_is_transparent() {
         let mut tso = TimestampManager::new();
-        assert_eq!(tso.write(10, 0), TsOutcome::Allowed);
-        assert_eq!(tso.read(10, 0), TsOutcome::Allowed);
-        assert_eq!(tso.write(10, 0), TsOutcome::Allowed);
+        assert_eq!(tso.write(10, 10, 0), TsOutcome::Allowed);
+        assert_eq!(tso.read(10, 10, 0), TsOutcome::Allowed);
+        assert_eq!(tso.write(10, 10, 0), TsOutcome::Allowed);
         tso.commit(10);
     }
 
     #[test]
     fn thomas_rule_skips_obsolete_writes() {
         let mut basic = TimestampManager::new();
-        basic.write(20, 0);
+        basic.write(20, 20, 0);
         basic.commit(20);
-        assert_eq!(basic.write(15, 0), TsOutcome::Rejected);
+        assert_eq!(basic.write(15, 15, 0), TsOutcome::Rejected);
 
         let mut thomas = TimestampManager::new_with_thomas_rule();
-        thomas.write(20, 0);
+        thomas.write(20, 20, 0);
         thomas.commit(20);
-        assert_eq!(thomas.write(15, 0), TsOutcome::SkipWrite);
+        assert_eq!(thomas.write(15, 15, 0), TsOutcome::SkipWrite);
         // ...but not writes that violate a read timestamp.
-        thomas.read(30, 1);
-        assert_eq!(thomas.write(25, 1), TsOutcome::Rejected);
+        thomas.read(30, 30, 1);
+        assert_eq!(thomas.write(25, 25, 1), TsOutcome::Rejected);
     }
 
     #[test]
@@ -294,17 +331,17 @@ mod tests {
         // T1 pends on A; T2 pends on B. T2 > T1: T2 accessing A waits;
         // T1 accessing B must be REJECTED (older), not wait — so no cycle.
         let mut tso = TimestampManager::new();
-        assert_eq!(tso.write(1, 0), TsOutcome::Allowed); // T1 → A
-        assert_eq!(tso.write(2, 1), TsOutcome::Allowed); // T2 → B
-        assert_eq!(tso.write(2, 0), TsOutcome::WaitFor(1)); // T2 waits on T1
-        assert_eq!(tso.write(1, 1), TsOutcome::Rejected); // T1 rejected, no cycle
+        assert_eq!(tso.write(1, 1, 0), TsOutcome::Allowed); // T1 → A
+        assert_eq!(tso.write(2, 2, 1), TsOutcome::Allowed); // T2 → B
+        assert_eq!(tso.write(2, 2, 0), TsOutcome::WaitFor(1)); // T2 waits on T1
+        assert_eq!(tso.write(1, 1, 1), TsOutcome::Rejected); // T1 rejected, no cycle
     }
 
     #[test]
     fn cancel_waits_removes_queued_tx() {
         let mut tso = TimestampManager::new();
-        tso.write(1, 0);
-        assert_eq!(tso.read(5, 0), TsOutcome::WaitFor(1));
+        tso.write(1, 1, 0);
+        assert_eq!(tso.read(5, 5, 0), TsOutcome::WaitFor(1));
         tso.cancel_waits(5);
         let woken = tso.commit(1);
         assert!(woken.is_empty(), "cancelled waiter must not be woken");
@@ -313,8 +350,8 @@ mod tests {
     #[test]
     fn stats_count_rejections() {
         let mut tso = TimestampManager::new();
-        tso.read(10, 0);
-        tso.write(5, 0);
+        tso.read(10, 10, 0);
+        tso.write(5, 5, 0);
         assert_eq!(tso.requests(), 2);
         assert_eq!(tso.rejections(), 1);
     }

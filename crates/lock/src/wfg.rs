@@ -8,7 +8,7 @@
 //! cycle* is the victim — this module implements exactly that policy, and
 //! the simulator inherits it.
 
-use std::collections::HashMap;
+use carat_des::FastMap;
 
 use crate::manager::{LockManager, TxnToken};
 
@@ -19,7 +19,14 @@ use crate::manager::{LockManager, TxnToken};
 /// [`WaitForGraph::from_lock_manager`] snapshots the lock table.
 #[derive(Debug, Default, Clone)]
 pub struct WaitForGraph {
-    edges: HashMap<TxnToken, Vec<TxnToken>>,
+    edges: FastMap<TxnToken, Vec<TxnToken>>,
+    /// Retired adjacency vectors, recycled across [`clear`](Self::clear)
+    /// cycles so a rebuild in the simulator's conflict path allocates
+    /// nothing in the steady state.
+    spare: Vec<Vec<TxnToken>>,
+    /// Scratch for [`rebuild_from`](Self::rebuild_from).
+    blocked_scratch: Vec<TxnToken>,
+    targets_scratch: Vec<TxnToken>,
 }
 
 impl WaitForGraph {
@@ -31,17 +38,49 @@ impl WaitForGraph {
     /// Builds the graph of all blocked transactions in `lm`.
     pub fn from_lock_manager(lm: &LockManager) -> Self {
         let mut g = WaitForGraph::new();
-        for t in lm.blocked_transactions() {
-            for target in lm.waits_for(t) {
-                g.add_edge(t, target);
+        g.rebuild_from(lm);
+        g
+    }
+
+    /// Drops every edge but keeps the allocations for reuse.
+    pub fn clear(&mut self) {
+        for (_, mut v) in self.edges.drain() {
+            v.clear();
+            self.spare.push(v);
+        }
+    }
+
+    /// Replaces the graph contents with a fresh snapshot of `lm`, reusing
+    /// the existing allocations. Equivalent to
+    /// `*self = WaitForGraph::from_lock_manager(lm)` without the churn —
+    /// this runs on every lock conflict in the simulator.
+    pub fn rebuild_from(&mut self, lm: &LockManager) {
+        self.clear();
+        self.extend_from(lm);
+    }
+
+    /// Adds `lm`'s wait-for edges *without* clearing — callers union the
+    /// per-site graphs by chaining `clear()` + one `extend_from` per site.
+    pub fn extend_from(&mut self, lm: &LockManager) {
+        let mut blocked = std::mem::take(&mut self.blocked_scratch);
+        let mut targets = std::mem::take(&mut self.targets_scratch);
+        lm.blocked_transactions_into(&mut blocked);
+        for &t in &blocked {
+            lm.waits_for_into(t, &mut targets);
+            for &target in &targets {
+                self.add_edge(t, target);
             }
         }
-        g
+        self.blocked_scratch = blocked;
+        self.targets_scratch = targets;
     }
 
     /// Adds edge `from → to` ("from waits for to").
     pub fn add_edge(&mut self, from: TxnToken, to: TxnToken) {
-        let v = self.edges.entry(from).or_default();
+        let v = self
+            .edges
+            .entry(from)
+            .or_insert_with(|| self.spare.pop().unwrap_or_default());
         if !v.contains(&to) {
             v.push(to);
         }
@@ -188,6 +227,29 @@ mod tests {
         let g = WaitForGraph::from_lock_manager(&lm);
         assert!(g.find_cycle(2).is_some());
         assert!(g.find_cycle(1).is_some());
+    }
+
+    #[test]
+    fn rebuild_replaces_stale_edges_and_matches_fresh_snapshot() {
+        let mut g = WaitForGraph::new();
+        g.add_edge(9, 8); // stale content from a previous snapshot
+        let mut lm = LockManager::new();
+        lm.request(1, 0, LockMode::Exclusive);
+        lm.request(2, 1, LockMode::Exclusive);
+        lm.request(1, 1, LockMode::Exclusive);
+        lm.request(2, 0, LockMode::Exclusive);
+        g.rebuild_from(&lm);
+        let fresh = WaitForGraph::from_lock_manager(&lm);
+        assert!(g.successors(9).is_empty(), "stale edge must be gone");
+        for n in [1, 2] {
+            assert_eq!(g.successors(n), fresh.successors(n));
+        }
+        assert!(g.find_cycle(1).is_some());
+        // And a rebuild against an empty table empties the graph.
+        let empty = LockManager::new();
+        g.rebuild_from(&empty);
+        assert_eq!(g.waiters(), 0);
+        assert!(g.is_acyclic());
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl std::error::Error for SimConfigError {}
 /// dedicated stream derived from [`SimConfig::seed`], so a fault plan never
 /// perturbs the workload sample and two runs with the same configuration
 /// are identical event for event.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// `Copy`: seven scalars — the engine keeps a copy by value so the network
+/// path never clones through the config per message.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FaultPlan {
     /// Probability that any single network message is lost in transit.
     /// Requires timeouts (`timeout_ms > 0`) so senders can recover.

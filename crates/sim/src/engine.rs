@@ -7,7 +7,8 @@
 //! program (rollback I/O per touched site, then resubmission after think
 //! time).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt::Write as _;
 
 use carat_des::{Fcfs, Histogram, Scheduler, Tally, Time};
 use carat_lock::{LockManager, LockMode, Outcome, TimestampManager, TsOutcome, WaitForGraph};
@@ -18,30 +19,38 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::{CcProtocol, DeadlockMode, SimConfig, SimConfigError, VictimPolicy};
 use crate::metrics::{NodeReport, SimReport, TypeReport};
-use crate::program::{compile, distinct_blocks_at, Op, Plan, Program, Seg};
+use crate::program::{
+    compile_into, distinct_blocks_at_with, CompileScratch, Op, Plan, Program, Seg,
+};
+use crate::slab::{TxId, TxSlab};
 
 /// Events of the simulation.
+///
+/// Transactions are addressed by their slab id ([`TxId`]): resolving one is
+/// an array index, and an event that outlives its transaction (a completion
+/// racing an abort, a duplicate delivery) misses on the generation check
+/// exactly like the old hash-map lookup missed on the gid.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    /// A CPU service burst finished at `site` for transaction `gid`.
-    CpuDone { site: usize, gid: u64 },
+    /// A CPU service burst finished at `site` for transaction `tx`.
+    CpuDone { site: usize, tx: TxId },
     /// A database-disk transfer finished.
-    DiskDone { site: usize, gid: u64 },
+    DiskDone { site: usize, tx: TxId },
     /// A log-disk transfer finished (separate-log-disk configurations).
-    LogDone { site: usize, gid: u64 },
+    LogDone { site: usize, tx: TxId },
     /// A network message arrived. `token` identifies the send attempt; a
     /// mismatch with the transaction's current token means a duplicate or
     /// superseded delivery, which is ignored (at-most-once processing).
-    NetDone { gid: u64, token: u64 },
+    NetDone { tx: TxId, token: u64 },
     /// A retransmission timer fired for the send attempt `token`.
-    NetTimeout { gid: u64, token: u64 },
+    NetTimeout { tx: TxId, token: u64 },
     /// A user (re)submits a transaction.
     Submit { user: usize },
     /// A Chandy–Misra–Haas probe arrives at `target`'s current location
     /// (`DeadlockMode::Probes` only).
     Probe {
-        initiator: u64,
-        target: u64,
+        initiator: TxId,
+        target: TxId,
         ttl: u8,
     },
     /// Injected node crash (volatile state lost, journal recovery runs).
@@ -54,7 +63,8 @@ enum Ev {
     /// Termination protocol at an orphaned 2PC participant: `gid`'s
     /// coordinator died; after the full retransmission schedule elapsed
     /// with no decision, the participant presumes abort, rolls back, and
-    /// releases its locks.
+    /// releases its locks. Carries the gid (the storage engine's key; the
+    /// transaction itself was removed when its coordinator died).
     OrphanResolve { site: usize, gid: u64 },
     /// End of the warm-up transient: reset statistics.
     Warmup,
@@ -64,13 +74,16 @@ enum Ev {
 /// serialised TM server, the DM pool, the lock table, and the storage
 /// engine.
 struct NodeState {
+    /// FCFS servers tag jobs with the packed slab token
+    /// ([`TxId::token`]); token 0 is the background (recovery) job — live
+    /// transactions never have it because slab generations start at 1.
     cpu: Fcfs<u64>,
     disk: Fcfs<u64>,
     log_disk: Fcfs<u64>,
-    tm_busy: Option<u64>,
-    tm_queue: VecDeque<u64>,
+    tm_busy: Option<TxId>,
+    tm_queue: VecDeque<TxId>,
     dm_free: usize,
-    dm_queue: VecDeque<u64>,
+    dm_queue: VecDeque<TxId>,
     locks: LockManager,
     tso: TimestampManager,
     db: Database,
@@ -94,6 +107,11 @@ struct NodeState {
 
 /// A live transaction (one submission).
 struct Txn {
+    /// Monotone global id: the TSO timestamp, the youngest-victim age, the
+    /// storage engine's transaction key, and the audit value — everything
+    /// that needs a *total order* over submissions, which the recycled
+    /// slab id cannot provide.
+    gid: u64,
     user: usize,
     home: usize,
     ty: TxType,
@@ -129,6 +147,35 @@ struct Txn {
     decided: bool,
 }
 
+impl Txn {
+    /// A blank transaction shell for the recycling pool.
+    fn empty() -> Txn {
+        Txn {
+            gid: 0,
+            user: 0,
+            home: 0,
+            ty: TxType::Lro,
+            prog: Program::with_capacity(0),
+            pc: 0,
+            submit_time: 0.0,
+            plan: Plan {
+                requests: Vec::new(),
+            },
+            begun_sites: Vec::new(),
+            dm_sites: Vec::new(),
+            aborting: false,
+            blocked_since: None,
+            updated: Vec::new(),
+            op_started: 0.0,
+            tm_held: None,
+            poisoned: false,
+            net_token: None,
+            net_attempt: 0,
+            decided: false,
+        }
+    }
+}
+
 #[derive(Default)]
 struct Stats {
     // Everything here feeds `SimReport`: ordered maps so that iteration
@@ -145,8 +192,12 @@ struct Stats {
     /// One sample per completed lock wait (paper's LW phase occupancy).
     lock_wait: Tally,
     /// Measured wall-time residence per (home, type, phase) — the
-    /// simulator-side analogue of the model's phase decomposition.
-    phase_ms: BTreeMap<(usize, TxType, Seg), f64>,
+    /// simulator-side analogue of the model's phase decomposition. Dense:
+    /// indexed by `phase_idx` (lexicographic in (home, type, segment), the
+    /// same order the old ordered map iterated in), grown on demand. This
+    /// accumulator is hit on every timed-op completion, so it must not pay
+    /// a tree lookup per event.
+    phase_ms: Vec<f64>,
     crashes: u64,
     crash_kills: u64,
     recoveries: u64,
@@ -157,6 +208,32 @@ struct Stats {
     timeout_aborts: u64,
     in_doubt_resolutions: u64,
     window_start: Time,
+}
+
+impl Stats {
+    /// Dense index of the (home, type, segment) phase cell.
+    #[inline]
+    fn phase_idx(home: usize, ty: TxType, seg: Seg) -> usize {
+        (home * TxType::ALL.len() + ty as usize) * Seg::ALL.len() + seg as usize
+    }
+
+    /// Accumulates `dt` milliseconds of residence into a phase cell.
+    #[inline]
+    fn add_phase(&mut self, home: usize, ty: TxType, seg: Seg, dt: f64) {
+        let idx = Self::phase_idx(home, ty, seg);
+        if idx >= self.phase_ms.len() {
+            self.phase_ms.resize(idx + 1, 0.0);
+        }
+        self.phase_ms[idx] += dt;
+    }
+
+    /// Accumulated residence of a phase cell (0 when never touched).
+    fn phase(&self, home: usize, ty: TxType, seg: Seg) -> f64 {
+        self.phase_ms
+            .get(Self::phase_idx(home, ty, seg))
+            .copied()
+            .unwrap_or(0.0)
+    }
 }
 
 /// The CARAT testbed simulator.
@@ -175,7 +252,7 @@ pub struct Sim {
     cfg: SimConfig,
     sched: Scheduler<Ev>,
     nodes: Vec<NodeState>,
-    txs: HashMap<u64, Txn>,
+    txs: TxSlab<Txn>,
     users: Vec<(usize, TxType)>,
     next_gid: u64,
     rng: StdRng,
@@ -185,17 +262,50 @@ pub struct Sim {
     /// only what happens to their messages and nodes.
     fault_rng: StdRng,
     next_token: u64,
-    ready: VecDeque<u64>,
+    events: u64,
+    ready: VecDeque<TxId>,
     stats: Stats,
-    /// Orphaned 2PC participants: `(site, gid) -> held a DM server there`.
+    /// Orphaned 2PC participants:
+    /// `(site, gid) -> (slab token, held a DM server there)`.
     /// Registered when a transaction's coordinator dies with downtime;
     /// resolved by `OrphanResolve` (or swept away if the site itself
-    /// crashes first).
-    orphans: BTreeMap<(usize, u64), bool>,
+    /// crashes first). The token is kept because the transaction leaves
+    /// the slab when its coordinator dies, but its lock-manager and TSO
+    /// state at other sites is keyed by the token.
+    orphans: BTreeMap<(usize, u64), (u64, bool)>,
     /// Commit audit: last committed writer of each record. At the end of
     /// the run the storage engines must hold exactly these writers' values
     /// — an end-to-end check that 2PL + WAL + 2PC preserved integrity.
     last_committed: BTreeMap<(usize, carat_storage::RecordId), u64>,
+    // Reusable working storage: the event loop allocates nothing in the
+    // steady state.
+    /// Retired `Txn` shells (their plan/program/site vectors keep their
+    /// capacity across submissions).
+    spare_txns: Vec<Txn>,
+    /// Scratch for `compile_into`.
+    compile_scratch: CompileScratch,
+    /// Lock-release wake lists (`(token, block)` pairs).
+    woken_scratch: Vec<(u64, u32)>,
+    /// TSO wake lists.
+    woken_tso_scratch: Vec<u64>,
+    /// Crash handling: transactions stranded in the dead site's queues.
+    stranded_scratch: Vec<TxId>,
+    /// Crash handling: `(gid, id)` of transactions that touched the site,
+    /// sorted by gid so the kill/poison order is reproducible.
+    victims_scratch: Vec<(u64, TxId)>,
+    /// Abort-program assembly: sites needing rollback.
+    sites_scratch: Vec<usize>,
+    /// Abort-program assembly: the program under construction (swapped
+    /// into the victim, taking its old program's capacity in exchange).
+    abort_prog: Program,
+    /// Distinct updated blocks for the rollback extent.
+    blocks_scratch: HashSet<u32>,
+    /// Wait-for graph for deadlock checks, rebuilt in place per conflict.
+    wfg: WaitForGraph,
+    /// Direct wait-for targets when launching probes.
+    probe_targets: Vec<u64>,
+    /// Audit-value formatting buffer (`g<gid>b<block>s<slot>`).
+    val_buf: String,
 }
 
 impl Sim {
@@ -249,16 +359,29 @@ impl Sim {
             cfg,
             sched: Scheduler::new(),
             nodes,
-            txs: HashMap::new(),
+            txs: TxSlab::new(),
             users,
             next_gid: 1,
             rng,
             fault_rng,
             next_token: 1,
+            events: 0,
             ready: VecDeque::new(),
             stats: Stats::default(),
             orphans: BTreeMap::new(),
             last_committed: BTreeMap::new(),
+            spare_txns: Vec::new(),
+            compile_scratch: CompileScratch::default(),
+            woken_scratch: Vec::new(),
+            woken_tso_scratch: Vec::new(),
+            stranded_scratch: Vec::new(),
+            victims_scratch: Vec::new(),
+            sites_scratch: Vec::new(),
+            abort_prog: Program::with_capacity(0),
+            blocks_scratch: HashSet::new(),
+            wfg: WaitForGraph::new(),
+            probe_targets: Vec::new(),
+            val_buf: String::new(),
         })
     }
 
@@ -268,7 +391,8 @@ impl Sim {
             self.sched.schedule(0.0, Ev::Submit { user: u });
         }
         self.sched.schedule(self.cfg.warmup_ms, Ev::Warmup);
-        for &(at, site) in &self.cfg.crashes.clone() {
+        for i in 0..self.cfg.crashes.len() {
+            let (at, site) = self.cfg.crashes[i];
             self.sched.schedule(at, Ev::Crash { site });
         }
         if self.cfg.fault_plan.mttf_ms > 0.0 {
@@ -284,9 +408,10 @@ impl Sim {
             if t > end {
                 break;
             }
+            self.events += 1;
             self.handle(ev);
-            while let Some(gid) = self.ready.pop_front() {
-                self.advance(gid);
+            while let Some(id) = self.ready.pop_front() {
+                self.advance(id);
             }
         }
         // A node still inside a repair outage at the cutoff has not run
@@ -306,44 +431,44 @@ impl Sim {
     fn handle(&mut self, ev: Ev) {
         let now = self.sched.now();
         match ev {
-            Ev::CpuDone { site, gid } => {
+            Ev::CpuDone { site, tx } => {
                 if let Some(started) = self.nodes[site].cpu.complete(now) {
                     self.sched.schedule_in(
                         started.service,
                         Ev::CpuDone {
                             site,
-                            gid: started.job,
+                            tx: TxId::from_token(started.job),
                         },
                     );
                 }
-                self.step_past(gid);
+                self.step_past(tx);
             }
-            Ev::DiskDone { site, gid } => {
+            Ev::DiskDone { site, tx } => {
                 if let Some(started) = self.nodes[site].disk.complete(now) {
                     self.sched.schedule_in(
                         started.service,
                         Ev::DiskDone {
                             site,
-                            gid: started.job,
+                            tx: TxId::from_token(started.job),
                         },
                     );
                 }
-                self.step_past(gid);
+                self.step_past(tx);
             }
-            Ev::LogDone { site, gid } => {
+            Ev::LogDone { site, tx } => {
                 if let Some(started) = self.nodes[site].log_disk.complete(now) {
                     self.sched.schedule_in(
                         started.service,
                         Ev::LogDone {
                             site,
-                            gid: started.job,
+                            tx: TxId::from_token(started.job),
                         },
                     );
                 }
-                self.step_past(gid);
+                self.step_past(tx);
             }
-            Ev::NetDone { gid, token } => self.net_delivered(gid, token),
-            Ev::NetTimeout { gid, token } => self.net_timed_out(gid, token),
+            Ev::NetDone { tx, token } => self.net_delivered(tx, token),
+            Ev::NetTimeout { tx, token } => self.net_timed_out(tx, token),
             Ev::Submit { user } => self.submit(user),
             Ev::Probe {
                 initiator,
@@ -426,14 +551,20 @@ impl Sim {
             n.acc_lock_conflicts += n.locks.conflicts();
             n.acc_cc_rejections += n.tso.rejections();
         }
-        let mut stranded: Vec<u64> = Vec::new();
-        stranded.extend(self.nodes[site].locks.blocked_transactions());
+        let mut stranded = std::mem::take(&mut self.stranded_scratch);
+        stranded.clear();
+        {
+            let mut toks = std::mem::take(&mut self.woken_tso_scratch);
+            self.nodes[site].locks.blocked_transactions_into(&mut toks);
+            stranded.extend(toks.iter().map(|&t| TxId::from_token(t)));
+            self.woken_tso_scratch = toks;
+        }
         stranded.extend(self.nodes[site].tm_queue.drain(..));
         stranded.extend(self.nodes[site].dm_queue.drain(..));
         if let Some(holder) = self.nodes[site].tm_busy.take() {
             // The TM process restarted; its current client no longer holds
             // the (new) server.
-            if let Some(tx) = self.txs.get_mut(&holder) {
+            if let Some(tx) = self.txs.get_mut(holder) {
                 tx.tm_held = None;
             }
         }
@@ -447,7 +578,7 @@ impl Sim {
         // The site's DM server processes restarted: nobody holds one any
         // more (without this, the pool over-fills when poisoned holders
         // "release" their vanished servers at abort time).
-        for tx in self.txs.values_mut() {
+        for (_, tx) in self.txs.iter_mut() {
             tx.dm_sites.retain(|&s| s != site);
         }
         // Orphans registered *at* this site are swept away with the rest of
@@ -457,45 +588,50 @@ impl Sim {
 
         // 3. Poison every live transaction that had touched the site; with
         //    downtime, transactions homed here are killed outright instead.
-        let mut victims: Vec<u64> = self
-            .txs
-            .iter()
-            .filter(|(_, tx)| {
-                tx.home == site
-                    || tx.begun_sites.contains(&site)
-                    || tx.dm_sites.contains(&site)
-                    || tx.plan.requests.iter().any(|(s, _)| *s == site)
-            })
-            .map(|(&gid, _)| gid)
-            .collect();
-        // `txs` is a hash map: iteration order varies between `Sim`
-        // instances, and the kill/poison order below feeds the scheduler.
-        // Sort so identical configurations replay identically.
+        //    Slab slot order varies with recycling, but the gid (submission
+        //    order) does not — and the kill/poison order below feeds the
+        //    scheduler, so sort by gid to replay identically.
+        let mut victims = std::mem::take(&mut self.victims_scratch);
+        victims.clear();
+        for (id, tx) in self.txs.iter() {
+            if tx.home == site
+                || tx.begun_sites.contains(&site)
+                || tx.dm_sites.contains(&site)
+                || tx.plan.requests.iter().any(|(s, _)| *s == site)
+            {
+                victims.push((tx.gid, id));
+            }
+        }
         victims.sort_unstable();
-        for gid in victims {
-            if downtime.is_some() && self.txs[&gid].home == site {
-                self.kill_homed_tx(gid, site);
+        for &(_, id) in &victims {
+            let homed = self.txs.get(id).is_some_and(|t| t.home == site);
+            if downtime.is_some() && homed {
+                self.kill_homed_tx(id, site);
                 continue;
             }
-            let tx = self.txs.get_mut(&gid).expect("live tx");
+            let tx = self.txs.get_mut(id).expect("live tx");
             if !tx.aborting && !tx.poisoned {
                 tx.poisoned = true;
                 self.stats.crash_kills += 1;
             }
         }
+        victims.clear();
+        self.victims_scratch = victims;
         // Re-activate the stranded (their waits evaporated with the site).
-        for gid in stranded {
-            if let Some(tx) = self.txs.get_mut(&gid) {
+        for &id in &stranded {
+            if let Some(tx) = self.txs.get_mut(id) {
                 if let Some(since) = tx.blocked_since.take() {
                     self.stats.lock_wait.record(now - since);
                 }
-                if !self.ready.contains(&gid) {
-                    self.ready.push_back(gid);
+                if !self.ready.contains(&id) {
+                    self.ready.push_back(id);
                 }
             }
         }
-        while let Some(gid) = self.ready.pop_front() {
-            self.advance(gid);
+        stranded.clear();
+        self.stranded_scratch = stranded;
+        while let Some(id) = self.ready.pop_front() {
+            self.advance(id);
         }
         if let Some(d) = downtime {
             self.sched.schedule_in(d, Ev::Restart { site });
@@ -510,31 +646,38 @@ impl Sim {
     /// dead transaction's queue entry) but held locks — including an
     /// in-doubt prepared participant's — stay until the termination
     /// protocol fires.
-    fn kill_homed_tx(&mut self, gid: u64, home: usize) {
-        let tx = self.txs.remove(&gid).expect("live tx");
+    fn kill_homed_tx(&mut self, id: TxId, home: usize) {
+        let tx = self.txs.remove(id).expect("live tx");
+        let token = id.token();
         self.stats.crash_kills += 1;
         let term = self.cfg.fault_plan.termination_ms();
         for s in 0..self.nodes.len() {
             if s == home || !self.nodes[s].up {
                 continue;
             }
-            let woken = self.nodes[s].locks.cancel_request(gid);
-            self.wake(woken);
-            self.nodes[s].tso.cancel_waits(gid);
-            self.nodes[s].tm_queue.retain(|&g| g != gid);
-            self.nodes[s].dm_queue.retain(|&g| g != gid);
-            if self.nodes[s].tm_busy == Some(gid) {
+            self.cancel_lock_request(s, token);
+            self.nodes[s].tso.cancel_waits(token);
+            self.nodes[s].tm_queue.retain(|&q| q != id);
+            self.nodes[s].dm_queue.retain(|&q| q != id);
+            if self.nodes[s].tm_busy == Some(id) {
                 self.grant_tm_to_next(s);
             }
             // Whatever the participant still holds here (locks, a DM
             // server, an in-doubt prepared state) is resolved by the
             // termination protocol after the coordinator stays silent for
             // the full retransmission schedule.
-            self.orphans.insert((s, gid), tx.dm_sites.contains(&s));
-            self.sched
-                .schedule_in(term, Ev::OrphanResolve { site: s, gid });
+            self.orphans
+                .insert((s, tx.gid), (token, tx.dm_sites.contains(&s)));
+            self.sched.schedule_in(
+                term,
+                Ev::OrphanResolve {
+                    site: s,
+                    gid: tx.gid,
+                },
+            );
         }
         self.nodes[home].parked_users.push(tx.user);
+        self.spare_txns.push(tx);
     }
 
     /// A crashed node comes back up: run journal recovery (charging its
@@ -555,8 +698,13 @@ impl Sim {
             self.nodes[site].io_ops += ios as u64;
             let now = self.sched.now();
             if let Some(started) = self.nodes[site].disk.arrive(now, 0, ms) {
-                self.sched
-                    .schedule_in(started.service, Ev::DiskDone { site, gid: 0 });
+                self.sched.schedule_in(
+                    started.service,
+                    Ev::DiskDone {
+                        site,
+                        tx: TxId::from_token(0),
+                    },
+                );
             }
         }
         for user in std::mem::take(&mut self.nodes[site].parked_users) {
@@ -572,7 +720,7 @@ impl Sim {
     /// so the participant — in doubt if it had prepared — unilaterally
     /// aborts, rolls back, releases its locks, and frees its DM server.
     fn resolve_orphan(&mut self, site: usize, gid: u64) {
-        let Some(dm_held) = self.orphans.remove(&(site, gid)) else {
+        let Some((token, dm_held)) = self.orphans.remove(&(site, gid)) else {
             return; // swept away by a crash of this site in the meantime
         };
         debug_assert!(self.nodes[site].up, "orphan entry survived a crash");
@@ -587,15 +735,18 @@ impl Sim {
                 self.nodes[site].io_ops += ios as u64;
                 let now = self.sched.now();
                 if let Some(started) = self.nodes[site].disk.arrive(now, 0, ms) {
-                    self.sched
-                        .schedule_in(started.service, Ev::DiskDone { site, gid: 0 });
+                    self.sched.schedule_in(
+                        started.service,
+                        Ev::DiskDone {
+                            site,
+                            tx: TxId::from_token(0),
+                        },
+                    );
                 }
             }
         }
-        let woken = self.nodes[site].locks.release_all(gid);
-        self.wake(woken);
-        let woken = self.nodes[site].tso.abort(gid);
-        self.wake_retry(woken);
+        self.release_locks_and_wake(site, token);
+        self.tso_abort_and_wake(site, token);
         if dm_held {
             self.free_dm(site);
         }
@@ -607,12 +758,12 @@ impl Sim {
     /// destination), delayed by jitter, or delivered twice. When timeouts
     /// are enabled a retransmission timer with bounded exponential backoff
     /// is armed alongside every attempt.
-    fn send_message(&mut self, gid: u64, to: usize, ms: f64, attempt: u32) {
-        let fp = self.cfg.fault_plan.clone();
+    fn send_message(&mut self, id: TxId, to: usize, ms: f64, attempt: u32) {
+        let fp = self.cfg.fault_plan; // Copy: seven scalars, no clone
         let token = self.next_token;
         self.next_token += 1;
         {
-            let tx = self.txs.get_mut(&gid).expect("live tx");
+            let tx = self.txs.get_mut(id).expect("live tx");
             tx.net_token = Some(token);
             tx.net_attempt = attempt;
         }
@@ -623,7 +774,7 @@ impl Sim {
         if fp.timeout_ms > 0.0 {
             let deadline = fp.backoff_ms(attempt) + ms + fp.jitter_ms;
             self.sched
-                .schedule_in(deadline, Ev::NetTimeout { gid, token });
+                .schedule_in(deadline, Ev::NetTimeout { tx: id, token });
         }
         let dropped =
             !self.nodes[to].up || (fp.drop_prob > 0.0 && self.fault_rng.gen_bool(fp.drop_prob));
@@ -637,7 +788,7 @@ impl Sim {
             0.0
         };
         self.sched
-            .schedule_in(ms + jitter, Ev::NetDone { gid, token });
+            .schedule_in(ms + jitter, Ev::NetDone { tx: id, token });
         if fp.duplicate_prob > 0.0 && self.fault_rng.gen_bool(fp.duplicate_prob) {
             self.stats.net_duplicates += 1;
             let jitter2 = if fp.jitter_ms > 0.0 {
@@ -647,7 +798,7 @@ impl Sim {
             };
             // Same token: whichever copy arrives second is stale.
             self.sched
-                .schedule_in(ms + jitter2, Ev::NetDone { gid, token });
+                .schedule_in(ms + jitter2, Ev::NetDone { tx: id, token });
         }
     }
 
@@ -655,20 +806,20 @@ impl Sim {
     /// send the transaction has moved past) are ignored; a delivery to a
     /// node that died in flight counts as a drop and leaves the
     /// retransmission timer to recover.
-    fn net_delivered(&mut self, gid: u64, token: u64) {
-        let Some(tx) = self.txs.get(&gid) else { return };
+    fn net_delivered(&mut self, id: TxId, token: u64) {
+        let Some(tx) = self.txs.get(id) else { return };
         if tx.net_token != Some(token) {
             return;
         }
-        let &Op::Net { to, .. } = &tx.prog.ops[tx.pc] else {
+        let Op::Net { to, .. } = tx.prog.ops[tx.pc] else {
             return;
         };
         if !self.nodes[to].up {
             self.stats.net_drops += 1;
             return;
         }
-        self.txs.get_mut(&gid).expect("live tx").net_token = None;
-        self.step_past(gid);
+        self.txs.get_mut(id).expect("live tx").net_token = None;
+        self.step_past(id);
     }
 
     /// A retransmission timer fired. If the send it covered is still
@@ -677,37 +828,37 @@ impl Sim {
     /// Aborting and decided transactions retry past the bound (at the
     /// capped backoff) so cleanup and commit decisions always reach every
     /// participant eventually.
-    fn net_timed_out(&mut self, gid: u64, token: u64) {
-        let Some(tx) = self.txs.get(&gid) else { return };
+    fn net_timed_out(&mut self, id: TxId, token: u64) {
+        let Some(tx) = self.txs.get(id) else { return };
         if tx.net_token != Some(token) {
             return;
         }
-        let &Op::Net { ms, to } = &tx.prog.ops[tx.pc] else {
+        let Op::Net { ms, to } = tx.prog.ops[tx.pc] else {
             return;
         };
         let (attempt, unbounded) = (tx.net_attempt, tx.aborting || tx.decided);
         if unbounded || attempt < self.cfg.fault_plan.max_retries {
             self.stats.net_retries += 1;
-            self.send_message(gid, to, ms, attempt.saturating_add(1));
+            self.send_message(id, to, ms, attempt.saturating_add(1));
         } else {
             self.stats.timeout_aborts += 1;
-            self.txs.get_mut(&gid).expect("live tx").net_token = None;
-            self.start_abort_program(gid);
-            self.ready.push_back(gid);
+            self.txs.get_mut(id).expect("live tx").net_token = None;
+            self.start_abort_program(id);
+            self.ready.push_back(id);
         }
     }
 
     /// Completion of a timed op: account its residence (queueing +
     /// service) to its phase, move past it, and make the tx runnable.
-    fn step_past(&mut self, gid: u64) {
+    fn step_past(&mut self, id: TxId) {
         let now = self.sched.now();
-        if let Some(tx) = self.txs.get_mut(&gid) {
+        if let Some(tx) = self.txs.get_mut(id) {
             let seg = tx.prog.segs[tx.pc];
-            let key = (tx.home, tx.ty, seg);
+            let (home, ty) = (tx.home, tx.ty);
             let elapsed = now - tx.op_started;
             tx.pc += 1;
-            self.ready.push_back(gid);
-            *self.stats.phase_ms.entry(key).or_default() += elapsed;
+            self.ready.push_back(id);
+            self.stats.add_phase(home, ty, seg, elapsed);
         }
     }
 
@@ -722,38 +873,44 @@ impl Sim {
         }
         let gid = self.next_gid;
         self.next_gid += 1;
-        let plan = Plan::sample(
+        // Recycle a retired shell: its plan/program/site vectors keep their
+        // capacity, so the steady-state submission path allocates nothing.
+        let mut tx = self.spare_txns.pop().unwrap_or_else(Txn::empty);
+        Plan::sample_into(
             &mut self.rng,
             &self.cfg.params,
             home,
             ty,
             self.cfg.n_requests,
+            &mut tx.plan,
         );
-        let prog = compile(&self.cfg.params, home, ty, &plan);
-        self.txs.insert(
-            gid,
-            Txn {
-                user,
-                home,
-                ty,
-                prog,
-                pc: 0,
-                submit_time: self.sched.now(),
-                plan,
-                begun_sites: Vec::new(),
-                dm_sites: Vec::new(),
-                aborting: false,
-                blocked_since: None,
-                updated: Vec::new(),
-                op_started: 0.0,
-                tm_held: None,
-                poisoned: false,
-                net_token: None,
-                net_attempt: 0,
-                decided: false,
-            },
+        compile_into(
+            &self.cfg.params,
+            home,
+            ty,
+            &tx.plan,
+            &mut tx.prog,
+            &mut self.compile_scratch,
         );
-        self.ready.push_back(gid);
+        tx.gid = gid;
+        tx.user = user;
+        tx.home = home;
+        tx.ty = ty;
+        tx.pc = 0;
+        tx.submit_time = self.sched.now();
+        tx.begun_sites.clear();
+        tx.dm_sites.clear();
+        tx.aborting = false;
+        tx.blocked_since = None;
+        tx.updated.clear();
+        tx.op_started = 0.0;
+        tx.tm_held = None;
+        tx.poisoned = false;
+        tx.net_token = None;
+        tx.net_attempt = 0;
+        tx.decided = false;
+        let id = self.txs.insert(tx);
+        self.ready.push_back(id);
     }
 
     fn reset_stats(&mut self, now: Time) {
@@ -773,84 +930,86 @@ impl Sim {
     }
 
     /// Advances a transaction's program until it parks or finishes.
-    fn advance(&mut self, gid: u64) {
+    fn advance(&mut self, id: TxId) {
+        let token = id.token();
         loop {
             let now = self.sched.now();
-            let Some(tx) = self.txs.get(&gid) else { return };
+            let Some(tx) = self.txs.get(id) else { return };
             if tx.poisoned && !tx.aborting && tx.tm_held.is_none() {
                 // A node this transaction touched crashed: divert to the
                 // abort path now that no TM server is held.
-                self.divert_after_crash(gid);
+                self.divert_after_crash(id);
                 continue;
             }
-            let Some(tx) = self.txs.get(&gid) else { return };
+            let Some(tx) = self.txs.get(id) else { return };
             debug_assert!(tx.pc < tx.prog.len(), "program ran off the end");
-            let op = tx.prog.ops[tx.pc].clone();
+            let op = tx.prog.ops[tx.pc]; // Copy: dispatch by value
+            let gid = tx.gid;
             match op {
                 Op::UseCpu { site, ms } => {
-                    self.txs.get_mut(&gid).expect("live tx").op_started = now;
-                    if let Some(started) = self.nodes[site].cpu.arrive(now, gid, ms) {
+                    self.txs.get_mut(id).expect("live tx").op_started = now;
+                    if let Some(started) = self.nodes[site].cpu.arrive(now, token, ms) {
                         self.sched
-                            .schedule_in(started.service, Ev::CpuDone { site, gid });
+                            .schedule_in(started.service, Ev::CpuDone { site, tx: id });
                     }
                     return;
                 }
                 Op::UseDisk { site, ms, ios, log } => {
-                    self.txs.get_mut(&gid).expect("live tx").op_started = now;
+                    self.txs.get_mut(id).expect("live tx").op_started = now;
                     self.nodes[site].io_ops += ios as u64;
                     if log && self.cfg.separate_log_disk {
-                        if let Some(started) = self.nodes[site].log_disk.arrive(now, gid, ms) {
+                        if let Some(started) = self.nodes[site].log_disk.arrive(now, token, ms) {
                             self.sched
-                                .schedule_in(started.service, Ev::LogDone { site, gid });
+                                .schedule_in(started.service, Ev::LogDone { site, tx: id });
                         }
-                    } else if let Some(started) = self.nodes[site].disk.arrive(now, gid, ms) {
+                    } else if let Some(started) = self.nodes[site].disk.arrive(now, token, ms) {
                         self.sched
-                            .schedule_in(started.service, Ev::DiskDone { site, gid });
+                            .schedule_in(started.service, Ev::DiskDone { site, tx: id });
                     }
                     return;
                 }
                 Op::Net { ms, to } => {
-                    self.txs.get_mut(&gid).expect("live tx").op_started = now;
-                    self.send_message(gid, to, ms, 0);
+                    self.txs.get_mut(id).expect("live tx").op_started = now;
+                    self.send_message(id, to, ms, 0);
                     return;
                 }
                 Op::AcquireTm { site } => {
                     let node = &mut self.nodes[site];
                     if node.tm_busy.is_none() {
-                        node.tm_busy = Some(gid);
-                        let tx = self.txs.get_mut(&gid).expect("live tx");
+                        node.tm_busy = Some(id);
+                        let tx = self.txs.get_mut(id).expect("live tx");
                         tx.tm_held = Some(site);
                         tx.pc += 1;
                     } else {
-                        node.tm_queue.push_back(gid);
-                        self.txs.get_mut(&gid).expect("live tx").op_started = now;
+                        node.tm_queue.push_back(id);
+                        self.txs.get_mut(id).expect("live tx").op_started = now;
                         return;
                     }
                 }
                 Op::ReleaseTm { site } => {
                     debug_assert_eq!(
                         self.nodes[site].tm_busy,
-                        Some(gid),
+                        Some(id),
                         "TM released by non-holder"
                     );
                     self.grant_tm_to_next(site);
-                    let tx = self.txs.get_mut(&gid).expect("live tx");
+                    let tx = self.txs.get_mut(id).expect("live tx");
                     tx.tm_held = None;
                     tx.pc += 1;
                 }
                 Op::AcquireDm { site } => {
-                    if self.txs[&gid].dm_sites.contains(&site) {
-                        self.bump(gid);
+                    if self.txs.get(id).expect("live tx").dm_sites.contains(&site) {
+                        self.bump(id);
                     } else {
                         let node = &mut self.nodes[site];
                         if node.dm_free > 0 {
                             node.dm_free -= 1;
-                            let tx = self.txs.get_mut(&gid).expect("live tx");
+                            let tx = self.txs.get_mut(id).expect("live tx");
                             tx.dm_sites.push(site);
                             tx.pc += 1;
                         } else {
-                            node.dm_queue.push_back(gid);
-                            self.txs.get_mut(&gid).expect("live tx").op_started = now;
+                            node.dm_queue.push_back(id);
+                            self.txs.get_mut(id).expect("live tx").op_started = now;
                             return;
                         }
                     }
@@ -861,21 +1020,22 @@ impl Sim {
                     exclusive,
                 } => {
                     if self.cfg.cc != CcProtocol::TwoPhaseLocking {
-                        // Timestamp ordering: the transaction id is its
-                        // timestamp (ids are assigned monotonically and a
-                        // restart gets a fresh, larger one).
+                        // Timestamp ordering: the *gid* is the timestamp
+                        // (gids are assigned monotonically and a restart
+                        // gets a fresh, larger one); the slab token merely
+                        // names the transaction.
                         let out = if exclusive {
-                            self.nodes[site].tso.write(gid, block)
+                            self.nodes[site].tso.write(token, gid, block)
                         } else {
-                            self.nodes[site].tso.read(gid, block)
+                            self.nodes[site].tso.read(token, gid, block)
                         };
                         match out {
-                            TsOutcome::Allowed => self.bump(gid),
+                            TsOutcome::Allowed => self.bump(id),
                             TsOutcome::SkipWrite => {
                                 // Thomas write rule: skip the granule's
                                 // physical I/O and functional update — fast
                                 // forward past its Access op.
-                                let tx = self.txs.get_mut(&gid).expect("live tx");
+                                let tx = self.txs.get_mut(id).expect("live tx");
                                 while !matches!(
                                     tx.prog.ops[tx.pc],
                                     Op::Access { site: s, rid, .. }
@@ -886,12 +1046,12 @@ impl Sim {
                                 tx.pc += 1; // past the Access itself
                             }
                             TsOutcome::Rejected => {
-                                self.start_abort(gid, site);
+                                self.start_abort(id, site);
                                 // Continue: run the abort program.
                             }
                             TsOutcome::WaitFor(_) => {
                                 let t = self.sched.now();
-                                self.txs.get_mut(&gid).expect("live tx").blocked_since = Some(t);
+                                self.txs.get_mut(id).expect("live tx").blocked_since = Some(t);
                                 return; // parked until the writer resolves
                             }
                         }
@@ -902,15 +1062,15 @@ impl Sim {
                     } else {
                         LockMode::Shared
                     };
-                    match self.nodes[site].locks.request(gid, block, mode) {
-                        Outcome::Granted => self.bump(gid),
+                    match self.nodes[site].locks.request(token, block, mode) {
+                        Outcome::Granted => self.bump(id),
                         Outcome::Queued => {
-                            if self.deadlock_check(gid, site) {
-                                self.start_abort(gid, site);
+                            if self.deadlock_check(id, site) {
+                                self.start_abort(id, site);
                                 // Continue: run the abort program.
-                            } else if self.nodes[site].locks.waiting_block(gid).is_some() {
+                            } else if self.nodes[site].locks.waiting_block(token).is_some() {
                                 let t = self.sched.now();
-                                self.txs.get_mut(&gid).expect("live tx").blocked_since = Some(t);
+                                self.txs.get_mut(id).expect("live tx").blocked_since = Some(t);
                                 return; // parked until lock grant
                             } else {
                                 // A youngest-policy victim abort already
@@ -923,80 +1083,128 @@ impl Sim {
                     }
                 }
                 Op::Access { site, rid, update } => {
-                    self.ensure_begun(gid, site);
-                    let node = &mut self.nodes[site];
+                    self.ensure_begun(id, site);
                     if update {
-                        let value = format!("g{gid}b{}s{}", rid.block, rid.slot);
-                        node.db
-                            .update_record(gid, rid, value.as_bytes())
+                        self.val_buf.clear();
+                        write!(self.val_buf, "g{gid}b{}s{}", rid.block, rid.slot)
+                            .expect("write to String");
+                        self.nodes[site]
+                            .db
+                            .update_record(gid, rid, self.val_buf.as_bytes())
                             .expect("functional update");
                         self.txs
-                            .get_mut(&gid)
+                            .get_mut(id)
                             .expect("live tx")
                             .updated
                             .push((site, rid));
                     } else {
-                        node.db.read_record(gid, rid).expect("functional read");
+                        self.nodes[site]
+                            .db
+                            .touch_record(gid, rid)
+                            .expect("functional read");
                     }
-                    self.bump(gid);
+                    self.bump(id);
                 }
                 Op::PrepareSite { site } => {
-                    self.ensure_begun(gid, site);
+                    self.ensure_begun(id, site);
                     self.nodes[site].db.prepare(gid).expect("prepare");
-                    self.bump(gid);
+                    self.bump(id);
                 }
                 Op::CommitSite { site } => {
                     // The commit decision is final from the first
                     // `CommitSite` on: later message losses must deliver
                     // the outcome, not presume abort (a participant may
                     // already have committed).
-                    self.txs.get_mut(&gid).expect("live tx").decided = true;
-                    if self.txs[&gid].begun_sites.contains(&site) {
-                        self.nodes[site].db.commit(gid).expect("commit");
-                        let updated = self.txs[&gid].updated.clone();
-                        for (s, rid) in updated {
+                    let tx = self.txs.get_mut(id).expect("live tx");
+                    tx.decided = true;
+                    if tx.begun_sites.contains(&site) {
+                        // Record the committed writes at this site, then
+                        // commit in storage. `last_committed` and `db` are
+                        // disjoint fields, so the borrow of `tx` stays live.
+                        for &(s, rid) in &tx.updated {
                             if s == site {
                                 self.last_committed.insert((s, rid), gid);
                             }
                         }
+                        self.nodes[site].db.commit(gid).expect("commit");
                     }
                     if self.cfg.cc == CcProtocol::TwoPhaseLocking {
-                        let woken = self.nodes[site].locks.release_all(gid);
-                        self.wake(woken);
+                        self.release_locks_and_wake(site, token);
                     } else {
-                        let woken = self.nodes[site].tso.commit(gid);
-                        self.wake_retry(woken);
+                        self.tso_commit_and_wake(site, token);
                     }
-                    self.bump(gid);
+                    self.bump(id);
                 }
                 Op::AbortSite { site } => {
                     // After a crash the site's recovery already rolled this
                     // transaction back (it is no longer active there).
-                    if self.txs[&gid].begun_sites.contains(&site)
+                    if self
+                        .txs
+                        .get(id)
+                        .expect("live tx")
+                        .begun_sites
+                        .contains(&site)
                         && self.nodes[site].db.is_active(gid)
                     {
                         self.nodes[site].db.rollback(gid).expect("rollback");
                     }
                     if self.cfg.cc == CcProtocol::TwoPhaseLocking {
-                        let woken = self.nodes[site].locks.release_all(gid);
-                        self.wake(woken);
+                        self.release_locks_and_wake(site, token);
                     } else {
-                        let woken = self.nodes[site].tso.abort(gid);
-                        self.wake_retry(woken);
+                        self.tso_abort_and_wake(site, token);
                     }
-                    self.bump(gid);
+                    self.bump(id);
                 }
                 Op::End => {
-                    self.finish(gid);
+                    self.finish(id);
                     return;
                 }
             }
         }
     }
 
-    /// Moves `gid` past a zero-time op.
-    fn bump(&mut self, gid: u64) {
-        self.txs.get_mut(&gid).expect("live tx").pc += 1;
+    /// Moves `id` past a zero-time op.
+    fn bump(&mut self, id: TxId) {
+        self.txs.get_mut(id).expect("live tx").pc += 1;
+    }
+
+    /// `locks.release_all` + wake at `site`, through the reusable wake
+    /// buffer (the steady-state commit path allocates nothing).
+    fn release_locks_and_wake(&mut self, site: usize, token: u64) {
+        let mut woken = std::mem::take(&mut self.woken_scratch);
+        woken.clear();
+        self.nodes[site].locks.release_all_into(token, &mut woken);
+        self.wake(&woken);
+        self.woken_scratch = woken;
+    }
+
+    /// `locks.cancel_request` + wake at `site`, buffer-reusing.
+    fn cancel_lock_request(&mut self, site: usize, token: u64) {
+        let mut woken = std::mem::take(&mut self.woken_scratch);
+        woken.clear();
+        self.nodes[site]
+            .locks
+            .cancel_request_into(token, &mut woken);
+        self.wake(&woken);
+        self.woken_scratch = woken;
+    }
+
+    /// `tso.commit` + retry-wake at `site`, buffer-reusing.
+    fn tso_commit_and_wake(&mut self, site: usize, token: u64) {
+        let mut woken = std::mem::take(&mut self.woken_tso_scratch);
+        woken.clear();
+        self.nodes[site].tso.commit_into(token, &mut woken);
+        self.wake_retry(&woken);
+        self.woken_tso_scratch = woken;
+    }
+
+    /// `tso.abort` + retry-wake at `site`, buffer-reusing.
+    fn tso_abort_and_wake(&mut self, site: usize, token: u64) {
+        let mut woken = std::mem::take(&mut self.woken_tso_scratch);
+        woken.clear();
+        self.nodes[site].tso.abort_into(token, &mut woken);
+        self.wake_retry(&woken);
+        self.woken_tso_scratch = woken;
     }
 
     /// Hands the TM server at `site` to the next *live* queued waiter
@@ -1005,7 +1213,7 @@ impl Sim {
         let now = self.sched.now();
         let next = loop {
             match self.nodes[site].tm_queue.pop_front() {
-                Some(cand) if self.txs.contains_key(&cand) => break Some(cand),
+                Some(cand) if self.txs.contains(cand) => break Some(cand),
                 Some(_) => continue,
                 None => break None,
             }
@@ -1013,12 +1221,12 @@ impl Sim {
         self.nodes[site].tm_busy = next;
         if let Some(next) = next {
             // The waiter was parked at its AcquireTm op.
-            let w = self.txs.get_mut(&next).expect("queued tx exists");
+            let w = self.txs.get_mut(next).expect("queued tx exists");
             let waited = now - w.op_started;
-            let key = (w.home, w.ty, Seg::TmWait);
+            let (home, ty) = (w.home, w.ty);
             w.pc += 1;
             w.tm_held = Some(site);
-            *self.stats.phase_ms.entry(key).or_default() += waited;
+            self.stats.add_phase(home, ty, Seg::TmWait, waited);
             self.ready.push_back(next);
         }
     }
@@ -1029,18 +1237,18 @@ impl Sim {
         let now = self.sched.now();
         let next = loop {
             match self.nodes[site].dm_queue.pop_front() {
-                Some(cand) if self.txs.contains_key(&cand) => break Some(cand),
+                Some(cand) if self.txs.contains(cand) => break Some(cand),
                 Some(_) => continue,
                 None => break None,
             }
         };
         if let Some(next) = next {
-            let w = self.txs.get_mut(&next).expect("queued tx");
+            let w = self.txs.get_mut(next).expect("queued tx");
             w.dm_sites.push(site);
             w.pc += 1;
             let waited = now - w.op_started;
-            let key = (w.home, w.ty, Seg::DmWait);
-            *self.stats.phase_ms.entry(key).or_default() += waited;
+            let (home, ty) = (w.home, w.ty);
+            self.stats.add_phase(home, ty, Seg::DmWait, waited);
             self.ready.push_back(next);
         } else {
             self.nodes[site].dm_free = self.nodes[site].dm_free.saturating_add(1);
@@ -1049,24 +1257,21 @@ impl Sim {
 
     /// Wakes transactions granted a lock by a release: they were parked at
     /// their `Lock` op, which is now satisfied.
-    fn wake(&mut self, woken: Vec<(u64, u32)>) {
+    fn wake(&mut self, woken: &[(u64, u32)]) {
         let now = self.sched.now();
-        for (gid, _block) in woken {
-            if let Some(tx) = self.txs.get_mut(&gid) {
+        for &(tok, _block) in woken {
+            let id = TxId::from_token(tok);
+            if let Some(tx) = self.txs.get_mut(id) {
                 debug_assert!(
                     matches!(tx.prog.ops[tx.pc], Op::Lock { .. }),
                     "woken tx not parked on a lock"
                 );
                 if let Some(since) = tx.blocked_since.take() {
                     self.stats.lock_wait.record(now - since);
-                    *self
-                        .stats
-                        .phase_ms
-                        .entry((tx.home, tx.ty, Seg::Lw))
-                        .or_default() += now - since;
+                    self.stats.add_phase(tx.home, tx.ty, Seg::Lw, now - since);
                 }
                 tx.pc += 1;
-                self.ready.push_back(gid);
+                self.ready.push_back(id);
             }
         }
     }
@@ -1074,31 +1279,29 @@ impl Sim {
     /// Wakes transactions whose pending-writer wait resolved (timestamp
     /// ordering): they were parked at their access op, which must now be
     /// *retried* (the retry may itself reject).
-    fn wake_retry(&mut self, woken: Vec<u64>) {
+    fn wake_retry(&mut self, woken: &[u64]) {
         let now = self.sched.now();
-        for gid in woken {
-            if let Some(tx) = self.txs.get_mut(&gid) {
+        for &tok in woken {
+            let id = TxId::from_token(tok);
+            if let Some(tx) = self.txs.get_mut(id) {
                 debug_assert!(
                     matches!(tx.prog.ops[tx.pc], Op::Lock { .. }),
                     "retried tx not parked on an access"
                 );
                 if let Some(since) = tx.blocked_since.take() {
                     self.stats.lock_wait.record(now - since);
-                    *self
-                        .stats
-                        .phase_ms
-                        .entry((tx.home, tx.ty, Seg::Lw))
-                        .or_default() += now - since;
+                    self.stats.add_phase(tx.home, tx.ty, Seg::Lw, now - since);
                 }
-                self.ready.push_back(gid);
+                self.ready.push_back(id);
             }
         }
     }
 
-    fn ensure_begun(&mut self, gid: u64, site: usize) {
-        let tx = self.txs.get_mut(&gid).expect("live tx");
+    fn ensure_begun(&mut self, id: TxId, site: usize) {
+        let tx = self.txs.get_mut(id).expect("live tx");
         if !tx.begun_sites.contains(&site) {
             tx.begun_sites.push(site);
+            let gid = tx.gid;
             self.nodes[site].db.begin(gid).expect("begin");
         }
     }
@@ -1110,94 +1313,117 @@ impl Sim {
     /// [`DeadlockMode`]: either by searching the union of all sites' graphs
     /// right away, or by launching real Chandy–Misra–Haas probe messages.
     ///
-    /// Returns true iff `gid` is a deadlock victim *now*.
-    fn deadlock_check(&mut self, gid: u64, site: usize) -> bool {
+    /// Returns true iff `id` is a deadlock victim *now*.
+    fn deadlock_check(&mut self, id: TxId, site: usize) -> bool {
+        let token = id.token();
         if self.cfg.deadlock_mode == DeadlockMode::Probes {
-            // Local search first.
-            let local_g = WaitForGraph::from_lock_manager(&self.nodes[site].locks);
-            if local_g.find_cycle(gid).is_some() {
+            // Local search first, on the reusable graph.
+            let mut g = std::mem::take(&mut self.wfg);
+            g.rebuild_from(&self.nodes[site].locks);
+            let deadlocked = g.find_cycle(token).is_some();
+            self.wfg = g;
+            if deadlocked {
                 self.stats.local_deadlocks += 1;
                 return true;
             }
             // Launch probes along the blocked edges (the holders may be
             // active or blocked at other sites; the probe chases them).
             let alpha = self.cfg.params.comm_delay_ms;
-            for h in self.nodes[site].locks.waits_for(gid) {
+            let mut targets = std::mem::take(&mut self.probe_targets);
+            self.nodes[site].locks.waits_for_into(token, &mut targets);
+            for &h in &targets {
                 self.sched.schedule_in(
                     alpha,
                     Ev::Probe {
-                        initiator: gid,
-                        target: h,
+                        initiator: id,
+                        target: TxId::from_token(h),
                         ttl: 32,
                     },
                 );
             }
+            self.probe_targets = targets;
             return false;
         }
 
-        let mut g = WaitForGraph::new();
+        // Union of every site's wait-for graph, rebuilt into the reusable
+        // graph (edge vectors are recycled across conflicts).
+        let mut g = std::mem::take(&mut self.wfg);
+        g.clear();
         for node in &self.nodes {
-            for t in node.locks.blocked_transactions() {
-                for target in node.locks.waits_for(t) {
-                    g.add_edge(t, target);
-                }
-            }
+            g.extend_from(&node.locks);
         }
-        let Some(cycle) = g.find_cycle(gid) else {
+        let Some(mut cycle) = g.find_cycle(token) else {
+            self.wfg = g;
             return false;
         };
         // Locality: at which site does each cycle member wait?
-        let wait_site = |t: u64| -> usize {
-            self.nodes
+        let wait_site = |nodes: &[NodeState], t: u64| -> usize {
+            nodes
                 .iter()
                 .position(|n| n.locks.waiting_block(t).is_some())
                 .expect("cycle member is blocked somewhere")
         };
-        let sites: Vec<usize> = cycle.iter().map(|&t| wait_site(t)).collect();
-        let local = sites.iter().all(|&s| s == sites[0]);
+        let first_site = wait_site(&self.nodes, cycle[0]);
+        let mut local = true;
+        // One probe hop per cross-site edge in the chased cycle.
+        let mut hops = 0u64;
+        for i in 0..cycle.len() {
+            let s_i = wait_site(&self.nodes, cycle[i]);
+            let s_next = wait_site(&self.nodes, cycle[(i + 1) % cycle.len()]);
+            if s_i != first_site {
+                local = false;
+            }
+            if s_i != s_next {
+                hops += 1;
+            }
+        }
         if local {
             self.stats.local_deadlocks += 1;
         } else {
             self.stats.global_deadlocks += 1;
-            // One probe hop per cross-site edge in the chased cycle.
-            let mut hops = 0;
-            for i in 0..sites.len() {
-                if sites[i] != sites[(i + 1) % sites.len()] {
-                    hops += 1;
-                }
-            }
             self.stats.probe_hops += hops;
         }
         match self.cfg.victim {
-            VictimPolicy::Requester => true,
+            VictimPolicy::Requester => {
+                self.wfg = g;
+                true
+            }
             VictimPolicy::Youngest => {
                 // Unlike the requester policy (which breaks every cycle
-                // through `gid` at once), aborting one cycle's youngest may
-                // leave other cycles through `gid` intact — loop until no
+                // through `id` at once), aborting one cycle's youngest may
+                // leave other cycles through `id` intact — loop until no
                 // cycle through the requester remains, or the requester
-                // itself is chosen.
-                let mut cycle = cycle;
+                // itself is chosen. "Youngest" = largest gid (tokens are
+                // recycled slab handles with no age meaning).
                 loop {
-                    let victim = *cycle.iter().max().expect("non-empty cycle");
-                    if victim == gid {
+                    let victim = *cycle
+                        .iter()
+                        .max_by_key(|&&t| {
+                            self.txs
+                                .get(TxId::from_token(t))
+                                .map(|x| x.gid)
+                                .unwrap_or(0)
+                        })
+                        .expect("non-empty cycle");
+                    if victim == token {
+                        self.wfg = g;
                         return true;
                     }
                     // Abort the chosen victim in place: it is parked on a
                     // lock (a safe point — no TM held), so withdraw its
                     // request, run its abort program, and let the requester
                     // keep waiting; the victim's releases will wake it.
-                    self.abort_parked(victim);
-                    let mut g = WaitForGraph::new();
+                    self.abort_parked(TxId::from_token(victim));
+                    g.clear();
                     for node in &self.nodes {
-                        for t in node.locks.blocked_transactions() {
-                            for target in node.locks.waits_for(t) {
-                                g.add_edge(t, target);
-                            }
-                        }
+                        g.extend_from(&node.locks);
                     }
-                    match g.find_cycle(gid) {
+                    match g.find_cycle(token) {
                         Some(c) => cycle = c,
-                        None => return false,
+                        None => {
+                            self.wfg = g;
+                            return false;
+                        }
                     }
                 }
             }
@@ -1206,37 +1432,32 @@ impl Sim {
 
     /// Aborts a transaction that is currently parked on a lock wait
     /// (deadlock victim under [`VictimPolicy::Youngest`]).
-    fn abort_parked(&mut self, victim: u64) {
+    fn abort_parked(&mut self, victim: TxId) {
         debug_assert!(
             self.txs
-                .get(&victim)
+                .get(victim)
                 .is_some_and(|t| matches!(t.prog.ops[t.pc], Op::Lock { .. })),
             "victim not parked on a lock"
         );
         let now = self.sched.now();
-        if let Some(site) = self.blocked_site(victim) {
-            let woken = self.nodes[site].locks.cancel_request(victim);
-            self.wake(woken);
+        if let Some(site) = self.blocked_site(victim.token()) {
+            self.cancel_lock_request(site, victim.token());
         }
-        if let Some(tx) = self.txs.get_mut(&victim) {
+        if let Some(tx) = self.txs.get_mut(victim) {
             if let Some(since) = tx.blocked_since.take() {
                 self.stats.lock_wait.record(now - since);
-                *self
-                    .stats
-                    .phase_ms
-                    .entry((tx.home, tx.ty, Seg::Lw))
-                    .or_default() += now - since;
+                self.stats.add_phase(tx.home, tx.ty, Seg::Lw, now - since);
             }
         }
         self.start_abort_program(victim);
         self.ready.push_back(victim);
     }
 
-    /// Site at which `gid` is currently lock-blocked, if any.
-    fn blocked_site(&self, gid: u64) -> Option<usize> {
+    /// Site at which the transaction with `token` is lock-blocked, if any.
+    fn blocked_site(&self, token: u64) -> Option<usize> {
         self.nodes
             .iter()
-            .position(|n| n.locks.waiting_block(gid).is_some())
+            .position(|n| n.locks.waiting_block(token).is_some())
     }
 
     /// Delivery of a Chandy–Misra–Haas probe (`DeadlockMode::Probes`).
@@ -1246,16 +1467,16 @@ impl Sim {
     /// blocked, the probe is forwarded along the target's wait-for edges;
     /// a running target absorbs the probe (it will initiate fresh probes
     /// if it blocks later).
-    fn handle_probe(&mut self, initiator: u64, target: u64, ttl: u8) {
+    fn handle_probe(&mut self, initiator: TxId, target: TxId, ttl: u8) {
         self.stats.probe_hops += 1;
         if ttl == 0 {
             return;
         }
         // Stale probe: the initiator moved on (granted or already aborted).
-        let Some(init_site) = self.blocked_site(initiator) else {
+        let Some(init_site) = self.blocked_site(initiator.token()) else {
             return;
         };
-        if !self.txs.contains_key(&initiator) {
+        if !self.txs.contains(initiator) {
             return;
         }
         if target == initiator {
@@ -1263,7 +1484,7 @@ impl Sim {
             // if an edge vanished while the probe was in flight; the victim
             // retries either way, so only performance is at stake.
             self.stats.global_deadlocks += 1;
-            if let Some(tx) = self.txs.get_mut(&initiator) {
+            if let Some(tx) = self.txs.get_mut(initiator) {
                 if let Some(since) = tx.blocked_since.take() {
                     self.stats.lock_wait.record(self.sched.now() - since);
                 }
@@ -1272,11 +1493,15 @@ impl Sim {
             self.ready.push_back(initiator);
             return;
         }
-        let Some(target_site) = self.blocked_site(target) else {
+        let Some(target_site) = self.blocked_site(target.token()) else {
             return; // target is running; it makes progress, no deadlock here
         };
         let alpha = self.cfg.params.comm_delay_ms;
-        for h in self.nodes[target_site].locks.waits_for(target) {
+        let mut targets = std::mem::take(&mut self.probe_targets);
+        self.nodes[target_site]
+            .locks
+            .waits_for_into(target.token(), &mut targets);
+        for &h in &targets {
             let next_hop_remote = self.blocked_site(h).map(|s| s != target_site);
             let delay = match next_hop_remote {
                 Some(true) | None => alpha,
@@ -1286,51 +1511,56 @@ impl Sim {
                 delay,
                 Ev::Probe {
                     initiator,
-                    target: h,
+                    target: TxId::from_token(h),
                     ttl: ttl - 1,
                 },
             );
         }
+        self.probe_targets = targets;
     }
 
     /// Converts `gid` into an aborting transaction: withdraw the pending
     /// request and replace the remaining program with the rollback
     /// sequence.
-    fn start_abort(&mut self, gid: u64, blocked_site: usize) {
+    fn start_abort(&mut self, id: TxId, blocked_site: usize) {
         if self.cfg.cc == CcProtocol::TwoPhaseLocking {
-            let woken = self.nodes[blocked_site].locks.cancel_request(gid);
-            self.wake(woken);
+            self.cancel_lock_request(blocked_site, id.token());
         } else {
             for node in &mut self.nodes {
-                node.tso.cancel_waits(gid);
+                node.tso.cancel_waits(id.token());
             }
         }
-        self.start_abort_program(gid);
+        self.start_abort_program(id);
     }
 
-    /// Replaces `gid`'s remaining program with the rollback sequence.
-    fn start_abort_program(&mut self, gid: u64) {
-        let (home, ty, abort_sites) = {
-            let tx = &self.txs[&gid];
+    /// Replaces `id`'s remaining program with the rollback sequence.
+    fn start_abort_program(&mut self, id: TxId) {
+        let mut abort_sites = std::mem::take(&mut self.sites_scratch);
+        abort_sites.clear();
+        let (home, ty) = {
+            let tx = self.txs.get(id).expect("live tx");
             // Rollback is needed wherever the transaction has touched data
             // (begun ⟺ accessed ⟹ holds locks there); the home site is
             // always visited so the coordinator processes the abort even if
             // nothing was touched yet. Down sites are skipped — their
             // restart recovery undoes the transaction from the journal.
-            let mut sites: Vec<usize> = tx.begun_sites.clone();
-            if !sites.contains(&tx.home) {
-                sites.push(tx.home);
+            abort_sites.extend_from_slice(&tx.begun_sites);
+            if !abort_sites.contains(&tx.home) {
+                abort_sites.push(tx.home);
             }
-            sites.retain(|&s| self.nodes[s].up);
-            sites.sort_unstable();
-            (tx.home, tx.ty, sites)
+            (tx.home, tx.ty)
         };
+        abort_sites.retain(|&s| self.nodes[s].up);
+        abort_sites.sort_unstable();
         *self.stats.aborts.entry((home, ty)).or_default() += 1;
 
-        let b = &self.cfg.params.basic;
         let alpha = self.cfg.params.comm_delay_ms;
         let chain = ty.coordinator_chain();
-        let mut prog = Program::with_capacity(8 + abort_sites.len() * 8);
+        // Build into the reusable abort-program scratch; it is swapped with
+        // the transaction's own program below, so the replaced program's
+        // capacity is recycled for the next abort.
+        let mut prog = std::mem::take(&mut self.abort_prog);
+        prog.clear();
         for &site in &abort_sites {
             let exec_chain = if site == home {
                 chain
@@ -1347,26 +1577,22 @@ impl Sim {
                 );
             }
             // TA phase: abort message processing.
-            prog.push(
-                Op::UseCpu {
-                    site,
-                    ms: b.ta_cpu(exec_chain),
-                },
-                Seg::Ta,
-            );
+            let ta_ms = self.cfg.params.basic.ta_cpu(exec_chain);
+            prog.push(Op::UseCpu { site, ms: ta_ms }, Seg::Ta);
             // TAIO phase: restore the journaled before-images, one block
             // write at a time, then force the abort record (see
             // `carat_storage::Database::rollback` for why the force is
             // required for correctness).
             if ty.is_update() {
-                let updated = self.rollback_extent(gid, site);
+                let updated = self.rollback_extent(id, site);
                 if updated > 0 {
+                    let io_ms = self.cfg.params.nodes[site].disk_io_ms;
                     // `updated` block restores + the forced abort record.
                     for i in 0..(updated + 1) {
                         prog.push(
                             Op::UseDisk {
                                 site,
-                                ms: self.cfg.params.nodes[site].disk_io_ms,
+                                ms: io_ms,
                                 ios: 1,
                                 log: i == updated,
                             },
@@ -1387,10 +1613,13 @@ impl Sim {
             }
         }
         prog.push(Op::End, Seg::Ta);
+        abort_sites.clear();
+        self.sites_scratch = abort_sites;
 
-        let tx = self.txs.get_mut(&gid).expect("live tx");
+        let tx = self.txs.get_mut(id).expect("live tx");
         tx.aborting = true;
-        tx.prog = prog;
+        std::mem::swap(&mut tx.prog, &mut prog);
+        self.abort_prog = prog;
         tx.pc = 0;
         // Any in-flight send belongs to the replaced program; its delivery
         // and timer are stale from here on.
@@ -1402,47 +1631,53 @@ impl Sim {
     /// any pending waits at live sites, then run the usual abort program
     /// (rollback I/O is only charged where the storage engine still has the
     /// transaction active — the crashed site's recovery already undid it).
-    fn divert_after_crash(&mut self, gid: u64) {
-        if let Some(site) = self.blocked_site(gid) {
+    fn divert_after_crash(&mut self, id: TxId) {
+        let token = id.token();
+        if let Some(site) = self.blocked_site(token) {
             if self.cfg.cc == CcProtocol::TwoPhaseLocking {
-                let woken = self.nodes[site].locks.cancel_request(gid);
-                self.wake(woken);
+                self.cancel_lock_request(site, token);
             }
         }
         if self.cfg.cc != CcProtocol::TwoPhaseLocking {
             for node in &mut self.nodes {
-                node.tso.cancel_waits(gid);
+                node.tso.cancel_waits(token);
             }
         }
-        if let Some(tx) = self.txs.get_mut(&gid) {
+        if let Some(tx) = self.txs.get_mut(id) {
             tx.blocked_since = None;
         }
-        self.start_abort_program(gid);
+        self.start_abort_program(id);
     }
 
     /// Number of blocks whose before-images must be restored at `site`:
     /// the distinct blocks this transaction has actually updated there
     /// (exactly what the storage engine journaled).
-    fn rollback_extent(&self, gid: u64, site: usize) -> u32 {
-        let tx = &self.txs[&gid];
-        if !tx.begun_sites.contains(&site) || !self.nodes[site].db.is_active(gid) {
-            return 0;
-        }
-        let distinct: std::collections::HashSet<u32> = tx
-            .updated
-            .iter()
-            .filter(|(s, _)| *s == site)
-            .map(|(_, rid)| rid.block)
-            .collect();
-        let planned = distinct_blocks_at(&tx.plan, site);
-        (distinct.len() as u32).min(planned)
+    fn rollback_extent(&mut self, id: TxId, site: usize) -> u32 {
+        let mut set = std::mem::take(&mut self.blocks_scratch);
+        let tx = self.txs.get(id).expect("live tx");
+        let extent = if !tx.begun_sites.contains(&site) || !self.nodes[site].db.is_active(tx.gid) {
+            0
+        } else {
+            set.clear();
+            for (s, rid) in &tx.updated {
+                if *s == site {
+                    set.insert(rid.block);
+                }
+            }
+            let distinct = set.len() as u32;
+            // `distinct_blocks_at_with` clears the set before use.
+            let planned = distinct_blocks_at_with(&tx.plan, site, &mut set);
+            distinct.min(planned)
+        };
+        self.blocks_scratch = set;
+        extent
     }
 
     /// Transaction end: commit bookkeeping, free DMs, schedule the user's
     /// next submission (rollback already happened in `AbortSite` ops).
-    fn finish(&mut self, gid: u64) {
+    fn finish(&mut self, id: TxId) {
         let now = self.sched.now();
-        let tx = self.txs.remove(&gid).expect("live tx");
+        let tx = self.txs.remove(id).expect("live tx");
         if !tx.aborting {
             let key = (tx.home, tx.ty);
             *self.stats.commits.entry(key).or_default() += 1;
@@ -1463,12 +1698,18 @@ impl Sim {
         }
         self.sched
             .schedule_in(self.cfg.params.think_time_ms, Ev::Submit { user: tx.user });
+        // Recycle the transaction's buffers (program, plan, site lists) for
+        // the next submission.
+        self.spare_txns.push(tx);
     }
 
-    fn report(&self, end: Time) -> SimReport {
+    fn report(&mut self, end: Time) -> SimReport {
         let window = end - self.stats.window_start;
         let window_s = window / 1000.0;
         let mut nodes = Vec::new();
+        // `report` runs once, at the end of the run — moving each node's
+        // name out of the (about-to-drop) config avoids cloning it.
+        let mut names = std::mem::take(&mut self.cfg.params.nodes);
         for (i, node) in self.nodes.iter().enumerate() {
             let mut per_type: BTreeMap<TxType, TypeReport> = BTreeMap::new();
             let mut tx_total = 0u64;
@@ -1482,8 +1723,9 @@ impl Sim {
                 tx_total += commits;
                 let mut phase_ms: BTreeMap<&'static str, f64> = BTreeMap::new();
                 if commits > 0 {
-                    for ((h, t, seg), total) in &self.stats.phase_ms {
-                        if *h == i && *t == ty {
+                    for &seg in &Seg::ALL {
+                        let total = self.stats.phase(i, ty, seg);
+                        if total != 0.0 {
                             *phase_ms.entry(seg.label()).or_default() += total / commits as f64;
                         }
                     }
@@ -1513,7 +1755,7 @@ impl Sim {
             }
             let records = self.stats.records.get(&i).copied().unwrap_or(0);
             nodes.push(NodeReport {
-                name: self.cfg.params.nodes[i].name.clone(),
+                name: std::mem::take(&mut names[i].name),
                 cpu_util: node.cpu.utilization(end),
                 disk_util: node.disk.utilization(end),
                 log_disk_util: node.log_disk.utilization(end),
@@ -1571,8 +1813,8 @@ impl Sim {
             .sum();
         let oldest_inflight_ms = self
             .txs
-            .values()
-            .map(|tx| end - tx.submit_time)
+            .iter()
+            .map(|(_, tx)| end - tx.submit_time)
             .fold(0.0_f64, f64::max);
         SimReport {
             nodes,
@@ -1595,6 +1837,7 @@ impl Sim {
             in_doubt_resolutions: self.stats.in_doubt_resolutions,
             live_at_end: self.txs.len() as u64,
             oldest_inflight_ms,
+            events: self.events,
             audited_records: audited,
             audit_violations,
             window_ms: window,

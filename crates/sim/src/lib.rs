@@ -66,7 +66,9 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod program;
+pub mod slab;
 
 pub use config::{CcProtocol, DeadlockMode, FaultPlan, SimConfig, SimConfigError, VictimPolicy};
 pub use engine::Sim;
 pub use metrics::{NodeReport, SimReport, TypeReport};
+pub use slab::{TxId, TxSlab};

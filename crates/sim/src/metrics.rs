@@ -114,6 +114,10 @@ pub struct SimReport {
     /// the run. Bounded for any valid fault plan — an unbounded value
     /// would mean a transaction hung forever.
     pub oldest_inflight_ms: f64,
+    /// Events processed by the simulation loop (including warm-up) — the
+    /// work metric behind the `events/sec` throughput figure in
+    /// `BENCH_sim.json`.
+    pub events: u64,
     /// Records covered by the end-of-run commit audit.
     pub audited_records: u64,
     /// Audit failures: records whose stored bytes are NOT the last

@@ -14,7 +14,11 @@ use carat_workload::{SystemParams, TxType};
 use rand::Rng;
 
 /// One micro-operation of a transaction program.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy`: the engine dispatches ops by value (16 bytes) so advancing a
+/// transaction never clones heap data or fights the borrow of the
+/// transaction store.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
     /// Consume `ms` of CPU at `site`.
     UseCpu {
@@ -125,6 +129,27 @@ impl Plan {
         ty: TxType,
         n_requests: u32,
     ) -> Plan {
+        let mut plan = Plan {
+            requests: Vec::new(),
+        };
+        Plan::sample_into(rng, params, home, ty, n_requests, &mut plan);
+        plan
+    }
+
+    /// Allocation-free [`sample`](Plan::sample): overwrites `out` in place,
+    /// recycling its request vectors. The engine resamples a plan on every
+    /// submission and restart, so this runs millions of times per sweep.
+    ///
+    /// Draws random numbers in exactly the same order as `sample`, so the
+    /// sampled plan is identical for the same RNG state.
+    pub fn sample_into<R: Rng>(
+        rng: &mut R,
+        params: &SystemParams,
+        home: usize,
+        ty: TxType,
+        n_requests: u32,
+        out: &mut Plan,
+    ) {
         let sites = params.sites();
         let (l, r) = if ty.is_distributed() {
             params.split_requests(n_requests)
@@ -132,22 +157,16 @@ impl Plan {
             (n_requests, 0)
         };
         let _ = l;
-        // Interleave: Bresenham-spread the r remote requests among the n
-        // slots (true = remote).
-        let mut kinds: Vec<bool> = Vec::with_capacity(n_requests as usize);
-        let mut err: i64 = 0;
-        for _ in 0..n_requests {
-            err += r as i64;
-            if err >= n_requests as i64 {
-                err -= n_requests as i64;
-                kinds.push(true);
-            } else {
-                kinds.push(false);
-            }
+        let n = n_requests as usize;
+        out.requests.truncate(n);
+        for (_, records) in &mut out.requests {
+            records.clear();
         }
-        debug_assert_eq!(kinds.iter().filter(|&&k| k).count(), r as usize);
+        while out.requests.len() < n {
+            out.requests
+                .push((0, Vec::with_capacity(params.records_per_request as usize)));
+        }
 
-        let mut remote_rr = 0usize;
         let n_records = params.records_per_site();
         let pick_record = |rng: &mut R| -> RecordId {
             use carat_workload::AccessPattern;
@@ -167,27 +186,34 @@ impl Plan {
             };
             RecordId::from_flat(flat)
         };
-        let requests = kinds
-            .into_iter()
-            .map(|remote| {
-                let site = if remote {
-                    // Round-robin over the other sites.
-                    let mut s = remote_rr % (sites - 1);
-                    if s >= home {
-                        s += 1;
-                    }
-                    remote_rr += 1;
-                    s
-                } else {
-                    home
-                };
-                let records = (0..params.records_per_request)
-                    .map(|_| pick_record(rng))
-                    .collect();
-                (site, records)
-            })
-            .collect();
-        Plan { requests }
+
+        // Interleave: Bresenham-spread the r remote requests among the n
+        // slots; remote requests round-robin over the other sites (paper
+        // §2: requests are the unit of distribution).
+        let mut err: i64 = 0;
+        let mut remote_rr = 0usize;
+        for slot in &mut out.requests {
+            err += r as i64;
+            let remote = err >= n_requests as i64;
+            slot.0 = if remote {
+                err -= n_requests as i64;
+                let mut s = remote_rr % (sites - 1);
+                if s >= home {
+                    s += 1;
+                }
+                remote_rr += 1;
+                s
+            } else {
+                home
+            };
+            for _ in 0..params.records_per_request {
+                slot.1.push(pick_record(rng));
+            }
+        }
+        debug_assert_eq!(
+            out.requests.iter().filter(|(s, _)| *s != home).count(),
+            r as usize
+        );
     }
 
     /// Total records accessed.
@@ -237,6 +263,27 @@ pub enum Seg {
 }
 
 impl Seg {
+    /// All segments, in declaration (= `Ord`) order — also the dense-index
+    /// order of the simulator's phase accumulator.
+    pub const ALL: [Seg; 16] = [
+        Seg::Init,
+        Seg::User,
+        Seg::Tm,
+        Seg::TmWait,
+        Seg::Dm,
+        Seg::DmWait,
+        Seg::Lr,
+        Seg::Dmio,
+        Seg::Lw,
+        Seg::Rw,
+        Seg::Tc,
+        Seg::Tcio,
+        Seg::Cw,
+        Seg::Ta,
+        Seg::Taio,
+        Seg::Ul,
+    ];
+
     /// Display label (matches the paper's phase names).
     pub fn label(self) -> &'static str {
         match self {
@@ -261,7 +308,7 @@ impl Seg {
 }
 
 /// A compiled transaction program: micro-ops plus their phase tags.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Program {
     /// The micro-operations, executed in order.
     pub ops: Vec<Op>,
@@ -276,6 +323,12 @@ impl Program {
             ops: Vec::with_capacity(cap),
             segs: Vec::with_capacity(cap),
         }
+    }
+
+    /// Drops every op, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.segs.clear();
     }
 
     /// Appends an op with its phase tag.
@@ -295,18 +348,43 @@ impl Program {
     }
 }
 
+/// Reusable working storage for [`compile_into`], so recompiling a
+/// program on every submission allocates nothing in the steady state.
+#[derive(Debug, Default)]
+pub struct CompileScratch {
+    touched: std::collections::HashSet<(usize, u32)>,
+    slave_sites: Vec<usize>,
+}
+
 /// Compiles a submission's plan into its micro-operation program.
 ///
 /// The op sequence mirrors the CARAT message structure (paper §2, Figure 1)
 /// and charges exactly the Table 2 costs the analytical model uses — see
 /// `carat-workload::params` for the shared constants.
 pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> Program {
+    let mut prog = Program::with_capacity(16 + plan.requests.len() * 24);
+    let mut scratch = CompileScratch::default();
+    compile_into(params, home, ty, plan, &mut prog, &mut scratch);
+    prog
+}
+
+/// Allocation-free [`compile`]: overwrites `prog` in place, reusing its op
+/// vectors and the caller's scratch.
+pub fn compile_into(
+    params: &SystemParams,
+    home: usize,
+    ty: TxType,
+    plan: &Plan,
+    prog: &mut Program,
+    scratch: &mut CompileScratch,
+) {
     let b = &params.basic;
     let chain = ty.coordinator_chain();
     let slave_chain = ty.slave_chain();
     let alpha = params.comm_delay_ms;
     let update = ty.is_update();
-    let mut prog = Program::with_capacity(16 + plan.requests.len() * 24);
+    prog.ops.clear();
+    prog.segs.clear();
 
     // INIT phase: TBEGIN and DBOPEN processed by the home TM.
     for _ in 0..b.init_tm_msgs as usize {
@@ -324,7 +402,8 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
     // Track first-touch blocks per site: lock + I/O happen once per
     // distinct granule (the DM keeps the current block in working storage;
     // the paper's q(t) counts distinct granules).
-    let mut touched: std::collections::HashSet<(usize, u32)> = Default::default();
+    let touched = &mut scratch.touched;
+    touched.clear();
 
     for (site, records) in &plan.requests {
         let site = *site;
@@ -462,7 +541,8 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
     }
 
     // Commit (TEND). Slave sites actually visited:
-    let mut slave_sites: Vec<usize> = Vec::new();
+    let slave_sites = &mut scratch.slave_sites;
+    slave_sites.clear();
     for (s, _) in &plan.requests {
         if *s != home && !slave_sites.contains(s) {
             slave_sites.push(*s);
@@ -505,7 +585,7 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
             Seg::Tc,
         );
         prog.push(Op::ReleaseTm { site: home }, Seg::Tc);
-        for &s in &slave_sites {
+        for &s in slave_sites.iter() {
             prog.push(Op::Net { ms: alpha, to: s }, Seg::Cw);
             prog.push(Op::AcquireTm { site: s }, Seg::Tc);
             prog.push(
@@ -559,7 +639,7 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
             );
         }
         prog.push(Op::ReleaseTm { site: home }, Seg::Tc);
-        for &s in &slave_sites {
+        for &s in slave_sites.iter() {
             prog.push(Op::Net { ms: alpha, to: s }, Seg::Cw);
             prog.push(Op::AcquireTm { site: s }, Seg::Tc);
             prog.push(
@@ -607,13 +687,23 @@ pub fn compile(params: &SystemParams, home: usize, ty: TxType, plan: &Plan) -> P
     }
     prog.push(Op::CommitSite { site: home }, Seg::Ul);
     prog.push(Op::End, Seg::Ul);
-    prog
 }
 
 /// Number of distinct `(site, block)` granules an update plan journals at
 /// `site` — the rollback I/O count for aborts.
 pub fn distinct_blocks_at(plan: &Plan, site: usize) -> u32 {
     let mut set = std::collections::HashSet::new();
+    distinct_blocks_at_with(plan, site, &mut set)
+}
+
+/// Scratch-buffer variant of [`distinct_blocks_at`] for the engine's abort
+/// path (`set` is cleared first).
+pub fn distinct_blocks_at_with(
+    plan: &Plan,
+    site: usize,
+    set: &mut std::collections::HashSet<u32>,
+) -> u32 {
+    set.clear();
     for (s, records) in &plan.requests {
         if *s == site {
             for r in records {

@@ -1,0 +1,231 @@
+//! Generational slab for in-flight transactions.
+//!
+//! The event loop addresses transactions by [`TxId`] — a dense index plus
+//! a generation — instead of hashing a `u64` gid on every event. Lookups
+//! are an array index and a generation compare; freed slots are recycled,
+//! so a long run touches a working set proportional to the number of
+//! *concurrent* transactions (tens), not the number ever created
+//! (millions).
+//!
+//! The generation makes recycled slots safe: events scheduled for a
+//! transaction that has since committed/aborted carry a stale generation
+//! and miss, exactly like the old `HashMap::get(gid) == None` path. A
+//! stale id can never resurrect the new occupant of its slot.
+
+/// Handle to a slab slot: `(idx, gen)`.
+///
+/// Generations start at 1, so the packed [`token`](TxId::token) of a live
+/// transaction is never 0 — the simulator reserves token 0 for background
+/// (non-transactional) jobs on its FCFS servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId {
+    idx: u32,
+    gen: u32,
+}
+
+impl TxId {
+    /// Packs the id into one `u64` for APIs keyed by a scalar token
+    /// (lock manager, FCFS job tags, network messages).
+    #[inline]
+    pub fn token(self) -> u64 {
+        (self.gen as u64) << 32 | self.idx as u64
+    }
+
+    /// Inverse of [`token`](TxId::token).
+    #[inline]
+    pub fn from_token(t: u64) -> TxId {
+        TxId {
+            idx: t as u32,
+            gen: (t >> 32) as u32,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A generational slab. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct TxSlab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> TxSlab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        TxSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `val`, recycling a freed slot when one exists.
+    pub fn insert(&mut self, val: T) -> TxId {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.val.is_none());
+            slot.val = Some(val);
+            TxId { idx, gen: slot.gen }
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab capacity");
+            self.slots.push(Slot {
+                gen: 1,
+                val: Some(val),
+            });
+            TxId { idx, gen: 1 }
+        }
+    }
+
+    /// Removes and returns the entry, or `None` when `id` is stale (its
+    /// slot was freed, and possibly reoccupied, since `id` was issued).
+    /// Freeing bumps the slot's generation, invalidating every
+    /// outstanding copy of `id` at once.
+    pub fn remove(&mut self, id: TxId) -> Option<T> {
+        let slot = self.slots.get_mut(id.idx as usize)?;
+        if slot.gen != id.gen {
+            return None;
+        }
+        let val = slot.val.take()?;
+        slot.gen += 1;
+        self.free.push(id.idx);
+        self.len -= 1;
+        Some(val)
+    }
+
+    /// Shared access, `None` when stale.
+    #[inline]
+    pub fn get(&self, id: TxId) -> Option<&T> {
+        let slot = self.slots.get(id.idx as usize)?;
+        if slot.gen != id.gen {
+            return None;
+        }
+        slot.val.as_ref()
+    }
+
+    /// Mutable access, `None` when stale.
+    #[inline]
+    pub fn get_mut(&mut self, id: TxId) -> Option<&mut T> {
+        let slot = self.slots.get_mut(id.idx as usize)?;
+        if slot.gen != id.gen {
+            return None;
+        }
+        slot.val.as_mut()
+    }
+
+    /// True when `id` refers to a live entry.
+    #[inline]
+    pub fn contains(&self, id: TxId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Live entries in slot-index order — a deterministic order, unlike a
+    /// hash map's.
+    pub fn iter(&self) -> impl Iterator<Item = (TxId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.val.as_ref().map(|v| {
+                (
+                    TxId {
+                        idx: i as u32,
+                        gen: s.gen,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Mutable [`iter`](Self::iter).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (TxId, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| {
+            let gen = s.gen;
+            s.val.as_mut().map(|v| (TxId { idx: i as u32, gen }, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = TxSlab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stale_id_never_resurrects_slot_reuse() {
+        // The regression the generation exists for: a transaction aborts
+        // (slot freed), a new transaction lands in the same slot, and a
+        // leftover event for the old one fires. The stale id must miss —
+        // get/get_mut/remove/contains all — and must not disturb the new
+        // occupant.
+        let mut s = TxSlab::new();
+        let old = s.insert(1u64);
+        assert_eq!(s.remove(old), Some(1));
+        let new = s.insert(2u64);
+        assert_eq!(new.idx, old.idx, "slot must be recycled for this test");
+        assert_ne!(new.gen, old.gen);
+        assert_ne!(new.token(), old.token());
+        assert!(!s.contains(old));
+        assert_eq!(s.get(old), None);
+        assert_eq!(s.get_mut(old), None);
+        assert_eq!(s.remove(old), None, "double-remove via stale id");
+        assert_eq!(s.get(new), Some(&2), "new occupant untouched");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tokens_are_nonzero_and_roundtrip() {
+        let mut s = TxSlab::new();
+        for i in 0..100u32 {
+            let id = s.insert(i);
+            assert_ne!(
+                id.token(),
+                0,
+                "live token 0 would collide with background jobs"
+            );
+            assert_eq!(TxId::from_token(id.token()), id);
+            if i % 3 == 0 {
+                s.remove(id);
+            }
+        }
+    }
+
+    #[test]
+    fn iter_is_in_slot_order_and_live_only() {
+        let mut s = TxSlab::new();
+        let a = s.insert(10);
+        let b = s.insert(20);
+        let c = s.insert(30);
+        s.remove(b);
+        let seen: Vec<i32> = s.iter().map(|(_, &v)| v).collect();
+        assert_eq!(seen, vec![10, 30]);
+        let ids: Vec<TxId> = s.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, c]);
+    }
+}

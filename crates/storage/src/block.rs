@@ -39,9 +39,14 @@ impl RecordId {
 }
 
 /// One 512-byte disk block.
+///
+/// The bytes are stored inline (not boxed): a volume's `Vec<Block>` is one
+/// contiguous allocation, so creating a database is a single memset and
+/// block access never chases a pointer. Where a block must live behind an
+/// indirection (journal payloads), the owner boxes it explicitly.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Block {
-    data: Box<[u8; BLOCK_SIZE]>,
+    data: [u8; BLOCK_SIZE],
 }
 
 impl std::fmt::Debug for Block {
@@ -60,7 +65,7 @@ impl Block {
     /// An all-zero block.
     pub fn zeroed() -> Self {
         Block {
-            data: Box::new([0u8; BLOCK_SIZE]),
+            data: [0u8; BLOCK_SIZE],
         }
     }
 

@@ -1,6 +1,8 @@
 //! The transactional database: page store + journal + rollback + recovery.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
+use carat_des::{FastMap, FastSet};
 
 use crate::block::{Block, RecordId};
 use crate::journal::{Journal, LogPayload, LogRecord};
@@ -79,7 +81,7 @@ impl std::error::Error for DbError {}
 struct TxState {
     /// Blocks this transaction has journaled (write-ahead done once per
     /// block per transaction).
-    journaled: HashSet<u32>,
+    journaled: FastSet<u32>,
     /// Before-images in journaling order, for in-memory rollback.
     undo: Vec<(u32, Block)>,
     /// Entered the 2PC prepared state (prepare record forced); such a
@@ -102,7 +104,10 @@ struct TxState {
 pub struct Database {
     store: PageStore,
     journal: Journal,
-    active: HashMap<TxId, TxState>,
+    active: FastMap<TxId, TxState>,
+    /// Retired [`TxState`]s, recycled across transactions so `begin` does
+    /// not re-allocate the journaled-set / undo-list capacity every time.
+    spare_states: Vec<TxState>,
 }
 
 impl Database {
@@ -111,20 +116,24 @@ impl Database {
         Database {
             store: PageStore::new(n_blocks),
             journal: Journal::new(),
-            active: HashMap::new(),
+            active: FastMap::default(),
+            spare_states: Vec::new(),
         }
     }
 
     /// Fills every record with a deterministic tag of its own address
     /// (handy for integrity checks after recovery).
     pub fn load_default(&mut self) {
+        use std::fmt::Write as _;
+        let mut tag = String::with_capacity(24);
         for b in 0..self.store.n_blocks() {
-            let mut blk = Block::zeroed();
+            let blk = self.store.modify(b);
             for s in 0..crate::block::RECORDS_PER_BLOCK as u8 {
                 let flat = RecordId { block: b, slot: s }.to_flat();
-                blk.set_record(s, format!("rec{flat}").as_bytes());
+                tag.clear();
+                write!(tag, "rec{flat}").expect("write to String");
+                blk.set_record(s, tag.as_bytes());
             }
-            self.store.write(b, blk);
         }
         self.store.reset_io();
     }
@@ -139,8 +148,18 @@ impl Database {
         if self.active.contains_key(&tx) {
             return Err(DbError::TxAlreadyActive(tx));
         }
-        self.active.insert(tx, TxState::default());
+        let state = self.spare_states.pop().unwrap_or_default();
+        debug_assert!(state.journaled.is_empty() && state.undo.is_empty() && !state.prepared);
+        self.active.insert(tx, state);
         Ok(())
+    }
+
+    /// Returns a finished transaction's state to the recycling pool.
+    fn retire_state(&mut self, mut state: TxState) {
+        state.journaled.clear();
+        state.undo.clear();
+        state.prepared = false;
+        self.spare_states.push(state);
     }
 
     /// True if `tx` is active.
@@ -161,18 +180,24 @@ impl Database {
     /// Reads one record on behalf of `tx`. Costs one database read
     /// (buffer-less engine — paper assumption §3).
     pub fn read_record(&mut self, tx: TxId, rid: RecordId) -> Result<(Vec<u8>, IoCounts), DbError> {
+        let io = self.touch_record(tx, rid)?;
+        Ok((self.store.peek(rid.block).record(rid.slot).to_vec(), io))
+    }
+
+    /// [`read_record`](Self::read_record) without materialising the payload:
+    /// the same access check and the same one-read I/O charge, no copies.
+    /// The simulator's read path uses this — it charges disk time for the
+    /// access but never looks at the bytes.
+    pub fn touch_record(&mut self, tx: TxId, rid: RecordId) -> Result<IoCounts, DbError> {
         if !self.active.contains_key(&tx) {
             return Err(DbError::UnknownTx(tx));
         }
         self.check_addr(rid)?;
-        let block = self.store.read(rid.block);
-        Ok((
-            block.record(rid.slot).to_vec(),
-            IoCounts {
-                db_reads: 1,
-                ..IoCounts::default()
-            },
-        ))
+        let _ = self.store.read_ref(rid.block);
+        Ok(IoCounts {
+            db_reads: 1,
+            ..IoCounts::default()
+        })
     }
 
     /// Updates one record on behalf of `tx`: reads the block, journals its
@@ -188,17 +213,9 @@ impl Database {
         let state = self.active.get_mut(&tx).ok_or(DbError::UnknownTx(tx))?;
         let mut io = IoCounts::default();
 
-        let block = self.store.read(rid.block);
-        io.db_reads += 1;
-
         if state.journaled.insert(rid.block) {
-            self.journal.append(&LogRecord {
-                tx,
-                payload: LogPayload::BeforeImage {
-                    block_id: rid.block,
-                    image: Box::new(block.clone()),
-                },
-            });
+            let image = self.store.peek(rid.block);
+            self.journal.append_before_image(tx, rid.block, image);
             // Write-ahead rule: the before-image must be durable *before*
             // the in-place data write below, or a crash could leave an
             // uncommitted page image that recovery cannot undo. This force
@@ -206,21 +223,24 @@ impl Database {
             // the paper counts as one of the three update I/Os (the
             // `journal_writes` charge); only its durability is made
             // explicit here.
+            state.undo.push((rid.block, image.clone()));
             self.journal.force();
-            state.undo.push((rid.block, block.clone()));
             io.journal_writes += 1;
         }
 
-        let mut block = block;
+        // One read + one write I/O, mutating the block in place (the copy
+        // the old read-modify-write pair made served no purpose).
+        let block = self.store.modify(rid.block);
         block.set_record(rid.slot, payload);
-        self.store.write(rid.block, block);
+        io.db_reads += 1;
         io.db_writes += 1;
         Ok(io)
     }
 
     /// Commits `tx`: force-writes a commit record and forgets the undo set.
     pub fn commit(&mut self, tx: TxId) -> Result<IoCounts, DbError> {
-        self.active.remove(&tx).ok_or(DbError::UnknownTx(tx))?;
+        let state = self.active.remove(&tx).ok_or(DbError::UnknownTx(tx))?;
+        self.retire_state(state);
         self.journal.append_forced(&LogRecord {
             tx,
             payload: LogPayload::Commit,
@@ -276,13 +296,14 @@ impl Database {
     /// committed writes to the same blocks. (Found by the recovery property
     /// test; the same reasoning is why ARIES writes CLRs.)
     pub fn rollback(&mut self, tx: TxId) -> Result<IoCounts, DbError> {
-        let state = self.active.remove(&tx).ok_or(DbError::UnknownTx(tx))?;
+        let mut state = self.active.remove(&tx).ok_or(DbError::UnknownTx(tx))?;
         let mut io = IoCounts::default();
         let had_images = !state.undo.is_empty();
-        for (block_id, image) in state.undo.into_iter().rev() {
+        for (block_id, image) in state.undo.drain(..).rev() {
             self.store.write(block_id, image);
             io.db_writes += 1;
         }
+        self.retire_state(state);
         let rec = LogRecord {
             tx,
             payload: LogPayload::Abort,

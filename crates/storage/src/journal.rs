@@ -52,8 +52,7 @@ pub struct LogRecord {
 }
 
 impl LogRecord {
-    fn encode(&self, out: &mut Vec<u8>) {
-        let mut body = Vec::with_capacity(16 + BLOCK_SIZE);
+    fn encode_body(&self, body: &mut Vec<u8>) {
         body.extend_from_slice(&self.tx.to_le_bytes());
         match &self.payload {
             LogPayload::BeforeImage { block_id, image } => {
@@ -65,11 +64,6 @@ impl LogRecord {
             LogPayload::Commit => body.push(2),
             LogPayload::Abort => body.push(3),
         }
-        out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        let crc = crc32(&body);
-        out.extend_from_slice(&body);
-        out.extend_from_slice(&crc.to_le_bytes());
     }
 
     /// Decodes one frame starting at `buf[offset..]`. Returns the record and
@@ -124,6 +118,8 @@ pub struct Journal {
     forced_len: usize,
     appends: u64,
     forces: u64,
+    /// Reused frame-body buffer, so appends allocate nothing once warm.
+    body_scratch: Vec<u8>,
 }
 
 impl Journal {
@@ -132,10 +128,38 @@ impl Journal {
         Self::default()
     }
 
+    /// Frames `body_scratch` (already filled) into the log.
+    fn frame_body(&mut self) {
+        self.bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        self.bytes
+            .extend_from_slice(&(self.body_scratch.len() as u32).to_le_bytes());
+        let crc = crc32(&self.body_scratch);
+        self.bytes.extend_from_slice(&self.body_scratch);
+        self.bytes.extend_from_slice(&crc.to_le_bytes());
+        self.appends += 1;
+    }
+
     /// Appends a record to the journal buffer (not yet durable).
     pub fn append(&mut self, rec: &LogRecord) {
-        rec.encode(&mut self.bytes);
-        self.appends += 1;
+        let mut body = std::mem::take(&mut self.body_scratch);
+        body.clear();
+        rec.encode_body(&mut body);
+        self.body_scratch = body;
+        self.frame_body();
+    }
+
+    /// Appends a before-image record encoded directly from a borrowed
+    /// block — the hot path of `Database::update_record`, which would
+    /// otherwise clone the block just to build a [`LogRecord`].
+    pub fn append_before_image(&mut self, tx: JournalTxId, block_id: u32, image: &Block) {
+        let mut body = std::mem::take(&mut self.body_scratch);
+        body.clear();
+        body.extend_from_slice(&tx.to_le_bytes());
+        body.push(0);
+        body.extend_from_slice(&block_id.to_le_bytes());
+        body.extend_from_slice(image.bytes().as_slice());
+        self.body_scratch = body;
+        self.frame_body();
     }
 
     /// Forces the journal: everything appended so far becomes durable.

@@ -37,6 +37,23 @@ impl PageStore {
         self.blocks[id as usize].clone()
     }
 
+    /// Reads block `id` without copying it: counts one read I/O, returns a
+    /// reference into the volume. The transaction path uses this when it
+    /// only needs to look at the block, not keep it.
+    pub fn read_ref(&mut self, id: u32) -> &Block {
+        self.reads += 1;
+        &self.blocks[id as usize]
+    }
+
+    /// Read-modify-write of block `id` in place: counts one read and one
+    /// write I/O (the same charge as a [`read`](Self::read) followed by a
+    /// [`write`](Self::write)) without copying the block out and back.
+    pub fn modify(&mut self, id: u32) -> &mut Block {
+        self.reads += 1;
+        self.writes += 1;
+        &mut self.blocks[id as usize]
+    }
+
     /// Peeks at block `id` without counting an I/O (used by assertions and
     /// tests, never by the transaction path).
     pub fn peek(&self, id: u32) -> &Block {
