@@ -17,4 +17,12 @@ echo "== sim determinism gate"
 cargo run --release -p carat-bench --bin exp_bench -- --emit-sim --threads 4 --out "${TMPDIR:-/tmp}/sim_par.json"
 cargo run --release -p carat-bench --bin exp_bench -- --emit-sim --sequential --out "${TMPDIR:-/tmp}/sim_seq.json"
 cmp "${TMPDIR:-/tmp}/sim_par.json" "${TMPDIR:-/tmp}/sim_seq.json"
+echo "== trace neutrality gate"
+# Tracing must not change a single report byte, and two traced runs of one
+# configuration must produce byte-identical trace files (DESIGN.md §10.1).
+cargo run --release -p carat-cli -- sim --workload lb8 --n 8 --measure-s 60 > "${TMPDIR:-/tmp}/report_off.txt"
+cargo run --release -p carat-cli -- sim --workload lb8 --n 8 --measure-s 60 --trace "${TMPDIR:-/tmp}/trace_a.json" > "${TMPDIR:-/tmp}/report_on.txt"
+cmp "${TMPDIR:-/tmp}/report_off.txt" "${TMPDIR:-/tmp}/report_on.txt"
+cargo run --release -p carat-cli -- sim --workload lb8 --n 8 --measure-s 60 --trace "${TMPDIR:-/tmp}/trace_b.json" > /dev/null
+cmp "${TMPDIR:-/tmp}/trace_a.json" "${TMPDIR:-/tmp}/trace_b.json"
 echo "== CI green"

@@ -25,6 +25,7 @@
 use std::time::Instant;
 
 use carat::model::ModelConfig;
+use carat::obs::CounterRegistry;
 use carat::sim::{Sim, SimConfig};
 use carat::workload::StandardWorkload;
 use carat_bench::{
@@ -176,17 +177,19 @@ fn bench_sim(determinism_threads: usize) {
     let (labels, cfgs) = sim_points();
     let mut events = 0u64;
     let mut best_ms = f64::INFINITY;
+    let mut counters = CounterRegistry::new();
     for _ in 0..REPS {
         let t0 = Instant::now();
         let mut ev = 0u64;
+        let mut merged = CounterRegistry::new();
         for cfg in &cfgs {
-            ev += Sim::new(cfg.clone())
-                .expect("valid reference config")
-                .run()
-                .events;
+            let report = Sim::new(cfg.clone()).expect("valid reference config").run();
+            ev += report.events;
+            merged.merge(&report.counters);
         }
         best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
         events = ev;
+        counters = merged;
     }
     let events_per_sec = events as f64 / (best_ms / 1000.0);
     let speedup = events_per_sec / BASELINE_EVENTS_PER_SEC;
@@ -196,11 +199,14 @@ fn bench_sim(determinism_threads: usize) {
          ({speedup:.2}x the {BASELINE_EVENTS_PER_SEC:.2e} events/s baseline)",
         labels.len()
     );
+    // Profiling counters merged across the reference points (`_hwm` names
+    // take the max, everything else sums). Pure simulation state, so the
+    // object is byte-identical run to run and across thread counts.
     let json = format!(
         "{{\n  \"points\": [{}],\n  \"seed\": {SIM_SEED},\n  \"reps\": {REPS},\n  \
          \"events\": {events},\n  \"wall_ms\": {},\n  \"events_per_sec\": {},\n  \
          \"baseline_events_per_sec\": {},\n  \"speedup\": {},\n  \
-         \"determinism_threads\": {determinism_threads}\n}}\n",
+         \"determinism_threads\": {determinism_threads},\n  \"counters\": {}\n}}\n",
         labels
             .iter()
             .map(|l| format!("\"{l}\""))
@@ -210,6 +216,7 @@ fn bench_sim(determinism_threads: usize) {
         json_f64(events_per_sec.round()),
         json_f64(BASELINE_EVENTS_PER_SEC),
         json_f64((speedup * 1000.0).round() / 1000.0),
+        counters.to_json(2),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("\nwrote BENCH_sim.json");

@@ -118,7 +118,7 @@ pub fn sweep_with(wl: StandardWorkload, measure_ms: f64, opts: &SweepOptions) ->
     }
     enum Out {
         Models(Vec<ModelReport>),
-        Sim { n: u32, report: SimReport },
+        Sim { n: u32, report: Box<SimReport> },
     }
 
     let points: Vec<ModelPoint> = N_SWEEP
@@ -137,7 +137,7 @@ pub fn sweep_with(wl: StandardWorkload, measure_ms: f64, opts: &SweepOptions) ->
         Task::Models(pts) => Out::Models(solve_chain(&pts, warm)),
         Task::Sim { n, seed } => Out::Sim {
             n,
-            report: run_sim(wl, n, seed, measure_ms),
+            report: Box::new(run_sim(wl, n, seed, measure_ms)),
         },
     });
 
@@ -146,7 +146,7 @@ pub fn sweep_with(wl: StandardWorkload, measure_ms: f64, opts: &SweepOptions) ->
     for out in outs {
         match out {
             Out::Models(reports) => models = reports,
-            Out::Sim { n, report } => sims_by_n.entry(n).or_default().push(report),
+            Out::Sim { n, report } => sims_by_n.entry(n).or_default().push(*report),
         }
     }
 

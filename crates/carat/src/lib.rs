@@ -16,6 +16,7 @@
 //! | [`storage`] | `carat-storage` | block store with before-image WAL, rollback, crash recovery |
 //! | [`lock`] | `carat-lock` | 2PL lock manager with wait-for-graph deadlock detection |
 //! | [`workload`] | `carat-workload` | LRO/LU/DRO/DU transactions, LB8/MB4/MB8/UB6 workloads, Table 2 parameters |
+//! | [`obs`] | `carat-obs` | deterministic observability: lifecycle tracing, solver iteration logs, profiling counters |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@
 pub use carat_des as des;
 pub use carat_lock as lock;
 pub use carat_model as model;
+pub use carat_obs as obs;
 pub use carat_qnet as qnet;
 pub use carat_sim as sim;
 pub use carat_storage as storage;

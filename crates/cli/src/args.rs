@@ -58,6 +58,16 @@ pub struct RunSpec {
     /// Warm-start each model solve from the previous transaction size's
     /// converged fixed point.
     pub warm_start: bool,
+    /// Write a transaction-lifecycle trace here (simulator, single run
+    /// only). `.jsonl` writes line-delimited events; anything else writes
+    /// Chrome trace-event JSON loadable in Perfetto / `chrome://tracing`.
+    pub trace: Option<String>,
+    /// Trace filter spec (`kind=...;node=...;ty=...`), validated at parse
+    /// time; `None` keeps every event.
+    pub trace_filter: Option<String>,
+    /// Write the solver's per-iteration convergence log here (model only).
+    /// `.csv` writes CSV; anything else writes JSON.
+    pub iter_log: Option<String>,
 }
 
 impl Default for RunSpec {
@@ -80,6 +90,9 @@ impl Default for RunSpec {
             reps: 1,
             threads: 1,
             warm_start: false,
+            trace: None,
+            trace_filter: None,
+            iter_log: None,
         }
     }
 }
@@ -134,6 +147,12 @@ FLAGS:
     --threads <k>                  parallel MVA solves / sim replications (identical results)
     --warm-start                   seed each model solve from the previous n's fixed point
     --sequential                   force single-threaded solving (same as --threads 1)
+    --trace <path>                 write a lifecycle trace (sim, single run):
+                                   .jsonl = line-delimited, else Chrome/Perfetto JSON
+    --trace-filter <spec>          keep only matching events, e.g.
+                                   kind=lock|deadlock;node=0;ty=DU (clauses AND, values OR)
+    --iter-log <path>              write the solver's per-iteration convergence log
+                                   (model; .csv = CSV, else JSON)
 
 EXAMPLES:
     carat-cli compare --workload mb8 --n 4..20
@@ -283,6 +302,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             "--sequential" => spec.threads = 1,
             "--warm-start" => spec.warm_start = true,
+            "--trace" => spec.trace = Some(next(&mut i)?.clone()),
+            "--trace-filter" => {
+                let raw = next(&mut i)?;
+                carat::obs::TraceFilter::parse(raw)?;
+                spec.trace_filter = Some(raw.clone());
+            }
+            "--iter-log" => spec.iter_log = Some(next(&mut i)?.clone()),
             "--cc" => {
                 spec.cc = match next(&mut i)?.to_ascii_lowercase().as_str() {
                     "2pl" => carat::sim::CcProtocol::TwoPhaseLocking,
@@ -294,6 +320,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
+    }
+    if spec.trace_filter.is_some() && spec.trace.is_none() {
+        return Err("--trace-filter requires --trace".into());
+    }
+    if spec.trace.is_some() && spec.reps > 1 {
+        return Err("--trace records a single deterministic run; drop --reps".into());
     }
     match cmd.as_str() {
         "model" => Ok(Command::Model(spec)),
@@ -404,6 +436,29 @@ mod tests {
         assert_eq!(spec.reps, 1);
         assert_eq!(RunSpec::default().reps, 1);
         assert!(parse(&argv("sim --reps many")).is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let Command::Sim(spec) = parse(&argv(
+            "sim --trace /tmp/t.json --trace-filter kind=lock|deadlock;ty=DU",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.trace.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(
+            spec.trace_filter.as_deref(),
+            Some("kind=lock|deadlock;ty=DU")
+        );
+        let Command::Model(spec) = parse(&argv("model --iter-log conv.csv")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.iter_log.as_deref(), Some("conv.csv"));
+        // Bad filter specs are rejected at parse time, not at run time.
+        assert!(parse(&argv("sim --trace t.json --trace-filter kind=banana")).is_err());
+        assert!(parse(&argv("sim --trace-filter kind=lock")).is_err());
+        assert!(parse(&argv("sim --trace t.json --reps 3")).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@ mod args;
 
 use args::{parse, Command, RunSpec, USAGE};
 use carat::model::{Model, ModelConfig, ModelOptions, ModelReport, WarmStart};
+use carat::obs::{IterLog, TraceConfig, TraceFilter, Tracer};
 use carat::sim::{DeadlockMode, Sim, SimConfig, SimReport};
 use carat_bench::{run_replications, ReplicatedReport, SweepOptions};
 
@@ -19,19 +20,43 @@ fn main() {
         Ok(Command::Help) => print!("{USAGE}"),
         Ok(Command::Model(spec)) => {
             let mut warm = Warm::default();
+            let mut log = spec.iter_log.as_ref().map(|_| IterLog::new());
             for &n in &spec.n_values {
-                print_model(n, &run_model(&spec, n, &mut warm));
+                if let Some(log) = log.as_mut() {
+                    log.begin_point(format!("{:?}/n={n}", spec.workload));
+                }
+                print_model(n, &run_model(&spec, n, &mut warm, log.as_mut()));
+            }
+            if let (Some(path), Some(log)) = (&spec.iter_log, &log) {
+                write_iter_log(path, log);
             }
         }
         Ok(Command::Sim(spec)) => {
+            let mut corrupt = false;
             if spec.reps > 1 {
                 for (&n, rep) in spec.n_values.iter().zip(&run_sim_replicated(&spec)) {
                     print_replicated(n, rep);
+                    corrupt |= rep.reports.iter().any(|r| check_integrity(r).is_err());
                 }
             } else {
-                for &n in &spec.n_values {
-                    print_sim(n, &run_sim(&spec, n));
+                if spec.trace.is_some() && spec.n_values.len() > 1 {
+                    eprintln!("error: --trace records one run; give a single --n value");
+                    std::process::exit(2);
                 }
+                for &n in &spec.n_values {
+                    let (report, tracer) = run_sim_traced(&spec, n);
+                    print_sim(n, &report);
+                    if let (Some(path), Some(tracer)) = (&spec.trace, &tracer) {
+                        write_trace(path, tracer);
+                    }
+                    if let Err(why) = check_integrity(&report) {
+                        eprintln!("error: integrity check failed: {why}");
+                        corrupt = true;
+                    }
+                }
+            }
+            if corrupt {
+                std::process::exit(1);
             }
         }
         Ok(Command::Compare(spec)) => {
@@ -44,7 +69,7 @@ fn main() {
             let mut warm = Warm::default();
             for &n in &spec.n_values {
                 let s = run_sim(&spec, n);
-                let m = run_model(&spec, n, &mut warm);
+                let m = run_model(&spec, n, &mut warm, None);
                 for i in 0..s.nodes.len() {
                     println!(
                         "| {:2} | {}    |    {:5.2} |      {:5.2} |    {:4.2} |      {:4.2} |   {:5.1} |     {:5.1} |",
@@ -71,7 +96,7 @@ fn main() {
 #[derive(Default)]
 struct Warm(Option<WarmStart>);
 
-fn run_model(spec: &RunSpec, n: u32, warm: &mut Warm) -> ModelReport {
+fn run_model(spec: &RunSpec, n: u32, warm: &mut Warm, log: Option<&mut IterLog>) -> ModelReport {
     let mut cfg = ModelConfig::new(spec.workload.spec(2), n);
     cfg.params = spec.params();
     let opts = ModelOptions {
@@ -85,7 +110,7 @@ fn run_model(spec: &RunSpec, n: u32, warm: &mut Warm) -> ModelReport {
     } else {
         None
     };
-    let (report, snapshot) = Model::with_options(cfg, opts).solve_warm(seed);
+    let (report, snapshot) = Model::with_options(cfg, opts).solve_logged(seed, log);
     warm.0 = Some(snapshot);
     report
 }
@@ -113,13 +138,80 @@ fn sim_cfg(spec: &RunSpec, n: u32) -> SimConfig {
 }
 
 fn run_sim(spec: &RunSpec, n: u32) -> SimReport {
-    match Sim::new(sim_cfg(spec, n)) {
-        Ok(sim) => sim.run(),
+    run_sim_traced(spec, n).0
+}
+
+/// Runs one simulation, attaching a tracer when `--trace` was given.
+fn run_sim_traced(spec: &RunSpec, n: u32) -> (SimReport, Option<Tracer>) {
+    let mut cfg = sim_cfg(spec, n);
+    if spec.trace.is_some() {
+        let filter = match &spec.trace_filter {
+            // Parse errors are caught in args.rs; this cannot fail here.
+            Some(s) => TraceFilter::parse(s).expect("filter validated at parse time"),
+            None => TraceFilter::all(),
+        };
+        cfg.trace = Some(TraceConfig {
+            filter,
+            ..TraceConfig::default()
+        });
+    }
+    match Sim::new(cfg) {
+        Ok(sim) => sim.run_traced(),
         Err(e) => {
             eprintln!("error: invalid configuration: {e}");
             std::process::exit(2);
         }
     }
+}
+
+/// Satellite integrity gate: a run whose commit audit found corrupted
+/// records — or whose profiling counters are self-contradictory — must
+/// fail the process, not just print a number nobody reads.
+fn check_integrity(r: &SimReport) -> Result<(), String> {
+    if r.audit_violations > 0 {
+        return Err(format!(
+            "{} of {} audited records hold bytes from a non-committed writer",
+            r.audit_violations, r.audited_records
+        ));
+    }
+    let slab_hwm = r.counters.get("slab_hwm");
+    let slots = r.counters.get("slab_slots_hwm");
+    if slab_hwm > slots {
+        return Err(format!(
+            "slab occupancy high-water {slab_hwm} exceeds allocated slots {slots}"
+        ));
+    }
+    Ok(())
+}
+
+fn write_trace(path: &str, tracer: &Tracer) {
+    let body = if path.ends_with(".jsonl") {
+        tracer.to_jsonl()
+    } else {
+        tracer.to_chrome_json()
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: cannot write trace {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "trace: {} events written to {path} ({} dropped by the ring buffer)",
+        tracer.len(),
+        tracer.dropped()
+    );
+}
+
+fn write_iter_log(path: &str, log: &IterLog) {
+    let body = if path.ends_with(".csv") {
+        log.to_csv()
+    } else {
+        log.to_json()
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: cannot write iteration log {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("iter-log: {} rows written to {path}", log.len());
 }
 
 /// `--reps R`: R independent replications per transaction size on the
@@ -235,6 +327,13 @@ fn print_sim(n: u32, r: &SimReport) {
     println!(
         "  audit: {} records checked, {} violations",
         r.audited_records, r.audit_violations
+    );
+    println!(
+        "  profile: {} events | scheduler-heap hwm {} | tx-slab hwm {} of {} slots",
+        r.counters.get("events_total"),
+        r.counters.get("sched_heap_hwm"),
+        r.counters.get("slab_hwm"),
+        r.counters.get("slab_slots_hwm"),
     );
 }
 

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use carat_obs::{IterLog, IterRow};
 use carat_qnet::{CenterKind, MvaScratch, MvaSolution, Network};
 use carat_workload::{ChainType, SystemParams, TxType, WorkloadSpec};
 
@@ -210,6 +211,20 @@ impl Model {
     /// records whether the seed was actually used (an incompatible or
     /// absent seed falls back to the cold start).
     pub fn solve_warm(&self, warm: Option<&WarmStart>) -> (ModelReport, WarmStart) {
+        self.solve_logged(warm, None)
+    }
+
+    /// Like [`Model::solve_warm`], but additionally appends one [`IterRow`]
+    /// per chain per fixed-point iteration to `log`: the undamped residual
+    /// and the post-damping `Pb`, `Pd`, `L_h`, `R_LW`, `R_RW`, `R_CW` —
+    /// the trajectory of Eqs. 11–24. The last logged iteration number and
+    /// residual equal the returned `ConvergenceInfo` exactly. Passing
+    /// `None` is free: the iteration loop does no logging work at all.
+    pub fn solve_logged(
+        &self,
+        warm: Option<&WarmStart>,
+        mut log: Option<&mut IterLog>,
+    ) -> (ModelReport, WarmStart) {
         let params = &self.cfg.params;
         let ctxs = chain_contexts(params, &self.cfg.workload, self.cfg.n_requests);
         let keys: Vec<(usize, ChainType)> = ctxs.iter().map(|c| (c.site, c.chain)).collect();
@@ -583,6 +598,28 @@ impl Model {
                 upd(&mut s.pra, new_pra[k]);
             }
             residual = delta;
+            if let Some(log) = log.as_deref_mut() {
+                // Post-damping state: what the next iteration starts from
+                // (and, on the final iteration, exactly the converged state
+                // the report is packaged from). `l_h` is this iteration's
+                // contention-section value; the residual column repeats the
+                // iteration-wide undamped max-norm step.
+                for (k, ctx) in ctxs.iter().enumerate() {
+                    let s = &st[k];
+                    log.push(IterRow {
+                        iter: iterations,
+                        site: ctx.site,
+                        chain: ctx.chain.label().to_string(),
+                        residual: delta,
+                        pb: s.pb,
+                        pd: s.pd,
+                        l_h: s.l_h,
+                        r_lw: s.r_lw,
+                        r_rw: s.r_rw,
+                        r_cw: s.r_cwc,
+                    });
+                }
+            }
             if delta < self.opts.tol {
                 converged = true;
                 break;

@@ -2,6 +2,7 @@
 //! its inputs the way queueing theory demands.
 
 use carat_model::{Model, ModelConfig, ModelOptions, ModelReport};
+use carat_obs::IterLog;
 use carat_workload::{NodeParams, StandardWorkload, SystemParams, TxType, WorkloadSpec};
 
 /// Bitwise equality of everything a report feeds into output.
@@ -94,6 +95,35 @@ fn warm_start_converges_faster_to_the_same_fixed_point() {
             w.tx_per_s
         );
     }
+}
+
+#[test]
+fn iter_log_final_row_matches_convergence_info_exactly() {
+    let model = || Model::new(ModelConfig::new(StandardWorkload::Mb8.spec(2), 12));
+    let mut log = IterLog::new();
+    log.begin_point("MB8/N=12");
+    let (logged, _) = model().solve_logged(None, Some(&mut log));
+    assert!(logged.convergence.converged);
+    // One row per chain context per iteration, and the last row carries
+    // exactly the iteration count and residual the report advertises.
+    let rows = &log.points()[0].1;
+    assert!(!rows.is_empty());
+    assert_eq!(rows.len() % logged.convergence.iterations, 0);
+    let per_iter = rows.len() / logged.convergence.iterations;
+    assert!(per_iter >= 2, "expected multiple chains per iteration");
+    let last = log.last_row().unwrap();
+    assert_eq!(last.iter, logged.convergence.iterations);
+    assert_eq!(last.residual, logged.convergence.residual);
+    // Iteration numbers are 1..=iterations, contiguous.
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.iter, i / per_iter + 1);
+        assert!(row.pb.is_finite() && row.l_h.is_finite());
+    }
+    // Logging is observation only: the solution is bitwise unchanged.
+    let plain = model().solve();
+    assert_eq!(plain.convergence.iterations, logged.convergence.iterations);
+    assert_eq!(plain.convergence.residual, logged.convergence.residual);
+    assert_reports_identical(&plain, &logged);
 }
 
 #[test]

@@ -54,6 +54,9 @@ pub struct Scheduler<E> {
     heap: Vec<Entry<E>>,
     seq: u64,
     now: Time,
+    /// Most events ever pending at once — the future-event-list working-set
+    /// measure surfaced as the `sched_heap_hwm` profiling counter.
+    high_water: usize,
 }
 
 /// Arity of the heap. Four keeps a node's children within one or two cache
@@ -73,7 +76,13 @@ impl<E> Scheduler<E> {
             heap: Vec::new(),
             seq: 0,
             now: 0.0,
+            high_water: 0,
         }
+    }
+
+    /// Most events ever pending at once over the scheduler's lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Current simulated time: the timestamp of the last popped event.
@@ -115,6 +124,9 @@ impl<E> Scheduler<E> {
             event,
         });
         self.seq += 1;
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
         self.sift_up(self.heap.len() - 1);
     }
 
@@ -244,6 +256,21 @@ mod tests {
     fn scheduling_infinity_panics() {
         let mut s: Scheduler<()> = Scheduler::new();
         s.schedule(f64::INFINITY, ());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.high_water(), 0);
+        for i in 0..5 {
+            s.schedule(i as f64, i);
+        }
+        assert_eq!(s.high_water(), 5);
+        while s.pop().is_some() {}
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.high_water(), 5, "peak survives draining");
+        s.schedule(10.0, 99);
+        assert_eq!(s.high_water(), 5, "below-peak refill does not move it");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the DES kernel.
 
-use carat_des::{Fcfs, Histogram, Scheduler};
+use carat_des::{Fcfs, Histogram, Scheduler, Tally};
 use proptest::prelude::*;
 
 proptest! {
@@ -78,5 +78,65 @@ proptest! {
         // Upper quantiles never exceed ~one bucket beyond the max.
         prop_assert!(h.quantile(0.99) <= max * 1.7 + 2.0);
         prop_assert_eq!(h.count(), obs.len() as u64);
+    }
+
+    /// Pooling partial histograms with `merge` is lossless: for any stream
+    /// and any split point, the merged histogram *is* the histogram of the
+    /// concatenated stream, so every quantile agrees exactly — the property
+    /// the replication harness relies on when pooling per-replication
+    /// response-time distributions.
+    #[test]
+    fn histogram_merge_is_exact_for_any_split(
+        obs in proptest::collection::vec(0.0f64..1e5, 2..400),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let cut = cut.index(obs.len());
+        let mut left = Histogram::for_latency_ms();
+        let mut right = Histogram::for_latency_ms();
+        let mut whole = Histogram::for_latency_ms();
+        for (i, &x) in obs.iter().enumerate() {
+            if i < cut { &mut left } else { &mut right }.record(x);
+            whole.record(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole);
+        for q in [0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            prop_assert_eq!(left.quantile(q), whole.quantile(q));
+        }
+        // Bucket resolution: the pooled median sits within one geometric
+        // bucket (growth 1.6) of the exact order statistic.
+        let mut sorted = obs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = sorted[(0.5 * obs.len() as f64).ceil() as usize - 1];
+        prop_assert!(left.quantile(0.5) <= exact.max(1.0) * 1.6 + 1.0);
+        prop_assert!(left.quantile(0.5) >= exact / 1.6 - 1.0);
+    }
+
+    /// Chan et al. merging of `Tally` reproduces the concatenated stream's
+    /// count/mean/variance/min/max to floating-point rounding, for any
+    /// stream and any split point (including empty halves).
+    #[test]
+    fn tally_merge_matches_concatenated_stream(
+        obs in proptest::collection::vec(-1e6f64..1e6, 1..400),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let cut = cut.index(obs.len() + 1);
+        let mut left = Tally::new();
+        let mut right = Tally::new();
+        let mut whole = Tally::new();
+        for (i, &x) in obs.iter().enumerate() {
+            if i < cut { &mut left } else { &mut right }.record(x);
+            whole.record(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+        let scale = whole.mean().abs().max(1.0);
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-9 * scale,
+            "mean {} vs {}", left.mean(), whole.mean());
+        let vscale = whole.variance().max(1.0);
+        prop_assert!((left.variance() - whole.variance()).abs() <= 1e-6 * vscale,
+            "variance {} vs {}", left.variance(), whole.variance());
     }
 }

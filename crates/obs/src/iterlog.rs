@@ -1,0 +1,217 @@
+//! The solver iteration log: one row per chain per fixed-point iteration
+//! of the contention loop (Eqs. 11–24), capturing the undamped residual
+//! and the post-damping chain state — blocking probability `Pb`, deadlock
+//! probability `Pd`, average locks held `L_h`, and the contention
+//! residence times `R_LW`, `R_RW`, `R_CW`.
+//!
+//! The log is organised as named *points* (one per solved configuration,
+//! so a warm-started sweep logs every point into one file) and exports as
+//! CSV or as canonical JSON. The final row of a point carries the same
+//! iteration count and residual the solver returns in `ConvergenceInfo`.
+
+/// One chain's state after one fixed-point iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterRow {
+    /// Iteration number, starting at 1.
+    pub iter: usize,
+    /// Site index of the chain's home node.
+    pub site: usize,
+    /// Chain label (e.g. `LU`, `DU-coord`).
+    pub chain: String,
+    /// Undamped max-norm residual of this iteration (the convergence
+    /// measure; the final row's value is `ConvergenceInfo::residual`).
+    pub residual: f64,
+    /// Blocking probability per lock request, after damping.
+    pub pb: f64,
+    /// Deadlock probability per lock request, after damping.
+    pub pd: f64,
+    /// Average locks held by a competing transaction.
+    pub l_h: f64,
+    /// Mean local lock-wait residence (ms).
+    pub r_lw: f64,
+    /// Mean remote lock-wait residence (ms).
+    pub r_rw: f64,
+    /// Mean commit-wait residence (ms).
+    pub r_cw: f64,
+}
+
+/// An iteration log: rows grouped under named points.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IterLog {
+    points: Vec<(String, Vec<IterRow>)>,
+}
+
+impl IterLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new point; subsequent [`push`](Self::push) calls land in
+    /// it. Solving without an explicit point logs under `""`.
+    pub fn begin_point(&mut self, name: impl Into<String>) {
+        self.points.push((name.into(), Vec::new()));
+    }
+
+    /// Appends a row to the current point.
+    pub fn push(&mut self, row: IterRow) {
+        if self.points.is_empty() {
+            self.points.push((String::new(), Vec::new()));
+        }
+        self.points.last_mut().unwrap().1.push(row);
+    }
+
+    /// The logged points, in insertion order.
+    pub fn points(&self) -> &[(String, Vec<IterRow>)] {
+        &self.points
+    }
+
+    /// Total row count across points.
+    pub fn len(&self) -> usize {
+        self.points.iter().map(|(_, rows)| rows.len()).sum()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The last row of the last non-empty point (the converged state).
+    pub fn last_row(&self) -> Option<&IterRow> {
+        self.points.iter().rev().find_map(|(_, rows)| rows.last())
+    }
+
+    /// Renders the log as CSV: a header line, then one row per record
+    /// with the owning point in the first column.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("point,iter,site,chain,residual,pb,pd,l_h,r_lw_ms,r_rw_ms,r_cw_ms\n");
+        for (point, rows) in &self.points {
+            for r in rows {
+                out.push_str(&format!(
+                    "{point},{},{},{},{},{},{},{},{},{},{}\n",
+                    r.iter,
+                    r.site,
+                    r.chain,
+                    crate::fmt_f64(r.residual),
+                    crate::fmt_f64(r.pb),
+                    crate::fmt_f64(r.pd),
+                    crate::fmt_f64(r.l_h),
+                    crate::fmt_f64(r.r_lw),
+                    crate::fmt_f64(r.r_rw),
+                    crate::fmt_f64(r.r_cw),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the log as canonical JSON: an array of points, each with
+    /// its name and row array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"points\": [\n");
+        let mut first_point = true;
+        for (point, rows) in &self.points {
+            if !first_point {
+                out.push_str(",\n");
+            }
+            first_point = false;
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"rows\": [\n",
+                crate::json_escape(point)
+            ));
+            let mut first_row = true;
+            for r in rows {
+                if !first_row {
+                    out.push_str(",\n");
+                }
+                first_row = false;
+                out.push_str(&format!(
+                    "    {{\"iter\": {}, \"site\": {}, \"chain\": \"{}\", \
+                     \"residual\": {}, \"pb\": {}, \"pd\": {}, \"l_h\": {}, \
+                     \"r_lw_ms\": {}, \"r_rw_ms\": {}, \"r_cw_ms\": {}}}",
+                    r.iter,
+                    r.site,
+                    crate::json_escape(&r.chain),
+                    crate::fmt_f64(r.residual),
+                    crate::fmt_f64(r.pb),
+                    crate::fmt_f64(r.pd),
+                    crate::fmt_f64(r.l_h),
+                    crate::fmt_f64(r.r_lw),
+                    crate::fmt_f64(r.r_rw),
+                    crate::fmt_f64(r.r_cw),
+                ));
+            }
+            out.push_str("\n  ]}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(iter: usize, chain: &str, residual: f64) -> IterRow {
+        IterRow {
+            iter,
+            site: 0,
+            chain: chain.to_string(),
+            residual,
+            pb: 0.01 * iter as f64,
+            pd: 0.001,
+            l_h: 2.5,
+            r_lw: 10.0,
+            r_rw: 20.0,
+            r_cw: 5.0,
+        }
+    }
+
+    #[test]
+    fn rows_group_under_points() {
+        let mut log = IterLog::new();
+        log.begin_point("lb8/n=4");
+        log.push(row(1, "LU", 0.5));
+        log.push(row(2, "LU", 0.1));
+        log.begin_point("lb8/n=8");
+        log.push(row(1, "LU", 0.7));
+        assert_eq!(log.points().len(), 2);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.last_row().unwrap().residual, 0.7);
+    }
+
+    #[test]
+    fn push_without_point_opens_anonymous_one() {
+        let mut log = IterLog::new();
+        log.push(row(1, "DU", 0.3));
+        assert_eq!(log.points().len(), 1);
+        assert_eq!(log.points()[0].0, "");
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_row() {
+        let mut log = IterLog::new();
+        log.begin_point("p");
+        log.push(row(1, "LU", 0.5));
+        log.push(row(2, "DU-coord", 0.25));
+        let csv = log.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("point,iter,site,chain,residual"));
+        assert!(lines[1].starts_with("p,1,0,LU,0.5"));
+        assert!(lines[2].contains("DU-coord"));
+    }
+
+    #[test]
+    fn json_is_valid_shape_and_deterministic() {
+        let mut log = IterLog::new();
+        log.begin_point("x");
+        log.push(row(1, "LU", 0.5));
+        let json = log.to_json();
+        assert!(json.starts_with("{\"points\": ["));
+        assert!(json.contains("\"name\": \"x\""));
+        assert!(json.contains("\"residual\": 0.5"));
+        assert_eq!(json, log.to_json());
+    }
+}

@@ -1,0 +1,92 @@
+//! # carat-obs — deterministic observability for the CARAT reproduction
+//!
+//! The paper's whole contribution is *explaining* where a transaction's
+//! time goes — its phase decomposition (Table 1, Eqs. 2–10) and the
+//! fixed-point contention loop (Eqs. 11–24). This crate opens the black
+//! boxes on both sides of that comparison:
+//!
+//! * [`trace`]: a zero-cost-when-disabled event tracer for the simulator.
+//!   The engine records structured transaction-lifecycle events — phase
+//!   residence, lock request/block/grant, deadlock victims and probe hops,
+//!   2PC prepare/decide rounds, crash/recovery, net send/drop/retry — into
+//!   a bounded ring buffer, optionally filtered by event kind, node, and
+//!   transaction type. The buffer exports as Chrome trace-event JSON
+//!   (loadable in Perfetto / `chrome://tracing`, with per-node tracks and
+//!   per-transaction async spans) or as JSONL.
+//! * [`iterlog`]: a solver iteration log recording the residual and the
+//!   per-chain contention state (`Pb`, `Pd`, `L_h`, `R_LW`, `R_RW`,
+//!   `R_CW`) of every fixed-point iteration, exported as CSV or JSON, so
+//!   the convergence and damping behavior of Eqs. 11–24 is debuggable.
+//! * [`counters`]: a profiling-counter registry with canonical
+//!   (sorted-key) deterministic snapshots — events by kind, scheduler-heap
+//!   and transaction-slab high-water marks, per-phase residence totals —
+//!   surfaced in `SimReport` and `BENCH_sim.json`.
+//!
+//! ## Determinism contract
+//!
+//! Everything this crate emits derives exclusively from simulation /
+//! solver state (virtual clock, gids, seeded RNG draws): no wall-clock
+//! timestamps, no hash-map iteration orders, no thread interleavings.
+//! Consequently traced output is byte-identical across repeated runs and
+//! across worker-thread counts, and observation never perturbs results —
+//! with tracing disabled the instrumented hot paths reduce to one branch
+//! and allocate nothing.
+
+pub mod counters;
+pub mod iterlog;
+pub mod trace;
+
+pub use counters::CounterRegistry;
+pub use iterlog::{IterLog, IterRow};
+pub use trace::{TraceConfig, TraceEvent, TraceFilter, TraceKind, Tracer};
+
+/// Shortest-round-trip decimal rendering of a finite `f64`, the canonical
+/// float format of every JSON artifact in this repository (matches
+/// `carat_bench::json_f64`). Non-finite values render as `null` so the
+/// output stays valid JSON.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters)
+/// for the labels embedded in trace and log exports.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_f64_is_shortest_roundtrip() {
+        assert_eq!(fmt_f64(1.0), "1");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        let v = 1.0 / 3.0;
+        assert_eq!(fmt_f64(v).parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -1,0 +1,643 @@
+//! The transaction-lifecycle event tracer: event schema, filter grammar,
+//! bounded ring buffer, and Chrome-trace / JSONL export.
+//!
+//! ## Trace schema
+//!
+//! Every event is a fixed-size [`TraceEvent`]: virtual timestamp (ms),
+//! [`TraceKind`], a static display name, the node it happened at, the
+//! transaction's gid and type, a per-node lane (the transaction's slab
+//! slot, so concurrent transactions render on separate sub-tracks), a
+//! kind-specific detail word, and a duration (phase events only).
+//! Recording one event is a filter check plus a ring-buffer store: no
+//! allocation, no formatting — all rendering happens at export time.
+//!
+//! ## Determinism
+//!
+//! Timestamps are the simulator's virtual clock, ids are gids (submission
+//! order), and the buffer is filled in event-execution order, which the
+//! deterministic scheduler fixes for a given seed. Two traced runs of the
+//! same configuration therefore export byte-identical files.
+
+use carat_workload::TxType;
+
+/// What happened. The kind selects how the event renders in the Chrome
+/// trace (complete slice, async span boundary, or instant) and which
+/// filter category it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceKind {
+    /// A program phase completed: `dur_ms` of residence in the segment
+    /// named by `name` (INIT, DMIO, LW, ...). Category `phase`.
+    Phase,
+    /// A user submitted a transaction (opens its async span). Category
+    /// `tx`.
+    TxSubmit,
+    /// The transaction committed (closes its async span). Category `tx`.
+    TxCommit,
+    /// The execution ended in an abort; the user resubmits after think
+    /// time with a fresh gid. Category `tx`.
+    TxAbort,
+    /// A lock was requested (`a` = block number). Category `lock`.
+    LockRequest,
+    /// The request conflicted and queued. Category `lock`.
+    LockBlock,
+    /// A queued request was granted by a release. Category `lock`.
+    LockGrant,
+    /// The transaction was chosen as a deadlock (or CC-rejection/timeout)
+    /// victim; `name` says which. Category `deadlock`.
+    DeadlockVictim,
+    /// A Chandy–Misra–Haas probe hop (`a` = target gid). Category
+    /// `deadlock`.
+    ProbeHop,
+    /// 2PC prepare executed at a participant. Category `twopc`.
+    TwopcPrepare,
+    /// 2PC decision applied at a participant (`name` = "commit" or
+    /// "abort"). Category `twopc`.
+    TwopcDecide,
+    /// A node crashed (volatile state lost). Category `fault`.
+    Crash,
+    /// A node restarted / an orphaned participant resolved. Category
+    /// `fault`.
+    Recovery,
+    /// A network message was sent (`a` = retransmission attempt).
+    /// Category `net`.
+    NetSend,
+    /// The message was dropped in transit. Category `net`.
+    NetDrop,
+    /// A retransmission timer fired and the send was retried. Category
+    /// `net`.
+    NetRetry,
+}
+
+impl TraceKind {
+    /// All kinds, in declaration order (= bit order of the filter mask).
+    pub const ALL: [TraceKind; 16] = [
+        TraceKind::Phase,
+        TraceKind::TxSubmit,
+        TraceKind::TxCommit,
+        TraceKind::TxAbort,
+        TraceKind::LockRequest,
+        TraceKind::LockBlock,
+        TraceKind::LockGrant,
+        TraceKind::DeadlockVictim,
+        TraceKind::ProbeHop,
+        TraceKind::TwopcPrepare,
+        TraceKind::TwopcDecide,
+        TraceKind::Crash,
+        TraceKind::Recovery,
+        TraceKind::NetSend,
+        TraceKind::NetDrop,
+        TraceKind::NetRetry,
+    ];
+
+    /// Stable snake_case identifier (JSONL `kind` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Phase => "phase",
+            TraceKind::TxSubmit => "tx_submit",
+            TraceKind::TxCommit => "tx_commit",
+            TraceKind::TxAbort => "tx_abort",
+            TraceKind::LockRequest => "lock_request",
+            TraceKind::LockBlock => "lock_block",
+            TraceKind::LockGrant => "lock_grant",
+            TraceKind::DeadlockVictim => "deadlock_victim",
+            TraceKind::ProbeHop => "probe_hop",
+            TraceKind::TwopcPrepare => "twopc_prepare",
+            TraceKind::TwopcDecide => "twopc_decide",
+            TraceKind::Crash => "crash",
+            TraceKind::Recovery => "recovery",
+            TraceKind::NetSend => "net_send",
+            TraceKind::NetDrop => "net_drop",
+            TraceKind::NetRetry => "net_retry",
+        }
+    }
+
+    /// Filter-grammar category this kind belongs to.
+    pub fn category(self) -> &'static str {
+        match self {
+            TraceKind::Phase => "phase",
+            TraceKind::TxSubmit | TraceKind::TxCommit | TraceKind::TxAbort => "tx",
+            TraceKind::LockRequest | TraceKind::LockBlock | TraceKind::LockGrant => "lock",
+            TraceKind::DeadlockVictim | TraceKind::ProbeHop => "deadlock",
+            TraceKind::TwopcPrepare | TraceKind::TwopcDecide => "twopc",
+            TraceKind::Crash | TraceKind::Recovery => "fault",
+            TraceKind::NetSend | TraceKind::NetDrop | TraceKind::NetRetry => "net",
+        }
+    }
+
+    /// Bit of this kind in a filter mask.
+    #[inline]
+    fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// One structured lifecycle event. Fixed-size and `Copy`: the ring buffer
+/// stores values, never heap data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time of the event (ms since simulation start).
+    pub t_ms: f64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Display name: the phase label for [`TraceKind::Phase`], a short
+    /// verb otherwise ("request", "commit", ...).
+    pub name: &'static str,
+    /// Node (site) the event happened at.
+    pub node: u32,
+    /// The transaction's global id (0 for node-scoped events).
+    pub gid: u64,
+    /// The transaction's type.
+    pub ty: TxType,
+    /// Per-node sub-track: the transaction's slab slot, so concurrent
+    /// transactions at one node render on distinct lanes.
+    pub lane: u32,
+    /// Kind-specific detail (lock block, probe target gid, retry
+    /// attempt).
+    pub a: u64,
+    /// Residence duration for [`TraceKind::Phase`] events; 0 otherwise.
+    pub dur_ms: f64,
+}
+
+impl TraceEvent {
+    /// A new event with `lane = 0`, `a = 0`, `dur_ms = 0`; chain
+    /// [`lane`](Self::lane2), [`detail`](Self::detail), and
+    /// [`dur`](Self::dur) to fill the optional fields.
+    pub fn new(
+        t_ms: f64,
+        kind: TraceKind,
+        name: &'static str,
+        node: u32,
+        gid: u64,
+        ty: TxType,
+    ) -> Self {
+        TraceEvent {
+            t_ms,
+            kind,
+            name,
+            node,
+            gid,
+            ty,
+            lane: 0,
+            a: 0,
+            dur_ms: 0.0,
+        }
+    }
+
+    /// Sets the per-node lane (builder style).
+    pub fn lane2(mut self, lane: u32) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// Sets the kind-specific detail word (builder style).
+    pub fn detail(mut self, a: u64) -> Self {
+        self.a = a;
+        self
+    }
+
+    /// Sets the phase duration (builder style).
+    pub fn dur(mut self, dur_ms: f64) -> Self {
+        self.dur_ms = dur_ms;
+        self
+    }
+}
+
+/// Which events the tracer keeps.
+///
+/// ## Filter grammar
+///
+/// A spec is a `;`-separated list of clauses, each `key=v1|v2|...`:
+///
+/// * `kind=` — categories from [`TraceKind::category`]
+///   (`phase|tx|lock|deadlock|twopc|fault|net`) or exact kind labels
+///   (`lock_grant`, ...);
+/// * `node=` — node indices;
+/// * `ty=` — transaction types (`lro|lu|dro|du`).
+///
+/// Clauses AND together; values within a clause OR. The empty spec
+/// accepts everything. Example: `kind=lock|deadlock;node=0;ty=du`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFilter {
+    /// Accepted-kind bitmask (bit order of [`TraceKind::ALL`]).
+    kinds: u16,
+    /// Accepted nodes; `None` = all.
+    nodes: Option<Vec<u32>>,
+    /// Accepted transaction types; `None` = all.
+    types: Option<Vec<TxType>>,
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl TraceFilter {
+    /// Accepts every event.
+    pub fn all() -> Self {
+        TraceFilter {
+            kinds: u16::MAX,
+            nodes: None,
+            types: None,
+        }
+    }
+
+    /// Parses the filter grammar (see the type docs).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut f = TraceFilter::all();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (key, vals) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("filter clause `{clause}` is not key=value"))?;
+            match key.trim() {
+                "kind" => {
+                    let mut mask = 0u16;
+                    for v in vals.split('|') {
+                        let v = v.trim().to_ascii_lowercase();
+                        let mut hit = false;
+                        for k in TraceKind::ALL {
+                            if k.category() == v || k.label() == v {
+                                mask |= k.bit();
+                                hit = true;
+                            }
+                        }
+                        if !hit {
+                            return Err(format!(
+                                "unknown kind `{v}` (phase|tx|lock|deadlock|twopc|fault|net \
+                                 or an exact kind label)"
+                            ));
+                        }
+                    }
+                    f.kinds = mask;
+                }
+                "node" => {
+                    let nodes: Result<Vec<u32>, String> = vals
+                        .split('|')
+                        .map(|v| {
+                            v.trim()
+                                .parse::<u32>()
+                                .map_err(|_| format!("bad node `{v}`"))
+                        })
+                        .collect();
+                    f.nodes = Some(nodes?);
+                }
+                "ty" => {
+                    let types: Result<Vec<TxType>, String> = vals
+                        .split('|')
+                        .map(|v| match v.trim().to_ascii_lowercase().as_str() {
+                            "lro" => Ok(TxType::Lro),
+                            "lu" => Ok(TxType::Lu),
+                            "dro" => Ok(TxType::Dro),
+                            "du" => Ok(TxType::Du),
+                            other => Err(format!("unknown tx type `{other}` (lro|lu|dro|du)")),
+                        })
+                        .collect();
+                    f.types = Some(types?);
+                }
+                other => return Err(format!("unknown filter key `{other}` (kind|node|ty)")),
+            }
+        }
+        Ok(f)
+    }
+
+    /// Whether an event passes the filter.
+    #[inline]
+    pub fn accepts(&self, ev: &TraceEvent) -> bool {
+        if self.kinds & ev.kind.bit() == 0 {
+            return false;
+        }
+        if let Some(nodes) = &self.nodes {
+            if !nodes.contains(&ev.node) {
+                return false;
+            }
+        }
+        if let Some(types) = &self.types {
+            if !types.contains(&ev.ty) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Tracer configuration, carried in `SimConfig`. The default is absent
+/// (no tracer): a config without one runs the exact pre-observability
+/// event loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Which events to keep.
+    pub filter: TraceFilter,
+    /// Ring-buffer capacity in events. When full, the oldest events are
+    /// overwritten (and counted as dropped) — the trace keeps the *tail*
+    /// of the run, which is the steady-state window of interest.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            filter: TraceFilter::all(),
+            capacity: 1 << 20,
+        }
+    }
+}
+
+/// The bounded ring buffer the engine records into.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    filter: TraceFilter,
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    /// Accepted events that were overwritten by later ones.
+    dropped: u64,
+    /// Accepted events total (recorded = min(recorded, capacity) kept).
+    recorded: u64,
+}
+
+impl Tracer {
+    /// A tracer with the given filter and capacity.
+    pub fn new(cfg: TraceConfig) -> Self {
+        Tracer {
+            filter: cfg.filter,
+            buf: Vec::new(),
+            capacity: cfg.capacity.max(1),
+            head: 0,
+            dropped: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Records one event: a filter check plus a ring store. No allocation
+    /// once the buffer has grown to capacity.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if !self.filter.accepts(&ev) {
+            return;
+        }
+        self.recorded += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events accepted by the filter over the run (kept + overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Accepted events lost to ring-buffer wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Kept events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..].iter().chain(&self.buf[..self.head])
+    }
+
+    /// Number of kept events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was kept.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Renders the buffer as Chrome trace-event JSON (the `traceEvents`
+    /// object format), loadable in Perfetto and `chrome://tracing`.
+    ///
+    /// Layout: one *process* per node (pid = node, named `node <i>`), one
+    /// *thread* per transaction slab lane within it, so concurrent
+    /// transactions stack on separate sub-tracks. Phase events render as
+    /// complete slices (`ph:"X"` with start = completion − residence);
+    /// submissions/completions as async span boundaries (`ph:"b"/"e"`,
+    /// id = gid) so each transaction's whole lifetime — including
+    /// cross-node hops — reads as one span; everything else as thread-
+    /// scoped instants. Timestamps are microseconds, as the format
+    /// requires.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 96 + 256);
+        out.push_str("{\"traceEvents\": [\n");
+        let mut nodes: Vec<u32> = self.events().map(|e| e.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut first = true;
+        let mut push = |out: &mut String, line: String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("  ");
+            out.push_str(&line);
+        };
+        for &n in &nodes {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {n}, \
+                     \"args\": {{\"name\": \"node {n}\"}}}}"
+                ),
+            );
+        }
+        for ev in self.events() {
+            let ts = crate::fmt_f64(ev.t_ms * 1000.0);
+            let ty = ev.ty.label();
+            let line = match ev.kind {
+                TraceKind::Phase => {
+                    let start = crate::fmt_f64((ev.t_ms - ev.dur_ms) * 1000.0);
+                    let dur = crate::fmt_f64(ev.dur_ms * 1000.0);
+                    format!(
+                        "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"phase\", \
+                         \"pid\": {}, \"tid\": {}, \"ts\": {start}, \"dur\": {dur}, \
+                         \"args\": {{\"gid\": {}, \"ty\": \"{ty}\"}}}}",
+                        crate::json_escape(ev.name),
+                        ev.node,
+                        ev.lane,
+                        ev.gid,
+                    )
+                }
+                TraceKind::TxSubmit | TraceKind::TxCommit | TraceKind::TxAbort => {
+                    let ph = if ev.kind == TraceKind::TxSubmit {
+                        "b"
+                    } else {
+                        "e"
+                    };
+                    format!(
+                        "{{\"ph\": \"{ph}\", \"name\": \"{ty}\", \"cat\": \"tx\", \
+                         \"id\": {}, \"pid\": {}, \"tid\": {}, \"ts\": {ts}, \
+                         \"args\": {{\"gid\": {}, \"outcome\": \"{}\"}}}}",
+                        ev.gid, ev.node, ev.lane, ev.gid, ev.name,
+                    )
+                }
+                _ => format!(
+                    "{{\"ph\": \"i\", \"s\": \"t\", \"name\": \"{}\", \"cat\": \"{}\", \
+                     \"pid\": {}, \"tid\": {}, \"ts\": {ts}, \
+                     \"args\": {{\"gid\": {}, \"ty\": \"{ty}\", \"a\": {}}}}}",
+                    crate::json_escape(ev.name),
+                    ev.kind.category(),
+                    ev.node,
+                    ev.lane,
+                    ev.gid,
+                    ev.a,
+                ),
+            };
+            push(&mut out, line);
+        }
+        out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+        out
+    }
+
+    /// Renders the buffer as JSONL: one self-describing JSON object per
+    /// event, oldest first — the machine-consumption format.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 128);
+        for ev in self.events() {
+            out.push_str(&format!(
+                "{{\"t_ms\": {}, \"kind\": \"{}\", \"name\": \"{}\", \"node\": {}, \
+                 \"gid\": {}, \"ty\": \"{}\", \"lane\": {}, \"a\": {}, \"dur_ms\": {}}}\n",
+                crate::fmt_f64(ev.t_ms),
+                ev.kind.label(),
+                crate::json_escape(ev.name),
+                ev.node,
+                ev.gid,
+                ev.ty.label(),
+                ev.lane,
+                ev.a,
+                crate::fmt_f64(ev.dur_ms),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, kind: TraceKind, node: u32, gid: u64) -> TraceEvent {
+        TraceEvent::new(t, kind, "x", node, gid, TxType::Lu)
+    }
+
+    #[test]
+    fn filter_grammar_parses_categories_nodes_types() {
+        let f = TraceFilter::parse("kind=lock|deadlock; node=0|2; ty=du|lro").unwrap();
+        let mut e = ev(1.0, TraceKind::LockGrant, 0, 7);
+        e.ty = TxType::Du;
+        assert!(f.accepts(&e));
+        e.node = 1;
+        assert!(!f.accepts(&e), "node 1 excluded");
+        e.node = 2;
+        e.ty = TxType::Lu;
+        assert!(!f.accepts(&e), "LU excluded");
+        e.ty = TxType::Lro;
+        assert!(f.accepts(&e));
+        let p = ev(1.0, TraceKind::Phase, 0, 7);
+        assert!(!f.accepts(&p), "phase kind excluded");
+    }
+
+    #[test]
+    fn filter_accepts_exact_kind_labels_and_empty_spec() {
+        let f = TraceFilter::parse("kind=lock_grant").unwrap();
+        assert!(f.accepts(&ev(0.0, TraceKind::LockGrant, 0, 1)));
+        assert!(!f.accepts(&ev(0.0, TraceKind::LockRequest, 0, 1)));
+        let all = TraceFilter::parse("").unwrap();
+        for k in TraceKind::ALL {
+            assert!(all.accepts(&ev(0.0, k, 3, 1)));
+        }
+    }
+
+    #[test]
+    fn filter_grammar_rejects_garbage() {
+        assert!(TraceFilter::parse("kind=banana").is_err());
+        assert!(TraceFilter::parse("node=minus-one").is_err());
+        assert!(TraceFilter::parse("ty=xyz").is_err());
+        assert!(TraceFilter::parse("color=red").is_err());
+        assert!(TraceFilter::parse("kindlock").is_err());
+    }
+
+    #[test]
+    fn ring_buffer_keeps_tail_and_counts_drops() {
+        let mut tr = Tracer::new(TraceConfig {
+            filter: TraceFilter::all(),
+            capacity: 4,
+        });
+        for i in 0..10u64 {
+            tr.record(ev(i as f64, TraceKind::NetSend, 0, i));
+        }
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.recorded(), 10);
+        assert_eq!(tr.dropped(), 6);
+        let gids: Vec<u64> = tr.events().map(|e| e.gid).collect();
+        assert_eq!(gids, vec![6, 7, 8, 9], "oldest-first tail of the run");
+    }
+
+    #[test]
+    fn filtered_events_cost_nothing_in_the_buffer() {
+        let mut tr = Tracer::new(TraceConfig {
+            filter: TraceFilter::parse("kind=tx").unwrap(),
+            capacity: 8,
+        });
+        tr.record(ev(0.0, TraceKind::Phase, 0, 1));
+        tr.record(ev(1.0, TraceKind::TxSubmit, 0, 1));
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.recorded(), 1);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let mut tr = Tracer::new(TraceConfig::default());
+        tr.record(TraceEvent::new(5.0, TraceKind::TxSubmit, "submit", 0, 42, TxType::Du).lane2(3));
+        tr.record(
+            TraceEvent::new(9.0, TraceKind::Phase, "DMIO", 0, 42, TxType::Du)
+                .lane2(3)
+                .dur(4.0),
+        );
+        tr.record(TraceEvent::new(9.5, TraceKind::TxCommit, "commit", 0, 42, TxType::Du).lane2(3));
+        let json = tr.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"ph\": \"b\""), "async span open");
+        assert!(json.contains("\"ph\": \"e\""), "async span close");
+        assert!(json.contains("\"ph\": \"X\""), "phase slice");
+        // Phase slice start = completion − residence, in µs.
+        assert!(json.contains("\"ts\": 5000, \"dur\": 4000"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn jsonl_export_one_line_per_event() {
+        let mut tr = Tracer::new(TraceConfig::default());
+        tr.record(ev(1.0, TraceKind::LockRequest, 1, 2).detail(17));
+        tr.record(ev(2.0, TraceKind::LockGrant, 1, 2).detail(17));
+        let jsonl = tr.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\": \"lock_request\""));
+        assert!(lines[0].contains("\"a\": 17"));
+        assert!(lines[1].contains("\"kind\": \"lock_grant\""));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mk = || {
+            let mut tr = Tracer::new(TraceConfig::default());
+            for i in 0..100u64 {
+                tr.record(ev(i as f64 * 0.1, TraceKind::ALL[(i % 16) as usize], 0, i));
+            }
+            (tr.to_chrome_json(), tr.to_jsonl())
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use carat_obs::TraceConfig;
 use carat_workload::{SystemParams, WorkloadSpec};
 
 /// A configuration the simulator refuses to run, with enough structure for
@@ -249,6 +250,11 @@ pub struct SimConfig {
     /// timeouts). The default plan is inert: no drops, no stochastic
     /// crashes, no timeouts — exactly the fault-free simulator.
     pub fault_plan: FaultPlan,
+    /// Transaction-lifecycle tracing. `None` (the default) leaves the
+    /// untraced event loop untouched: the engine's emission sites reduce to
+    /// one branch each, allocate nothing, and draw no randomness, so a
+    /// traceless run is byte-identical to a pre-observability build.
+    pub trace: Option<TraceConfig>,
 }
 
 impl SimConfig {
@@ -268,6 +274,7 @@ impl SimConfig {
             victim: VictimPolicy::default(),
             crashes: Vec::new(),
             fault_plan: FaultPlan::default(),
+            trace: None,
         }
     }
 

@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 
 use carat_des::{Fcfs, Histogram, Scheduler, Tally, Time};
 use carat_lock::{LockManager, LockMode, Outcome, TimestampManager, TsOutcome, WaitForGraph};
+use carat_obs::{CounterRegistry, TraceEvent, TraceKind, Tracer};
 use carat_storage::Database;
 use carat_workload::TxType;
 use rand::rngs::StdRng;
@@ -68,6 +69,46 @@ enum Ev {
     OrphanResolve { site: usize, gid: u64 },
     /// End of the warm-up transient: reset statistics.
     Warmup,
+}
+
+impl Ev {
+    /// Number of event kinds (size of the per-kind counter array).
+    const KINDS: usize = 12;
+
+    /// Profiling-counter names, indexed like [`Ev::idx`].
+    const LABELS: [&'static str; Ev::KINDS] = [
+        "ev_cpu_done",
+        "ev_disk_done",
+        "ev_log_done",
+        "ev_net_done",
+        "ev_net_timeout",
+        "ev_submit",
+        "ev_probe",
+        "ev_crash",
+        "ev_fault_crash",
+        "ev_restart",
+        "ev_orphan_resolve",
+        "ev_warmup",
+    ];
+
+    /// Dense kind index for the per-kind event counters.
+    #[inline]
+    fn idx(&self) -> usize {
+        match self {
+            Ev::CpuDone { .. } => 0,
+            Ev::DiskDone { .. } => 1,
+            Ev::LogDone { .. } => 2,
+            Ev::NetDone { .. } => 3,
+            Ev::NetTimeout { .. } => 4,
+            Ev::Submit { .. } => 5,
+            Ev::Probe { .. } => 6,
+            Ev::Crash { .. } => 7,
+            Ev::FaultCrash { .. } => 8,
+            Ev::Restart { .. } => 9,
+            Ev::OrphanResolve { .. } => 10,
+            Ev::Warmup => 11,
+        }
+    }
 }
 
 /// One simulated node: shared CPU, shared database/journal disk, the
@@ -306,6 +347,15 @@ pub struct Sim {
     probe_targets: Vec<u64>,
     /// Audit-value formatting buffer (`g<gid>b<block>s<slot>`).
     val_buf: String,
+    /// Lifecycle tracer, present only when [`SimConfig::trace`] is set.
+    /// Boxed so the untraced simulator pays one pointer of state and one
+    /// `is_some` branch per emission site — the same inert-default pattern
+    /// as [`crate::FaultPlan::is_active`]. The tracer only ever *reads*
+    /// simulation state, so traced and untraced runs execute the same
+    /// event sequence and produce the same report.
+    tracer: Option<Box<Tracer>>,
+    /// Events handled per [`Ev`] kind (profiling counters).
+    ev_counts: [u64; Ev::KINDS],
 }
 
 impl Sim {
@@ -355,7 +405,10 @@ impl Sim {
         // Independent fault stream; the constant is the 64-bit golden ratio
         // (SplitMix64's increment), any fixed odd constant would do.
         let fault_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let tracer = cfg.trace.clone().map(|tc| Box::new(Tracer::new(tc)));
         Ok(Sim {
+            tracer,
+            ev_counts: [0; Ev::KINDS],
             cfg,
             sched: Scheduler::new(),
             nodes,
@@ -386,7 +439,14 @@ impl Sim {
     }
 
     /// Runs the simulation to completion and returns the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_traced().0
+    }
+
+    /// Like [`run`](Self::run), but also hands back the lifecycle tracer
+    /// (when [`SimConfig::trace`] was set) so the caller can export the
+    /// recorded events. The report is identical to the untraced run's.
+    pub fn run_traced(mut self) -> (SimReport, Option<Tracer>) {
         for u in 0..self.users.len() {
             self.sched.schedule(0.0, Ev::Submit { user: u });
         }
@@ -425,10 +485,22 @@ impl Sim {
                 node.db.crash_and_recover();
             }
         }
-        self.report(end)
+        let report = self.report(end);
+        (report, self.tracer.take().map(|b| *b))
+    }
+
+    /// Records a trace event. Callers gate on `self.tracer.is_some()`
+    /// first so the event (and any lookups feeding it) is only built when
+    /// tracing is on; with tracing off an emission site is one branch.
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.record(ev);
+        }
     }
 
     fn handle(&mut self, ev: Ev) {
+        self.ev_counts[ev.idx()] += 1;
         let now = self.sched.now();
         match ev {
             Ev::CpuDone { site, tx } => {
@@ -529,6 +601,16 @@ impl Sim {
         }
         self.stats.crashes += 1;
         let now = self.sched.now();
+        if self.tracer.is_some() {
+            self.trace(TraceEvent::new(
+                now,
+                TraceKind::Crash,
+                "crash",
+                site as u32,
+                0,
+                TxType::Lro,
+            ));
+        }
 
         // 1. Storage-level crash + recovery (un-forced journal tail lost,
         //    every uncommitted transaction's images restored). A node with
@@ -687,6 +769,17 @@ impl Sim {
         debug_assert!(!self.nodes[site].up, "restart of a node that is up");
         self.nodes[site].up = true;
         self.stats.recoveries += 1;
+        if self.tracer.is_some() {
+            let now = self.sched.now();
+            self.trace(TraceEvent::new(
+                now,
+                TraceKind::Recovery,
+                "restart",
+                site as u32,
+                0,
+                TxType::Lro,
+            ));
+        }
         let undone = self.nodes[site].db.crash_and_recover();
         if !undone.is_empty() {
             // Background recovery I/O: one block restore per undone
@@ -724,6 +817,20 @@ impl Sim {
             return; // swept away by a crash of this site in the meantime
         };
         debug_assert!(self.nodes[site].up, "orphan entry survived a crash");
+        if self.tracer.is_some() {
+            let now = self.sched.now();
+            self.trace(
+                TraceEvent::new(
+                    now,
+                    TraceKind::Recovery,
+                    "orphan-resolve",
+                    site as u32,
+                    gid,
+                    TxType::Lro,
+                )
+                .lane2(token as u32),
+            );
+        }
         if self.nodes[site].db.is_prepared(gid) {
             self.stats.in_doubt_resolutions += 1;
         }
@@ -768,6 +875,18 @@ impl Sim {
             tx.net_attempt = attempt;
         }
         self.stats.net_messages += 1;
+        if self.tracer.is_some() {
+            let now = self.sched.now();
+            let (gid, ty) = {
+                let tx = self.txs.get(id).expect("live tx");
+                (tx.gid, tx.ty)
+            };
+            self.trace(
+                TraceEvent::new(now, TraceKind::NetSend, "send", to as u32, gid, ty)
+                    .lane2(id.token() as u32)
+                    .detail(attempt as u64),
+            );
+        }
         // The retransmission timer covers the worst-case delivery time plus
         // the backed-off timeout, so it can never fire for a message that
         // was actually delivered.
@@ -780,6 +899,18 @@ impl Sim {
             !self.nodes[to].up || (fp.drop_prob > 0.0 && self.fault_rng.gen_bool(fp.drop_prob));
         if dropped {
             self.stats.net_drops += 1;
+            if self.tracer.is_some() {
+                let now = self.sched.now();
+                let (gid, ty) = {
+                    let tx = self.txs.get(id).expect("live tx");
+                    (tx.gid, tx.ty)
+                };
+                self.trace(
+                    TraceEvent::new(now, TraceKind::NetDrop, "drop", to as u32, gid, ty)
+                        .lane2(id.token() as u32)
+                        .detail(attempt as u64),
+                );
+            }
             return; // the timer (armed above) will retransmit
         }
         let jitter = if fp.jitter_ms > 0.0 {
@@ -816,6 +947,17 @@ impl Sim {
         };
         if !self.nodes[to].up {
             self.stats.net_drops += 1;
+            if self.tracer.is_some() {
+                let now = self.sched.now();
+                let (gid, ty) = {
+                    let t = self.txs.get(id).expect("live tx");
+                    (t.gid, t.ty)
+                };
+                self.trace(
+                    TraceEvent::new(now, TraceKind::NetDrop, "dead-dest", to as u32, gid, ty)
+                        .lane2(id.token() as u32),
+                );
+            }
             return;
         }
         self.txs.get_mut(id).expect("live tx").net_token = None;
@@ -837,11 +979,34 @@ impl Sim {
             return;
         };
         let (attempt, unbounded) = (tx.net_attempt, tx.aborting || tx.decided);
+        let (gid, ty, home) = (tx.gid, tx.ty, tx.home);
         if unbounded || attempt < self.cfg.fault_plan.max_retries {
             self.stats.net_retries += 1;
+            if self.tracer.is_some() {
+                let now = self.sched.now();
+                self.trace(
+                    TraceEvent::new(now, TraceKind::NetRetry, "retry", to as u32, gid, ty)
+                        .lane2(id.token() as u32)
+                        .detail(attempt as u64 + 1),
+                );
+            }
             self.send_message(id, to, ms, attempt.saturating_add(1));
         } else {
             self.stats.timeout_aborts += 1;
+            if self.tracer.is_some() {
+                let now = self.sched.now();
+                self.trace(
+                    TraceEvent::new(
+                        now,
+                        TraceKind::DeadlockVictim,
+                        "timeout",
+                        home as u32,
+                        gid,
+                        ty,
+                    )
+                    .lane2(id.token() as u32),
+                );
+            }
             self.txs.get_mut(id).expect("live tx").net_token = None;
             self.start_abort_program(id);
             self.ready.push_back(id);
@@ -854,11 +1019,18 @@ impl Sim {
         let now = self.sched.now();
         if let Some(tx) = self.txs.get_mut(id) {
             let seg = tx.prog.segs[tx.pc];
-            let (home, ty) = (tx.home, tx.ty);
+            let (home, ty, gid) = (tx.home, tx.ty, tx.gid);
             let elapsed = now - tx.op_started;
             tx.pc += 1;
             self.ready.push_back(id);
             self.stats.add_phase(home, ty, seg, elapsed);
+            if self.tracer.is_some() {
+                self.trace(
+                    TraceEvent::new(now, TraceKind::Phase, seg.label(), home as u32, gid, ty)
+                        .lane2(id.token() as u32)
+                        .dur(elapsed),
+                );
+            }
         }
     }
 
@@ -911,6 +1083,13 @@ impl Sim {
         tx.decided = false;
         let id = self.txs.insert(tx);
         self.ready.push_back(id);
+        if self.tracer.is_some() {
+            let t = self.sched.now();
+            self.trace(
+                TraceEvent::new(t, TraceKind::TxSubmit, "submit", home as u32, gid, ty)
+                    .lane2(id.token() as u32),
+            );
+        }
     }
 
     fn reset_stats(&mut self, now: Time) {
@@ -945,6 +1124,7 @@ impl Sim {
             debug_assert!(tx.pc < tx.prog.len(), "program ran off the end");
             let op = tx.prog.ops[tx.pc]; // Copy: dispatch by value
             let gid = tx.gid;
+            let ty = tx.ty;
             match op {
                 Op::UseCpu { site, ms } => {
                     self.txs.get_mut(id).expect("live tx").op_started = now;
@@ -1024,6 +1204,21 @@ impl Sim {
                         // (gids are assigned monotonically and a restart
                         // gets a fresh, larger one); the slab token merely
                         // names the transaction.
+                        if self.tracer.is_some() {
+                            let name = if exclusive { "X" } else { "S" };
+                            self.trace(
+                                TraceEvent::new(
+                                    now,
+                                    TraceKind::LockRequest,
+                                    name,
+                                    site as u32,
+                                    gid,
+                                    ty,
+                                )
+                                .lane2(id.token() as u32)
+                                .detail(block as u64),
+                            );
+                        }
                         let out = if exclusive {
                             self.nodes[site].tso.write(token, gid, block)
                         } else {
@@ -1046,12 +1241,40 @@ impl Sim {
                                 tx.pc += 1; // past the Access itself
                             }
                             TsOutcome::Rejected => {
+                                if self.tracer.is_some() {
+                                    self.trace(
+                                        TraceEvent::new(
+                                            now,
+                                            TraceKind::DeadlockVictim,
+                                            "cc-reject",
+                                            site as u32,
+                                            gid,
+                                            ty,
+                                        )
+                                        .lane2(id.token() as u32)
+                                        .detail(block as u64),
+                                    );
+                                }
                                 self.start_abort(id, site);
                                 // Continue: run the abort program.
                             }
                             TsOutcome::WaitFor(_) => {
                                 let t = self.sched.now();
                                 self.txs.get_mut(id).expect("live tx").blocked_since = Some(t);
+                                if self.tracer.is_some() {
+                                    self.trace(
+                                        TraceEvent::new(
+                                            now,
+                                            TraceKind::LockBlock,
+                                            "block",
+                                            site as u32,
+                                            gid,
+                                            ty,
+                                        )
+                                        .lane2(id.token() as u32)
+                                        .detail(block as u64),
+                                    );
+                                }
                                 return; // parked until the writer resolves
                             }
                         }
@@ -1062,15 +1285,58 @@ impl Sim {
                     } else {
                         LockMode::Shared
                     };
+                    if self.tracer.is_some() {
+                        let name = if exclusive { "X" } else { "S" };
+                        self.trace(
+                            TraceEvent::new(
+                                now,
+                                TraceKind::LockRequest,
+                                name,
+                                site as u32,
+                                gid,
+                                ty,
+                            )
+                            .lane2(id.token() as u32)
+                            .detail(block as u64),
+                        );
+                    }
                     match self.nodes[site].locks.request(token, block, mode) {
                         Outcome::Granted => self.bump(id),
                         Outcome::Queued => {
                             if self.deadlock_check(id, site) {
+                                if self.tracer.is_some() {
+                                    self.trace(
+                                        TraceEvent::new(
+                                            now,
+                                            TraceKind::DeadlockVictim,
+                                            "deadlock",
+                                            site as u32,
+                                            gid,
+                                            ty,
+                                        )
+                                        .lane2(id.token() as u32)
+                                        .detail(block as u64),
+                                    );
+                                }
                                 self.start_abort(id, site);
                                 // Continue: run the abort program.
                             } else if self.nodes[site].locks.waiting_block(token).is_some() {
                                 let t = self.sched.now();
                                 self.txs.get_mut(id).expect("live tx").blocked_since = Some(t);
+                                if self.tracer.is_some() {
+                                    self.trace(
+                                        TraceEvent::new(
+                                            now,
+                                            TraceKind::LockBlock,
+                                            "block",
+                                            site as u32,
+                                            gid,
+                                            ty,
+                                        )
+                                        .lane2(id.token() as u32)
+                                        .detail(block as u64),
+                                    );
+                                }
                                 return; // parked until lock grant
                             } else {
                                 // A youngest-policy victim abort already
@@ -1108,6 +1374,19 @@ impl Sim {
                 Op::PrepareSite { site } => {
                     self.ensure_begun(id, site);
                     self.nodes[site].db.prepare(gid).expect("prepare");
+                    if self.tracer.is_some() {
+                        self.trace(
+                            TraceEvent::new(
+                                now,
+                                TraceKind::TwopcPrepare,
+                                "prepare",
+                                site as u32,
+                                gid,
+                                ty,
+                            )
+                            .lane2(id.token() as u32),
+                        );
+                    }
                     self.bump(id);
                 }
                 Op::CommitSite { site } => {
@@ -1133,6 +1412,19 @@ impl Sim {
                     } else {
                         self.tso_commit_and_wake(site, token);
                     }
+                    if self.tracer.is_some() {
+                        self.trace(
+                            TraceEvent::new(
+                                now,
+                                TraceKind::TwopcDecide,
+                                "commit",
+                                site as u32,
+                                gid,
+                                ty,
+                            )
+                            .lane2(id.token() as u32),
+                        );
+                    }
                     self.bump(id);
                 }
                 Op::AbortSite { site } => {
@@ -1152,6 +1444,19 @@ impl Sim {
                         self.release_locks_and_wake(site, token);
                     } else {
                         self.tso_abort_and_wake(site, token);
+                    }
+                    if self.tracer.is_some() {
+                        self.trace(
+                            TraceEvent::new(
+                                now,
+                                TraceKind::TwopcDecide,
+                                "abort",
+                                site as u32,
+                                gid,
+                                ty,
+                            )
+                            .lane2(id.token() as u32),
+                        );
                     }
                     self.bump(id);
                 }
@@ -1223,11 +1528,25 @@ impl Sim {
             // The waiter was parked at its AcquireTm op.
             let w = self.txs.get_mut(next).expect("queued tx exists");
             let waited = now - w.op_started;
-            let (home, ty) = (w.home, w.ty);
+            let (home, ty, gid) = (w.home, w.ty, w.gid);
             w.pc += 1;
             w.tm_held = Some(site);
             self.stats.add_phase(home, ty, Seg::TmWait, waited);
             self.ready.push_back(next);
+            if self.tracer.is_some() {
+                self.trace(
+                    TraceEvent::new(
+                        now,
+                        TraceKind::Phase,
+                        Seg::TmWait.label(),
+                        home as u32,
+                        gid,
+                        ty,
+                    )
+                    .lane2(next.token() as u32)
+                    .dur(waited),
+                );
+            }
         }
     }
 
@@ -1247,9 +1566,23 @@ impl Sim {
             w.dm_sites.push(site);
             w.pc += 1;
             let waited = now - w.op_started;
-            let (home, ty) = (w.home, w.ty);
+            let (home, ty, gid) = (w.home, w.ty, w.gid);
             self.stats.add_phase(home, ty, Seg::DmWait, waited);
             self.ready.push_back(next);
+            if self.tracer.is_some() {
+                self.trace(
+                    TraceEvent::new(
+                        now,
+                        TraceKind::Phase,
+                        Seg::DmWait.label(),
+                        home as u32,
+                        gid,
+                        ty,
+                    )
+                    .lane2(next.token() as u32)
+                    .dur(waited),
+                );
+            }
         } else {
             self.nodes[site].dm_free = self.nodes[site].dm_free.saturating_add(1);
         }
@@ -1259,19 +1592,44 @@ impl Sim {
     /// their `Lock` op, which is now satisfied.
     fn wake(&mut self, woken: &[(u64, u32)]) {
         let now = self.sched.now();
-        for &(tok, _block) in woken {
+        for &(tok, block) in woken {
             let id = TxId::from_token(tok);
             if let Some(tx) = self.txs.get_mut(id) {
                 debug_assert!(
                     matches!(tx.prog.ops[tx.pc], Op::Lock { .. }),
                     "woken tx not parked on a lock"
                 );
+                let mut waited = None;
                 if let Some(since) = tx.blocked_since.take() {
                     self.stats.lock_wait.record(now - since);
                     self.stats.add_phase(tx.home, tx.ty, Seg::Lw, now - since);
+                    waited = Some(now - since);
                 }
                 tx.pc += 1;
                 self.ready.push_back(id);
+                if self.tracer.is_some() {
+                    let (home, ty, gid) = (tx.home, tx.ty, tx.gid);
+                    let lane = id.token() as u32;
+                    if let Some(w) = waited {
+                        self.trace(
+                            TraceEvent::new(
+                                now,
+                                TraceKind::Phase,
+                                Seg::Lw.label(),
+                                home as u32,
+                                gid,
+                                ty,
+                            )
+                            .lane2(lane)
+                            .dur(w),
+                        );
+                    }
+                    self.trace(
+                        TraceEvent::new(now, TraceKind::LockGrant, "grant", home as u32, gid, ty)
+                            .lane2(lane)
+                            .detail(block as u64),
+                    );
+                }
             }
         }
     }
@@ -1288,11 +1646,35 @@ impl Sim {
                     matches!(tx.prog.ops[tx.pc], Op::Lock { .. }),
                     "retried tx not parked on an access"
                 );
+                let mut waited = None;
                 if let Some(since) = tx.blocked_since.take() {
                     self.stats.lock_wait.record(now - since);
                     self.stats.add_phase(tx.home, tx.ty, Seg::Lw, now - since);
+                    waited = Some(now - since);
                 }
                 self.ready.push_back(id);
+                if self.tracer.is_some() {
+                    let (home, ty, gid) = (tx.home, tx.ty, tx.gid);
+                    let lane = id.token() as u32;
+                    if let Some(w) = waited {
+                        self.trace(
+                            TraceEvent::new(
+                                now,
+                                TraceKind::Phase,
+                                Seg::Lw.label(),
+                                home as u32,
+                                gid,
+                                ty,
+                            )
+                            .lane2(lane)
+                            .dur(w),
+                        );
+                    }
+                    self.trace(
+                        TraceEvent::new(now, TraceKind::LockGrant, "retry", home as u32, gid, ty)
+                            .lane2(lane),
+                    );
+                }
             }
         }
     }
@@ -1444,9 +1826,40 @@ impl Sim {
             self.cancel_lock_request(site, victim.token());
         }
         if let Some(tx) = self.txs.get_mut(victim) {
+            let mut traced = None;
             if let Some(since) = tx.blocked_since.take() {
                 self.stats.lock_wait.record(now - since);
                 self.stats.add_phase(tx.home, tx.ty, Seg::Lw, now - since);
+                traced = Some(now - since);
+            }
+            if self.tracer.is_some() {
+                let (home, ty, gid) = (tx.home, tx.ty, tx.gid);
+                let lane = victim.token() as u32;
+                if let Some(w) = traced {
+                    self.trace(
+                        TraceEvent::new(
+                            now,
+                            TraceKind::Phase,
+                            Seg::Lw.label(),
+                            home as u32,
+                            gid,
+                            ty,
+                        )
+                        .lane2(lane)
+                        .dur(w),
+                    );
+                }
+                self.trace(
+                    TraceEvent::new(
+                        now,
+                        TraceKind::DeadlockVictim,
+                        "deadlock",
+                        home as u32,
+                        gid,
+                        ty,
+                    )
+                    .lane2(lane),
+                );
             }
         }
         self.start_abort_program(victim);
@@ -1479,6 +1892,19 @@ impl Sim {
         if !self.txs.contains(initiator) {
             return;
         }
+        if self.tracer.is_some() {
+            let now = self.sched.now();
+            let (gid, ty) = {
+                let tx = self.txs.get(initiator).expect("live initiator");
+                (tx.gid, tx.ty)
+            };
+            let target_gid = self.txs.get(target).map(|t| t.gid).unwrap_or(0);
+            self.trace(
+                TraceEvent::new(now, TraceKind::ProbeHop, "hop", init_site as u32, gid, ty)
+                    .lane2(initiator.token() as u32)
+                    .detail(target_gid),
+            );
+        }
         if target == initiator {
             // Cycle closed. Like the real protocol this may be a phantom
             // if an edge vanished while the probe was in flight; the victim
@@ -1488,6 +1914,24 @@ impl Sim {
                 if let Some(since) = tx.blocked_since.take() {
                     self.stats.lock_wait.record(self.sched.now() - since);
                 }
+            }
+            if self.tracer.is_some() {
+                let now = self.sched.now();
+                let (gid, ty) = {
+                    let tx = self.txs.get(initiator).expect("live initiator");
+                    (tx.gid, tx.ty)
+                };
+                self.trace(
+                    TraceEvent::new(
+                        now,
+                        TraceKind::DeadlockVictim,
+                        "probe-cycle",
+                        init_site as u32,
+                        gid,
+                        ty,
+                    )
+                    .lane2(initiator.token() as u32),
+                );
             }
             self.start_abort(initiator, init_site);
             self.ready.push_back(initiator);
@@ -1698,6 +2142,17 @@ impl Sim {
         }
         self.sched
             .schedule_in(self.cfg.params.think_time_ms, Ev::Submit { user: tx.user });
+        if self.tracer.is_some() {
+            let (kind, name) = if tx.aborting {
+                (TraceKind::TxAbort, "abort")
+            } else {
+                (TraceKind::TxCommit, "commit")
+            };
+            self.trace(
+                TraceEvent::new(now, kind, name, tx.home as u32, tx.gid, tx.ty)
+                    .lane2(id.token() as u32),
+            );
+        }
         // Recycle the transaction's buffers (program, plan, site lists) for
         // the next submission.
         self.spare_txns.push(tx);
@@ -1816,7 +2271,38 @@ impl Sim {
             .iter()
             .map(|(_, tx)| end - tx.submit_time)
             .fold(0.0_f64, f64::max);
+        // Profiling counters — pure functions of simulation state, so a
+        // traced run and an untraced run of one configuration produce the
+        // same registry (the trace-neutrality CI gate relies on this; the
+        // tracer's own recorded/dropped tallies deliberately stay out).
+        let mut counters = CounterRegistry::new();
+        counters.add("events_total", self.events);
+        for (i, &c) in self.ev_counts.iter().enumerate() {
+            if c > 0 {
+                counters.add(Ev::LABELS[i], c);
+            }
+        }
+        counters.record_max("sched_heap_hwm", self.sched.high_water() as u64);
+        counters.record_max("slab_hwm", self.txs.high_water() as u64);
+        counters.record_max("slab_slots_hwm", self.txs.slots() as u64);
+        for &seg in &Seg::ALL {
+            let mut total = 0.0;
+            for home in 0..self.nodes.len() {
+                for ty in TxType::ALL {
+                    total += self.stats.phase(home, ty, seg);
+                }
+            }
+            if total > 0.0 {
+                // Whole microseconds: enough resolution for profiling, and
+                // integer counters render identically everywhere.
+                counters.add(
+                    &format!("phase_us_{}", seg.label()),
+                    (total * 1000.0).round() as u64,
+                );
+            }
+        }
         SimReport {
+            counters,
             nodes,
             local_deadlocks: self.stats.local_deadlocks,
             global_deadlocks: self.stats.global_deadlocks,

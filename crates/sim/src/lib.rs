@@ -68,6 +68,7 @@ pub mod metrics;
 pub mod program;
 pub mod slab;
 
+pub use carat_obs::{CounterRegistry, TraceConfig, TraceEvent, TraceFilter, TraceKind, Tracer};
 pub use config::{CcProtocol, DeadlockMode, FaultPlan, SimConfig, SimConfigError, VictimPolicy};
 pub use engine::Sim;
 pub use metrics::{NodeReport, SimReport, TypeReport};

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use carat_obs::CounterRegistry;
 use carat_workload::TxType;
 
 /// Per-transaction-type results at one node (attributed to the
@@ -126,6 +127,12 @@ pub struct SimReport {
     pub audit_violations: u64,
     /// Measurement window (ms).
     pub window_ms: f64,
+    /// Profiling counters: events by kind (`ev_*`), scheduler-heap and
+    /// transaction-slab high-water marks (`sched_heap_hwm`, `slab_hwm`,
+    /// `slab_slots`), and per-phase residence totals (`phase_us_*`).
+    /// Derived exclusively from simulation state, so two runs of one
+    /// configuration — traced or not — report identical counters.
+    pub counters: CounterRegistry,
 }
 
 impl SimReport {

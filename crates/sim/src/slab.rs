@@ -53,6 +53,9 @@ pub struct TxSlab<T> {
     slots: Vec<Slot<T>>,
     free: Vec<u32>,
     len: usize,
+    /// Most entries ever live at once — the concurrency high-water mark
+    /// surfaced as the `slab_hwm` profiling counter.
+    high_water: usize,
 }
 
 impl<T> TxSlab<T> {
@@ -62,12 +65,23 @@ impl<T> TxSlab<T> {
             slots: Vec::new(),
             free: Vec::new(),
             len: 0,
+            high_water: 0,
         }
     }
 
     /// Live entries.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Most entries ever live at once over the slab's lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Slots ever allocated (live + recycled): the slab's memory footprint.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
     }
 
     /// True when no entries are live.
@@ -78,6 +92,9 @@ impl<T> TxSlab<T> {
     /// Inserts `val`, recycling a freed slot when one exists.
     pub fn insert(&mut self, val: T) -> TxId {
         self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
         if let Some(idx) = self.free.pop() {
             let slot = &mut self.slots[idx as usize];
             debug_assert!(slot.val.is_none());
@@ -214,6 +231,24 @@ mod tests {
                 s.remove(id);
             }
         }
+    }
+
+    #[test]
+    fn high_water_is_peak_concurrency() {
+        let mut s = TxSlab::new();
+        let a = s.insert(1);
+        let b = s.insert(2);
+        let c = s.insert(3);
+        assert_eq!(s.high_water(), 3);
+        assert_eq!(s.slots(), 3);
+        s.remove(a);
+        s.remove(b);
+        // Refilling recycled slots below the peak leaves the mark alone.
+        s.insert(4);
+        assert_eq!(s.high_water(), 3);
+        assert_eq!(s.slots(), 3, "recycled, not grown");
+        s.remove(c);
+        assert_eq!(s.high_water(), 3);
     }
 
     #[test]
