@@ -1,36 +1,45 @@
 //! Sweep-engine benchmark and determinism harness.
 //!
-//! Three modes:
+//! Modes:
 //!
 //! * **bench** (default): times the full-grid model sweep (4 workloads ×
 //!   the n sweep) cold-sequential, warm-sequential, cold-parallel and
 //!   warm-parallel, verifies that every variant renders byte-identical
-//!   canonical JSON where it must, and writes the timings plus per-point
-//!   iteration counts to `BENCH_sweep.json`; then runs the **simulator
-//!   section**: the reference LB8/MB8 sweep timed for events/sec against
-//!   the recorded pre-fast-path baseline (written to `BENCH_sim.json`)
-//!   plus a parallel-vs-sequential replication determinism check;
+//!   canonical JSON where it must, times the solver-variant matrix
+//!   (acceleration off/Aitken/Anderson × exact/Linearizer MVA × 1/N
+//!   threads), checks the Linearizer fast path against exact MVA on every
+//!   reference point, and writes everything — including per-worker pool
+//!   telemetry and per-point accelerated iteration counts — to
+//!   `BENCH_sweep.json`; then runs the **simulator section**: the
+//!   reference LB8/MB8 sweep timed for events/sec against the recorded
+//!   pre-fast-path baseline (written to `BENCH_sim.json`) plus a
+//!   parallel-vs-sequential replication determinism check;
 //! * **emit** (`--emit [--out PATH]`): solves the same model grid
 //!   honouring the engine flags (`--threads N`, `--sequential`,
-//!   `--no-warm`) and writes the canonical JSON result rows. CI runs this
-//!   twice — `--threads 4` and `--sequential` — and byte-compares the
-//!   files;
+//!   `--no-warm`) and the solver flags (`--accel off|aitken|anderson[:m]`,
+//!   `--mva exact|schweitzer|linearizer`) and writes the canonical JSON
+//!   result rows. CI runs this twice — `--threads 4` and `--sequential`,
+//!   with and without acceleration — and byte-compares the files;
 //! * **emit-sim** (`--emit-sim [--reps R] [--out PATH]`): runs R
 //!   replications of every reference sim point on the deterministic pool
 //!   and writes the canonical replicated JSON. CI byte-compares
-//!   `--threads 4` against `--sequential`.
+//!   `--threads 4` against `--sequential`;
+//! * **check-iters** (`--check-iters`): iteration-count regression gate —
+//!   resolves the grid cold and fails if any reference point needs more
+//!   than 110% of its recorded cold iteration count, or if either
+//!   acceleration mode saves less than 30% of the total.
 //!
 //! Wall-clock numbers vary run to run; the JSON *result rows* may not.
 
 use std::time::Instant;
 
-use carat::model::ModelConfig;
+use carat::model::{Accel, ModelConfig, ModelOptions, MvaAlgo};
 use carat::obs::CounterRegistry;
 use carat::sim::{Sim, SimConfig};
 use carat::workload::StandardWorkload;
 use carat_bench::{
-    chain_to_json, json_f64, replicated_to_json, run_replications, run_tasks, solve_chain,
-    ModelPoint, SweepOptions, N_SWEEP,
+    chain_to_json, json_f64, replicated_to_json, run_replications, run_tasks_timed, solve_chain,
+    ModelPoint, PoolStats, SweepOptions, N_SWEEP,
 };
 
 const WORKLOADS: [StandardWorkload; 4] = [
@@ -83,17 +92,45 @@ fn sim_points() -> (Vec<String>, Vec<SimConfig>) {
     (labels, cfgs)
 }
 
-/// One warm-startable chain per workload, ascending n.
-fn chains() -> Vec<Vec<ModelPoint>> {
+/// Recorded cold iteration counts of the committed `BENCH_sweep.json`, in
+/// workload-then-n grid order. The `--check-iters` gate fails when any
+/// point regresses past +10% of its entry here.
+const REFERENCE_COLD_ITERS: [usize; 20] = [
+    32, 32, 34, 37, 36, // LB8
+    34, 39, 42, 43, 43, // MB4
+    39, 43, 45, 50, 69, // MB8
+    34, 38, 40, 41, 54, // UB6
+];
+
+/// One warm-startable chain per workload, ascending n, every point solved
+/// with `mopts`.
+fn chains(mopts: &ModelOptions) -> Vec<Vec<ModelPoint>> {
     WORKLOADS
         .iter()
         .map(|&wl| {
             N_SWEEP
                 .iter()
-                .map(|&n| ModelPoint::new(format!("{wl}/n{n}"), ModelConfig::new(wl.spec(2), n)))
+                .map(|&n| {
+                    let mut p =
+                        ModelPoint::new(format!("{wl}/n{n}"), ModelConfig::new(wl.spec(2), n));
+                    p.opts = mopts.clone();
+                    p
+                })
                 .collect()
         })
         .collect()
+}
+
+/// Per-point convergence record of one grid solve.
+struct PointIters {
+    label: String,
+    iterations: usize,
+    warm_started: bool,
+    accel_accepted: usize,
+    accel_rejected: usize,
+    /// Committed-transaction throughput summed over nodes — what the
+    /// Linearizer accuracy harness compares against exact MVA.
+    total_tx_per_s: f64,
 }
 
 /// Solves the whole grid under the given options and renders one canonical
@@ -101,9 +138,9 @@ fn chains() -> Vec<Vec<ModelPoint>> {
 /// each workload's chain in one task (the warm-start neighbor is the
 /// previous point of the chain); cold sweeps have no such dependency, so
 /// every point becomes its own task.
-fn solve_grid(opts: &SweepOptions) -> (String, Vec<(String, usize, bool)>) {
-    let (points, reports) = if opts.warm {
-        let solved = run_tasks(chains(), opts, |_, pts| {
+fn solve_grid(opts: &SweepOptions, mopts: &ModelOptions) -> (String, Vec<PointIters>, PoolStats) {
+    let (points, reports, pool) = if opts.warm {
+        let (solved, pool) = run_tasks_timed(chains(mopts), opts, |_, pts| {
             let reports = solve_chain(&pts, true);
             (pts, reports)
         });
@@ -113,40 +150,70 @@ fn solve_grid(opts: &SweepOptions) -> (String, Vec<(String, usize, bool)>) {
             points.extend(pts);
             reports.extend(reps);
         }
-        (points, reports)
+        (points, reports, pool)
     } else {
-        let points: Vec<ModelPoint> = chains().into_iter().flatten().collect();
-        let reports = run_tasks(points.clone(), opts, |_, p| {
+        let points: Vec<ModelPoint> = chains(mopts).into_iter().flatten().collect();
+        let (reports, pool) = run_tasks_timed(points.clone(), opts, |_, p| {
             solve_chain(std::slice::from_ref(&p), false)
                 .pop()
                 .expect("one report per point")
         });
-        (points, reports)
+        (points, reports, pool)
     };
     let json = chain_to_json(&points, &reports);
     let iters = points
         .iter()
         .zip(&reports)
-        .map(|(p, r)| {
-            (
-                p.label.clone(),
-                r.convergence.iterations,
-                r.convergence.warm_started,
-            )
+        .map(|(p, r)| PointIters {
+            label: p.label.clone(),
+            iterations: r.convergence.iterations,
+            warm_started: r.convergence.warm_started,
+            accel_accepted: r.convergence.accel_accepted,
+            accel_rejected: r.convergence.accel_rejected,
+            total_tx_per_s: r.total_tx_per_s(),
         })
         .collect();
-    (json, iters)
+    (json, iters, pool)
 }
 
-/// Minimum wall time of `REPS` runs, milliseconds.
-fn time_grid(opts: &SweepOptions) -> f64 {
+/// Minimum wall time of `reps` runs, milliseconds.
+fn time_grid(opts: &SweepOptions, mopts: &ModelOptions, reps: usize) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let t0 = Instant::now();
-        std::hint::black_box(solve_grid(opts));
+        std::hint::black_box(solve_grid(opts, mopts));
         best = best.min(t0.elapsed().as_secs_f64() * 1000.0);
     }
     best
+}
+
+/// Parses the solver-variant flags (`--accel`, `--mva`); everything else
+/// keeps its default. Invalid values abort rather than silently running a
+/// different experiment than asked.
+fn model_opts_from_args(args: &[String]) -> ModelOptions {
+    let mut mopts = ModelOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--accel" => {
+                let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+                mopts.accel = Accel::parse(v).unwrap_or_else(|| {
+                    panic!("--accel expects off|aitken|anderson[:m], got {v:?}")
+                });
+                i += 1;
+            }
+            "--mva" => {
+                let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+                mopts.mva = MvaAlgo::parse(v).unwrap_or_else(|| {
+                    panic!("--mva expects exact|schweitzer|linearizer, got {v:?}")
+                });
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    mopts
 }
 
 fn write_or_print(json: &str, out: Option<&str>) {
@@ -159,9 +226,67 @@ fn write_or_print(json: &str, out: Option<&str>) {
     }
 }
 
-fn emit(opts: &SweepOptions, out: Option<&str>) {
-    let (json, _) = solve_grid(opts);
+fn emit(opts: &SweepOptions, mopts: &ModelOptions, out: Option<&str>) {
+    let (json, _, _) = solve_grid(opts, mopts);
     write_or_print(&json, out);
+}
+
+/// The `--check-iters` regression gate (see module docs). Exits non-zero
+/// on any regression so CI can call it directly.
+fn check_iters() {
+    let seq = SweepOptions::sequential();
+    let cold = |accel: Accel| {
+        let mopts = ModelOptions {
+            accel,
+            ..ModelOptions::default()
+        };
+        solve_grid(
+            &SweepOptions {
+                warm: false,
+                ..seq.clone()
+            },
+            &mopts,
+        )
+        .1
+    };
+    let plain = cold(Accel::Off);
+    assert_eq!(plain.len(), REFERENCE_COLD_ITERS.len());
+    let mut failed = false;
+    for (p, &reference) in plain.iter().zip(&REFERENCE_COLD_ITERS) {
+        let limit = (reference as f64 * 1.10).floor() as usize;
+        if p.iterations > limit {
+            eprintln!(
+                "ITER REGRESSION {}: {} cold iterations (recorded {reference}, limit {limit})",
+                p.label, p.iterations
+            );
+            failed = true;
+        }
+    }
+    let reference_total: usize = REFERENCE_COLD_ITERS.iter().sum();
+    for (name, accel) in [("aitken", Accel::Aitken), ("anderson", Accel::Anderson(3))] {
+        let total: usize = cold(accel).iter().map(|p| p.iterations).sum();
+        let saved = 1.0 - total as f64 / reference_total as f64;
+        println!(
+            "accel {name}: {total} iterations vs {reference_total} recorded cold \
+             ({:.1}% saved)",
+            saved * 100.0
+        );
+        if total as f64 > 0.70 * reference_total as f64 {
+            eprintln!(
+                "ACCEL REGRESSION {name}: saved only {:.1}% (< 30%)",
+                saved * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "check-iters: {} points within +10% of recorded cold counts, \
+         acceleration saves >= 30%: OK",
+        plain.len()
+    );
 }
 
 /// Canonical replicated-sim JSON for the reference sweep under `opts`.
@@ -225,6 +350,7 @@ fn bench_sim(determinism_threads: usize) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = SweepOptions::from_env_args();
+    let mopts = model_opts_from_args(&args);
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -232,7 +358,11 @@ fn main() {
         .map(String::as_str);
 
     if args.iter().any(|a| a == "--emit") {
-        emit(&opts, out);
+        emit(&opts, &mopts, out);
+        return;
+    }
+    if args.iter().any(|a| a == "--check-iters") {
+        check_iters();
         return;
     }
     if args.iter().any(|a| a == "--emit-sim") {
@@ -262,22 +392,60 @@ fn main() {
     // Determinism gate before any timing: parallel output must equal the
     // matching sequential output byte for byte (warm and cold separately —
     // warm starting changes iteration counts, so those two legitimately
-    // differ from each other).
-    let (cold_json, cold_iters) = solve_grid(&variants[0].1);
-    let (warm_json, warm_iters) = solve_grid(&variants[1].1);
+    // differ from each other). Then the same gate with acceleration on:
+    // the accelerated trajectory must also be thread-count invariant.
+    let plain = ModelOptions::default();
+    let (cold_json, cold_iters, _) = solve_grid(&variants[0].1, &plain);
+    let (warm_json, warm_iters, _) = solve_grid(&variants[1].1, &plain);
     assert_eq!(
         cold_json,
-        solve_grid(&variants[2].1).0,
+        solve_grid(&variants[2].1, &plain).0,
         "parallel cold sweep diverged from sequential"
     );
+    let (warm_par_json, _, warm_pool) = solve_grid(&variants[3].1, &plain);
     assert_eq!(
-        warm_json,
-        solve_grid(&variants[3].1).0,
+        warm_json, warm_par_json,
         "parallel warm sweep diverged from sequential"
     );
+    let accel_opts = |accel: Accel| ModelOptions {
+        accel,
+        ..ModelOptions::default()
+    };
+    let (accel_seq_json, anderson_iters, _) =
+        solve_grid(&variants[0].1, &accel_opts(Accel::Anderson(3)));
+    assert_eq!(
+        accel_seq_json,
+        solve_grid(&variants[2].1, &accel_opts(Accel::Anderson(3))).0,
+        "parallel accelerated sweep diverged from sequential"
+    );
     println!(
-        "determinism: parallel ({} threads) == sequential, cold and warm: OK",
+        "determinism: parallel ({} threads) == sequential, cold, warm and accelerated: OK",
         opts.threads
+    );
+
+    // Linearizer fast-path accuracy: every reference point within 0.5% of
+    // exact MVA on total committed throughput.
+    let (_, lin_iters, _) = solve_grid(
+        &variants[0].1,
+        &ModelOptions {
+            mva: MvaAlgo::Linearizer,
+            ..ModelOptions::default()
+        },
+    );
+    let lin_max_rel_err = cold_iters
+        .iter()
+        .zip(&lin_iters)
+        .map(|(e, l)| (e.total_tx_per_s - l.total_tx_per_s).abs() / e.total_tx_per_s)
+        .fold(0.0f64, f64::max);
+    assert!(
+        lin_max_rel_err < 0.005,
+        "linearizer fast path off by {:.3}% > 0.5%",
+        lin_max_rel_err * 100.0
+    );
+    println!(
+        "linearizer accuracy: max |Δ tx_per_s| = {:.4}% over {} points (< 0.5%): OK",
+        lin_max_rel_err * 100.0,
+        cold_iters.len()
     );
 
     println!(
@@ -286,7 +454,7 @@ fn main() {
     );
     let mut walls = Vec::new();
     for (name, o) in &variants {
-        let ms = time_grid(o);
+        let ms = time_grid(o, &plain, REPS);
         println!(
             "  {name:8}  {ms:9.2} ms  (threads={}, warm={})",
             o.threads, o.warm
@@ -298,28 +466,102 @@ fn main() {
     let speedup_warm = wall("cold_seq") / wall("warm_seq");
     println!("\n  parallel speedup (cold_seq / cold_par): {speedup_par:.2}x");
     println!("  warm-start speedup (cold_seq / warm_seq): {speedup_warm:.2}x");
-    let total =
-        |iters: &[(String, usize, bool)]| -> usize { iters.iter().map(|(_, i, _)| i).sum() };
+    let total = |iters: &[PointIters]| -> usize { iters.iter().map(|p| p.iterations).sum() };
+    let aitken_iters = solve_grid(&variants[0].1, &accel_opts(Accel::Aitken)).1;
     println!(
-        "  iterations: {} cold -> {} warm",
+        "  iterations: {} cold -> {} warm, accelerated cold: {} aitken / {} anderson",
         total(&cold_iters),
-        total(&warm_iters)
+        total(&warm_iters),
+        total(&aitken_iters),
+        total(&anderson_iters),
     );
 
-    // BENCH_sweep.json: timings + per-point iterations-to-convergence.
+    // Solver-variant matrix: wall clock and total iterations for every
+    // acceleration × MVA × threads combination (cold sweeps; 2 reps keep
+    // the full matrix cheap next to the best-of-REPS headline numbers).
+    println!("\n## Variant matrix (cold sweeps, best of 2)");
+    let mut matrix = Vec::new();
+    for (accel_name, accel) in [
+        ("off", Accel::Off),
+        ("aitken", Accel::Aitken),
+        ("anderson:3", Accel::Anderson(3)),
+    ] {
+        for (mva_name, mva) in [
+            ("exact", MvaAlgo::Exact),
+            ("linearizer", MvaAlgo::Linearizer),
+        ] {
+            for threads in [1usize, opts.threads] {
+                let mo = ModelOptions {
+                    accel,
+                    mva,
+                    ..ModelOptions::default()
+                };
+                let so = mk(threads, false);
+                let ms = time_grid(&so, &mo, 2);
+                let iterations = total(&solve_grid(&so, &mo).1);
+                println!(
+                    "  accel={accel_name:10} mva={mva_name:10} threads={threads}  \
+                     {ms:9.2} ms  {iterations} iterations"
+                );
+                matrix.push(format!(
+                    "    {{\"accel\": \"{accel_name}\", \"mva\": \"{mva_name}\", \
+                     \"threads\": {threads}, \"wall_ms\": {}, \"iterations\": {iterations}}}",
+                    json_f64((ms * 1000.0).round() / 1000.0),
+                ));
+                if threads == 1 && opts.threads == 1 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // BENCH_sweep.json: timings, variant matrix, pool telemetry and
+    // per-point iterations-to-convergence (plain and accelerated).
+    let pool_json = format!(
+        "{{\"threads\": {}, \"wall_ms\": {}, \"workers\": [{}]}}",
+        warm_pool.workers.len(),
+        json_f64((warm_pool.wall_ms * 1000.0).round() / 1000.0),
+        warm_pool
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(w, ws)| {
+                format!(
+                    "{{\"tasks\": {}, \"busy_ms\": {}, \"idle_ms\": {}}}",
+                    ws.tasks,
+                    json_f64((ws.busy_ms * 1000.0).round() / 1000.0),
+                    json_f64((warm_pool.idle_ms(w) * 1000.0).round() / 1000.0),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
     let points: Vec<String> = cold_iters
         .iter()
         .zip(&warm_iters)
-        .map(|((label, ic, _), (_, iw, ws))| {
+        .zip(&anderson_iters)
+        .map(|((c, w), a)| {
             format!(
-                "    {{\"point\": \"{label}\", \"iterations_cold\": {ic}, \
-                 \"iterations_warm\": {iw}, \"warm_started\": {ws}}}"
+                "    {{\"point\": \"{}\", \"iterations_cold\": {}, \
+                 \"iterations_warm\": {}, \"warm_started\": {}, \
+                 \"iterations_accel\": {}, \"accel_accepted\": {}, \
+                 \"accel_rejected\": {}}}",
+                c.label,
+                c.iterations,
+                w.iterations,
+                w.warm_started,
+                a.iterations,
+                a.accel_accepted,
+                a.accel_rejected,
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"threads\": {},\n  \"reps\": {REPS},\n  \"wall_ms\": {{{}}},\n  \
-         \"speedup_parallel\": {},\n  \"speedup_warm\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+         \"speedup_parallel\": {},\n  \"speedup_warm\": {},\n  \
+         \"accel_saved\": {{\"aitken\": {}, \"anderson\": {}}},\n  \
+         \"linearizer_max_rel_err\": {},\n  \"pool\": {},\n  \
+         \"matrix\": [\n{}\n  ],\n  \"points\": [\n{}\n  ]\n}}\n",
         opts.threads,
         walls
             .iter()
@@ -328,6 +570,17 @@ fn main() {
             .join(", "),
         json_f64((speedup_par * 1000.0).round() / 1000.0),
         json_f64((speedup_warm * 1000.0).round() / 1000.0),
+        json_f64(
+            ((1.0 - total(&aitken_iters) as f64 / total(&cold_iters) as f64) * 1000.0).round()
+                / 1000.0
+        ),
+        json_f64(
+            ((1.0 - total(&anderson_iters) as f64 / total(&cold_iters) as f64) * 1000.0).round()
+                / 1000.0
+        ),
+        json_f64((lin_max_rel_err * 1e6).round() / 1e6),
+        pool_json,
+        matrix.join(",\n"),
         points.join(",\n"),
     );
     let path = out.unwrap_or("BENCH_sweep.json");

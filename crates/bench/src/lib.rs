@@ -21,7 +21,10 @@ use carat::workload::{StandardWorkload, TxType};
 pub use replicate::{
     rep_seed, replicated_to_json, run_replications, splitmix64, MetricCi, ReplicatedReport,
 };
-pub use sweep::{chain_to_json, json_f64, run_tasks, solve_chain, ModelPoint, SweepOptions};
+pub use sweep::{
+    chain_to_json, json_f64, run_tasks, run_tasks_timed, solve_chain, ModelPoint, PoolStats,
+    SweepOptions, WorkerStats,
+};
 
 /// Transaction sizes swept in the paper's evaluation.
 pub const N_SWEEP: [u32; 5] = [4, 8, 12, 16, 20];

@@ -7,8 +7,13 @@
 //! produced results (and therefore any output rendered from them) are
 //! **byte-identical to a sequential run**, for every thread count:
 //!
-//! * the partition of tasks onto workers is a pure function of the task
-//!   index and [`SweepOptions::partition_seed`] — never of timing;
+//! * scheduling is *dynamically load-balanced* — workers draw the next
+//!   task from an atomic ticket counter over a fixed task order, so a
+//!   worker stuck on a slow task never leaves queued work idle behind a
+//!   static partition — but *which values are computed* never depends on
+//!   timing: the ticket order is a pure function of the task index and
+//!   [`SweepOptions::partition_seed`], and every task carries its own
+//!   index to a dedicated result slot;
 //! * results are merged back in task order, so downstream printing sees
 //!   the same sequence a `for` loop would have produced;
 //! * each task's computation is untouched by the scheduling (the model
@@ -18,7 +23,14 @@
 //!   the neighbor a point is seeded from is fixed by the chain layout, not
 //!   by which point happened to finish first.
 //!
+//! Only the *timing* telemetry ([`PoolStats`]) varies between runs; it is
+//! reported beside the results, never mixed into them.
+//!
 //! The engine is dependency-free: `std::thread::scope` only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use carat::model::{Model, ModelConfig, ModelOptions, ModelReport, WarmStart};
 
@@ -32,8 +44,9 @@ pub struct SweepOptions {
     /// Seed warm-startable chains from their nearest solved neighbor
     /// (see [`solve_chain`]); `false` forces every point to a cold start.
     pub warm: bool,
-    /// Rotates the task → worker assignment. Any value yields identical
-    /// results (that is the point — it exists so tests can prove it).
+    /// Rotates the order tickets visit the task list. Any value yields
+    /// identical results (that is the point — it exists so tests can
+    /// prove it).
     pub partition_seed: u64,
 }
 
@@ -100,15 +113,57 @@ impl SweepOptions {
     }
 }
 
+/// One worker's share of a [`run_tasks_timed`] execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Tasks this worker completed.
+    pub tasks: usize,
+    /// Wall-clock time spent inside task closures (ms).
+    pub busy_ms: f64,
+}
+
+/// Timing telemetry for one pool execution. Unlike the results, these
+/// numbers are *not* deterministic — they describe how this particular run
+/// spent its time (which worker drew which ticket is a race by design).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolStats {
+    /// Wall-clock duration of the whole `run_tasks` call (ms).
+    pub wall_ms: f64,
+    /// Per-worker busy time and task counts, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Idle time of worker `w`: pool wall clock minus its busy time,
+    /// clamped at zero (the busy sum can exceed wall Δ by timer jitter).
+    pub fn idle_ms(&self, w: usize) -> f64 {
+        (self.wall_ms - self.workers[w].busy_ms).max(0.0)
+    }
+}
+
 /// Runs `f` over every task on a fixed worker pool and returns the results
-/// **in task order**. Task `i` is assigned to worker
-/// `(i + partition_seed) % threads`; the partition is static, so the same
-/// options always run the same task on the same worker, and the merged
-/// output is identical to `tasks.map(f)` for any thread count.
-///
-/// A panic inside any task propagates to the caller (after the scope has
-/// joined every worker), exactly as it would sequentially.
+/// **in task order** — see [`run_tasks_timed`] for the scheduling
+/// contract. A panic inside any task propagates to the caller (after the
+/// scope has joined every worker), exactly as it would sequentially.
 pub fn run_tasks<T, R, F>(tasks: Vec<T>, opts: &SweepOptions, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_tasks_timed(tasks, opts, f).0
+}
+
+/// [`run_tasks`] plus [`PoolStats`] telemetry.
+///
+/// Scheduling is a *deterministic dynamic* (work-stealing-equivalent)
+/// scheme: tickets are drawn from one atomic counter, ticket `t` maps to
+/// task index `(t + partition_seed) % n`, and each result lands in the
+/// slot of its task index. Whichever worker is free takes the next ticket
+/// — that race decides only *who* computes a task and *when*, never *what*
+/// is computed or *where* the result goes, so the returned vector is
+/// byte-identical to a sequential run for every thread count and seed.
+pub fn run_tasks_timed<T, R, F>(tasks: Vec<T>, opts: &SweepOptions, f: F) -> (Vec<R>, PoolStats)
 where
     T: Send,
     R: Send,
@@ -116,43 +171,73 @@ where
 {
     let n = tasks.len();
     let threads = opts.threads.max(1).min(n.max(1));
+    let started = Instant::now();
     if threads <= 1 {
-        return tasks
+        let results: Vec<R> = tasks
             .into_iter()
             .enumerate()
             .map(|(i, t)| f(i, t))
             .collect();
+        let busy_ms = started.elapsed().as_secs_f64() * 1e3;
+        let stats = PoolStats {
+            wall_ms: busy_ms,
+            workers: vec![WorkerStats { tasks: n, busy_ms }],
+        };
+        return (results, stats);
     }
 
-    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
-    for (i, task) in tasks.into_iter().enumerate() {
-        buckets[(i + opts.partition_seed as usize) % threads].push((i, task));
-    }
-
-    let f = &f;
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| {
+    let seed = opts.partition_seed as usize % n;
+    let cells: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    // `Mutex<Option<R>>` rather than `OnceLock<R>` keeps the public bound
+    // at `R: Send` (a `OnceLock` slot shared across workers needs `Sync`).
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let ticket = AtomicUsize::new(0);
+    let (f, cells, slots, ticket) = (&f, &cells, &slots, &ticket);
+    let workers: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
                 scope.spawn(move || {
-                    bucket
-                        .into_iter()
-                        .map(|(i, task)| (i, f(i, task)))
-                        .collect::<Vec<(usize, R)>>()
+                    let mut stats = WorkerStats::default();
+                    loop {
+                        let t = ticket.fetch_add(1, Ordering::Relaxed);
+                        if t >= n {
+                            break;
+                        }
+                        let i = (t + seed) % n;
+                        let task = cells[i]
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("each ticket maps to a distinct task");
+                        let t0 = Instant::now();
+                        let result = f(i, task);
+                        stats.busy_ms += t0.elapsed().as_secs_f64() * 1e3;
+                        stats.tasks += 1;
+                        *slots[i].lock().unwrap() = Some(result);
+                    }
+                    stats
                 })
             })
             .collect();
-        for handle in handles {
-            for (i, result) in handle.join().expect("sweep worker panicked") {
-                slots[i] = Some(result);
-            }
-        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     });
-    slots
-        .into_iter()
-        .map(|r| r.expect("every task produces exactly one result"))
-        .collect()
+    let results: Vec<R> = slots
+        .iter()
+        .map(|s| {
+            s.lock()
+                .unwrap()
+                .take()
+                .expect("every task produces exactly one result")
+        })
+        .collect();
+    let stats = PoolStats {
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        workers,
+    };
+    (results, stats)
 }
 
 /// One model configuration inside a warm-start chain.
@@ -265,6 +350,47 @@ mod tests {
         for threads in [1usize, 2, 3, 8, 64] {
             for seed in [0u64, 1, 7, 1987] {
                 let got = run_tasks(tasks.clone(), &opts(threads, seed), |_, t| t * t);
+                assert_eq!(got, expected, "threads={threads} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_pool_accounts_every_task_exactly_once() {
+        let tasks: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = tasks.iter().map(|t| 2 * t).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let (got, stats) =
+                run_tasks_timed(tasks.clone(), &opts(threads, 5), |i, t| i as u64 + t);
+            assert_eq!(got, expected, "threads={threads}");
+            assert_eq!(stats.workers.len(), threads.min(tasks.len()));
+            assert_eq!(
+                stats.workers.iter().map(|w| w.tasks).sum::<usize>(),
+                tasks.len()
+            );
+            for w in 0..stats.workers.len() {
+                assert!(stats.workers[w].busy_ms >= 0.0);
+                assert!(stats.idle_ms(w) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_scheduler_is_deterministic_under_skewed_task_cost() {
+        // A deliberately unbalanced grid: task 0 sleeps while the rest are
+        // instant. Dynamic ticketing lets other workers drain the queue,
+        // but the merged output must not care who did what.
+        let tasks: Vec<u64> = (0..16).collect();
+        let slow = |i: usize, t: u64| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            t * 3
+        };
+        let expected: Vec<u64> = tasks.iter().map(|t| t * 3).collect();
+        for threads in [1usize, 2, 4, 8] {
+            for seed in [0u64, 9] {
+                let got = run_tasks(tasks.clone(), &opts(threads, seed), slow);
                 assert_eq!(got, expected, "threads={threads} seed={seed}");
             }
         }

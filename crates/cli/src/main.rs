@@ -103,6 +103,8 @@ fn run_model(spec: &RunSpec, n: u32, warm: &mut Warm, log: Option<&mut IterLog>)
         separate_log_disk: spec.separate_log,
         model_tm_serialization: spec.tm_center,
         threads: spec.threads,
+        accel: spec.accel,
+        mva: spec.mva,
         ..ModelOptions::default()
     };
     let seed = if spec.warm_start {

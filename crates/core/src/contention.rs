@@ -120,25 +120,41 @@ pub fn blocked_by_distribution(
     chains: &[ChainLockState],
     all_exclusive: bool,
 ) -> Vec<f64> {
-    let weights: Vec<f64> = chains
-        .iter()
-        .map(|c| {
-            if !(all_exclusive || c.chain.is_update() || me.is_update()) {
-                return 0.0;
-            }
+    let mut out = vec![0.0; chains.len()];
+    blocked_by_distribution_into(me, chains, all_exclusive, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`blocked_by_distribution`]: writes the
+/// distribution into `out` (length = `chains.len()`). Bitwise-identical
+/// weights, sum, and normalisation.
+pub fn blocked_by_distribution_into(
+    me: ChainType,
+    chains: &[ChainLockState],
+    all_exclusive: bool,
+    out: &mut [f64],
+) {
+    assert_eq!(out.len(), chains.len(), "distribution buffer length");
+    let mut total = 0.0;
+    for (w, c) in out.iter_mut().zip(chains) {
+        *w = if !(all_exclusive || c.chain.is_update() || me.is_update()) {
+            0.0
+        } else {
             let instances = if c.chain == me {
                 (c.population - 1.0).max(0.0)
             } else {
                 c.population
             };
             instances * c.l_h
-        })
-        .collect();
-    let total: f64 = weights.iter().sum();
+        };
+        total += *w;
+    }
     if total <= 0.0 {
-        vec![0.0; chains.len()]
+        out.fill(0.0);
     } else {
-        weights.into_iter().map(|w| w / total).collect()
+        for w in out.iter_mut() {
+            *w /= total;
+        }
     }
 }
 
@@ -154,8 +170,23 @@ pub fn blocked_by_distribution(
 /// `t`'s conflicting held locks over all locks conflicting with `s`'s
 /// request).
 pub fn deadlock_probability(me_idx: usize, chains: &[ChainLockState], all_exclusive: bool) -> f64 {
+    let mut pb_dist = vec![0.0; chains.len()];
+    deadlock_probability_scratch(me_idx, chains, all_exclusive, &mut pb_dist)
+}
+
+/// Allocation-free variant of [`deadlock_probability`]: the blocked-by
+/// distribution is computed into the caller's `pb_dist` buffer (resized as
+/// needed). Bitwise-identical result.
+pub fn deadlock_probability_scratch(
+    me_idx: usize,
+    chains: &[ChainLockState],
+    all_exclusive: bool,
+    pb_dist: &mut Vec<f64>,
+) -> f64 {
     let me = chains[me_idx].chain;
-    let pb_dist = blocked_by_distribution(me, chains, all_exclusive);
+    pb_dist.clear();
+    pb_dist.resize(chains.len(), 0.0);
+    blocked_by_distribution_into(me, chains, all_exclusive, pb_dist);
     let mut pd = 0.0;
     for (s_idx, s) in chains.iter().enumerate() {
         if pb_dist[s_idx] == 0.0 || s.blocked_frac <= 0.0 {
@@ -255,14 +286,54 @@ pub fn lock_wait_times_consistent(
     all_exclusive: bool,
     fixed_br: Option<f64>,
 ) -> Vec<f64> {
+    let mut scratch = LockWaitScratch::default();
+    let mut out = Vec::new();
+    lock_wait_times_consistent_into(chains, all_exclusive, fixed_br, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable buffers for [`lock_wait_times_consistent_into`].
+#[derive(Debug, Clone, Default)]
+pub struct LockWaitScratch {
+    pb_dist: Vec<f64>,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    m: Vec<f64>,
+    x: Vec<f64>,
+}
+
+/// Allocation-free variant of [`lock_wait_times_consistent`]: all working
+/// storage lives in `scratch` and the wait times are written into `out`
+/// (cleared first). The assembly, elimination, and saturation cap are
+/// bit-for-bit those of the allocating entry point, so fixed-point loops
+/// can switch to this without perturbing converged values.
+pub fn lock_wait_times_consistent_into(
+    chains: &[ChainLockState],
+    all_exclusive: bool,
+    fixed_br: Option<f64>,
+    scratch: &mut LockWaitScratch,
+    out: &mut Vec<f64>,
+) {
     let n = chains.len();
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    let mut a = vec![0.0f64; n * n];
-    let mut b = vec![0.0f64; n];
+    let LockWaitScratch {
+        pb_dist,
+        a,
+        b,
+        m,
+        x,
+    } = scratch;
+    pb_dist.clear();
+    pb_dist.resize(n, 0.0);
+    a.clear();
+    a.resize(n * n, 0.0);
+    b.clear();
+    b.resize(n, 0.0);
     for (t_idx, t) in chains.iter().enumerate() {
-        let pb_dist = blocked_by_distribution(t.chain, chains, all_exclusive);
+        blocked_by_distribution_into(t.chain, chains, all_exclusive, pb_dist);
         for (s_idx, s) in chains.iter().enumerate() {
             if pb_dist[s_idx] == 0.0 {
                 continue;
@@ -273,19 +344,24 @@ pub fn lock_wait_times_consistent(
         }
     }
     // (I − A) x = b.
-    let mut m = vec![0.0f64; n * n];
+    m.clear();
+    m.resize(n * n, 0.0);
     for i in 0..n {
         for j in 0..n {
             m[i * n + j] = f64::from(u8::from(i == j)) - a[i * n + j];
         }
     }
-    let solved = crate::phases_linalg_solve(&m, &b);
-    let cap: Vec<f64> = b.iter().map(|&bi| bi * MAX_CHAIN_INFLATION).collect();
-    match solved {
-        Some(x) if x.iter().all(|v| v.is_finite() && *v >= 0.0) => {
-            x.into_iter().zip(cap).map(|(v, c)| v.min(c)).collect()
-        }
-        _ => cap,
+    x.clear();
+    x.extend_from_slice(b);
+    let solved = crate::phases_linalg_solve_in_place(m, x);
+    if solved && x.iter().all(|v| v.is_finite() && *v >= 0.0) {
+        out.extend(
+            x.iter()
+                .zip(b.iter())
+                .map(|(&v, &bi)| v.min(bi * MAX_CHAIN_INFLATION)),
+        );
+    } else {
+        out.extend(b.iter().map(|&bi| bi * MAX_CHAIN_INFLATION));
     }
 }
 
@@ -469,6 +545,36 @@ mod tests {
             assert!((0.33..=0.42).contains(&br), "n_lk={n_lk}: {br}");
         }
         assert!((blocking_ratio(1e9) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scratch_variants_are_bitwise_identical() {
+        let chains = [
+            state(Lu, 2.0, 9.0),
+            state(Lro, 2.0, 6.0),
+            state(Duc, 1.0, 3.0),
+        ];
+        let mut scratch = LockWaitScratch::default();
+        let mut out = Vec::new();
+        for all_exclusive in [false, true] {
+            for fixed_br in [None, Some(1.0 / 3.0)] {
+                let fresh = lock_wait_times_consistent(&chains, all_exclusive, fixed_br);
+                lock_wait_times_consistent_into(
+                    &chains,
+                    all_exclusive,
+                    fixed_br,
+                    &mut scratch,
+                    &mut out,
+                );
+                assert_eq!(fresh, out);
+            }
+            let mut buf = Vec::new();
+            for me_idx in 0..chains.len() {
+                let fresh = deadlock_probability(me_idx, &chains, all_exclusive);
+                let reused = deadlock_probability_scratch(me_idx, &chains, all_exclusive, &mut buf);
+                assert!(fresh.to_bits() == reused.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -77,6 +77,15 @@ pub struct ConvergenceInfo {
     /// state ([`crate::Model::solve_warm`]) instead of the cold-start
     /// defaults.
     pub warm_started: bool,
+    /// Accelerated steps ([`crate::solver::Accel`]) that were taken and
+    /// survived the retrospective residual check. Always 0 with
+    /// acceleration off.
+    pub accel_accepted: usize,
+    /// Accelerated steps that were rejected: either the candidate left the
+    /// [0, 1]/positivity bounds before being applied, or the following
+    /// iteration's residual grew and the state was rolled back to the
+    /// plain damped iterate. Always 0 with acceleration off.
+    pub accel_rejected: usize,
 }
 
 /// Full model solution.

@@ -1,6 +1,6 @@
 //! Transaction phases, the Table 1 transition matrices, and visit counts.
 
-use carat_qnet::solve_dense;
+use carat_qnet::solve_dense_in_place;
 
 /// The transaction phases of the Site Processing Model (paper §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -220,14 +220,31 @@ impl TransitionMatrix {
     /// of visits to each phase per execution, normalised to one UT visit
     /// per execution.
     pub fn visit_counts(&self) -> VisitCounts {
+        let mut scratch = TrafficScratch::default();
+        let mut out = VisitCounts {
+            v: [0.0; Phase::COUNT],
+        };
+        self.visit_counts_into(&mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`TransitionMatrix::visit_counts`]: the
+    /// 16×16 system matrix and right-hand side live in `scratch` so the
+    /// per-iteration traffic-equation solve in the fixed-point loop does
+    /// not allocate. Bitwise-identical to `visit_counts` (same assembly,
+    /// same elimination).
+    pub fn visit_counts_into(&self, scratch: &mut TrafficScratch, out: &mut VisitCounts) {
         // V = V·P with V[UT] = 1  ⇔  (Pᵀ − I)V = 0, replace the UT row by
         // V[UT] = 1.
         let n = Phase::COUNT;
         let ut = Phase::Ut.idx();
-        let mut a = vec![0.0f64; n * n];
-        let mut b = vec![0.0f64; n];
+        let a = &mut scratch.a;
+        let b = &mut scratch.b;
         for row in 0..n {
             if row == ut {
+                for col in 0..n {
+                    a[row * n + col] = 0.0;
+                }
                 a[row * n + row] = 1.0;
                 b[row] = 1.0;
                 continue;
@@ -236,10 +253,25 @@ impl TransitionMatrix {
                 a[row * n + col] = self.p[col][row]; // Pᵀ
             }
             a[row * n + row] -= 1.0;
+            b[row] = 0.0;
         }
-        let v = solve_dense(&a, &b).expect("traffic equations are nonsingular");
-        VisitCounts {
-            v: v.try_into().expect("length 16"),
+        solve_dense_in_place(a, b).expect("traffic equations are nonsingular");
+        out.v.copy_from_slice(b);
+    }
+}
+
+/// Reusable buffers for [`TransitionMatrix::visit_counts_into`].
+#[derive(Debug, Clone)]
+pub struct TrafficScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl Default for TrafficScratch {
+    fn default() -> Self {
+        TrafficScratch {
+            a: vec![0.0; Phase::COUNT * Phase::COUNT],
+            b: vec![0.0; Phase::COUNT],
         }
     }
 }
@@ -251,6 +283,14 @@ pub struct VisitCounts {
 }
 
 impl VisitCounts {
+    /// All-zero visit counts — an output buffer for
+    /// [`TransitionMatrix::visit_counts_into`].
+    pub fn zero() -> Self {
+        VisitCounts {
+            v: [0.0; Phase::COUNT],
+        }
+    }
+
     /// Visits to `phase` per execution.
     pub fn get(&self, phase: Phase) -> f64 {
         self.v[phase.idx()]
@@ -368,6 +408,30 @@ mod tests {
         assert!((v.get(Phase::Lw) - h.pb * v.get(Phase::Lr)).abs() < 1e-9);
         // V_TA = Pd · V_LW.
         assert!((v.get(Phase::Ta) - h.pd * v.get(Phase::Lw)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn visit_counts_into_reuse_is_bitwise_identical() {
+        let mut scratch = TrafficScratch::default();
+        let mut out = VisitCounts {
+            v: [0.0; Phase::COUNT],
+        };
+        for pb in [0.0, 0.15, 0.6] {
+            let m = TransitionMatrix::local_or_coordinator(
+                6.0,
+                4.0,
+                2.0,
+                3.3,
+                Hazards {
+                    pb,
+                    pd: 0.2,
+                    pra: 0.05,
+                },
+            );
+            let fresh = m.visit_counts();
+            m.visit_counts_into(&mut scratch, &mut out);
+            assert_eq!(fresh.v, out.v, "pb={pb}");
+        }
     }
 
     #[test]

@@ -14,12 +14,12 @@ use carat_qnet::{CenterKind, MvaScratch, MvaSolution, Network};
 use carat_workload::{ChainType, SystemParams, TxType, WorkloadSpec};
 
 use crate::contention::{
-    blocking_probability, deadlock_probability, lock_wait_times_consistent, locks_held, sigma,
-    ChainLockState,
+    blocking_probability, deadlock_probability_scratch, lock_wait_times_consistent_into,
+    locks_held, sigma, ChainLockState, LockWaitScratch,
 };
 use crate::demands::{chain_contexts, demands, phase_costs, ChainCtx, DelayTimes};
 use crate::output::{ConvergenceInfo, ModelNodeReport, ModelReport, ModelTypeReport};
-use crate::phases::{Hazards, Phase, TransitionMatrix};
+use crate::phases::{Hazards, Phase, TrafficScratch, TransitionMatrix, VisitCounts};
 
 /// What to solve: workload + transaction size on the standard parameters.
 #[derive(Debug, Clone)]
@@ -43,6 +43,77 @@ impl ModelConfig {
     }
 }
 
+/// Which algorithm solves each site's closed queueing network inside one
+/// fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MvaAlgo {
+    /// Exact MVA over the full population lattice (the default). Lattices
+    /// above the internal cap fall back to Schweitzer–Bard.
+    #[default]
+    Exact,
+    /// Schweitzer–Bard approximate MVA.
+    Schweitzer,
+    /// Chandy–Neuse Linearizer approximate MVA: Schweitzer–Bard corrected
+    /// by first-order fraction deviations; markedly closer to exact on
+    /// small multi-chain populations at a small constant-factor cost over
+    /// Schweitzer–Bard.
+    Linearizer,
+}
+
+impl MvaAlgo {
+    /// Parses the CLI spelling: `exact`, `schweitzer`, or `linearizer`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(MvaAlgo::Exact),
+            "schweitzer" => Some(MvaAlgo::Schweitzer),
+            "linearizer" => Some(MvaAlgo::Linearizer),
+            _ => None,
+        }
+    }
+}
+
+/// Outer-loop acceleration of the damped fixed-point iteration
+/// (DESIGN.md §12). Both schemes operate on the flattened per-chain
+/// contention state vector (`Pb`, `Pd`, `R_LW`, `R_RW`, `R_CWC`, `R_CWA`,
+/// `Pra`) and are safeguarded: a candidate that leaves the [0, 1] /
+/// positivity bounds is discarded before being applied, and an applied
+/// step whose follow-up residual grows is rolled back to the plain damped
+/// iterate (with a short cooldown). `Off` is byte-identical to the
+/// unaccelerated solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Accel {
+    /// Plain damped iteration (the default).
+    #[default]
+    Off,
+    /// Safeguarded componentwise Aitken Δ² (vector Steffensen): every two
+    /// plain steps extrapolate one accelerated step, then the history
+    /// restarts.
+    Aitken,
+    /// Anderson mixing with history depth `m` (typically 2–4): each step
+    /// combines the last `m + 1` iterates through a small regularised
+    /// least-squares problem over their residuals.
+    Anderson(usize),
+}
+
+impl Accel {
+    /// Parses the CLI spelling: `off`, `aitken`, `anderson`, or
+    /// `anderson:M`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(Accel::Off),
+            "aitken" => Some(Accel::Aitken),
+            "anderson" => Some(Accel::Anderson(DEFAULT_ANDERSON_DEPTH)),
+            _ => {
+                let m = s.strip_prefix("anderson:")?.parse::<usize>().ok()?;
+                (m >= 1).then_some(Accel::Anderson(m))
+            }
+        }
+    }
+}
+
+/// Anderson history depth used by the bare `anderson` spelling.
+pub const DEFAULT_ANDERSON_DEPTH: usize = 3;
+
 /// Solver knobs and ablation switches (DESIGN.md §9).
 #[derive(Debug, Clone)]
 pub struct ModelOptions {
@@ -52,9 +123,11 @@ pub struct ModelOptions {
     pub tol: f64,
     /// Iteration cap.
     pub max_iter: usize,
-    /// Use exact MVA when the population lattice is small enough;
-    /// otherwise (or when `false`) use Schweitzer–Bard.
-    pub exact_mva: bool,
+    /// Per-site MVA algorithm (see [`MvaAlgo`]).
+    pub mva: MvaAlgo,
+    /// Outer-loop acceleration (see [`Accel`]; `Off` keeps the solve
+    /// byte-identical to the plain damped iteration).
+    pub accel: Accel,
     /// Ablation: ignore deadlocks/rollback entirely (`Pd = 0`), as many
     /// earlier models did.
     pub ignore_deadlocks: bool,
@@ -85,7 +158,8 @@ impl Default for ModelOptions {
             damping: 0.5,
             tol: 1e-9,
             max_iter: 400,
-            exact_mva: true,
+            mva: MvaAlgo::Exact,
+            accel: Accel::Off,
             ignore_deadlocks: false,
             all_locks_exclusive: false,
             fixed_br: None,
@@ -143,6 +217,295 @@ pub struct WarmStart {
     st: Vec<ChainState>,
 }
 
+/// Number of accelerated state quantities per chain — the damped state
+/// vector in update order: `Pb`, `Pd`, `R_LW`, `R_RW`, `R_CWC`, `R_CWA`,
+/// `Pra`.
+const ACCEL_FIELDS: usize = 7;
+
+/// Plain damped iterations to complete before the first acceleration
+/// attempt (lets the cold-start transient settle).
+const ACCEL_START: usize = 3;
+
+/// Iterations to wait after a rejected accelerated step before trying
+/// again.
+const ACCEL_COOLDOWN: usize = 1;
+
+/// Reject a candidate whose step exceeds this multiple of the latest
+/// residual-vector max-norm: extrapolations that large come from a
+/// nearly-singular difference system, not a plausible fixed-point
+/// estimate.
+const ACCEL_MAX_AMPLIFICATION: f64 = 100.0;
+
+/// The Anderson extrapolation acts on the *undamped* residual: the history
+/// stores damped steps `f = λ·f_raw`, so the mixing term is rescaled by
+/// `1/λ` (with λ = 0.5, [`ModelOptions::damping`]'s default — acceleration
+/// bakes this in rather than reading the option because a non-default λ is
+/// an ablation knob, and a mis-scaled candidate is merely less effective,
+/// never wrong: the safeguards below still screen it).
+const INV_DAMP: f64 = 2.0;
+
+/// Retro-check grace: an applied accelerated step is kept as long as the
+/// follow-up residual stays below this multiple of the residual at the
+/// moment the step was taken. Anderson iterates are not monotone — a
+/// transient bump of a near-converged component is normal — and rejecting
+/// on any increase costs a rollback plus cooldown; the bounded grace keeps
+/// the non-monotone steps that still contract over two iterations. Aitken
+/// gets no grace: it restarts its history at every extrapolation, so a
+/// step that failed to contract has polluted exactly the two iterates the
+/// next extrapolation would build on — strict rejection is cheaper there.
+const ANDERSON_GRACE: f64 = 2.0;
+
+/// Safeguarded outer-loop accelerator over the flattened contention state
+/// (see [`Accel`]). The engine watches the plain damped iteration
+/// `x_{i+1} = G(x_i)` (where `G` already includes the damping), keeps a
+/// short history of iterates `x_i` and residuals `f_i = G(x_i) − x_i`,
+/// and occasionally replaces the damped iterate with an extrapolated
+/// candidate. Every candidate is screened against the [0, 1]/positivity
+/// bounds before being applied, and retro-checked one iteration later: if
+/// the residual grew (beyond [`ANDERSON_GRACE`] for Anderson), the state
+/// is rolled back to the saved damped iterate and acceleration pauses for
+/// [`ACCEL_COOLDOWN`] iterations.
+struct AccelEngine {
+    mode: Accel,
+    /// Picard history (oldest first): iterates and their residuals.
+    hist_x: Vec<Vec<f64>>,
+    hist_f: Vec<Vec<f64>>,
+    /// The iterate the running iteration started from.
+    x_prev: Vec<f64>,
+    /// The post-update iterate of the running iteration.
+    x_curr: Vec<f64>,
+    /// Latest extrapolated candidate.
+    cand: Vec<f64>,
+    /// Damped state to restore when the pending step is rejected.
+    snapshot: Vec<ChainState>,
+    /// An accelerated step was applied and awaits its residual check.
+    pending: bool,
+    /// Residual at the moment the pending step was taken.
+    pending_residual: f64,
+    cooldown: usize,
+    accepted: usize,
+    rejected: usize,
+}
+
+impl AccelEngine {
+    fn new(mode: Accel, st: &[ChainState]) -> Self {
+        let dim = st.len() * ACCEL_FIELDS;
+        let mut eng = AccelEngine {
+            mode,
+            hist_x: Vec::new(),
+            hist_f: Vec::new(),
+            x_prev: vec![0.0; dim],
+            x_curr: vec![0.0; dim],
+            cand: vec![0.0; dim],
+            snapshot: Vec::new(),
+            pending: false,
+            pending_residual: f64::INFINITY,
+            cooldown: 0,
+            accepted: 0,
+            rejected: 0,
+        };
+        Self::extract(st, &mut eng.x_prev);
+        eng
+    }
+
+    /// History pairs kept: Aitken restarts after every extrapolation and
+    /// needs two consecutive pairs; Anderson(m) mixes the last m + 1.
+    fn depth(&self) -> usize {
+        match self.mode {
+            Accel::Off => 0,
+            Accel::Aitken => 2,
+            Accel::Anderson(m) => m.max(1) + 1,
+        }
+    }
+
+    /// Flattens the damped state quantities of every chain into `out`.
+    fn extract(st: &[ChainState], out: &mut [f64]) {
+        for (k, s) in st.iter().enumerate() {
+            let b = k * ACCEL_FIELDS;
+            out[b] = s.pb;
+            out[b + 1] = s.pd;
+            out[b + 2] = s.r_lw;
+            out[b + 3] = s.r_rw;
+            out[b + 4] = s.r_cwc;
+            out[b + 5] = s.r_cwa;
+            out[b + 6] = s.pra;
+        }
+    }
+
+    /// Writes the candidate back into the chain states.
+    fn inject_candidate(&self, st: &mut [ChainState]) {
+        for (k, s) in st.iter_mut().enumerate() {
+            let b = k * ACCEL_FIELDS;
+            s.pb = self.cand[b];
+            s.pd = self.cand[b + 1];
+            s.r_lw = self.cand[b + 2];
+            s.r_rw = self.cand[b + 3];
+            s.r_cwc = self.cand[b + 4];
+            s.r_cwa = self.cand[b + 5];
+            s.pra = self.cand[b + 6];
+        }
+    }
+
+    /// Records the completed plain step `x_prev → st` as a history pair
+    /// and rolls `x_prev` forward.
+    fn record(&mut self, st: &[ChainState]) {
+        Self::extract(st, &mut self.x_curr);
+        let f: Vec<f64> = self
+            .x_curr
+            .iter()
+            .zip(&self.x_prev)
+            .map(|(c, p)| c - p)
+            .collect();
+        self.hist_x.push(self.x_prev.clone());
+        self.hist_f.push(f);
+        let depth = self.depth();
+        while self.hist_x.len() > depth {
+            self.hist_x.remove(0);
+            self.hist_f.remove(0);
+        }
+    }
+
+    /// Forgets the Picard history (after an extrapolation restart or a
+    /// rollback, the stored pairs no longer describe consecutive steps).
+    fn clear_history(&mut self) {
+        self.hist_x.clear();
+        self.hist_f.clear();
+    }
+
+    /// Rolls `x_prev` forward to the state the next iteration starts from
+    /// (damped, restored, or accelerated — whatever `st` holds now).
+    fn roll(&mut self, st: &[ChainState]) {
+        Self::extract(st, &mut self.x_prev);
+    }
+
+    /// Builds an extrapolated candidate in `self.cand` from the current
+    /// history. Returns `false` when the history is too short or the
+    /// extrapolation is numerically unusable; `true` means `cand` holds a
+    /// candidate that differs from the plain damped iterate.
+    fn try_candidate(&mut self) -> bool {
+        if self.hist_x.len() < 2 {
+            return false;
+        }
+        let ok = match self.mode {
+            Accel::Off => false,
+            Accel::Aitken => self.aitken_candidate(),
+            Accel::Anderson(_) => self.anderson_candidate(),
+        };
+        if !ok {
+            return false;
+        }
+        // A candidate equal to the damped iterate would make the pending
+        // bookkeeping a pure no-op; skip it.
+        self.cand.iter().zip(&self.x_curr).any(|(c, x)| c != x)
+    }
+
+    /// Vector Aitken Δ² (Irons–Tuck form) over the last two consecutive
+    /// pairs. The scalar recursion `x₂ − f₁²/(f₁ − f₀)` generalises to the
+    /// projected step `x₂ − θ·f₁` with `θ = ⟨f₁, Δf⟩ / ⟨Δf, Δf⟩`, which
+    /// estimates one global contraction rate instead of one per component —
+    /// the componentwise form misfires when individual denominators
+    /// `f₁ᵢ − f₀ᵢ` pass near zero. Components are weighted by
+    /// `1 / (1 + |x|)` so the rate estimate matches the relative-error
+    /// metric the solver converges on (probabilities and millisecond-scale
+    /// times would otherwise be weighted 100:1).
+    fn aitken_candidate(&mut self) -> bool {
+        let last = self.hist_f.len() - 1;
+        let (f0, f1) = (&self.hist_f[last - 1], &self.hist_f[last]);
+        let x1 = &self.hist_x[last];
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for i in 0..self.cand.len() {
+            let w = 1.0 / (1.0 + (x1[i] + f1[i]).abs());
+            let d = (f1[i] - f0[i]) * w;
+            num += f1[i] * w * d;
+            den += d * d;
+        }
+        let theta = num / den;
+        // θ estimates ρ/(ρ−1) for contraction rate ρ ∈ (0, 1), so a
+        // meaningful extrapolation has θ < 0 (a positive θ means the
+        // residual grew and Δ² would step backwards — let damping work).
+        if !theta.is_finite() || !(-50.0..0.0).contains(&theta) {
+            return false;
+        }
+        for i in 0..self.cand.len() {
+            self.cand[i] = x1[i] + (1.0 - theta) * f1[i];
+        }
+        true
+    }
+
+    /// Anderson mixing (type II) over the stored pairs: solve the
+    /// regularised normal equations
+    /// `(ΔFᵀΔF + εI) γ = ΔFᵀ f_last` (γ is invariant under uniform
+    /// rescaling of the residuals) and extrapolate on the undamped
+    /// residuals `f/λ` (see [`INV_DAMP`]):
+    /// `x* = x_last + f_last/λ − Σ γᵢ (ΔXᵢ + ΔFᵢ/λ)`.
+    fn anderson_candidate(&mut self) -> bool {
+        let k = self.hist_f.len();
+        let cols = k - 1;
+        let dim = self.cand.len();
+        let f_last = &self.hist_f[k - 1];
+        let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+        let df = |i: usize, c: usize| self.hist_f[i + 1][c] - self.hist_f[i][c];
+        let dx = |i: usize, c: usize| self.hist_x[i + 1][c] - self.hist_x[i][c];
+        let mut g = vec![0.0f64; cols * cols];
+        let mut rhs = vec![0.0f64; cols];
+        let mut dfi = vec![0.0f64; dim];
+        let mut dfj = vec![0.0f64; dim];
+        for i in 0..cols {
+            for (c, v) in dfi.iter_mut().enumerate() {
+                *v = df(i, c);
+            }
+            for j in 0..cols {
+                for (c, v) in dfj.iter_mut().enumerate() {
+                    *v = df(j, c);
+                }
+                g[i * cols + j] = dot(&dfi, &dfj);
+            }
+            rhs[i] = dot(&dfi, f_last);
+        }
+        let trace: f64 = (0..cols).map(|i| g[i * cols + i]).sum();
+        let eps = 1e-10 * trace.max(1e-300);
+        for i in 0..cols {
+            g[i * cols + i] += eps;
+        }
+        let Ok(gamma) = carat_qnet::solve_dense(&g, &rhs) else {
+            return false;
+        };
+        if gamma.iter().any(|v| !v.is_finite()) {
+            return false;
+        }
+        for (c, &fl) in f_last.iter().enumerate() {
+            let mut v = self.x_curr[c] + (INV_DAMP - 1.0) * fl;
+            for (i, &gi) in gamma.iter().enumerate() {
+                v -= gi * (dx(i, c) + INV_DAMP * df(i, c));
+            }
+            self.cand[c] = v;
+        }
+        true
+    }
+
+    /// Screens the candidate: finite, probabilities in [0, 1], waits
+    /// non-negative, and the step bounded relative to the latest residual
+    /// vector.
+    fn candidate_in_bounds(&self) -> bool {
+        let f_norm = self
+            .hist_f
+            .last()
+            .map(|f| f.iter().fold(0.0f64, |m, v| m.max(v.abs())))
+            .unwrap_or(0.0);
+        let max_step = ACCEL_MAX_AMPLIFICATION * f_norm + 1e-12;
+        self.cand.iter().enumerate().all(|(i, &v)| {
+            if !v.is_finite() || (v - self.x_curr[i]).abs() > max_step {
+                return false;
+            }
+            match i % ACCEL_FIELDS {
+                0 | 1 | 6 => (0.0..=1.0).contains(&v), // Pb, Pd, Pra
+                _ => v >= 0.0,                         // residence times
+            }
+        })
+    }
+}
+
 /// One site's closed network plus the MVA buffers, built once per solve
 /// and reused across all fixed-point iterations: only the demands change
 /// between iterations, so the network topology, the lattice-sized scratch
@@ -170,12 +533,19 @@ const PARALLEL_LATTICE_MIN: usize = 4_096;
 
 impl SiteSolver {
     /// Solves this site's network into the held buffers.
-    fn run(&mut self, exact_mva: bool) {
-        if exact_mva && self.net.lattice_size() <= EXACT_LATTICE_MAX {
-            self.net.solve_exact_into(&mut self.scratch, &mut self.out);
-        } else {
-            self.net
-                .solve_approx_into(1e-10, 20_000, &mut self.scratch, &mut self.out);
+    fn run(&mut self, algo: MvaAlgo) {
+        match algo {
+            MvaAlgo::Exact if self.net.lattice_size() <= EXACT_LATTICE_MAX => {
+                self.net.solve_exact_into(&mut self.scratch, &mut self.out);
+            }
+            MvaAlgo::Linearizer => {
+                self.net
+                    .solve_linearizer_into(1e-10, 20_000, &mut self.scratch, &mut self.out);
+            }
+            _ => {
+                self.net
+                    .solve_approx_into(1e-10, 20_000, &mut self.scratch, &mut self.out);
+            }
         }
     }
 }
@@ -294,11 +664,33 @@ impl Model {
                 .unwrap_or(0)
                 >= PARALLEL_LATTICE_MIN;
 
+        // Hoisted per-iteration buffers: the whole fixed-point loop runs
+        // allocation-free (the traffic-equation solve, the contention
+        // linear system, and the proposed-update vectors all reuse these).
+        let n_chains = ctxs.len();
+        let mut traffic_scratch = TrafficScratch::default();
+        let mut visits: Vec<VisitCounts> = (0..n_chains).map(|_| VisitCounts::zero()).collect();
+        let mut new_pb = vec![0.0; n_chains];
+        let mut new_pd = vec![0.0; n_chains];
+        let mut new_rlw = vec![0.0; n_chains];
+        let mut new_rrw = vec![0.0; n_chains];
+        let mut new_cwc = vec![0.0; n_chains];
+        let mut new_cwa = vec![0.0; n_chains];
+        let mut new_pra = vec![0.0; n_chains];
+        let mut chain_delta = vec![0.0; n_chains];
+        let mut states: Vec<ChainLockState> = Vec::with_capacity(n_chains);
+        let mut lw_scratch = LockWaitScratch::default();
+        let mut rlw_site: Vec<f64> = Vec::with_capacity(n_chains);
+        let mut pd_dist: Vec<f64> = Vec::with_capacity(n_chains);
+        let mut accel = match self.opts.accel {
+            Accel::Off => None,
+            mode => Some(AccelEngine::new(mode, &st)),
+        };
+
         for iter in 0..self.opts.max_iter {
             iterations = iter + 1;
 
             // --- Phase/visit/demand assembly -------------------------------
-            let mut visits = Vec::with_capacity(ctxs.len());
             for (k, ctx) in ctxs.iter().enumerate() {
                 let s = &mut st[k];
                 let p = (s.pb * s.pd).clamp(0.0, 0.999_999);
@@ -322,7 +714,7 @@ impl Model {
                 } else {
                     TransitionMatrix::local_or_coordinator(ctx.n, ctx.l, ctx.r, ctx.q, hz)
                 };
-                visits.push(m.visit_counts());
+                m.visit_counts_into(&mut traffic_scratch, &mut visits[k]);
             }
 
             // --- Per-site MVA ----------------------------------------------
@@ -388,21 +780,21 @@ impl Model {
             // only its own buffers with arithmetic identical to the
             // sequential path, so the results are bitwise equal for any
             // thread count.
-            let exact_mva = self.opts.exact_mva;
+            let mva = self.opts.mva;
             if parallel_sites {
                 let per = solvers.len().div_ceil(threads);
                 std::thread::scope(|scope| {
                     for chunk in solvers.chunks_mut(per) {
                         scope.spawn(move || {
                             for sv in chunk {
-                                sv.run(exact_mva);
+                                sv.run(mva);
                             }
                         });
                     }
                 });
             } else {
                 for sv in &mut solvers {
-                    sv.run(exact_mva);
+                    sv.run(mva);
                 }
             }
 
@@ -420,14 +812,10 @@ impl Model {
             }
 
             // --- Contention updates ----------------------------------------
-            let mut new_pb = vec![0.0; ctxs.len()];
-            let mut new_pd = vec![0.0; ctxs.len()];
-            let mut new_rlw = vec![0.0; ctxs.len()];
-            for site in 0..params.sites() {
-                let site_idx: Vec<usize> =
-                    (0..ctxs.len()).filter(|&k| ctxs[k].site == site).collect();
+            for solver in solvers.iter().take(params.sites()) {
+                let site_idx = &solver.site_idx;
                 // L_h and blocked-time fractions first.
-                for &k in &site_idx {
+                for &k in site_idx {
                     let ctx = &ctxs[k];
                     let s = &mut st[k];
                     s.l_h = locks_held(ctx.n_lk, s.sigma, s.p_a, s.r_s, params.think_time_ms);
@@ -437,44 +825,44 @@ impl Model {
                         0.0
                     };
                 }
-                let states: Vec<ChainLockState> = site_idx
-                    .iter()
-                    .map(|&k| {
-                        let s = &st[k];
-                        // B(t): the wait-free part of R_s — what the blocker
-                        // actually *does* while holding locks. Both the
-                        // lock-wait echo (same site) and the remote-wait echo
-                        // (other site's lock waits reflected through RW gaps)
-                        // are removed; without this the cross-site R_LW loop
-                        // is slowly supercritical and the iteration drifts
-                        // into an unphysical thrashing solution. B is anchored
-                        // to the pure service content per execution: at least
-                        // 1× (can't be faster than service), at most 6×
-                        // (bounded queueing inflation at sub-saturation
-                        // utilizations).
-                        let lw_content = ctxs[k].n_lk * s.pb * s.r_lw;
-                        let rw_cw_content =
-                            visits[k].get(Phase::Rw) * s.r_rw + visits[k].get(Phase::Cwc) * s.r_cwc;
-                        let service = (s.cpu_demand + s.disk_demand) / s.n_s;
-                        let useful = (s.r_s - lw_content - rw_cw_content)
-                            .clamp(service, 6.0 * service.max(1e-9));
-                        ChainLockState {
-                            chain: ctxs[k].chain,
-                            population: ctxs[k].population as f64,
-                            l_h: s.l_h,
-                            n_lk: ctxs[k].n_lk,
-                            blocked_frac: s.blocked_frac,
-                            r_s: s.r_s,
-                            useful,
-                            pb: s.pb,
-                            pd: s.pd,
-                        }
-                    })
-                    .collect();
-                let rlw_site = lock_wait_times_consistent(
+                states.clear();
+                states.extend(site_idx.iter().map(|&k| {
+                    let s = &st[k];
+                    // B(t): the wait-free part of R_s — what the blocker
+                    // actually *does* while holding locks. Both the
+                    // lock-wait echo (same site) and the remote-wait echo
+                    // (other site's lock waits reflected through RW gaps)
+                    // are removed; without this the cross-site R_LW loop
+                    // is slowly supercritical and the iteration drifts
+                    // into an unphysical thrashing solution. B is anchored
+                    // to the pure service content per execution: at least
+                    // 1× (can't be faster than service), at most 6×
+                    // (bounded queueing inflation at sub-saturation
+                    // utilizations).
+                    let lw_content = ctxs[k].n_lk * s.pb * s.r_lw;
+                    let rw_cw_content =
+                        visits[k].get(Phase::Rw) * s.r_rw + visits[k].get(Phase::Cwc) * s.r_cwc;
+                    let service = (s.cpu_demand + s.disk_demand) / s.n_s;
+                    let useful = (s.r_s - lw_content - rw_cw_content)
+                        .clamp(service, 6.0 * service.max(1e-9));
+                    ChainLockState {
+                        chain: ctxs[k].chain,
+                        population: ctxs[k].population as f64,
+                        l_h: s.l_h,
+                        n_lk: ctxs[k].n_lk,
+                        blocked_frac: s.blocked_frac,
+                        r_s: s.r_s,
+                        useful,
+                        pb: s.pb,
+                        pd: s.pd,
+                    }
+                }));
+                lock_wait_times_consistent_into(
                     &states,
                     self.opts.all_locks_exclusive,
                     self.opts.fixed_br,
+                    &mut lw_scratch,
+                    &mut rlw_site,
                 );
                 for (pos, &k) in site_idx.iter().enumerate() {
                     new_pb[k] = blocking_probability(
@@ -486,7 +874,12 @@ impl Model {
                     new_pd[k] = if self.opts.ignore_deadlocks {
                         0.0
                     } else {
-                        deadlock_probability(pos, &states, self.opts.all_locks_exclusive)
+                        deadlock_probability_scratch(
+                            pos,
+                            &states,
+                            self.opts.all_locks_exclusive,
+                            &mut pd_dist,
+                        )
                     };
                     new_rlw[k] = rlw_site[pos];
                 }
@@ -494,10 +887,10 @@ impl Model {
 
             // --- Distributed delays (Eqs. 21–24 + CW) ----------------------
             let alpha = params.comm_delay_ms;
-            let mut new_rrw = vec![0.0; ctxs.len()];
-            let mut new_cwc = vec![0.0; ctxs.len()];
-            let mut new_cwa = vec![0.0; ctxs.len()];
-            let mut new_pra = vec![0.0; ctxs.len()];
+            new_rrw.fill(0.0);
+            new_cwc.fill(0.0);
+            new_cwa.fill(0.0);
+            new_pra.fill(0.0);
             for k in 0..ctxs.len() {
                 let ctx = &ctxs[k];
                 match ctx.chain {
@@ -581,12 +974,13 @@ impl Model {
             let mut delta: f64 = 0.0;
             for k in 0..ctxs.len() {
                 let s = &mut st[k];
+                let mut kdelta: f64 = 0.0;
                 let mut upd = |old: &mut f64, new: f64| {
                     // Judge convergence on the *undamped* step. The damped
                     // move `|v − old| = λ·|new − old|` under-states the
                     // distance from the fixed point by the damping factor,
                     // which declared convergence a factor 1/λ too early.
-                    delta = delta.max((new - *old).abs() / (1.0 + new.abs()));
+                    kdelta = kdelta.max((new - *old).abs() / (1.0 + new.abs()));
                     *old = lam * new + (1.0 - lam) * *old;
                 };
                 upd(&mut s.pb, new_pb[k]);
@@ -596,36 +990,97 @@ impl Model {
                 upd(&mut s.r_cwc, new_cwc[k]);
                 upd(&mut s.r_cwa, new_cwa[k]);
                 upd(&mut s.pra, new_pra[k]);
+                chain_delta[k] = kdelta;
+                // The global residual is the max over per-chain maxima —
+                // bitwise the same number the flat max-fold produced.
+                delta = delta.max(kdelta);
             }
             residual = delta;
+
+            // --- Acceleration ----------------------------------------------
+            // `restored` marks an iteration whose computed step was thrown
+            // away because the preceding accelerated step made the residual
+            // grow; its `delta` does not participate in convergence.
+            let mut marker: &'static str = "";
+            let mut restored = false;
+            if let Some(eng) = accel.as_mut() {
+                if eng.pending {
+                    eng.pending = false;
+                    let grace = match eng.mode {
+                        Accel::Anderson(_) => ANDERSON_GRACE,
+                        _ => 1.0,
+                    };
+                    if delta > grace * eng.pending_residual && delta >= self.opts.tol {
+                        // The accelerated step increased the residual: roll
+                        // back to the plain damped iterate it replaced.
+                        st.clone_from(&eng.snapshot);
+                        eng.clear_history();
+                        eng.rejected += 1;
+                        eng.cooldown = ACCEL_COOLDOWN;
+                        marker = "rej";
+                        restored = true;
+                    } else {
+                        eng.accepted += 1;
+                    }
+                }
+                if !restored {
+                    eng.record(&st);
+                    if delta >= self.opts.tol {
+                        if eng.cooldown > 0 {
+                            eng.cooldown -= 1;
+                        } else if iterations >= ACCEL_START
+                            && eng.try_candidate()
+                            && eng.candidate_in_bounds()
+                        {
+                            eng.snapshot.clone_from(&st);
+                            eng.pending = true;
+                            eng.pending_residual = delta;
+                            eng.inject_candidate(&mut st);
+                            if eng.mode == Accel::Aitken {
+                                // Steffensen restart: the candidate breaks
+                                // the consecutive-iterate structure Δ² needs.
+                                eng.clear_history();
+                            }
+                            marker = "acc";
+                        }
+                    }
+                }
+                eng.roll(&st);
+            }
+
             if let Some(log) = log.as_deref_mut() {
-                // Post-damping state: what the next iteration starts from
+                // Post-update state: what the next iteration starts from
                 // (and, on the final iteration, exactly the converged state
                 // the report is packaged from). `l_h` is this iteration's
-                // contention-section value; the residual column repeats the
-                // iteration-wide undamped max-norm step.
+                // contention-section value; the residual column is the
+                // chain's own pre-damping step (see `IterRow::residual`).
                 for (k, ctx) in ctxs.iter().enumerate() {
                     let s = &st[k];
                     log.push(IterRow {
                         iter: iterations,
                         site: ctx.site,
                         chain: ctx.chain.label().to_string(),
-                        residual: delta,
+                        residual: chain_delta[k],
                         pb: s.pb,
                         pd: s.pd,
                         l_h: s.l_h,
                         r_lw: s.r_lw,
                         r_rw: s.r_rw,
                         r_cw: s.r_cwc,
+                        accel: marker,
                     });
                 }
             }
-            if delta < self.opts.tol {
+            if !restored && delta < self.opts.tol {
                 converged = true;
                 break;
             }
         }
 
+        let (accel_accepted, accel_rejected) = accel
+            .as_ref()
+            .map(|e| (e.accepted, e.rejected))
+            .unwrap_or((0, 0));
         let report = self.package(
             &ctxs,
             &st,
@@ -634,6 +1089,8 @@ impl Model {
                 iterations,
                 residual,
                 warm_started: warm_st.is_some(),
+                accel_accepted,
+                accel_rejected,
             },
         );
         (report, WarmStart { keys, st })

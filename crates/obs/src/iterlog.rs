@@ -1,13 +1,14 @@
 //! The solver iteration log: one row per chain per fixed-point iteration
-//! of the contention loop (Eqs. 11–24), capturing the undamped residual
-//! and the post-damping chain state — blocking probability `Pb`, deadlock
-//! probability `Pd`, average locks held `L_h`, and the contention
+//! of the contention loop (Eqs. 11–24), capturing the undamped per-chain
+//! residual and the post-damping chain state — blocking probability `Pb`,
+//! deadlock probability `Pd`, average locks held `L_h`, and the contention
 //! residence times `R_LW`, `R_RW`, `R_CW`.
 //!
 //! The log is organised as named *points* (one per solved configuration,
 //! so a warm-started sweep logs every point into one file) and exports as
-//! CSV or as canonical JSON. The final row of a point carries the same
-//! iteration count and residual the solver returns in `ConvergenceInfo`.
+//! CSV or as canonical JSON. The maximum residual over the final
+//! iteration's rows of a point equals the residual the solver returns in
+//! `ConvergenceInfo`, and the last row carries the same iteration count.
 
 /// One chain's state after one fixed-point iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,8 +19,10 @@ pub struct IterRow {
     pub site: usize,
     /// Chain label (e.g. `LU`, `DU-coord`).
     pub chain: String,
-    /// Undamped max-norm residual of this iteration (the convergence
-    /// measure; the final row's value is `ConvergenceInfo::residual`).
+    /// Undamped pre-damping residual of *this chain* in this iteration:
+    /// `max |new − old| / (1 + |new|)` over the chain's state quantities,
+    /// taken before the damped update is applied. The maximum over the
+    /// chains of the final iteration equals `ConvergenceInfo::residual`.
     pub residual: f64,
     /// Blocking probability per lock request, after damping.
     pub pb: f64,
@@ -33,6 +36,11 @@ pub struct IterRow {
     pub r_rw: f64,
     /// Mean commit-wait residence (ms).
     pub r_cw: f64,
+    /// Acceleration event marker for this iteration: `""` (plain damped
+    /// step), `"acc"` (an accelerated step was taken from this state), or
+    /// `"rej"` (the previous accelerated step was rejected and the state
+    /// restored).
+    pub accel: &'static str,
 }
 
 /// An iteration log: rows grouped under named points.
@@ -84,12 +92,13 @@ impl IterLog {
     /// Renders the log as CSV: a header line, then one row per record
     /// with the owning point in the first column.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("point,iter,site,chain,residual,pb,pd,l_h,r_lw_ms,r_rw_ms,r_cw_ms\n");
+        let mut out = String::from(
+            "point,iter,site,chain,residual,pb,pd,l_h,r_lw_ms,r_rw_ms,r_cw_ms,accel\n",
+        );
         for (point, rows) in &self.points {
             for r in rows {
                 out.push_str(&format!(
-                    "{point},{},{},{},{},{},{},{},{},{},{}\n",
+                    "{point},{},{},{},{},{},{},{},{},{},{},{}\n",
                     r.iter,
                     r.site,
                     r.chain,
@@ -100,6 +109,7 @@ impl IterLog {
                     crate::fmt_f64(r.r_lw),
                     crate::fmt_f64(r.r_rw),
                     crate::fmt_f64(r.r_cw),
+                    r.accel,
                 ));
             }
         }
@@ -129,7 +139,8 @@ impl IterLog {
                 out.push_str(&format!(
                     "    {{\"iter\": {}, \"site\": {}, \"chain\": \"{}\", \
                      \"residual\": {}, \"pb\": {}, \"pd\": {}, \"l_h\": {}, \
-                     \"r_lw_ms\": {}, \"r_rw_ms\": {}, \"r_cw_ms\": {}}}",
+                     \"r_lw_ms\": {}, \"r_rw_ms\": {}, \"r_cw_ms\": {}, \
+                     \"accel\": \"{}\"}}",
                     r.iter,
                     r.site,
                     crate::json_escape(&r.chain),
@@ -140,6 +151,7 @@ impl IterLog {
                     crate::fmt_f64(r.r_lw),
                     crate::fmt_f64(r.r_rw),
                     crate::fmt_f64(r.r_cw),
+                    r.accel,
                 ));
             }
             out.push_str("\n  ]}");
@@ -165,6 +177,7 @@ mod tests {
             r_lw: 10.0,
             r_rw: 20.0,
             r_cw: 5.0,
+            accel: "",
         }
     }
 

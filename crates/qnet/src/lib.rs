@@ -30,6 +30,6 @@ pub mod yao;
 pub use bounds::{chain_bounds, ChainBounds};
 pub use convolution::{solve_convolution, ConvolutionSolution};
 pub use ethernet::EthernetModel;
-pub use linalg::solve_dense;
+pub use linalg::{solve_dense, solve_dense_in_place};
 pub use mva::{Center, CenterKind, MvaScratch, MvaSolution, Network};
 pub use yao::yao_blocks;

@@ -30,10 +30,21 @@ impl std::error::Error for SingularMatrix {}
 /// assert!((x[1] - 1.4).abs() < 1e-12);
 /// ```
 pub fn solve_dense(a: &[f64], b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
-    let n = b.len();
-    assert_eq!(a.len(), n * n, "matrix shape mismatch");
     let mut m = a.to_vec();
     let mut x = b.to_vec();
+    solve_dense_in_place(&mut m, &mut x)?;
+    Ok(x)
+}
+
+/// Allocation-free variant of [`solve_dense`]: destroys `m` (the row-major
+/// `n × n` matrix) and overwrites `x` (initially the right-hand side) with
+/// the solution. The elimination is bit-for-bit the one `solve_dense`
+/// performs, so both entry points produce identical results; this one lets
+/// callers that solve the same-shaped system hundreds of times per run
+/// (the traffic equations, the lock-wait system) reuse their buffers.
+pub fn solve_dense_in_place(m: &mut [f64], x: &mut [f64]) -> Result<(), SingularMatrix> {
+    let n = x.len();
+    assert_eq!(m.len(), n * n, "matrix shape mismatch");
 
     for col in 0..n {
         // Partial pivot: pick the row with the largest entry in this column.
@@ -71,7 +82,7 @@ pub fn solve_dense(a: &[f64], b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
         }
         x[row] = acc / m[row * n + row];
     }
-    Ok(x)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -108,6 +119,22 @@ mod tests {
         let a = vec![1.0, 2.0, 2.0, 4.0];
         let b = vec![1.0, 2.0];
         assert_eq!(solve_dense(&a, &b), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn in_place_matches_allocating_bitwise() {
+        #[rustfmt::skip]
+        let a = vec![
+            0.0, 2.0, 1.0,
+            1.0, 1.0, 1.0,
+            2.0, 0.0, 3.0,
+        ];
+        let b = vec![5.0, 6.0, 5.0];
+        let x = solve_dense(&a, &b).unwrap();
+        let mut m = a.clone();
+        let mut y = b.clone();
+        solve_dense_in_place(&mut m, &mut y).unwrap();
+        assert_eq!(x, y);
     }
 
     #[test]
