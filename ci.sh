@@ -8,7 +8,10 @@ echo "== cargo fmt --check" && cargo fmt --all -- --check
 echo "== cargo clippy -D warnings" && cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release" && cargo build --release
 echo "== cargo build --release --examples" && cargo build --release --examples
-echo "== cargo test -q" && cargo test -q
+# Hard wall-clock ceiling on the whole suite: a hang (e.g. a partition
+# plan that never heals slipping past validation) fails CI instead of
+# stalling it. Generous — the suite normally finishes in a fraction.
+echo "== cargo test -q (20 min timeout)" && timeout 1200 cargo test -q
 echo "== sweep determinism gate"
 cargo run --release -p carat-bench --bin exp_bench -- --emit --threads 4 --out "${TMPDIR:-/tmp}/sweep_par.json"
 cargo run --release -p carat-bench --bin exp_bench -- --emit --sequential --out "${TMPDIR:-/tmp}/sweep_seq.json"
@@ -26,6 +29,13 @@ echo "== sim determinism gate"
 cargo run --release -p carat-bench --bin exp_bench -- --emit-sim --threads 4 --out "${TMPDIR:-/tmp}/sim_par.json"
 cargo run --release -p carat-bench --bin exp_bench -- --emit-sim --sequential --out "${TMPDIR:-/tmp}/sim_seq.json"
 cmp "${TMPDIR:-/tmp}/sim_par.json" "${TMPDIR:-/tmp}/sim_seq.json"
+echo "== partition determinism gate"
+# The partition experiment (availability counters, catch-up replay, and
+# the model-vs-sim divergence gate) must be byte-identical across thread
+# counts, like every other sweep.
+CARAT_MEASURE_MS=120000 cargo run --release -p carat-bench --bin exp_partition -- --threads 4 > "${TMPDIR:-/tmp}/part_par.json"
+CARAT_MEASURE_MS=120000 cargo run --release -p carat-bench --bin exp_partition -- --sequential > "${TMPDIR:-/tmp}/part_seq.json"
+cmp "${TMPDIR:-/tmp}/part_par.json" "${TMPDIR:-/tmp}/part_seq.json"
 echo "== trace neutrality gate"
 # Tracing must not change a single report byte, and two traced runs of one
 # configuration must produce byte-identical trace files (DESIGN.md §10.1).

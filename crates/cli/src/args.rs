@@ -47,6 +47,11 @@ pub struct RunSpec {
     pub victim: carat::sim::VictimPolicy,
     /// Fault-injection plan (simulator only).
     pub fault: carat::sim::FaultPlan,
+    /// Partition / replication plan (simulator only).
+    pub partition: carat::sim::PartitionPlan,
+    /// Event budget; `0` = unlimited (simulator only). A run that exceeds
+    /// it aborts with a structured error instead of spinning forever.
+    pub max_events: u64,
     /// Independent simulator replications per point (simulator only):
     /// seeds derived as `seed ^ splitmix64(rep)`, results reported as
     /// mean ± 95 % confidence interval.
@@ -92,6 +97,8 @@ impl Default for RunSpec {
             crashes: Vec::new(),
             victim: carat::sim::VictimPolicy::Requester,
             fault: carat::sim::FaultPlan::default(),
+            partition: carat::sim::PartitionPlan::default(),
+            max_events: 0,
             reps: 1,
             threads: 1,
             warm_start: false,
@@ -150,6 +157,16 @@ FLAGS:
     --mttr <secs>                  mean time to node repair (sim; 0 = instant)
     --net-timeout <ms>             message timeout before retransmission (sim)
     --net-retries <k>              retransmissions before presuming abort (sim)
+    --split <at:heal[:groups]>     scheduled network split from second `at` to
+                                   second `heal` (repeatable); groups names the
+                                   component per site, e.g. 0,1 (the default)
+    --mtbp <secs>                  mean time between stochastic splits (sim; 0 = off)
+    --mtth <secs>                  mean time to heal a stochastic split (sim)
+    --degradation <abort|block|stale>  policy when a split leaves a transaction
+                                   short of replicas (sim; default abort)
+    --replication <k>              replicate each record over k consecutive sites
+                                   (sim; default 1 = unreplicated)
+    --max-events <N>               abort the run after N simulation events (sim; 0 = unlimited)
     --reps <k>                     independent sim replications, mean ± 95% CI (default 1)
     --threads <k>                  parallel MVA solves / sim replications (identical results)
     --warm-start                   seed each model solve from the previous n's fixed point
@@ -200,6 +217,37 @@ fn parse_workload(s: &str) -> Result<StandardWorkload, String> {
         "ub6" => Ok(StandardWorkload::Ub6),
         other => Err(format!("unknown workload {other} (lb8|mb4|mb8|ub6)")),
     }
+}
+
+/// Parses a `--split` value: `at:heal` or `at:heal:g0,g1,...` with times in
+/// seconds. Omitted groups default to the two-site split `0,1`.
+fn parse_split(s: &str) -> Result<carat::sim::SplitSpec, String> {
+    let mut parts = s.splitn(3, ':');
+    let at = parts
+        .next()
+        .filter(|p| !p.is_empty())
+        .ok_or_else(|| format!("split must be at:heal[:groups], got {s}"))?;
+    let heal = parts
+        .next()
+        .ok_or_else(|| format!("split must be at:heal[:groups], got {s}"))?;
+    let at: f64 = at.parse().map_err(|_| format!("bad split start {at}"))?;
+    let heal: f64 = heal.parse().map_err(|_| format!("bad split heal {heal}"))?;
+    let groups = match parts.next() {
+        Some(g) => g
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<u8>()
+                    .map_err(|_| format!("bad component label {p}"))
+            })
+            .collect::<Result<Vec<u8>, String>>()?,
+        None => vec![0, 1],
+    };
+    Ok(carat::sim::SplitSpec {
+        at_ms: at * 1000.0,
+        heal_ms: heal * 1000.0,
+        groups,
+    })
 }
 
 fn parse_hotspot(s: &str) -> Result<(f64, f64), String> {
@@ -297,6 +345,30 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 spec.fault.max_retries = next(&mut i)?
                     .parse()
                     .map_err(|_| "bad net-retries".to_string())?
+            }
+            "--split" => spec.partition.splits.push(parse_split(next(&mut i)?)?),
+            "--mtbp" => {
+                let secs: f64 = next(&mut i)?.parse().map_err(|_| "bad mtbp".to_string())?;
+                spec.partition.mtbp_ms = secs * 1000.0;
+            }
+            "--mtth" => {
+                let secs: f64 = next(&mut i)?.parse().map_err(|_| "bad mtth".to_string())?;
+                spec.partition.mtth_ms = secs * 1000.0;
+            }
+            "--degradation" => {
+                let v = next(&mut i)?;
+                spec.partition.degradation = carat::sim::DegradationPolicy::parse(v)
+                    .ok_or_else(|| format!("unknown degradation policy {v} (abort|block|stale)"))?;
+            }
+            "--replication" => {
+                spec.partition.replication = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad replication factor".to_string())?
+            }
+            "--max-events" => {
+                spec.max_events = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad max-events".to_string())?
             }
             "--reps" => {
                 spec.reps = next(&mut i)?
@@ -419,6 +491,40 @@ mod tests {
         assert_eq!(spec.fault.max_retries, 6);
         assert!(parse(&argv("sim --drop lots")).is_err());
         assert!(parse(&argv("sim --net-timeout")).is_err());
+    }
+
+    #[test]
+    fn parses_partition_flags() {
+        let Command::Sim(spec) = parse(&argv(
+            "sim --split 60:90 --split 120:150:0,0,1 --mtbp 300 --mtth 10 \
+             --degradation stale --replication 2 --max-events 5000000 --net-timeout 80",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.partition.splits.len(), 2);
+        assert_eq!(spec.partition.splits[0].at_ms, 60_000.0);
+        assert_eq!(spec.partition.splits[0].heal_ms, 90_000.0);
+        assert_eq!(spec.partition.splits[0].groups, vec![0, 1]);
+        assert_eq!(spec.partition.splits[1].groups, vec![0, 0, 1]);
+        assert_eq!(spec.partition.mtbp_ms, 300_000.0);
+        assert_eq!(spec.partition.mtth_ms, 10_000.0);
+        assert_eq!(
+            spec.partition.degradation,
+            carat::sim::DegradationPolicy::StaleRead
+        );
+        assert_eq!(spec.partition.replication, 2);
+        assert_eq!(spec.max_events, 5_000_000);
+        // Defaults stay inert.
+        let d = RunSpec::default();
+        assert!(!d.partition.is_active());
+        assert_eq!(d.max_events, 0);
+        assert!(parse(&argv("sim --split 60")).is_err());
+        assert!(parse(&argv("sim --split banana:90")).is_err());
+        assert!(parse(&argv("sim --split 60:90:0,x")).is_err());
+        assert!(parse(&argv("sim --degradation banana")).is_err());
+        assert!(parse(&argv("sim --replication two")).is_err());
+        assert!(parse(&argv("sim --max-events lots")).is_err());
     }
 
     #[test]

@@ -132,6 +132,8 @@ fn sim_cfg(spec: &RunSpec, n: u32) -> SimConfig {
     cfg.victim = spec.victim;
     cfg.crashes = spec.crashes.clone();
     cfg.fault_plan = spec.fault;
+    cfg.partition_plan = spec.partition.clone();
+    cfg.max_events = spec.max_events;
     if let Err(e) = cfg.validate() {
         eprintln!("error: invalid configuration: {e}");
         std::process::exit(2);
@@ -157,11 +159,18 @@ fn run_sim_traced(spec: &RunSpec, n: u32) -> (SimReport, Option<Tracer>) {
             ..TraceConfig::default()
         });
     }
-    match Sim::new(cfg) {
-        Ok(sim) => sim.run_traced(),
+    let sim = match Sim::new(cfg) {
+        Ok(sim) => sim,
         Err(e) => {
             eprintln!("error: invalid configuration: {e}");
             std::process::exit(2);
+        }
+    };
+    match sim.run_checked_traced() {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -324,6 +333,28 @@ fn print_sim(n: u32, r: &SimReport) {
             r.net_retries,
             r.timeout_aborts,
             r.in_doubt_resolutions,
+        );
+    }
+    let a = &r.availability;
+    // Printed only when a partition or replica actually did something, so
+    // partition-free output stays byte-identical to earlier builds.
+    if a.partitions + a.heals + a.partition_aborts + a.blocked_on_heal > 0
+        || a.stale_reads + a.degraded_reads + a.failovers + a.catchup_records > 0
+        || a.partition_ms > 0.0
+    {
+        println!(
+            "  partitions: {} splits, {} heals, {:.0} ms split | {} partition aborts, \
+             {} blocked until heal, {} stale reads",
+            a.partitions,
+            a.heals,
+            a.partition_ms,
+            a.partition_aborts,
+            a.blocked_on_heal,
+            a.stale_reads,
+        );
+        println!(
+            "  replicas: {} failovers, {} degraded reads, {} catch-up records",
+            a.failovers, a.degraded_reads, a.catchup_records,
         );
     }
     println!(

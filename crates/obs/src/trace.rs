@@ -66,11 +66,22 @@ pub enum TraceKind {
     /// A retransmission timer fired and the send was retried. Category
     /// `net`.
     NetRetry,
+    /// The cluster split into components (`a` = number of components).
+    /// Category `partition`.
+    PartitionSplit,
+    /// Full connectivity returned. Category `partition`.
+    PartitionHeal,
+    /// A request was re-routed off its primary replica (`a` = replica site
+    /// that served it). Category `replica`.
+    Failover,
+    /// A lagging replica replayed missed committed writes through the
+    /// journal (`a` = records applied). Category `replica`.
+    ReplicaCatchup,
 }
 
 impl TraceKind {
     /// All kinds, in declaration order (= bit order of the filter mask).
-    pub const ALL: [TraceKind; 16] = [
+    pub const ALL: [TraceKind; 20] = [
         TraceKind::Phase,
         TraceKind::TxSubmit,
         TraceKind::TxCommit,
@@ -87,6 +98,10 @@ impl TraceKind {
         TraceKind::NetSend,
         TraceKind::NetDrop,
         TraceKind::NetRetry,
+        TraceKind::PartitionSplit,
+        TraceKind::PartitionHeal,
+        TraceKind::Failover,
+        TraceKind::ReplicaCatchup,
     ];
 
     /// Stable snake_case identifier (JSONL `kind` field).
@@ -108,6 +123,10 @@ impl TraceKind {
             TraceKind::NetSend => "net_send",
             TraceKind::NetDrop => "net_drop",
             TraceKind::NetRetry => "net_retry",
+            TraceKind::PartitionSplit => "partition_split",
+            TraceKind::PartitionHeal => "partition_heal",
+            TraceKind::Failover => "failover",
+            TraceKind::ReplicaCatchup => "replica_catchup",
         }
     }
 
@@ -121,13 +140,15 @@ impl TraceKind {
             TraceKind::TwopcPrepare | TraceKind::TwopcDecide => "twopc",
             TraceKind::Crash | TraceKind::Recovery => "fault",
             TraceKind::NetSend | TraceKind::NetDrop | TraceKind::NetRetry => "net",
+            TraceKind::PartitionSplit | TraceKind::PartitionHeal => "partition",
+            TraceKind::Failover | TraceKind::ReplicaCatchup => "replica",
         }
     }
 
     /// Bit of this kind in a filter mask.
     #[inline]
-    fn bit(self) -> u16 {
-        1 << (self as u16)
+    fn bit(self) -> u32 {
+        1 << (self as u32)
     }
 }
 
@@ -209,8 +230,8 @@ impl TraceEvent {
 /// A spec is a `;`-separated list of clauses, each `key=v1|v2|...`:
 ///
 /// * `kind=` — categories from [`TraceKind::category`]
-///   (`phase|tx|lock|deadlock|twopc|fault|net`) or exact kind labels
-///   (`lock_grant`, ...);
+///   (`phase|tx|lock|deadlock|twopc|fault|net|partition|replica`) or exact
+///   kind labels (`lock_grant`, ...);
 /// * `node=` — node indices;
 /// * `ty=` — transaction types (`lro|lu|dro|du`).
 ///
@@ -219,7 +240,7 @@ impl TraceEvent {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceFilter {
     /// Accepted-kind bitmask (bit order of [`TraceKind::ALL`]).
-    kinds: u16,
+    kinds: u32,
     /// Accepted nodes; `None` = all.
     nodes: Option<Vec<u32>>,
     /// Accepted transaction types; `None` = all.
@@ -236,7 +257,7 @@ impl TraceFilter {
     /// Accepts every event.
     pub fn all() -> Self {
         TraceFilter {
-            kinds: u16::MAX,
+            kinds: u32::MAX,
             nodes: None,
             types: None,
         }
@@ -255,7 +276,7 @@ impl TraceFilter {
                 .ok_or_else(|| format!("filter clause `{clause}` is not key=value"))?;
             match key.trim() {
                 "kind" => {
-                    let mut mask = 0u16;
+                    let mut mask = 0u32;
                     for v in vals.split('|') {
                         let v = v.trim().to_ascii_lowercase();
                         let mut hit = false;
@@ -267,8 +288,8 @@ impl TraceFilter {
                         }
                         if !hit {
                             return Err(format!(
-                                "unknown kind `{v}` (phase|tx|lock|deadlock|twopc|fault|net \
-                                 or an exact kind label)"
+                                "unknown kind `{v}` (phase|tx|lock|deadlock|twopc|fault|net|\
+                                 partition|replica or an exact kind label)"
                             ));
                         }
                     }
@@ -559,6 +580,36 @@ mod tests {
     }
 
     #[test]
+    fn partition_and_replica_categories_filter() {
+        let f = TraceFilter::parse("kind=partition").unwrap();
+        assert!(f.accepts(&ev(0.0, TraceKind::PartitionSplit, 0, 0)));
+        assert!(f.accepts(&ev(1.0, TraceKind::PartitionHeal, 0, 0)));
+        assert!(!f.accepts(&ev(2.0, TraceKind::Failover, 0, 1)));
+        let r = TraceFilter::parse("kind=replica|failover").unwrap();
+        assert!(r.accepts(&ev(0.0, TraceKind::Failover, 0, 1)));
+        assert!(r.accepts(&ev(0.0, TraceKind::ReplicaCatchup, 0, 0)));
+        assert!(!r.accepts(&ev(0.0, TraceKind::NetSend, 0, 1)));
+    }
+
+    #[test]
+    fn every_kind_has_a_distinct_bit_and_label() {
+        let mut labels: Vec<&str> = TraceKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), TraceKind::ALL.len(), "duplicate labels");
+        for k in TraceKind::ALL {
+            let only = TraceFilter::parse(&format!("kind={}", k.label())).unwrap();
+            for other in TraceKind::ALL {
+                assert_eq!(
+                    only.accepts(&ev(0.0, other, 0, 0)),
+                    other == k,
+                    "mask bit collision between {k:?} and {other:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn filter_grammar_rejects_garbage() {
         assert!(TraceFilter::parse("kind=banana").is_err());
         assert!(TraceFilter::parse("node=minus-one").is_err());
@@ -634,7 +685,12 @@ mod tests {
         let mk = || {
             let mut tr = Tracer::new(TraceConfig::default());
             for i in 0..100u64 {
-                tr.record(ev(i as f64 * 0.1, TraceKind::ALL[(i % 16) as usize], 0, i));
+                tr.record(ev(
+                    i as f64 * 0.1,
+                    TraceKind::ALL[i as usize % TraceKind::ALL.len()],
+                    0,
+                    i,
+                ));
             }
             (tr.to_chrome_json(), tr.to_jsonl())
         };

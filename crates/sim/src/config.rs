@@ -35,6 +35,18 @@ pub enum SimConfigError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// The partition plan is internally inconsistent (see the reason).
+    InvalidPartitionPlan {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A scalar run parameter is outside its valid range.
+    InvalidParameter {
+        /// The offending field of [`SimConfig`].
+        name: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SimConfigError {
@@ -54,6 +66,12 @@ impl std::fmt::Display for SimConfigError {
             ),
             SimConfigError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
+            }
+            SimConfigError::InvalidPartitionPlan { reason } => {
+                write!(f, "invalid partition plan: {reason}")
+            }
+            SimConfigError::InvalidParameter { name, reason } => {
+                write!(f, "invalid {name}: {reason}")
             }
         }
     }
@@ -166,6 +184,191 @@ impl FaultPlan {
     }
 }
 
+/// What a transaction does when a network partition (or crash) leaves it
+/// without the replicas it needs: a read with no reachable up-to-date copy,
+/// or a write without a reachable majority of its replica set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Abort at submit time and resubmit after a retry pause — the client
+    /// sees an error and tries again (CAP: consistency over availability).
+    #[default]
+    Abort,
+    /// Park the user until the partition heals, then resubmit. No work is
+    /// wasted, at the price of unbounded (but heal-bounded) latency.
+    BlockUntilHeal,
+    /// Reads are served from any reachable replica even when the majority
+    /// side may hold newer data (availability over consistency); writes
+    /// still need a quorum and fall back to `Abort`.
+    StaleRead,
+}
+
+impl DegradationPolicy {
+    /// CLI / config-file label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradationPolicy::Abort => "abort",
+            DegradationPolicy::BlockUntilHeal => "block",
+            DegradationPolicy::StaleRead => "stale",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "abort" => Some(DegradationPolicy::Abort),
+            "block" | "block-until-heal" => Some(DegradationPolicy::BlockUntilHeal),
+            "stale" | "stale-read" => Some(DegradationPolicy::StaleRead),
+            _ => None,
+        }
+    }
+}
+
+/// One scheduled network split: at `at_ms` the cluster separates into the
+/// components named by `groups`, and at `heal_ms` full connectivity returns.
+/// Every split MUST heal — [`PartitionPlan::validate`] enforces it — so no
+/// plan can hang the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitSpec {
+    /// When the split begins (ms).
+    pub at_ms: f64,
+    /// When connectivity is restored (ms); must be `> at_ms` and finite.
+    pub heal_ms: f64,
+    /// Component label per site (`groups[site]`); sites with equal labels
+    /// can exchange messages, sites with different labels cannot. Must list
+    /// every site and name at least two distinct components.
+    pub groups: Vec<u8>,
+}
+
+/// Network-partition injection: scheduled splits, an optional stochastic
+/// split/heal process, replica placement, and the degradation policy
+/// transactions follow while the cluster is split.
+///
+/// The default plan is inert — no splits, replication factor 1 — and an
+/// inert plan adds no events, draws no randomness, and leaves reports
+/// byte-identical to a partition-free build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlan {
+    /// Scheduled splits, in increasing `at_ms` order, non-overlapping.
+    pub splits: Vec<SplitSpec>,
+    /// Mean time between stochastic splits (ms), exponentially distributed;
+    /// `0` disables the stochastic process. Each stochastic split cuts the
+    /// sites into two components at a random boundary. Draws come from the
+    /// dedicated fault stream, so enabling this never perturbs the
+    /// workload sample.
+    pub mtbp_ms: f64,
+    /// Mean time to heal a stochastic split (ms), exponentially
+    /// distributed. Required (`> 0`) when `mtbp_ms > 0`: every stochastic
+    /// split is created together with its heal event.
+    pub mtth_ms: f64,
+    /// What transactions do when the split leaves them short of replicas.
+    pub degradation: DegradationPolicy,
+    /// Replication factor `k`: the replica set of a record homed at site
+    /// `s` is sites `s, s+1, …, s+k-1 (mod sites)` — read-one/write-all
+    /// with majority write quorums and primary-first reads. `1` (the
+    /// default) keeps the unreplicated semantics of the paper's testbed.
+    pub replication: usize,
+}
+
+impl Default for PartitionPlan {
+    fn default() -> Self {
+        PartitionPlan {
+            splits: Vec::new(),
+            mtbp_ms: 0.0,
+            mtth_ms: 0.0,
+            degradation: DegradationPolicy::default(),
+            replication: 1,
+        }
+    }
+}
+
+impl PartitionPlan {
+    /// True when the plan can actually split the cluster. Replication alone
+    /// (`replication > 1`, no splits) does not count: it changes programs
+    /// but schedules no partition events.
+    pub fn is_active(&self) -> bool {
+        !self.splits.is_empty() || self.mtbp_ms > 0.0
+    }
+
+    /// Write quorum for the configured replication factor (majority).
+    pub fn write_quorum(&self) -> usize {
+        self.replication / 2 + 1
+    }
+
+    /// Checks internal consistency against the topology and fault plan.
+    /// The invariants that matter for liveness: every split heals, heal
+    /// times are finite, stochastic splits always pair with a heal draw,
+    /// and any active plan runs with message timeouts enabled so senders
+    /// caught mid-flight by a split recover via the presumed-abort path.
+    pub fn validate(&self, sites: usize, faults: &FaultPlan) -> Result<(), SimConfigError> {
+        let bad = |reason: String| Err(SimConfigError::InvalidPartitionPlan { reason });
+        if self.replication == 0 || self.replication > sites {
+            return bad(format!(
+                "replication = {} must lie in 1..={sites} (the site count)",
+                self.replication
+            ));
+        }
+        let mut prev_heal = 0.0_f64;
+        for (i, s) in self.splits.iter().enumerate() {
+            if !s.at_ms.is_finite() || s.at_ms < 0.0 {
+                return bad(format!(
+                    "split {i}: at_ms = {} is not a valid instant",
+                    s.at_ms
+                ));
+            }
+            if !s.heal_ms.is_finite() || s.heal_ms <= s.at_ms {
+                return bad(format!(
+                    "split {i}: heal_ms = {} must be a finite instant after at_ms = {} (every split must heal)",
+                    s.heal_ms, s.at_ms
+                ));
+            }
+            if s.at_ms < prev_heal {
+                return bad(format!(
+                    "split {i} starts at {} ms before the previous split heals at {prev_heal} ms; splits must be sorted and non-overlapping",
+                    s.at_ms
+                ));
+            }
+            prev_heal = s.heal_ms;
+            if s.groups.len() != sites {
+                return bad(format!(
+                    "split {i}: groups lists {} sites but the topology has {sites}",
+                    s.groups.len()
+                ));
+            }
+            let first = s.groups[0];
+            if s.groups.iter().all(|&g| g == first) {
+                return bad(format!(
+                    "split {i}: all sites share component {first}; a split needs at least two components"
+                ));
+            }
+        }
+        if self.mtbp_ms < 0.0 || !self.mtbp_ms.is_finite() {
+            return bad(format!(
+                "mtbp_ms = {} must be finite and non-negative",
+                self.mtbp_ms
+            ));
+        }
+        if self.mtbp_ms > 0.0 {
+            if sites < 2 {
+                return bad("stochastic splits need at least 2 sites".into());
+            }
+            if self.mtth_ms <= 0.0 || !self.mtth_ms.is_finite() {
+                return bad(format!(
+                    "stochastic splits (mtbp_ms > 0) require a finite positive mtth_ms, got {}",
+                    self.mtth_ms
+                ));
+            }
+        } else if self.mtth_ms != 0.0 {
+            return bad("mtth_ms without mtbp_ms has no effect; set mtbp_ms > 0".into());
+        }
+        if self.is_active() && faults.timeout_ms == 0.0 {
+            return bad(
+                "partitions without message timeouts would hang in-flight senders forever; set fault_plan.timeout_ms > 0".into(),
+            );
+        }
+        Ok(())
+    }
+}
+
 /// How global (cross-site) deadlocks are detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DeadlockMode {
@@ -250,6 +453,16 @@ pub struct SimConfig {
     /// timeouts). The default plan is inert: no drops, no stochastic
     /// crashes, no timeouts — exactly the fault-free simulator.
     pub fault_plan: FaultPlan,
+    /// Network-partition injection and data replication. The default plan
+    /// is inert: no splits, replication factor 1.
+    pub partition_plan: PartitionPlan,
+    /// Run guard: abort the run with [`crate::SimError::EventBudgetExhausted`]
+    /// (carrying a partial report) once this many events have been
+    /// processed. `0` (the default) means unlimited. A healthy run
+    /// processes roughly 100–300 events per transaction, so a generous
+    /// budget turns a livelocked configuration into a structured error
+    /// instead of an infinite loop.
+    pub max_events: u64,
     /// Transaction-lifecycle tracing. `None` (the default) leaves the
     /// untraced event loop untouched: the engine's emission sites reduce to
     /// one branch each, allocate nothing, and draw no randomness, so a
@@ -274,6 +487,8 @@ impl SimConfig {
             victim: VictimPolicy::default(),
             crashes: Vec::new(),
             fault_plan: FaultPlan::default(),
+            partition_plan: PartitionPlan::default(),
+            max_events: 0,
             trace: None,
         }
     }
@@ -285,6 +500,32 @@ impl SimConfig {
                 workload: self.workload.sites(),
                 params: self.params.sites(),
             });
+        }
+        let param = |name: &'static str, reason: String| {
+            Err(SimConfigError::InvalidParameter { name, reason })
+        };
+        if self.n_requests == 0 {
+            return param(
+                "n_requests",
+                "a transaction needs at least one request".into(),
+            );
+        }
+        if self.dm_pool == 0 {
+            return param("dm_pool", "a site needs at least one DM server".into());
+        }
+        for (name, v) in [
+            ("warmup_ms", self.warmup_ms),
+            ("measure_ms", self.measure_ms),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return param(name, format!("{v} must be finite and non-negative"));
+            }
+        }
+        if self.measure_ms == 0.0 {
+            return param(
+                "measure_ms",
+                "an empty measurement window measures nothing".into(),
+            );
         }
         for &(at_ms, site) in &self.crashes {
             if !at_ms.is_finite() || at_ms < 0.0 {
@@ -298,7 +539,9 @@ impl SimConfig {
                 });
             }
         }
-        self.fault_plan.validate()
+        self.fault_plan.validate()?;
+        self.partition_plan
+            .validate(self.params.sites(), &self.fault_plan)
     }
 }
 
@@ -313,5 +556,156 @@ mod tests {
         assert_eq!(cfg.params.sites(), 2);
         assert_eq!(cfg.n_requests, 8);
         assert!(cfg.measure_ms > cfg.warmup_ms);
+        assert!(!cfg.partition_plan.is_active());
+        assert!(cfg.validate().is_ok());
+    }
+
+    fn base() -> SimConfig {
+        SimConfig::new(StandardWorkload::Mb4.spec(2), 8, 1)
+    }
+
+    fn timeouts() -> FaultPlan {
+        FaultPlan {
+            timeout_ms: 50.0,
+            max_retries: 3,
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn degenerate_scalars_are_rejected() {
+        let mut cfg = base();
+        cfg.n_requests = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimConfigError::InvalidParameter {
+                name: "n_requests",
+                ..
+            })
+        ));
+        let mut cfg = base();
+        cfg.dm_pool = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimConfigError::InvalidParameter {
+                name: "dm_pool",
+                ..
+            })
+        ));
+        let mut cfg = base();
+        cfg.measure_ms = f64::NAN;
+        assert!(cfg.validate().is_err());
+        let mut cfg = base();
+        cfg.warmup_ms = -1.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn split_must_heal() {
+        let mut cfg = base();
+        cfg.fault_plan = timeouts();
+        cfg.partition_plan.splits.push(SplitSpec {
+            at_ms: 1_000.0,
+            heal_ms: f64::INFINITY,
+            groups: vec![0, 1],
+        });
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimConfigError::InvalidPartitionPlan { .. })
+        ));
+        cfg.partition_plan.splits[0].heal_ms = 2_000.0;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn splits_must_not_overlap() {
+        let mut cfg = base();
+        cfg.fault_plan = timeouts();
+        cfg.partition_plan.splits = vec![
+            SplitSpec {
+                at_ms: 0.0,
+                heal_ms: 5_000.0,
+                groups: vec![0, 1],
+            },
+            SplitSpec {
+                at_ms: 4_000.0,
+                heal_ms: 9_000.0,
+                groups: vec![0, 1],
+            },
+        ];
+        assert!(cfg.validate().is_err());
+        cfg.partition_plan.splits[1].at_ms = 5_000.0;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn split_groups_must_partition_the_sites() {
+        let mut cfg = base();
+        cfg.fault_plan = timeouts();
+        cfg.partition_plan.splits.push(SplitSpec {
+            at_ms: 0.0,
+            heal_ms: 1_000.0,
+            groups: vec![0, 0],
+        });
+        assert!(cfg.validate().is_err(), "one component is not a split");
+        cfg.partition_plan.splits[0].groups = vec![0];
+        assert!(cfg.validate().is_err(), "groups must cover every site");
+    }
+
+    #[test]
+    fn partitions_require_timeouts() {
+        let mut cfg = base();
+        cfg.partition_plan.splits.push(SplitSpec {
+            at_ms: 0.0,
+            heal_ms: 1_000.0,
+            groups: vec![0, 1],
+        });
+        assert!(
+            cfg.validate().is_err(),
+            "a partition with no message timeouts would strand in-flight senders"
+        );
+    }
+
+    #[test]
+    fn stochastic_splits_require_heal_rate() {
+        let mut cfg = base();
+        cfg.fault_plan = timeouts();
+        cfg.partition_plan.mtbp_ms = 60_000.0;
+        assert!(cfg.validate().is_err(), "mtbp without mtth never heals");
+        cfg.partition_plan.mtth_ms = 5_000.0;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn replication_bounded_by_sites() {
+        let mut cfg = base();
+        cfg.partition_plan.replication = 3;
+        assert!(cfg.validate().is_err());
+        cfg.partition_plan.replication = 2;
+        assert!(cfg.validate().is_ok());
+        cfg.partition_plan.replication = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn write_quorum_is_majority() {
+        let mut p = PartitionPlan::default();
+        assert_eq!(p.write_quorum(), 1);
+        p.replication = 2;
+        assert_eq!(p.write_quorum(), 2);
+        p.replication = 3;
+        assert_eq!(p.write_quorum(), 2);
+    }
+
+    #[test]
+    fn degradation_labels_round_trip() {
+        for d in [
+            DegradationPolicy::Abort,
+            DegradationPolicy::BlockUntilHeal,
+            DegradationPolicy::StaleRead,
+        ] {
+            assert_eq!(DegradationPolicy::parse(d.label()), Some(d));
+        }
+        assert_eq!(DegradationPolicy::parse("bogus"), None);
     }
 }

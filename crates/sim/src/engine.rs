@@ -18,8 +18,10 @@ use carat_workload::TxType;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{CcProtocol, DeadlockMode, SimConfig, SimConfigError, VictimPolicy};
-use crate::metrics::{NodeReport, SimReport, TypeReport};
+use crate::config::{
+    CcProtocol, DeadlockMode, DegradationPolicy, SimConfig, SimConfigError, VictimPolicy,
+};
+use crate::metrics::{AvailabilityReport, NodeReport, SimReport, TypeReport};
 use crate::program::{
     compile_into, distinct_blocks_at_with, CompileScratch, Op, Plan, Program, Seg,
 };
@@ -69,11 +71,19 @@ enum Ev {
     OrphanResolve { site: usize, gid: u64 },
     /// End of the warm-up transient: reset statistics.
     Warmup,
+    /// A scheduled network split begins (`idx` indexes the partition
+    /// plan's split list).
+    PartitionStart { idx: u32 },
+    /// The current network split heals: all components rejoin, journal
+    /// catch-up replays onto lagging replicas, blocked submissions resume.
+    PartitionHeal,
+    /// Stochastic network split from the partition plan's MTBP process.
+    FaultSplit,
 }
 
 impl Ev {
     /// Number of event kinds (size of the per-kind counter array).
-    const KINDS: usize = 12;
+    const KINDS: usize = 15;
 
     /// Profiling-counter names, indexed like [`Ev::idx`].
     const LABELS: [&'static str; Ev::KINDS] = [
@@ -89,6 +99,9 @@ impl Ev {
         "ev_restart",
         "ev_orphan_resolve",
         "ev_warmup",
+        "ev_partition_start",
+        "ev_partition_heal",
+        "ev_fault_split",
     ];
 
     /// Dense kind index for the per-kind event counters.
@@ -107,8 +120,60 @@ impl Ev {
             Ev::Restart { .. } => 9,
             Ev::OrphanResolve { .. } => 10,
             Ev::Warmup => 11,
+            Ev::PartitionStart { .. } => 12,
+            Ev::PartitionHeal => 13,
+            Ev::FaultSplit => 14,
         }
     }
+}
+
+/// A structured runtime failure of a simulation run (as opposed to a
+/// configuration error, which [`Sim::new`] rejects up front).
+#[derive(Debug)]
+pub enum SimError {
+    /// The event budget ([`crate::SimConfig::max_events`]) ran out before
+    /// the run reached its horizon — the signature of a runaway or
+    /// livelocked configuration. Carries the partial report assembled at
+    /// the interruption point so the caller can see how far the run got.
+    EventBudgetExhausted {
+        /// The configured budget that was exhausted.
+        budget: u64,
+        /// Simulated time (ms) at which the budget ran out.
+        sim_time_ms: f64,
+        /// Report over whatever window had elapsed when the run stopped.
+        partial: Box<SimReport>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EventBudgetExhausted {
+                budget,
+                sim_time_ms,
+                ..
+            } => write!(
+                f,
+                "event budget of {budget} exhausted at simulated t={sim_time_ms:.1} ms \
+                 (runaway or livelocked configuration)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// How one submission fared against the replica sets it needs.
+enum RouteOutcome {
+    /// Every request found its replicas; the (possibly rerouted and
+    /// expanded) plan is ready to compile.
+    Proceed,
+    /// A request could not be served: abort the submission before it
+    /// starts (the user retries after a pause).
+    Refuse,
+    /// A request could not be served and the degradation policy parks the
+    /// user until the partition heals.
+    Park,
 }
 
 /// One simulated node: shared CPU, shared database/journal disk, the
@@ -186,6 +251,15 @@ struct Txn {
     /// presuming abort, so a made decision always reaches every
     /// participant.
     decided: bool,
+    /// Site the transaction's control flow currently executes at (home at
+    /// submission, the destination after each network hop, home again when
+    /// the coordinator drives an abort). Messages originate here, so a
+    /// network split is checked against this site's component.
+    at_site: usize,
+    /// Replicas this submission's writes could not reach at routing time
+    /// (`(site, record)`): queued for journal catch-up when the
+    /// transaction commits.
+    missed: Vec<(usize, carat_storage::RecordId)>,
 }
 
 impl Txn {
@@ -213,6 +287,8 @@ impl Txn {
             net_token: None,
             net_attempt: 0,
             decided: false,
+            at_site: 0,
+            missed: Vec::new(),
         }
     }
 }
@@ -248,6 +324,17 @@ struct Stats {
     net_retries: u64,
     timeout_aborts: u64,
     in_doubt_resolutions: u64,
+    // Availability counters under partitions/replication (all zero when
+    // the partition plan is inert).
+    partitions: u64,
+    heals: u64,
+    partition_ms: f64,
+    partition_aborts: u64,
+    blocked_on_heal: u64,
+    stale_reads: u64,
+    degraded_reads: u64,
+    failovers: u64,
+    catchup_records: u64,
     window_start: Time,
 }
 
@@ -318,6 +405,31 @@ pub struct Sim {
     /// the run the storage engines must hold exactly these writers' values
     /// — an end-to-end check that 2PL + WAL + 2PC preserved integrity.
     last_committed: BTreeMap<(usize, carat_storage::RecordId), u64>,
+    /// Component label of each site under the current split. All labels
+    /// equal (the resting state) means the cluster is connected; messages
+    /// only flow between sites with equal labels.
+    comp: Vec<u8>,
+    /// A split is currently in force.
+    partition_active: bool,
+    /// When the current split began (valid while `partition_active`).
+    partition_since: Time,
+    /// Users parked by [`DegradationPolicy::BlockUntilHeal`]; they
+    /// resubmit when the split heals.
+    heal_waiters: Vec<usize>,
+    /// Journal catch-up queues: per lagging replica site, the committed
+    /// `(gid, record)` writes it missed, in commit order. Replayed through
+    /// the site's storage engine at heal, restart, or end of run.
+    pending_catchup: BTreeMap<usize, Vec<(u64, carat_storage::RecordId)>>,
+    /// Cached: replica routing is live this run (replication > 1 or an
+    /// active partition plan). False keeps every partition/replica hook
+    /// off the hot path.
+    replicated: bool,
+    /// Lifetime (never reset) conservation counters: submissions that
+    /// entered execution, submissions refused before a gid was allocated,
+    /// and transactions destroyed by home-node crashes.
+    tx_started: u64,
+    tx_submit_refusals: u64,
+    tx_killed: u64,
     // Reusable working storage: the event loop allocates nothing in the
     // steady state.
     /// Retired `Txn` shells (their plan/program/site vectors keep their
@@ -341,6 +453,8 @@ pub struct Sim {
     abort_prog: Program,
     /// Distinct updated blocks for the rollback extent.
     blocks_scratch: HashSet<u32>,
+    /// Replica routing: `(slot index, extra replica)` write expansions.
+    route_scratch: Vec<(usize, usize)>,
     /// Wait-for graph for deadlock checks, rebuilt in place per conflict.
     wfg: WaitForGraph,
     /// Direct wait-for targets when launching probes.
@@ -406,9 +520,20 @@ impl Sim {
         // (SplitMix64's increment), any fixed odd constant would do.
         let fault_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
         let tracer = cfg.trace.clone().map(|tc| Box::new(Tracer::new(tc)));
+        let sites = cfg.params.sites();
+        let replicated = cfg.partition_plan.replication > 1 || cfg.partition_plan.is_active();
         Ok(Sim {
             tracer,
             ev_counts: [0; Ev::KINDS],
+            comp: vec![0; sites],
+            partition_active: false,
+            partition_since: 0.0,
+            heal_waiters: Vec::new(),
+            pending_catchup: BTreeMap::new(),
+            replicated,
+            tx_started: 0,
+            tx_submit_refusals: 0,
+            tx_killed: 0,
             cfg,
             sched: Scheduler::new(),
             nodes,
@@ -432,6 +557,7 @@ impl Sim {
             sites_scratch: Vec::new(),
             abort_prog: Program::with_capacity(0),
             blocks_scratch: HashSet::new(),
+            route_scratch: Vec::new(),
             wfg: WaitForGraph::new(),
             probe_targets: Vec::new(),
             val_buf: String::new(),
@@ -439,6 +565,11 @@ impl Sim {
     }
 
     /// Runs the simulation to completion and returns the report.
+    ///
+    /// Panics if the [`SimConfig::max_events`] budget runs out — callers
+    /// that set a budget should use [`run_checked`](Self::run_checked) to
+    /// get the structured [`SimError`] instead. With the default unlimited
+    /// budget this never panics.
     pub fn run(self) -> SimReport {
         self.run_traced().0
     }
@@ -446,7 +577,21 @@ impl Sim {
     /// Like [`run`](Self::run), but also hands back the lifecycle tracer
     /// (when [`SimConfig::trace`] was set) so the caller can export the
     /// recorded events. The report is identical to the untraced run's.
-    pub fn run_traced(mut self) -> (SimReport, Option<Tracer>) {
+    pub fn run_traced(self) -> (SimReport, Option<Tracer>) {
+        match self.run_checked_traced() {
+            Ok(out) => out,
+            Err(e) => panic!("simulation aborted: {e}"),
+        }
+    }
+
+    /// Runs the simulation, turning an exhausted event budget into a
+    /// structured [`SimError`] (with a partial report) instead of a panic.
+    pub fn run_checked(self) -> Result<SimReport, SimError> {
+        self.run_checked_traced().map(|(report, _)| report)
+    }
+
+    /// [`run_checked`](Self::run_checked) + the lifecycle tracer.
+    pub fn run_checked_traced(mut self) -> Result<(SimReport, Option<Tracer>), SimError> {
         for u in 0..self.users.len() {
             self.sched.schedule(0.0, Ev::Submit { user: u });
         }
@@ -462,11 +607,38 @@ impl Sim {
                 self.sched.schedule(at, Ev::FaultCrash { site });
             }
         }
+        // Partition schedule: scheduled splits (and their heals) go on the
+        // calendar up front; the stochastic split process keeps exactly one
+        // pending FaultSplit draw alive at all times. Drawn after the crash
+        // draws so an inert partition plan leaves the fault stream — and
+        // with it every existing fault configuration — untouched.
+        for idx in 0..self.cfg.partition_plan.splits.len() {
+            let (at, heal) = {
+                let s = &self.cfg.partition_plan.splits[idx];
+                (s.at_ms, s.heal_ms)
+            };
+            self.sched
+                .schedule(at, Ev::PartitionStart { idx: idx as u32 });
+            self.sched.schedule(heal, Ev::PartitionHeal);
+        }
+        if self.cfg.partition_plan.mtbp_ms > 0.0 {
+            let at = self.exp_sample(self.cfg.partition_plan.mtbp_ms);
+            self.sched.schedule(at, Ev::FaultSplit);
+        }
         let end = self.cfg.warmup_ms + self.cfg.measure_ms;
+        let budget = self.cfg.max_events;
 
         while let Some((t, ev)) = self.sched.pop() {
             if t > end {
                 break;
+            }
+            if budget != 0 && self.events >= budget {
+                let report = self.wind_down(t.min(end));
+                return Err(SimError::EventBudgetExhausted {
+                    budget,
+                    sim_time_ms: t,
+                    partial: Box::new(report),
+                });
             }
             self.events += 1;
             self.handle(ev);
@@ -474,19 +646,31 @@ impl Sim {
                 self.advance(id);
             }
         }
+        let report = self.wind_down(end);
+        Ok((report, self.tracer.take().map(|b| *b)))
+    }
+
+    /// End-of-run post-processing + report assembly. Pure bookkeeping on
+    /// final state: no events, no statistics beyond the report itself.
+    fn wind_down(&mut self, end: Time) -> SimReport {
         // A node still inside a repair outage at the cutoff has not run
         // journal recovery yet, so its storage can hold in-place updates of
         // interrupted transactions (whose locks died with the crash). The
         // commit audit reads what an operator would read after repair —
-        // recover those nodes first. Pure post-processing: no events, no
-        // statistics.
+        // recover those nodes first.
         for node in &mut self.nodes {
             if !node.up {
                 node.db.crash_and_recover();
             }
         }
-        let report = self.report(end);
-        (report, self.tracer.take().map(|b| *b))
+        // ... and the operator's repair also ships the queued journal
+        // catch-up to every replica that was lagging when the run ended,
+        // so the audit sees converged replicas.
+        let lagging: Vec<usize> = self.pending_catchup.keys().copied().collect();
+        for site in lagging {
+            self.apply_catchup_site(site, false);
+        }
+        self.report(end)
     }
 
     /// Records a trace event. Callers gate on `self.tracer.is_some()`
@@ -552,6 +736,227 @@ impl Sim {
             Ev::Restart { site } => self.restart_node(site),
             Ev::OrphanResolve { site, gid } => self.resolve_orphan(site, gid),
             Ev::Warmup => self.reset_stats(now),
+            Ev::PartitionStart { idx } => self.partition_start(idx as usize),
+            Ev::PartitionHeal => self.partition_heal(),
+            Ev::FaultSplit => self.fault_split(),
+        }
+    }
+
+    /// A scheduled split begins: adopt the plan's component labels. If a
+    /// stochastic split is already in force the scheduled one supersedes
+    /// its layout; the degraded period runs continuously until the next
+    /// heal (which always heals everything, so no layout can strand a
+    /// component). The `partitions` counter counts degraded *periods*, so
+    /// a superseding layout change does not increment it — that keeps
+    /// `heals <= partitions <= heals + 1` an exact invariant.
+    fn partition_start(&mut self, idx: usize) {
+        let now = self.sched.now();
+        if !self.partition_active {
+            self.partition_active = true;
+            self.partition_since = now;
+            self.stats.partitions += 1;
+        }
+        for s in 0..self.comp.len() {
+            self.comp[s] = self.cfg.partition_plan.splits[idx].groups[s];
+        }
+        if self.tracer.is_some() {
+            let mut n_comps = 0u32;
+            let mut seen = 0u64; // label bitmap (labels are u8)
+            for &c in &self.comp {
+                if seen & (1 << (c % 64)) == 0 {
+                    seen |= 1 << (c % 64);
+                    n_comps += 1;
+                }
+            }
+            self.trace(TraceEvent::new(
+                now,
+                TraceKind::PartitionSplit,
+                "split",
+                n_comps,
+                0,
+                TxType::Lro,
+            ));
+        }
+    }
+
+    /// The current split heals: components rejoin, lagging replicas catch
+    /// up through the journal, and submissions parked by
+    /// `BlockUntilHeal` re-enter the closed network.
+    fn partition_heal(&mut self) {
+        if !self.partition_active {
+            return; // a later-scheduled heal found everything healed
+        }
+        let now = self.sched.now();
+        self.partition_active = false;
+        self.comp.iter_mut().for_each(|c| *c = 0);
+        self.stats.heals += 1;
+        self.stats.partition_ms += now - self.partition_since.max(self.stats.window_start);
+        // Journal catch-up onto every lagging replica that is up (a site
+        // still in a crash outage catches up at its restart instead).
+        let mut lagging = std::mem::take(&mut self.sites_scratch);
+        lagging.clear();
+        lagging.extend(self.pending_catchup.keys().copied());
+        for &site in &lagging {
+            self.apply_catchup_site(site, true);
+        }
+        lagging.clear();
+        self.sites_scratch = lagging;
+        for i in 0..self.heal_waiters.len() {
+            let user = self.heal_waiters[i];
+            self.sched
+                .schedule_in(self.cfg.params.think_time_ms, Ev::Submit { user });
+        }
+        self.heal_waiters.clear();
+        if self.tracer.is_some() {
+            self.trace(TraceEvent::new(
+                now,
+                TraceKind::PartitionHeal,
+                "heal",
+                1,
+                0,
+                TxType::Lro,
+            ));
+        }
+    }
+
+    /// Stochastic split from the MTBP process: cut the cluster at a random
+    /// boundary into two components and draw the heal. Exactly one pending
+    /// `FaultSplit` exists at all times (a draw landing inside an active
+    /// split just redraws), so the process can never multiply.
+    fn fault_split(&mut self) {
+        let (mtbp, mtth) = (
+            self.cfg.partition_plan.mtbp_ms,
+            self.cfg.partition_plan.mtth_ms,
+        );
+        let next = self.exp_sample(mtbp);
+        self.sched.schedule_in(next, Ev::FaultSplit);
+        if self.partition_active {
+            return;
+        }
+        let now = self.sched.now();
+        let sites = self.comp.len();
+        // Validation guarantees sites >= 2 when the MTBP process is on.
+        let cut = self.fault_rng.gen_range(1..sites);
+        for s in 0..sites {
+            self.comp[s] = u8::from(s >= cut);
+        }
+        self.partition_active = true;
+        self.partition_since = now;
+        self.stats.partitions += 1;
+        let heal_in = self.exp_sample(mtth);
+        self.sched.schedule_in(heal_in, Ev::PartitionHeal);
+        if self.tracer.is_some() {
+            self.trace(
+                TraceEvent::new(
+                    now,
+                    TraceKind::PartitionSplit,
+                    "fault-split",
+                    2,
+                    0,
+                    TxType::Lro,
+                )
+                .detail(cut as u64),
+            );
+        }
+    }
+
+    /// Replays the queued journal catch-up onto `site`'s storage engine:
+    /// each missed committed write is re-applied in commit order under its
+    /// original writer's gid (begin → update → commit), so the lagging
+    /// replica converges to exactly the committed history the audit
+    /// expects. `live` charges the replay I/O to the site's background
+    /// disk; end-of-run replay is pure post-processing.
+    fn apply_catchup_site(&mut self, site: usize, live: bool) {
+        let Some(list) = self.pending_catchup.remove(&site) else {
+            return;
+        };
+        if !self.nodes[site].up {
+            // Still in a crash outage: the restart replays it instead.
+            self.pending_catchup.insert(site, list);
+            return;
+        }
+        let mut deferred = Vec::new();
+        let mut n = 0u64;
+        let mut i = 0;
+        while i < list.len() {
+            let gid = list[i].0;
+            let mut begun = false;
+            while i < list.len() && list[i].0 == gid {
+                let rid = list[i].1;
+                i += 1;
+                if self.last_committed.get(&(site, rid)) != Some(&gid) {
+                    // Superseded: a newer writer committed this record
+                    // after the miss was queued — replaying the stale
+                    // image would roll the replica backwards.
+                    continue;
+                }
+                if self.nodes[site].locks.is_contended(rid.block)
+                    || self.nodes[site].tso.block_pending(rid.block)
+                {
+                    // A live transaction holds this block at the replica —
+                    // typically one frozen in presumed-abort termination
+                    // across the split with an uncommitted in-place
+                    // update. Rollback restores whole-block before-images,
+                    // so replaying beneath it would be undone when it
+                    // resolves. Defer; the next transaction end drains us.
+                    deferred.push((gid, rid));
+                    continue;
+                }
+                if !begun {
+                    self.nodes[site].db.begin(gid).expect(
+                        "catch-up begin: writer gid is not live at a replica it never reached",
+                    );
+                    begun = true;
+                }
+                self.val_buf.clear();
+                write!(self.val_buf, "g{gid}b{}s{}", rid.block, rid.slot)
+                    .expect("format into String cannot fail");
+                self.nodes[site]
+                    .db
+                    .update_record(gid, rid, self.val_buf.as_bytes())
+                    .expect("catch-up replay of a committed write");
+                n += 1;
+            }
+            if begun {
+                self.nodes[site]
+                    .db
+                    .commit(gid)
+                    .expect("catch-up commit of a replayed writer");
+            }
+        }
+        if !deferred.is_empty() {
+            self.pending_catchup.insert(site, deferred);
+        }
+        self.stats.catchup_records += n;
+        if live && n > 0 {
+            // One granule transfer per replayed record, charged to the
+            // background job (gid 0) like recovery I/O.
+            let ms = n as f64 * self.cfg.params.nodes[site].disk_io_ms;
+            self.nodes[site].io_ops += n;
+            let now = self.sched.now();
+            if let Some(started) = self.nodes[site].disk.arrive(now, 0, ms) {
+                self.sched.schedule_in(
+                    started.service,
+                    Ev::DiskDone {
+                        site,
+                        tx: TxId::from_token(0),
+                    },
+                );
+            }
+        }
+        if self.tracer.is_some() && n > 0 {
+            let now = self.sched.now();
+            self.trace(
+                TraceEvent::new(
+                    now,
+                    TraceKind::ReplicaCatchup,
+                    "catchup",
+                    site as u32,
+                    0,
+                    TxType::Lro,
+                )
+                .detail(n),
+            );
         }
     }
 
@@ -732,6 +1137,7 @@ impl Sim {
         let tx = self.txs.remove(id).expect("live tx");
         let token = id.token();
         self.stats.crash_kills += 1;
+        self.tx_killed += 1;
         let term = self.cfg.fault_plan.termination_ms();
         for s in 0..self.nodes.len() {
             if s == home || !self.nodes[s].up {
@@ -800,6 +1206,12 @@ impl Sim {
                 );
             }
         }
+        // Writes the replicas committed while this site was down ship over
+        // as journal catch-up — unless a partition currently separates the
+        // site from the writers, in which case the heal replays it.
+        if !self.partition_active {
+            self.apply_catchup_site(site, true);
+        }
         for user in std::mem::take(&mut self.nodes[site].parked_users) {
             self.sched
                 .schedule_in(self.cfg.params.think_time_ms, Ev::Submit { user });
@@ -835,7 +1247,10 @@ impl Sim {
             self.stats.in_doubt_resolutions += 1;
         }
         if self.nodes[site].db.is_active(gid) {
-            let io = self.nodes[site].db.rollback(gid).expect("orphan rollback");
+            let io = self.nodes[site]
+                .db
+                .rollback(gid)
+                .expect("orphan rollback of a participant verified active at this site");
             let ios = io.total();
             if ios > 0 {
                 let ms = ios as f64 * self.cfg.params.nodes[site].disk_io_ms;
@@ -869,11 +1284,12 @@ impl Sim {
         let fp = self.cfg.fault_plan; // Copy: seven scalars, no clone
         let token = self.next_token;
         self.next_token += 1;
-        {
+        let from = {
             let tx = self.txs.get_mut(id).expect("live tx");
             tx.net_token = Some(token);
             tx.net_attempt = attempt;
-        }
+            tx.at_site
+        };
         self.stats.net_messages += 1;
         if self.tracer.is_some() {
             let now = self.sched.now();
@@ -895,8 +1311,13 @@ impl Sim {
             self.sched
                 .schedule_in(deadline, Ev::NetTimeout { tx: id, token });
         }
-        let dropped =
-            !self.nodes[to].up || (fp.drop_prob > 0.0 && self.fault_rng.gen_bool(fp.drop_prob));
+        // A message to a dead node or across a network split is lost; the
+        // component check precedes the coin flip, but components only ever
+        // differ while a split is in force, so partition-free runs draw
+        // exactly the same fault stream as before.
+        let dropped = !self.nodes[to].up
+            || self.comp[from] != self.comp[to]
+            || (fp.drop_prob > 0.0 && self.fault_rng.gen_bool(fp.drop_prob));
         if dropped {
             self.stats.net_drops += 1;
             if self.tracer.is_some() {
@@ -942,25 +1363,36 @@ impl Sim {
         if tx.net_token != Some(token) {
             return;
         }
+        let from = tx.at_site;
         let Op::Net { to, .. } = tx.prog.ops[tx.pc] else {
             return;
         };
-        if !self.nodes[to].up {
+        // A destination that died — or was cut off by a split — while the
+        // message was in flight never receives it; the retransmission
+        // timer recovers the sender.
+        if !self.nodes[to].up || self.comp[from] != self.comp[to] {
             self.stats.net_drops += 1;
             if self.tracer.is_some() {
                 let now = self.sched.now();
+                let name = if self.nodes[to].up {
+                    "split-dest"
+                } else {
+                    "dead-dest"
+                };
                 let (gid, ty) = {
                     let t = self.txs.get(id).expect("live tx");
                     (t.gid, t.ty)
                 };
                 self.trace(
-                    TraceEvent::new(now, TraceKind::NetDrop, "dead-dest", to as u32, gid, ty)
+                    TraceEvent::new(now, TraceKind::NetDrop, name, to as u32, gid, ty)
                         .lane2(id.token() as u32),
                 );
             }
             return;
         }
-        self.txs.get_mut(id).expect("live tx").net_token = None;
+        let tx = self.txs.get_mut(id).expect("live tx");
+        tx.net_token = None;
+        tx.at_site = to;
         self.step_past(id);
     }
 
@@ -979,7 +1411,7 @@ impl Sim {
             return;
         };
         let (attempt, unbounded) = (tx.net_attempt, tx.aborting || tx.decided);
-        let (gid, ty, home) = (tx.gid, tx.ty, tx.home);
+        let (gid, ty, home, at) = (tx.gid, tx.ty, tx.home, tx.at_site);
         if unbounded || attempt < self.cfg.fault_plan.max_retries {
             self.stats.net_retries += 1;
             if self.tracer.is_some() {
@@ -993,6 +1425,11 @@ impl Sim {
             self.send_message(id, to, ms, attempt.saturating_add(1));
         } else {
             self.stats.timeout_aborts += 1;
+            if self.partition_active && self.comp[at] != self.comp[to] {
+                // The retry budget died against an unreachable component:
+                // this abort is the partition's doing, not a lossy link's.
+                self.stats.partition_aborts += 1;
+            }
             if self.tracer.is_some() {
                 let now = self.sched.now();
                 self.trace(
@@ -1043,8 +1480,6 @@ impl Sim {
             self.nodes[home].parked_users.push(user);
             return;
         }
-        let gid = self.next_gid;
-        self.next_gid += 1;
         // Recycle a retired shell: its plan/program/site vectors keep their
         // capacity, so the steady-state submission path allocates nothing.
         let mut tx = self.spare_txns.pop().unwrap_or_else(Txn::empty);
@@ -1056,6 +1491,41 @@ impl Sim {
             self.cfg.n_requests,
             &mut tx.plan,
         );
+        tx.missed.clear();
+        if self.replicated {
+            // Route the sampled plan onto the replica sets *before* a gid
+            // is allocated: a refused submission never entered execution
+            // (the plan was sampled, so the workload stream stays in step
+            // with partition-free runs — routing itself draws no RNG).
+            match self.route_plan(home, ty, user, &mut tx) {
+                RouteOutcome::Proceed => {}
+                RouteOutcome::Refuse => {
+                    // Degrade by aborting before execution: counted as an
+                    // abort of this type plus an availability refusal. The
+                    // user retries after think time plus a timeout's worth
+                    // of pause — never zero (an active plan requires
+                    // timeouts), so a refusal loop cannot livelock.
+                    *self.stats.aborts.entry((home, ty)).or_default() += 1;
+                    self.stats.partition_aborts += 1;
+                    self.tx_submit_refusals += 1;
+                    let pause =
+                        self.cfg.params.think_time_ms + self.cfg.fault_plan.timeout_ms.max(1.0);
+                    self.sched.schedule_in(pause, Ev::Submit { user });
+                    self.spare_txns.push(tx);
+                    return;
+                }
+                RouteOutcome::Park => {
+                    // BlockUntilHeal: the user waits out the split.
+                    self.stats.blocked_on_heal += 1;
+                    self.heal_waiters.push(user);
+                    self.spare_txns.push(tx);
+                    return;
+                }
+            }
+        }
+        let gid = self.next_gid;
+        self.next_gid += 1;
+        self.tx_started += 1;
         compile_into(
             &self.cfg.params,
             home,
@@ -1081,6 +1551,7 @@ impl Sim {
         tx.net_token = None;
         tx.net_attempt = 0;
         tx.decided = false;
+        tx.at_site = home;
         let id = self.txs.insert(tx);
         self.ready.push_back(id);
         if self.tracer.is_some() {
@@ -1090,6 +1561,151 @@ impl Sim {
                     .lane2(id.token() as u32),
             );
         }
+    }
+
+    /// Routes a freshly sampled plan onto the replica sets.
+    ///
+    /// The replica set of plan site `s` is the `k` consecutive sites
+    /// `{s, s+1, …, s+k−1 mod S}` (`k` = [`crate::PartitionPlan::replication`]),
+    /// so every site is the primary for its own slice of the data. A
+    /// replica is *usable* when it is up and in the submitter's network
+    /// component. Semantics per request:
+    ///
+    /// * **Read** (read-one): served by the first usable replica, primary
+    ///   first — choosing a later one is a failover. A read whose usable
+    ///   replicas are short of a majority cannot prove freshness; only
+    ///   [`DegradationPolicy::StaleRead`] serves it anyway.
+    /// * **Write** (write-all-reachable): needs a majority quorum of
+    ///   usable replicas. The plan slot is rerouted to the first usable
+    ///   replica and duplicated onto every other usable one (full 2PL +
+    ///   2PC at each); unreachable replicas are recorded in `tx.missed`
+    ///   for journal catch-up at commit.
+    ///
+    /// An unservable request degrades per policy: `Abort`/`StaleRead`
+    /// refuse the submission, `BlockUntilHeal` parks the user while a
+    /// split is in force (and refuses otherwise, since only a heal wakes
+    /// the parked). Routing draws no randomness — the decision is a pure
+    /// function of the plan, the component map, and node liveness.
+    fn route_plan(&mut self, home: usize, ty: TxType, _user: usize, tx: &mut Txn) -> RouteOutcome {
+        let sites = self.nodes.len();
+        let k = self.cfg.partition_plan.replication;
+        let q = self.cfg.partition_plan.write_quorum();
+        let policy = self.cfg.partition_plan.degradation;
+        let my = self.comp[home];
+        let update = ty.is_update();
+        let degrade = |active: bool| match policy {
+            DegradationPolicy::BlockUntilHeal if active => RouteOutcome::Park,
+            _ => RouteOutcome::Refuse,
+        };
+
+        // Pass 1 — feasibility only: no mutation until every request is
+        // known servable, so a refused plan is left exactly as sampled.
+        for slot in &tx.plan.requests {
+            let primary = slot.0;
+            let mut alive = 0usize;
+            for j in 0..k {
+                let r = (primary + j) % sites;
+                if self.nodes[r].up && self.comp[r] == my {
+                    alive += 1;
+                }
+            }
+            let servable = if update {
+                alive >= q
+            } else {
+                alive >= 1 && (alive >= q || policy == DegradationPolicy::StaleRead)
+            };
+            if !servable {
+                return degrade(self.partition_active);
+            }
+        }
+
+        // Pass 2 — reroute reads, expand writes, record missed replicas.
+        let mut extras = std::mem::take(&mut self.route_scratch);
+        extras.clear();
+        let stale_policy = policy == DegradationPolicy::StaleRead;
+        for slot_idx in 0..tx.plan.requests.len() {
+            let primary = tx.plan.requests[slot_idx].0;
+            let mut serve = None;
+            let mut alive = 0usize;
+            for j in 0..k {
+                let r = (primary + j) % sites;
+                if self.nodes[r].up && self.comp[r] == my {
+                    alive += 1;
+                    if serve.is_none() {
+                        serve = Some(r);
+                    }
+                }
+            }
+            let serve = serve.expect("pass 1 verified a usable replica");
+            if update {
+                tx.plan.requests[slot_idx].0 = serve;
+                let mut missed_any = false;
+                for j in 0..k {
+                    let r = (primary + j) % sites;
+                    if r == serve {
+                        continue;
+                    }
+                    if self.nodes[r].up && self.comp[r] == my {
+                        extras.push((slot_idx, r));
+                    } else {
+                        missed_any = true;
+                        for &rid in &tx.plan.requests[slot_idx].1 {
+                            tx.missed.push((r, rid));
+                        }
+                    }
+                }
+                if missed_any || serve != primary {
+                    self.stats.failovers += 1;
+                    if self.tracer.is_some() {
+                        let now = self.sched.now();
+                        self.trace(
+                            TraceEvent::new(
+                                now,
+                                TraceKind::Failover,
+                                "write-quorum",
+                                serve as u32,
+                                self.next_gid,
+                                ty,
+                            )
+                            .detail(primary as u64),
+                        );
+                    }
+                }
+            } else {
+                if serve != primary {
+                    self.stats.degraded_reads += 1;
+                    self.stats.failovers += 1;
+                    if self.tracer.is_some() {
+                        let now = self.sched.now();
+                        self.trace(
+                            TraceEvent::new(
+                                now,
+                                TraceKind::Failover,
+                                "read",
+                                serve as u32,
+                                self.next_gid,
+                                ty,
+                            )
+                            .detail(primary as u64),
+                        );
+                    }
+                }
+                if alive < q && stale_policy {
+                    self.stats.stale_reads += 1;
+                }
+                tx.plan.requests[slot_idx].0 = serve;
+            }
+        }
+        // Appending while iterating would invalidate slot indices, so the
+        // write expansions land after the loop (order is deterministic:
+        // slot-major, replica-minor).
+        for &(slot_idx, r) in &extras {
+            let records = tx.plan.requests[slot_idx].1.clone();
+            tx.plan.requests.push((r, records));
+        }
+        extras.clear();
+        self.route_scratch = extras;
+        RouteOutcome::Proceed
     }
 
     fn reset_stats(&mut self, now: Time) {
@@ -1353,11 +1969,11 @@ impl Sim {
                     if update {
                         self.val_buf.clear();
                         write!(self.val_buf, "g{gid}b{}s{}", rid.block, rid.slot)
-                            .expect("write to String");
+                            .expect("format into String cannot fail");
                         self.nodes[site]
                             .db
                             .update_record(gid, rid, self.val_buf.as_bytes())
-                            .expect("functional update");
+                            .expect("update of a begun transaction at a validated address");
                         self.txs
                             .get_mut(id)
                             .expect("live tx")
@@ -1367,13 +1983,16 @@ impl Sim {
                         self.nodes[site]
                             .db
                             .touch_record(gid, rid)
-                            .expect("functional read");
+                            .expect("read by a begun transaction at a validated address");
                     }
                     self.bump(id);
                 }
                 Op::PrepareSite { site } => {
                     self.ensure_begun(id, site);
-                    self.nodes[site].db.prepare(gid).expect("prepare");
+                    self.nodes[site]
+                        .db
+                        .prepare(gid)
+                        .expect("prepare of a transaction begun at this site");
                     if self.tracer.is_some() {
                         self.trace(
                             TraceEvent::new(
@@ -1403,9 +2022,29 @@ impl Sim {
                         for &(s, rid) in &tx.updated {
                             if s == site {
                                 self.last_committed.insert((s, rid), gid);
+                                if self.replicated {
+                                    // Commit applies its value: a commit
+                                    // round delayed across a split can
+                                    // arrive after a journal catch-up
+                                    // already replayed newer history onto
+                                    // this replica — re-asserting the bytes
+                                    // keeps each replica consistent with
+                                    // its own last *applied* commit, which
+                                    // is exactly what the audit checks.
+                                    self.val_buf.clear();
+                                    write!(self.val_buf, "g{gid}b{}s{}", rid.block, rid.slot)
+                                        .expect("format into String cannot fail");
+                                    self.nodes[s]
+                                        .db
+                                        .update_record(gid, rid, self.val_buf.as_bytes())
+                                        .expect("commit-time re-apply of an active write");
+                                }
                             }
                         }
-                        self.nodes[site].db.commit(gid).expect("commit");
+                        self.nodes[site]
+                            .db
+                            .commit(gid)
+                            .expect("commit of a transaction begun at this site");
                     }
                     if self.cfg.cc == CcProtocol::TwoPhaseLocking {
                         self.release_locks_and_wake(site, token);
@@ -1438,7 +2077,10 @@ impl Sim {
                         .contains(&site)
                         && self.nodes[site].db.is_active(gid)
                     {
-                        self.nodes[site].db.rollback(gid).expect("rollback");
+                        self.nodes[site]
+                            .db
+                            .rollback(gid)
+                            .expect("rollback of a transaction verified active at this site");
                     }
                     if self.cfg.cc == CcProtocol::TwoPhaseLocking {
                         self.release_locks_and_wake(site, token);
@@ -1684,7 +2326,10 @@ impl Sim {
         if !tx.begun_sites.contains(&site) {
             tx.begun_sites.push(site);
             let gid = tx.gid;
-            self.nodes[site].db.begin(gid).expect("begin");
+            self.nodes[site]
+                .db
+                .begin(gid)
+                .expect("first begin of a freshly allocated gid at this site");
         }
     }
 
@@ -2006,10 +2651,14 @@ impl Sim {
         let mut prog = std::mem::take(&mut self.abort_prog);
         prog.clear();
         for &site in &abort_sites {
+            // A local type can still have touched a remote site: replica
+            // routing reroutes and expands plans across the replica set.
+            // Such a visit is charged at the type's own (coordinator)
+            // rates, exactly as its forward path was compiled.
             let exec_chain = if site == home {
                 chain
             } else {
-                ty.slave_chain().expect("remote site implies distributed")
+                ty.slave_chain().unwrap_or(chain)
             };
             if site != home {
                 prog.push(
@@ -2069,6 +2718,8 @@ impl Sim {
         // and timer are stale from here on.
         tx.net_token = None;
         tx.net_attempt = 0;
+        // The abort is coordinator-driven: its messages originate at home.
+        tx.at_site = home;
     }
 
     /// Diverts a crash-poisoned transaction onto its abort path: withdraw
@@ -2136,9 +2787,33 @@ impl Sim {
                 .entry(key)
                 .or_insert_with(Histogram::for_latency_ms)
                 .record(now - tx.submit_time);
+            // Writes that missed replicas at routing time are now
+            // committed history: record them as the last committed writer
+            // there and queue the journal catch-up (replayed at heal,
+            // restart, or end of run — the audit self-checks convergence).
+            for &(site, rid) in &tx.missed {
+                self.last_committed.insert((site, rid), tx.gid);
+                self.pending_catchup
+                    .entry(site)
+                    .or_default()
+                    .push((tx.gid, rid));
+            }
         }
         for &site in &tx.dm_sites {
             self.free_dm(site);
+        }
+        // Drain catch-up that was deferred behind held blocks now that this
+        // transaction's locks are released (no-op while a split is still in
+        // force — lagging replicas stay unreachable until the heal).
+        if !self.partition_active && !self.pending_catchup.is_empty() {
+            let mut lagging = std::mem::take(&mut self.sites_scratch);
+            lagging.clear();
+            lagging.extend(self.pending_catchup.keys().copied());
+            for &site in &lagging {
+                self.apply_catchup_site(site, true);
+            }
+            lagging.clear();
+            self.sites_scratch = lagging;
         }
         self.sched
             .schedule_in(self.cfg.params.think_time_ms, Ev::Submit { user: tx.user });
@@ -2160,7 +2835,15 @@ impl Sim {
 
     fn report(&mut self, end: Time) -> SimReport {
         let window = end - self.stats.window_start;
-        let window_s = window / 1000.0;
+        // Guard against a degenerate window (an event budget tripping
+        // before warm-up): rates divide by at least a femtosecond.
+        let window_s = (window / 1000.0).max(1e-12);
+        // A split still in force at the cutoff contributes its open
+        // interval to the partition duty time.
+        if self.partition_active {
+            self.partition_active = false;
+            self.stats.partition_ms += end - self.partition_since.max(self.stats.window_start);
+        }
         let mut nodes = Vec::new();
         // `report` runs once, at the end of the run — moving each node's
         // name out of the (about-to-drop) config avoids cloning it.
@@ -2327,6 +3010,20 @@ impl Sim {
             audited_records: audited,
             audit_violations,
             window_ms: window,
+            availability: AvailabilityReport {
+                partitions: self.stats.partitions,
+                heals: self.stats.heals,
+                partition_ms: self.stats.partition_ms,
+                partition_aborts: self.stats.partition_aborts,
+                blocked_on_heal: self.stats.blocked_on_heal,
+                stale_reads: self.stats.stale_reads,
+                degraded_reads: self.stats.degraded_reads,
+                failovers: self.stats.failovers,
+                catchup_records: self.stats.catchup_records,
+                tx_started: self.tx_started,
+                tx_submit_refusals: self.tx_submit_refusals,
+                tx_killed: self.tx_killed,
+            },
         }
     }
 }

@@ -47,6 +47,21 @@
 //! and enabling faults never changes which transactions the workload
 //! submits.
 //!
+//! ## Partitions and replication
+//!
+//! A [`PartitionPlan`] splits the cluster into site components (scheduled
+//! splits and/or a stochastic split/heal process), replicates every record
+//! over `k` consecutive sites with read-one/write-all semantics and
+//! majority write quorums, and enforces a per-transaction
+//! [`DegradationPolicy`] (abort / block-until-heal / stale-read) whenever a
+//! submission cannot reach the replicas it needs. Reads fail over to the
+//! next reachable replica; writes that proceed with a partial quorum leave
+//! journal-backed catch-up work that is replayed onto the lagging replicas
+//! at heal or restart, keeping the end-of-run commit audit exact. Every
+//! split is validated to heal, and in-flight messages cut off by a split
+//! fall back on the fault layer's timeout / presumed-abort machinery, so a
+//! partitioned run can degrade but never hang.
+//!
 //! ## Fidelity notes (vs. the real testbed)
 //!
 //! * The TM server *is* modelled as a serialisation point (it holds the
@@ -69,7 +84,10 @@ pub mod program;
 pub mod slab;
 
 pub use carat_obs::{CounterRegistry, TraceConfig, TraceEvent, TraceFilter, TraceKind, Tracer};
-pub use config::{CcProtocol, DeadlockMode, FaultPlan, SimConfig, SimConfigError, VictimPolicy};
-pub use engine::Sim;
-pub use metrics::{NodeReport, SimReport, TypeReport};
+pub use config::{
+    CcProtocol, DeadlockMode, DegradationPolicy, FaultPlan, PartitionPlan, SimConfig,
+    SimConfigError, SplitSpec, VictimPolicy,
+};
+pub use engine::{Sim, SimError};
+pub use metrics::{AvailabilityReport, NodeReport, SimReport, TypeReport};
 pub use slab::{TxId, TxSlab};

@@ -64,6 +64,52 @@ pub struct NodeReport {
     pub per_type: BTreeMap<TxType, TypeReport>,
 }
 
+/// Availability bookkeeping under network partitions and replication.
+/// All-zero (the default) whenever the partition plan is inert, so
+/// partition-free reports carry it silently.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AvailabilityReport {
+    /// Degraded periods that began during the run (scheduled + stochastic;
+    /// a scheduled split superseding an active stochastic split extends
+    /// the same period). Invariant: `heals <= partitions <= heals + 1` —
+    /// at most the final period can still be open at the cutoff.
+    pub partitions: u64,
+    /// Splits that healed during the run.
+    pub heals: u64,
+    /// Total simulated time the cluster spent split (ms), clipped to the
+    /// measurement window.
+    pub partition_ms: f64,
+    /// Transactions aborted because a partition left them without the
+    /// replicas they needed (submit-time quorum refusals plus in-flight
+    /// retry budgets exhausted against an unreachable component).
+    pub partition_aborts: u64,
+    /// Submissions parked until heal by `DegradationPolicy::BlockUntilHeal`.
+    pub blocked_on_heal: u64,
+    /// Read requests served from a replica while a write quorum was
+    /// unreachable (`DegradationPolicy::StaleRead` accepted possible
+    /// staleness).
+    pub stale_reads: u64,
+    /// Read requests served by a non-primary replica (primary down or
+    /// unreachable) — each one implies a failover.
+    pub degraded_reads: u64,
+    /// Requests re-routed off their primary replica (reads failed over plus
+    /// writes that proceeded with a partial quorum).
+    pub failovers: u64,
+    /// Records replayed onto lagging replicas through the journal after a
+    /// heal or restart (write-all catch-up).
+    pub catchup_records: u64,
+    /// Transactions that entered execution over the whole run (lifetime,
+    /// not windowed — pairs with `SimReport::live_at_end` for conservation
+    /// checks).
+    pub tx_started: u64,
+    /// Submissions refused before execution started (no gid was allocated;
+    /// counted in the per-type abort totals but not in `tx_started`).
+    pub tx_submit_refusals: u64,
+    /// Transactions destroyed by a home-node crash over the whole run
+    /// (lifetime analogue of the windowed `SimReport::crash_kills`).
+    pub tx_killed: u64,
+}
+
 /// Results of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
@@ -127,6 +173,9 @@ pub struct SimReport {
     pub audit_violations: u64,
     /// Measurement window (ms).
     pub window_ms: f64,
+    /// Partition / replication availability counters (all zero when the
+    /// partition plan is inert).
+    pub availability: AvailabilityReport,
     /// Profiling counters: events by kind (`ev_*`), scheduler-heap and
     /// transaction-slab high-water marks (`sched_heap_hwm`, `slab_hwm`,
     /// `slab_slots`), and per-phase residence totals (`phase_us_*`).

@@ -408,8 +408,11 @@ pub fn compile_into(
     for (site, records) in &plan.requests {
         let site = *site;
         let remote = site != home;
+        // A local type reaches a remote site only through replica routing
+        // (failover or write expansion); it has no slave chain of its own,
+        // so the visit is charged at the coordinator rates.
         let exec_chain = if remote {
-            slave_chain.expect("remote request implies distributed type")
+            slave_chain.unwrap_or(chain)
         } else {
             chain
         };
@@ -572,7 +575,8 @@ pub fn compile_into(
         }
         prog.push(Op::ReleaseTm { site: home }, Seg::Tc);
     } else {
-        let sc = slave_chain.expect("distributed");
+        // Replica-expanded local types commit 2PC at coordinator rates.
+        let sc = slave_chain.unwrap_or(chain);
         let half_tc_coord = b.tc_cpu(chain) / 2.0;
         let half_tc_slave = b.tc_cpu(sc) / 2.0;
         // Phase 1: TEND processing + PREPARE round.

@@ -1,7 +1,7 @@
 //! Fault-injection acceptance tests: determinism under faults and the
 //! no-hang / presumed-abort guarantees at scale.
 
-use carat::sim::{FaultPlan, Sim, SimConfig, SimReport};
+use carat::sim::{DegradationPolicy, FaultPlan, PartitionPlan, Sim, SimConfig, SimReport};
 use carat::workload::StandardWorkload;
 
 fn faulty_config(seed: u64, measure_ms: f64) -> SimConfig {
@@ -158,4 +158,41 @@ fn ten_thousand_transactions_under_faults_none_hang() {
     assert!(r1.live_at_end <= users);
     // And none of it scratched committed state.
     assert_eq!(r1.audit_violations, 0);
+}
+
+/// The no-hang guarantee with network partitions layered on top of the
+/// full fault stack: stochastic splits and heals interleave with message
+/// loss, duplication, and crash/restart cycles, over replicated data with
+/// stale reads allowed. Every mechanism must actually fire, nothing may
+/// hang (splits heal, presumed-abort terminates 2PC across them), and the
+/// commit audit must stay clean through replica catch-up.
+#[test]
+fn partitioned_transactions_under_faults_none_hang() {
+    let mut cfg = faulty_config(13, 900_000.0);
+    cfg.partition_plan = PartitionPlan {
+        mtbp_ms: 45_000.0,
+        mtth_ms: 4_000.0,
+        degradation: DegradationPolicy::StaleRead,
+        replication: 2,
+        ..PartitionPlan::default()
+    };
+    let r = Sim::new(cfg).expect("valid config").run();
+    let a = &r.availability;
+    assert!(
+        a.partitions > 0,
+        "stochastic process never split the cluster"
+    );
+    assert!(a.heals > 0, "no split ever healed");
+    assert!(a.partition_ms > 0.0);
+    assert!(r.crashes > 0, "crash process never fired");
+    assert!(r.net_drops > 0, "lossy link dropped nothing");
+    assert!(
+        r.oldest_inflight_ms < 90_000.0,
+        "transaction in flight for {:.0} ms looks hung",
+        r.oldest_inflight_ms
+    );
+    assert_eq!(
+        r.audit_violations, 0,
+        "a partition leaked into committed state"
+    );
 }

@@ -1,0 +1,206 @@
+//! Partition-tolerance acceptance tests: determinism, journal catch-up
+//! convergence, and a property sweep over random partition plans crossed
+//! with random fault plans — no plan may hang a transaction, break the
+//! commit audit, or lose a transaction from the lifecycle conservation
+//! ledger.
+
+use carat::sim::{
+    DegradationPolicy, FaultPlan, PartitionPlan, Sim, SimConfig, SimReport, SplitSpec,
+};
+use carat::workload::{NodeParams, StandardWorkload};
+use proptest::prelude::*;
+
+fn commits(r: &SimReport) -> u64 {
+    r.nodes
+        .iter()
+        .flat_map(|n| n.per_type.values())
+        .map(|t| t.commits)
+        .sum()
+}
+
+fn aborts(r: &SimReport) -> u64 {
+    r.nodes
+        .iter()
+        .flat_map(|n| n.per_type.values())
+        .map(|t| t.aborts)
+        .sum()
+}
+
+/// Base configuration for the partition tests: `sites` nodes (extra nodes
+/// get the mid-range disk), timeouts on so presumed-abort termination can
+/// cross a split.
+fn partitioned_config(sites: usize, seed: u64, measure_ms: f64) -> SimConfig {
+    let mut cfg = SimConfig::new(StandardWorkload::Mb4.spec(sites), 4, seed);
+    for extra in cfg.params.sites()..sites {
+        cfg.params.nodes.push(NodeParams {
+            name: format!("{}", (b'A' + extra as u8) as char),
+            disk_io_ms: 33.0,
+        });
+    }
+    cfg.warmup_ms = 0.0;
+    cfg.measure_ms = measure_ms;
+    cfg.fault_plan = FaultPlan {
+        timeout_ms: 60.0,
+        max_retries: 3,
+        ..FaultPlan::default()
+    };
+    cfg
+}
+
+/// Stochastic splits and heals draw from the dedicated fault stream, so a
+/// partitioned run must be exactly reproducible — and actually split.
+#[test]
+fn partitioned_run_is_deterministic() {
+    let mk = || {
+        let mut cfg = partitioned_config(2, 11, 180_000.0);
+        cfg.partition_plan = PartitionPlan {
+            mtbp_ms: 20_000.0,
+            mtth_ms: 4_000.0,
+            degradation: DegradationPolicy::StaleRead,
+            replication: 2,
+            ..PartitionPlan::default()
+        };
+        Sim::new(cfg).expect("valid config").run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a, b, "same seed and partition plan must reproduce exactly");
+    assert!(
+        a.availability.partitions > 0,
+        "plan never split the cluster"
+    );
+    assert!(a.availability.heals > 0, "no split ever healed");
+    assert_eq!(a.audit_violations, 0);
+}
+
+/// Three sites, `k = 3` (write quorum 2), one long split isolating site C:
+/// the majority side keeps committing through partial quorums, and the
+/// journal catch-up replayed at the heal must leave every replica holding
+/// exactly the last committed value — including records whose blocks were
+/// still locked by transactions frozen across the split when the heal
+/// fired (their rollback must not clobber the replay).
+#[test]
+fn journal_catchup_converges_after_partial_quorum_commits() {
+    let mut cfg = partitioned_config(3, 7, 240_000.0);
+    cfg.partition_plan = PartitionPlan {
+        splits: vec![SplitSpec {
+            at_ms: 40_000.0,
+            heal_ms: 150_000.0,
+            groups: vec![0, 0, 1],
+        }],
+        degradation: DegradationPolicy::StaleRead,
+        replication: 3,
+        ..PartitionPlan::default()
+    };
+    let r = Sim::new(cfg).expect("valid config").run();
+    assert!(
+        r.availability.catchup_records > 0,
+        "no partial-quorum commit ever left a replica to catch up"
+    );
+    assert!(r.availability.failovers > 0);
+    assert_eq!(r.audit_violations, 0, "catch-up left a replica divergent");
+    assert!(r.oldest_inflight_ms < 120_000.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any *valid* partition plan — random scheduled splits, random
+    /// stochastic split/heal process, random policy and replication,
+    /// crossed with a random lossy fault plan — terminates: every split
+    /// heals, nothing hangs, the commit audit stays clean, and the
+    /// transaction lifecycle ledger balances:
+    ///
+    /// `started ≈ commits + (aborts − refusals) + killed + live_at_end`
+    ///
+    /// (submit-time refusals count as client-visible aborts but never
+    /// enter execution; with `warmup = 0` the windowed counters are
+    /// lifetime counters; the only permitted slack is transactions still
+    /// running their rollback program at the cutoff — see below).
+    #[test]
+    fn random_partition_plans_terminate_and_conserve_transactions(
+        seed in 0u64..1000,
+        sites in 2usize..4,
+        // (gap_s, duration_s, label_mid) per scheduled split; gaps keep
+        // the splits disjoint, as `PartitionPlan::validate` requires.
+        split_shape in proptest::collection::vec(
+            (5.0f64..40.0, 1.0f64..15.0, any::<bool>()), 0..3),
+        stochastic in any::<bool>(),
+        mtbp_s in 20.0f64..60.0,
+        mtth_s in 1.0f64..6.0,
+        policy_ix in 0u8..3,
+        replication in 1usize..4,
+        drop in 0.0f64..0.15,
+        timeout in 40.0f64..100.0,
+        retries in 2u32..5,
+    ) {
+        let mut cfg = partitioned_config(sites, seed, 90_000.0);
+        cfg.fault_plan.drop_prob = drop;
+        cfg.fault_plan.timeout_ms = timeout;
+        cfg.fault_plan.max_retries = retries;
+
+        let mut splits = Vec::new();
+        let mut clock = 0.0;
+        for (gap_s, dur_s, mid) in split_shape {
+            let at = clock + gap_s * 1000.0;
+            let heal = at + dur_s * 1000.0;
+            clock = heal;
+            // Site 0 and the last site always land in different
+            // components; middle sites go either way.
+            let groups = (0..sites)
+                .map(|s| {
+                    if s == 0 { 0 }
+                    else if s == sites - 1 { 1 }
+                    else { u8::from(mid) }
+                })
+                .collect();
+            splits.push(SplitSpec { at_ms: at, heal_ms: heal, groups });
+        }
+        cfg.partition_plan = PartitionPlan {
+            splits,
+            mtbp_ms: if stochastic { mtbp_s * 1000.0 } else { 0.0 },
+            mtth_ms: if stochastic { mtth_s * 1000.0 } else { 0.0 },
+            degradation: match policy_ix {
+                0 => DegradationPolicy::Abort,
+                1 => DegradationPolicy::BlockUntilHeal,
+                _ => DegradationPolicy::StaleRead,
+            },
+            replication: replication.min(sites),
+        };
+
+        let r = Sim::new(cfg).expect("generated plan is valid").run();
+
+        // Termination: nothing in flight is anywhere near run-length old.
+        prop_assert!(
+            r.oldest_inflight_ms < 75_000.0,
+            "transaction in flight for {:.0} ms looks hung",
+            r.oldest_inflight_ms
+        );
+        // Quiescence: the system is still doing useful work overall.
+        prop_assert!(commits(&r) > 0, "system stopped committing entirely");
+        // Every split that began either healed or was still open at the
+        // cutoff (at most one can be open — splits never overlap).
+        let a = &r.availability;
+        prop_assert!(a.heals <= a.partitions);
+        prop_assert!(a.partitions <= a.heals + 1);
+        prop_assert!(a.partition_ms <= 90_000.0 + 1e-6);
+        // Conservation: every transaction that ever started is accounted
+        // for. Aborts are counted when the abort *begins* (that is when the
+        // per-type statistic is attributed), so a transaction still running
+        // its rollback program at the cutoff appears in both `aborts` and
+        // `live_at_end` — the ledger may overshoot by at most the number of
+        // live transactions, and may never undershoot or overshoot further
+        // (either would mean a transaction was lost or double-counted).
+        let accounted =
+            commits(&r) + (aborts(&r) - a.tx_submit_refusals) + a.tx_killed + r.live_at_end;
+        prop_assert!(
+            accounted >= a.tx_started && accounted - a.tx_started <= r.live_at_end,
+            "lifecycle ledger out of balance: started {} commits {} aborts {} \
+             refusals {} killed {} live {}",
+            a.tx_started, commits(&r), aborts(&r),
+            a.tx_submit_refusals, a.tx_killed, r.live_at_end
+        );
+        // And none of it leaked into committed state.
+        prop_assert_eq!(r.audit_violations, 0);
+    }
+}
