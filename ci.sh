@@ -29,6 +29,14 @@ echo "== sim determinism gate"
 cargo run --release -p carat-bench --bin exp_bench -- --emit-sim --threads 4 --out "${TMPDIR:-/tmp}/sim_par.json"
 cargo run --release -p carat-bench --bin exp_bench -- --emit-sim --sequential --out "${TMPDIR:-/tmp}/sim_seq.json"
 cmp "${TMPDIR:-/tmp}/sim_par.json" "${TMPDIR:-/tmp}/sim_seq.json"
+echo "== shard determinism gate"
+# The site-sharded engine must produce byte-identical reports for every
+# worker-thread count (DESIGN.md: shards is purely a parallelism knob).
+cargo run --release -p carat-cli -- sim --workload lb8 --sites 8 --n 8 --measure-s 60 --shards 1 > "${TMPDIR:-/tmp}/shard_1.txt"
+cargo run --release -p carat-cli -- sim --workload lb8 --sites 8 --n 8 --measure-s 60 --shards 2 > "${TMPDIR:-/tmp}/shard_2.txt"
+cargo run --release -p carat-cli -- sim --workload lb8 --sites 8 --n 8 --measure-s 60 --shards 4 > "${TMPDIR:-/tmp}/shard_4.txt"
+cmp "${TMPDIR:-/tmp}/shard_1.txt" "${TMPDIR:-/tmp}/shard_2.txt"
+cmp "${TMPDIR:-/tmp}/shard_1.txt" "${TMPDIR:-/tmp}/shard_4.txt"
 echo "== partition determinism gate"
 # The partition experiment (availability counters, catch-up replay, and
 # the model-vs-sim divergence gate) must be byte-identical across thread

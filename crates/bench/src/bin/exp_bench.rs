@@ -13,17 +13,20 @@
 //!   `BENCH_sweep.json`; then runs the **simulator section**: the
 //!   reference LB8/MB8 sweep timed for events/sec against the recorded
 //!   pre-fast-path baseline (written to `BENCH_sim.json`) plus a
-//!   parallel-vs-sequential replication determinism check;
+//!   parallel-vs-sequential replication determinism check and a
+//!   shard-scaling matrix (an 8-site LB8 cluster at 1/2/4 engine shards,
+//!   byte-identity asserted, events/sec and speedup recorded);
 //! * **emit** (`--emit [--out PATH]`): solves the same model grid
 //!   honouring the engine flags (`--threads N`, `--sequential`,
 //!   `--no-warm`) and the solver flags (`--accel off|aitken|anderson[:m]`,
 //!   `--mva exact|schweitzer|linearizer`) and writes the canonical JSON
 //!   result rows. CI runs this twice — `--threads 4` and `--sequential`,
 //!   with and without acceleration — and byte-compares the files;
-//! * **emit-sim** (`--emit-sim [--reps R] [--out PATH]`): runs R
-//!   replications of every reference sim point on the deterministic pool
-//!   and writes the canonical replicated JSON. CI byte-compares
-//!   `--threads 4` against `--sequential`;
+//! * **emit-sim** (`--emit-sim [--reps R] [--shards K] [--out PATH]`):
+//!   runs R replications of every reference sim point on the
+//!   deterministic pool and writes the canonical replicated JSON. CI
+//!   byte-compares `--threads 4` against `--sequential`, and `--shards`
+//!   values against each other;
 //! * **check-iters** (`--check-iters`): iteration-count regression gate —
 //!   resolves the grid cold and fails if any reference point needs more
 //!   than 110% of its recorded cold iteration count, or if either
@@ -36,7 +39,7 @@ use std::time::Instant;
 use carat::model::{Accel, ModelConfig, ModelOptions, MvaAlgo};
 use carat::obs::CounterRegistry;
 use carat::sim::{Sim, SimConfig};
-use carat::workload::StandardWorkload;
+use carat::workload::{StandardWorkload, SystemParams};
 use carat_bench::{
     chain_to_json, json_f64, replicated_to_json, run_replications, run_tasks_timed, solve_chain,
     ModelPoint, PoolStats, SweepOptions, N_SWEEP,
@@ -78,18 +81,86 @@ const SIM_REPS: u32 = 3;
 const BASELINE_EVENTS_PER_SEC: f64 = 1.90e6;
 
 /// The reference sim sweep: 10 s warm-up, 120 s measured, seed
-/// [`SIM_SEED`].
-fn sim_points() -> (Vec<String>, Vec<SimConfig>) {
+/// [`SIM_SEED`]. `shards` sets the engine's worker-thread count on every
+/// point — the results are byte-identical for every value.
+fn sim_points(shards: usize) -> (Vec<String>, Vec<SimConfig>) {
     let mut labels = Vec::new();
     let mut cfgs = Vec::new();
     for &(wl, n) in &SIM_POINTS {
         let mut cfg = SimConfig::new(wl.spec(2), n, SIM_SEED);
         cfg.warmup_ms = 10_000.0;
         cfg.measure_ms = 120_000.0;
+        cfg.shards = shards;
         labels.push(format!("{wl}/n{n}"));
         cfgs.push(cfg);
     }
     (labels, cfgs)
+}
+
+/// Shard-scaling scenario: an 8-site LB8 cluster (all-local users, so the
+/// run is site-separable) at the reference transaction size.
+const SHARD_SITES: usize = 8;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn shard_scenario(shards: usize) -> SimConfig {
+    let mut cfg = SimConfig::new(StandardWorkload::Lb8.spec(SHARD_SITES), 8, SIM_SEED);
+    cfg.params = SystemParams::with_sites(SHARD_SITES);
+    cfg.warmup_ms = 10_000.0;
+    cfg.measure_ms = 120_000.0;
+    cfg.shards = shards;
+    cfg
+}
+
+/// Times the shard-scaling matrix, asserts byte-identical reports for
+/// every shard count, and returns the `"shards"` JSON section for
+/// `BENCH_sim.json`. Scaling is bounded by the host's cores, so the core
+/// count is recorded next to the measurements.
+fn bench_shards() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reference = Sim::new(shard_scenario(1))
+        .expect("valid shard scenario")
+        .run();
+    let mut rows = Vec::new();
+    println!(
+        "\n## Shard scaling (LB8 x {SHARD_SITES} sites, n=8, {cores} host cores, \
+         best of {REPS})"
+    );
+    let mut base_eps = 0.0;
+    for &shards in &SHARD_COUNTS {
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let report = Sim::new(shard_scenario(shards)).expect("valid").run();
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+            assert_eq!(
+                report, reference,
+                "shards={shards} diverged from the single-shard report"
+            );
+        }
+        let eps = reference.events as f64 / (best_ms / 1000.0);
+        if shards == 1 {
+            base_eps = eps;
+        }
+        let speedup = eps / base_eps;
+        println!(
+            "  shards={shards}  {best_ms:9.2} ms  {eps:12.0} events/s  \
+             ({speedup:.2}x vs shards=1)"
+        );
+        rows.push(format!(
+            "      {{\"shards\": {shards}, \"wall_ms\": {}, \"events_per_sec\": {}, \
+             \"speedup_vs_1\": {}}}",
+            json_f64((best_ms * 1000.0).round() / 1000.0),
+            json_f64(eps.round()),
+            json_f64((speedup * 1000.0).round() / 1000.0),
+        ));
+    }
+    println!("  reports byte-identical across shard counts: OK");
+    format!(
+        "{{\n    \"workload\": \"LB8/n8\",\n    \"sites\": {SHARD_SITES},\n    \
+         \"cores\": {cores},\n    \"events\": {},\n    \"matrix\": [\n{}\n    ]\n  }}",
+        reference.events,
+        rows.join(",\n"),
+    )
 }
 
 /// Recorded cold iteration counts of the committed `BENCH_sweep.json`, in
@@ -290,8 +361,8 @@ fn check_iters() {
 }
 
 /// Canonical replicated-sim JSON for the reference sweep under `opts`.
-fn sim_json(opts: &SweepOptions, reps: u32) -> String {
-    let (labels, cfgs) = sim_points();
+fn sim_json(opts: &SweepOptions, reps: u32, shards: usize) -> String {
+    let (labels, cfgs) = sim_points(shards);
     replicated_to_json(&labels, &run_replications(cfgs, reps, opts))
 }
 
@@ -299,7 +370,7 @@ fn sim_json(opts: &SweepOptions, reps: u32) -> String {
 /// `BENCH_sim.json`. The wall clock includes `Sim::new` — the same
 /// protocol the recorded baseline was measured with.
 fn bench_sim(determinism_threads: usize) {
-    let (labels, cfgs) = sim_points();
+    let (labels, cfgs) = sim_points(1);
     let mut events = 0u64;
     let mut best_ms = f64::INFINITY;
     let mut counters = CounterRegistry::new();
@@ -324,6 +395,7 @@ fn bench_sim(determinism_threads: usize) {
          ({speedup:.2}x the {BASELINE_EVENTS_PER_SEC:.2e} events/s baseline)",
         labels.len()
     );
+    let shards_json = bench_shards();
     // Profiling counters merged across the reference points (`_hwm` names
     // take the max, everything else sums). Pure simulation state, so the
     // object is byte-identical run to run and across thread counts.
@@ -331,7 +403,8 @@ fn bench_sim(determinism_threads: usize) {
         "{{\n  \"points\": [{}],\n  \"seed\": {SIM_SEED},\n  \"reps\": {REPS},\n  \
          \"events\": {events},\n  \"wall_ms\": {},\n  \"events_per_sec\": {},\n  \
          \"baseline_events_per_sec\": {},\n  \"speedup\": {},\n  \
-         \"determinism_threads\": {determinism_threads},\n  \"counters\": {}\n}}\n",
+         \"determinism_threads\": {determinism_threads},\n  \"shards\": {},\n  \
+         \"counters\": {}\n}}\n",
         labels
             .iter()
             .map(|l| format!("\"{l}\""))
@@ -341,6 +414,7 @@ fn bench_sim(determinism_threads: usize) {
         json_f64(events_per_sec.round()),
         json_f64(BASELINE_EVENTS_PER_SEC),
         json_f64((speedup * 1000.0).round() / 1000.0),
+        shards_json,
         counters.to_json(2),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
@@ -373,7 +447,14 @@ fn main() {
             .and_then(|v| v.parse::<u32>().ok())
             .unwrap_or(SIM_REPS)
             .max(1);
-        write_or_print(&sim_json(&opts, reps), out);
+        let shards = args
+            .iter()
+            .position(|a| a == "--shards")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
+        write_or_print(&sim_json(&opts, reps, shards), out);
         return;
     }
 
@@ -595,8 +676,8 @@ fn main() {
         partition_seed: opts.partition_seed,
     };
     assert_eq!(
-        sim_json(&par, SIM_REPS),
-        sim_json(&SweepOptions::sequential(), SIM_REPS),
+        sim_json(&par, SIM_REPS, 1),
+        sim_json(&SweepOptions::sequential(), SIM_REPS, 1),
         "parallel sim replications diverged from sequential"
     );
     println!(

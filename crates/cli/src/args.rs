@@ -78,6 +78,14 @@ pub struct RunSpec {
     /// Write the solver's per-iteration convergence log here (model only).
     /// `.csv` writes CSV; anything else writes JSON.
     pub iter_log: Option<String>,
+    /// Number of sites (default 2, the testbed's pair of VAXes). Larger
+    /// clusters replicate the workload's per-node user population and
+    /// alternate the Table 2 disk speeds across sites.
+    pub sites: usize,
+    /// Worker threads for the site-sharded simulator engine (simulator
+    /// only; `None` falls back to `CARAT_SHARDS`, then 1). Reports are
+    /// byte-identical for every value.
+    pub shards: Option<usize>,
 }
 
 impl Default for RunSpec {
@@ -107,12 +115,15 @@ impl Default for RunSpec {
             trace: None,
             trace_filter: None,
             iter_log: None,
+            sites: 2,
+            shards: None,
         }
     }
 }
 
 impl RunSpec {
-    /// System parameters implied by the flags.
+    /// System parameters implied by the flags. `--sites 2` (the default)
+    /// reproduces `SystemParams::default()` exactly.
     pub fn params(&self) -> SystemParams {
         SystemParams {
             comm_delay_ms: self.alpha_ms,
@@ -124,8 +135,21 @@ impl RunSpec {
                 },
                 None => AccessPattern::Uniform,
             },
-            ..SystemParams::default()
+            ..SystemParams::with_sites(self.sites)
         }
+    }
+
+    /// Effective simulator shard count: `--shards`, else the
+    /// `CARAT_SHARDS` environment variable, else 1.
+    pub fn effective_shards(&self) -> usize {
+        self.shards
+            .or_else(|| {
+                std::env::var("CARAT_SHARDS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(1)
+            .max(1)
     }
 }
 
@@ -139,6 +163,12 @@ USAGE:
 FLAGS:
     --workload <lb8|mb4|mb8|ub6>   workload (default mb4)
     --n <N | A..B | A,B,C>         transaction size(s) (default 8)
+    --sites <k>                    number of sites (default 2); larger clusters
+                                   replicate the per-node user population and
+                                   alternate the Table 2 disk speeds
+    --shards <k>                   simulator worker threads for site-separable
+                                   runs (default $CARAT_SHARDS, else 1;
+                                   reports are byte-identical for every k)
     --seed <u64>                   simulator RNG seed (default 7)
     --measure-s <secs>             simulated measurement window (default 300)
     --alpha <ms>                   communication delay α (default 0)
@@ -281,6 +311,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         match args[i].as_str() {
             "--workload" => spec.workload = parse_workload(next(&mut i)?)?,
             "--n" => spec.n_values = parse_n(next(&mut i)?)?,
+            "--sites" => {
+                spec.sites = next(&mut i)?
+                    .parse::<usize>()
+                    .map_err(|_| "bad sites".to_string())?
+                    .max(1)
+            }
+            "--shards" => {
+                spec.shards = Some(
+                    next(&mut i)?
+                        .parse::<usize>()
+                        .map_err(|_| "bad shards".to_string())?
+                        .max(1),
+                )
+            }
             "--seed" => spec.seed = next(&mut i)?.parse().map_err(|_| "bad seed".to_string())?,
             "--measure-s" => {
                 spec.measure_s = next(&mut i)?
@@ -613,6 +657,32 @@ mod tests {
         assert!(parse(&argv("sim --trace t.json --trace-filter kind=banana")).is_err());
         assert!(parse(&argv("sim --trace-filter kind=lock")).is_err());
         assert!(parse(&argv("sim --trace t.json --reps 3")).is_err());
+    }
+
+    #[test]
+    fn parses_sites_and_shards() {
+        let Command::Sim(spec) = parse(&argv("sim --sites 8 --shards 4")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.sites, 8);
+        assert_eq!(spec.shards, Some(4));
+        // Defaults: the testbed pair, one worker thread.
+        let d = RunSpec::default();
+        assert_eq!(d.sites, 2);
+        assert_eq!(d.shards, None);
+        // Zero clamps rather than erroring, matching --threads.
+        let Command::Sim(spec) = parse(&argv("sim --sites 0 --shards 0")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.sites, 1);
+        assert_eq!(spec.shards, Some(1));
+        assert!(parse(&argv("sim --sites many")).is_err());
+        assert!(parse(&argv("sim --shards many")).is_err());
+        // --sites 2 keeps the default parameter set byte-for-byte.
+        assert_eq!(
+            format!("{:?}", RunSpec::default().params()),
+            format!("{:?}", SystemParams::default())
+        );
     }
 
     #[test]

@@ -78,6 +78,17 @@ impl Hasher for FxHasher64 {
     }
 }
 
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014): a bijective avalanche
+/// mix used to derive well-separated deterministic seeds from small
+/// indices (replication numbers, site indices). Lives in the kernel so
+/// every layer derives sub-stream seeds with the same function.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Deterministic [`std::hash::BuildHasher`] for [`FxHasher64`].
 pub type FastBuildHasher = BuildHasherDefault<FxHasher64>;
 

@@ -11,6 +11,9 @@
 //!   (used for the CPU and disk service centers of each CARAT node), with
 //!   built-in utilization / queue-length / completion statistics.
 //! * [`stats`] — time-weighted and sample statistics accumulators.
+//! * [`shard`] — conservative (lookahead-based) shard synchronization
+//!   primitives: site-to-shard maps, timestamped cross-shard channels, and
+//!   the safe-horizon clock rule used by the sharded simulator.
 //!
 //! The kernel is event-oriented rather than process-oriented: the simulation
 //! owns all state and reacts to popped events; resources hand back "job
@@ -24,11 +27,13 @@
 pub mod fcfs;
 pub mod hash;
 pub mod scheduler;
+pub mod shard;
 pub mod stats;
 
 pub use fcfs::{Fcfs, Started};
-pub use hash::{FastBuildHasher, FastMap, FastSet, FxHasher64};
+pub use hash::{splitmix64, FastBuildHasher, FastMap, FastSet, FxHasher64};
 pub use scheduler::Scheduler;
+pub use shard::{HorizonClock, ShardChannel, SiteShardMap};
 pub use stats::{Counter, Histogram, Tally, TimeWeighted};
 
 /// Simulated time in milliseconds.

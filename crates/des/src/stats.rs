@@ -381,7 +381,21 @@ impl Histogram {
         if x < self.base {
             return Some(0);
         }
-        let idx = ((x / self.base).ln() / self.growth.ln()).floor() as usize + 1;
+        // The ln()-ratio is only a *hint*: it rounds differently from the
+        // powi()-computed edges exactly when x sits on (or within an ulp
+        // of) a bucket edge, so an edge observation could land on either
+        // side. Nudge the hint against lower()/upper() so membership
+        // agrees with the documented half-open [lower, upper) buckets
+        // bit-for-bit — a histogram merged across shards must count every
+        // edge sample in the same bucket as the single-shard run.
+        let hint = ((x / self.base).ln() / self.growth.ln()).floor().max(0.0);
+        let mut idx = 1 + (hint as usize).min(self.counts.len());
+        while idx > 1 && x < self.lower(idx) {
+            idx -= 1;
+        }
+        while idx < self.counts.len() && x >= self.upper(idx) {
+            idx += 1;
+        }
         if idx < self.counts.len() {
             Some(idx)
         } else {
@@ -482,6 +496,53 @@ impl Histogram {
 #[cfg(test)]
 mod histogram_tests {
     use super::Histogram;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// An observation exactly on a bucket edge must land in the bucket
+        /// whose *inclusive lower* edge it is: `upper(i)` (the exclusive
+        /// edge of bucket i) always counts in bucket `i + 1`.
+        #[test]
+        fn edge_observation_lands_in_the_upper_bucket(
+            base_mil in 1u32..5000,
+            growth_mil in 1010u32..4000,
+            i in 0usize..30,
+        ) {
+            let base = base_mil as f64 / 1000.0;
+            let growth = growth_mil as f64 / 1000.0;
+            let mut h = Histogram::new(base, growth, 32);
+            let edge = h.upper(i);
+            prop_assert_eq!(h.bucket_of(edge), Some(i + 1));
+            h.record(edge);
+            prop_assert_eq!(h.counts[i + 1], 1, "record({edge}) left bucket {}", i + 1);
+        }
+
+        /// Whatever bucket `bucket_of` picks, the sample really lies in
+        /// that bucket's half-open `[lower, upper)` range; an overflow
+        /// verdict means the sample is at or above the top edge.
+        #[test]
+        fn bucket_of_agrees_with_the_computed_edges(
+            base_mil in 1u32..5000,
+            growth_mil in 1010u32..4000,
+            x_mil in 0u64..100_000_000,
+        ) {
+            let base = base_mil as f64 / 1000.0;
+            let growth = growth_mil as f64 / 1000.0;
+            let h = Histogram::new(base, growth, 32);
+            let x = x_mil as f64 / 1000.0;
+            match h.bucket_of(x) {
+                Some(b) => prop_assert!(
+                    h.lower(b) <= x && x < h.upper(b),
+                    "x = {x} outside bucket {b} = [{}, {})",
+                    h.lower(b),
+                    h.upper(b)
+                ),
+                None => prop_assert!(x >= h.upper(31)),
+            }
+        }
+    }
 
     #[test]
     fn quantiles_of_uniform_stream() {

@@ -468,6 +468,13 @@ pub struct SimConfig {
     /// one branch each, allocate nothing, and draw no randomness, so a
     /// traceless run is byte-identical to a pre-observability build.
     pub trace: Option<TraceConfig>,
+    /// Worker threads for the site-sharded engine (`1` = run everything on
+    /// the calling thread). Purely a parallelism knob: whether a run
+    /// decomposes by site is a function of the *rest* of the configuration
+    /// (see `shard::decomposable`), so the report is byte-identical for
+    /// every shard count, and a non-decomposable configuration simply runs
+    /// the monolithic loop regardless of this value.
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -490,6 +497,7 @@ impl SimConfig {
             partition_plan: PartitionPlan::default(),
             max_events: 0,
             trace: None,
+            shards: 1,
         }
     }
 
@@ -512,6 +520,9 @@ impl SimConfig {
         }
         if self.dm_pool == 0 {
             return param("dm_pool", "a site needs at least one DM server".into());
+        }
+        if self.shards == 0 {
+            return param("shards", "the engine needs at least one shard".into());
         }
         for (name, v) in [
             ("warmup_ms", self.warmup_ms),
@@ -591,6 +602,12 @@ mod tests {
                 name: "dm_pool",
                 ..
             })
+        ));
+        let mut cfg = base();
+        cfg.shards = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimConfigError::InvalidParameter { name: "shards", .. })
         ));
         let mut cfg = base();
         cfg.measure_ms = f64::NAN;

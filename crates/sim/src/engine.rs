@@ -592,6 +592,15 @@ impl Sim {
 
     /// [`run_checked`](Self::run_checked) + the lifecycle tracer.
     pub fn run_checked_traced(mut self) -> Result<(SimReport, Option<Tracer>), SimError> {
+        // Site-separable configurations decompose into independent
+        // per-site sub-simulations run on `cfg.shards` worker threads;
+        // the merged report is byte-identical for every shard count (see
+        // the `shard` module docs). Everything else — cross-site
+        // workloads, crashes, faults, partitions — runs the monolithic
+        // loop below.
+        if crate::shard::decomposable(&self.cfg) {
+            return crate::shard::run_decomposed(self.cfg);
+        }
         for u in 0..self.users.len() {
             self.sched.schedule(0.0, Ev::Submit { user: u });
         }

@@ -62,6 +62,15 @@
 //! fall back on the fault layer's timeout / presumed-abort machinery, so a
 //! partitioned run can degrade but never hang.
 //!
+//! ## Site-sharded execution
+//!
+//! [`SimConfig::shards`] runs site-separable configurations (all-local
+//! workloads with no crashes, faults, partitions, or replication) as
+//! independent per-site sub-simulations on worker threads, merged back in
+//! site order — see the [`shard`] module. The shard count is purely a
+//! parallelism knob: the report, counters, and trace are byte-identical
+//! for every value, and coupled configurations ignore it.
+//!
 //! ## Fidelity notes (vs. the real testbed)
 //!
 //! * The TM server *is* modelled as a serialisation point (it holds the
@@ -81,6 +90,7 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod program;
+pub mod shard;
 pub mod slab;
 
 pub use carat_obs::{CounterRegistry, TraceConfig, TraceEvent, TraceFilter, TraceKind, Tracer};

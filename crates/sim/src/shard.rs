@@ -1,0 +1,428 @@
+//! The site-sharded engine: conservative decomposition of a run into
+//! per-site sub-simulations, executed on `SimConfig::shards` worker
+//! threads and merged back canonically.
+//!
+//! ## Why decomposition is exact here
+//!
+//! A configuration is *site-separable* when no event at one site can ever
+//! influence another site: every user is local-only (local programs
+//! compile to zero `Net` ops and never register remote slaves), there are
+//! no crashes, no fault plan, no partitions, and no replication. The
+//! conservative-synchronization machinery of `carat_des::shard` then
+//! degenerates to its best case — the channels stay empty and every
+//! shard's safe horizon is `+∞` — so each site runs as an ordinary
+//! single-threaded, byte-deterministic simulation and the merge is pure
+//! bookkeeping. Cross-site workloads (any DRO/DU user), crashes, faults,
+//! and partitions couple sites through zero-lookahead paths (the default
+//! α = 0 gives an empty lookahead window), so those configurations run
+//! the monolithic loop regardless of the shard count.
+//!
+//! ## The determinism contract
+//!
+//! Whether a run decomposes is a function of the configuration
+//! *excluding* `shards`; the shard count only chooses how many worker
+//! threads execute the (fixed) per-site sub-simulations. Every per-site
+//! sub-simulation is seeded by a pure function of `(seed, site)` and runs
+//! to completion independently, and the merge folds results in site
+//! order. The report — including trace output and counters — is
+//! therefore byte-identical for every `shards` value, which the CI
+//! shard-determinism gate enforces the same way earlier PRs enforced
+//! sweep- and replication-determinism.
+//!
+//! Documented merge semantics (DESIGN.md has the full table):
+//!
+//! * `sched_heap_hwm` / `slab_hwm` / `slab_slots_hwm` are per-site
+//!   high-water marks merged by *max* (a global heap never existed);
+//! * `phase_us_*` totals round to whole microseconds per site and then
+//!   sum, so they can differ from a hypothetical global rounding by at
+//!   most one microsecond per site;
+//! * `mean_lock_wait_ms` pools per-site means weighted by completed
+//!   waits; all plain counters sum; `oldest_inflight_ms` and `window_ms`
+//!   take the maximum.
+
+use carat_des::shard::SiteShardMap;
+use carat_des::splitmix64;
+use carat_obs::Tracer;
+
+use crate::config::SimConfig;
+use crate::engine::{Sim, SimError};
+use crate::metrics::{AvailabilityReport, SimReport};
+
+/// Whether `cfg` is site-separable (see the module docs). A pure function
+/// of the configuration excluding [`SimConfig::shards`], so the
+/// decomposition decision — and with it every report byte — cannot depend
+/// on the shard count.
+pub fn decomposable(cfg: &SimConfig) -> bool {
+    cfg.params.sites() >= 2
+        && cfg.workload.sites() == cfg.params.sites()
+        && cfg.crashes.is_empty()
+        && !cfg.fault_plan.is_active()
+        && !cfg.partition_plan.is_active()
+        && cfg.partition_plan.replication == 1
+        && cfg
+            .workload
+            .users
+            .iter()
+            .flatten()
+            .all(|&(ty, count)| count == 0 || !ty.is_distributed())
+}
+
+/// The sub-simulation seed of `site` for a run with base seed `base`.
+///
+/// Double-mixed rather than `base ^ splitmix64(site)` so site streams can
+/// never collide with the replication harness's `rep_seed(base, rep) =
+/// base ^ splitmix64(rep)` family: replication r of site s must not share
+/// a stream with replication s of site r.
+pub fn site_seed(base: u64, site: usize) -> u64 {
+    splitmix64(splitmix64(base).wrapping_add(site as u64 + 1))
+}
+
+/// The per-site share of the run's event budget: sites run independently,
+/// so each gets an equal slice (at least 1 — a zero share would mean
+/// *unlimited*). `0` stays "no budget".
+fn budget_share(budget: u64, sites: usize) -> u64 {
+    if budget == 0 {
+        0
+    } else {
+        (budget / sites as u64).max(1)
+    }
+}
+
+/// The single-site sub-configuration of `site`.
+fn site_config(cfg: &SimConfig, site: usize) -> SimConfig {
+    let mut params = cfg.params.clone();
+    params.nodes = vec![cfg.params.nodes[site].clone()];
+    let mut workload = cfg.workload.clone();
+    workload.users = vec![cfg.workload.users[site].clone()];
+    SimConfig {
+        params,
+        workload,
+        seed: site_seed(cfg.seed, site),
+        max_events: budget_share(cfg.max_events, cfg.params.sites()),
+        crashes: Vec::new(),
+        shards: 1,
+        ..cfg.clone()
+    }
+}
+
+/// Outcome of one site's sub-simulation.
+type SiteOutcome = Result<(SimReport, Option<Tracer>), SimError>;
+
+fn run_site(cfg: SimConfig) -> SiteOutcome {
+    Sim::new(cfg)
+        .expect("a site slice of a validated config is valid")
+        .run_checked_traced()
+}
+
+/// Runs a decomposable configuration as per-site sub-simulations on
+/// `cfg.shards` worker threads (clamped to the site count) and merges the
+/// results in site order. The caller (`Sim::run_checked_traced`) has
+/// already validated `cfg` and checked [`decomposable`].
+pub(crate) fn run_decomposed(cfg: SimConfig) -> Result<(SimReport, Option<Tracer>), SimError> {
+    let sites = cfg.params.sites();
+    let shards = cfg.shards.min(sites).max(1);
+    let budget = cfg.max_events;
+    let subcfgs: Vec<SimConfig> = (0..sites).map(|s| site_config(&cfg, s)).collect();
+
+    let outcomes: Vec<SiteOutcome> = if shards == 1 {
+        subcfgs.into_iter().map(run_site).collect()
+    } else {
+        // Balanced contiguous blocks: shard s runs its sites sequentially
+        // in site order, and joining the shards in index order restores
+        // global site order.
+        let map = SiteShardMap::contiguous(sites, shards);
+        let mut blocks: Vec<Vec<SimConfig>> = Vec::with_capacity(shards);
+        let mut it = subcfgs.into_iter();
+        for s in 0..shards {
+            blocks.push(it.by_ref().take(map.sites_of(s).len()).collect());
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .into_iter()
+                .map(|block| scope.spawn(|| block.into_iter().map(run_site).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("site shard thread panicked"))
+                .collect()
+        })
+    };
+
+    // Split outcomes into (per-site report, per-site tracer, trip info).
+    let mut reports = Vec::with_capacity(sites);
+    let mut tracers = Vec::with_capacity(sites);
+    let mut first_trip_ms = f64::INFINITY;
+    let mut tripped = false;
+    for (site, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok((report, tracer)) => {
+                reports.push(report);
+                if let Some(t) = tracer {
+                    tracers.push((site as u32, t));
+                }
+            }
+            Err(SimError::EventBudgetExhausted {
+                sim_time_ms,
+                partial,
+                ..
+            }) => {
+                tripped = true;
+                first_trip_ms = first_trip_ms.min(sim_time_ms);
+                reports.push(*partial);
+            }
+        }
+    }
+
+    let merged = merge_reports(reports);
+    if tripped {
+        // Sites run to completion (or their own trip) independently, so
+        // the merged partial — and the earliest trip instant — is the
+        // same for every shard count.
+        return Err(SimError::EventBudgetExhausted {
+            budget,
+            sim_time_ms: first_trip_ms,
+            partial: Box::new(merged),
+        });
+    }
+    let tracer = if tracers.is_empty() {
+        None
+    } else {
+        Some(Tracer::merge_sites(tracers))
+    };
+    Ok((merged, tracer))
+}
+
+/// Folds per-site reports (in site order) into the run's report. See the
+/// module docs for the per-field rules.
+fn merge_reports(parts: Vec<SimReport>) -> SimReport {
+    let mut out = SimReport::default();
+    let mut wait_weight = 0u64;
+    let mut wait_sum = 0.0f64;
+    for part in parts {
+        out.nodes.extend(part.nodes);
+        out.local_deadlocks += part.local_deadlocks;
+        out.global_deadlocks += part.global_deadlocks;
+        out.probe_hops += part.probe_hops;
+        out.lock_requests += part.lock_requests;
+        out.lock_conflicts += part.lock_conflicts;
+        out.cc_rejections += part.cc_rejections;
+        wait_weight += part.lock_waits_completed;
+        wait_sum += part.mean_lock_wait_ms * part.lock_waits_completed as f64;
+        out.lock_waits_completed += part.lock_waits_completed;
+        out.crashes += part.crashes;
+        out.crash_kills += part.crash_kills;
+        out.recoveries += part.recoveries;
+        out.net_messages += part.net_messages;
+        out.net_drops += part.net_drops;
+        out.net_duplicates += part.net_duplicates;
+        out.net_retries += part.net_retries;
+        out.timeout_aborts += part.timeout_aborts;
+        out.in_doubt_resolutions += part.in_doubt_resolutions;
+        out.live_at_end += part.live_at_end;
+        out.oldest_inflight_ms = out.oldest_inflight_ms.max(part.oldest_inflight_ms);
+        out.events += part.events;
+        out.audited_records += part.audited_records;
+        out.audit_violations += part.audit_violations;
+        out.window_ms = out.window_ms.max(part.window_ms);
+        merge_availability(&mut out.availability, &part.availability);
+        out.counters.merge(&part.counters);
+    }
+    out.mean_lock_wait_ms = if wait_weight == 0 {
+        0.0
+    } else {
+        wait_sum / wait_weight as f64
+    };
+    out
+}
+
+fn merge_availability(out: &mut AvailabilityReport, part: &AvailabilityReport) {
+    out.partitions += part.partitions;
+    out.heals += part.heals;
+    out.partition_ms += part.partition_ms;
+    out.partition_aborts += part.partition_aborts;
+    out.blocked_on_heal += part.blocked_on_heal;
+    out.stale_reads += part.stale_reads;
+    out.degraded_reads += part.degraded_reads;
+    out.failovers += part.failovers;
+    out.catchup_records += part.catchup_records;
+    out.tx_started += part.tx_started;
+    out.tx_submit_refusals += part.tx_submit_refusals;
+    out.tx_killed += part.tx_killed;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FaultPlan, SplitSpec};
+    use carat_workload::StandardWorkload;
+
+    fn lb8(sites: usize) -> SimConfig {
+        let mut cfg = SimConfig::new(StandardWorkload::Lb8.spec(sites), 8, 7);
+        cfg.params = carat_workload::SystemParams::with_sites(sites);
+        cfg.warmup_ms = 2_000.0;
+        cfg.measure_ms = 20_000.0;
+        cfg
+    }
+
+    #[test]
+    fn eligibility_is_a_pure_function_of_the_config_without_shards() {
+        let mut cfg = lb8(4);
+        assert!(decomposable(&cfg));
+        cfg.shards = 4;
+        assert!(decomposable(&cfg), "shard count must not matter");
+
+        // Any distributed user couples the sites.
+        let mb = SimConfig::new(StandardWorkload::Mb4.spec(2), 8, 7);
+        assert!(!decomposable(&mb));
+
+        // Single site: nothing to decompose.
+        let mut solo = lb8(4);
+        solo.params = carat_workload::SystemParams::with_sites(1);
+        solo.workload = StandardWorkload::Lb8.spec(1);
+        assert!(!decomposable(&solo));
+
+        // Crashes, faults, and partitions couple sites.
+        let mut crash = lb8(4);
+        crash.crashes.push((1_000.0, 0));
+        assert!(!decomposable(&crash));
+        let mut faulty = lb8(4);
+        faulty.fault_plan = FaultPlan {
+            timeout_ms: 50.0,
+            max_retries: 3,
+            ..FaultPlan::default()
+        };
+        assert!(!decomposable(&faulty));
+        let mut split = lb8(4);
+        split.fault_plan = FaultPlan {
+            timeout_ms: 50.0,
+            max_retries: 3,
+            ..FaultPlan::default()
+        };
+        split.partition_plan.splits.push(SplitSpec {
+            at_ms: 0.0,
+            heal_ms: 1_000.0,
+            groups: vec![0, 0, 1, 1],
+        });
+        assert!(!decomposable(&split));
+        let mut replicated = lb8(4);
+        replicated.partition_plan.replication = 2;
+        assert!(!decomposable(&replicated));
+    }
+
+    #[test]
+    fn site_seeds_avoid_the_replication_seed_family() {
+        // rep_seed(base, r) = base ^ splitmix64(r); site streams must not
+        // land in that family (rep 3 of site 0 vs rep 0 of site 3).
+        let base = 7u64;
+        for site in 0..64usize {
+            for rep in 0..64u64 {
+                assert_ne!(
+                    site_seed(base, site),
+                    base ^ splitmix64(rep),
+                    "site {site} collides with replication {rep}"
+                );
+            }
+        }
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|s| site_seed(base, s)).collect();
+        assert_eq!(seeds.len(), 1000, "site seeds must not collide");
+    }
+
+    #[test]
+    fn budget_share_never_becomes_unlimited() {
+        assert_eq!(budget_share(0, 4), 0, "no budget stays no budget");
+        assert_eq!(budget_share(100, 4), 25);
+        assert_eq!(budget_share(3, 8), 1, "a tiny budget still binds");
+    }
+
+    #[test]
+    fn site_config_slices_one_site() {
+        let cfg = lb8(4);
+        let s2 = site_config(&cfg, 2);
+        assert_eq!(s2.params.sites(), 1);
+        assert_eq!(s2.workload.sites(), 1);
+        assert_eq!(s2.params.nodes[0].name, cfg.params.nodes[2].name);
+        assert_eq!(s2.seed, site_seed(cfg.seed, 2));
+        assert!(s2.validate().is_ok(), "site slices must validate");
+        assert!(!decomposable(&s2), "no recursive decomposition");
+    }
+
+    #[test]
+    fn reports_are_identical_for_every_shard_count() {
+        let run = |shards: usize| {
+            let mut cfg = lb8(4);
+            cfg.shards = shards;
+            Sim::new(cfg).expect("valid").run()
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        let eight = run(8); // more shards than sites: clamped
+        assert_eq!(one, two);
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
+        assert_eq!(one.nodes.len(), 4);
+        assert!(one.total_tx_per_s() > 0.0, "the merged run did real work");
+    }
+
+    #[test]
+    fn merged_report_attributes_work_to_every_site() {
+        let mut cfg = lb8(4);
+        cfg.shards = 2;
+        let report = Sim::new(cfg).expect("valid").run();
+        for (i, node) in report.nodes.iter().enumerate() {
+            assert!(node.tx_per_s > 0.0, "site {i} committed nothing");
+            assert!(!node.per_type.is_empty(), "site {i} lost its type rows");
+        }
+        assert!(report.lock_requests > 0);
+        assert_eq!(report.counters.get("events_total"), report.events);
+        assert_eq!(report.audit_violations, 0);
+    }
+
+    #[test]
+    fn budget_trip_is_shard_count_independent_and_well_formed() {
+        let run = |shards: usize| {
+            let mut cfg = lb8(4);
+            cfg.max_events = 4_000; // trips mid-run: a full run needs more
+            cfg.shards = shards;
+            Sim::new(cfg).expect("valid").run_checked()
+        };
+        let extract = |r: Result<SimReport, SimError>| match r {
+            Err(SimError::EventBudgetExhausted {
+                budget,
+                sim_time_ms,
+                partial,
+            }) => (budget, sim_time_ms, partial),
+            Ok(_) => panic!("budget must trip"),
+        };
+        let (b1, t1, p1) = extract(run(1));
+        let (b2, t2, p2) = extract(run(2));
+        let (b4, t4, p4) = extract(run(4));
+        assert_eq!(b1, 4_000, "the error reports the configured budget");
+        assert_eq!((b1, t1), (b2, t2));
+        assert_eq!((b1, t1), (b4, t4));
+        assert_eq!(p1, p2);
+        assert_eq!(p1, p4);
+        // Partial reports stay well-formed: every site present, counters
+        // consistent with the event total.
+        assert_eq!(p1.nodes.len(), 4);
+        assert_eq!(p1.counters.get("events_total"), p1.events);
+        assert!(p1.events <= 4_000);
+    }
+
+    #[test]
+    fn trace_bytes_are_shard_count_independent() {
+        let run = |shards: usize| {
+            let mut cfg = lb8(3);
+            cfg.measure_ms = 5_000.0;
+            cfg.trace = Some(carat_obs::TraceConfig::default());
+            cfg.shards = shards;
+            let (report, tracer) = Sim::new(cfg).expect("valid").run_traced();
+            (report, tracer.expect("tracing was on").to_jsonl())
+        };
+        let (r1, t1) = run(1);
+        let (r3, t3) = run(3);
+        assert_eq!(r1, r3);
+        assert_eq!(t1, t3);
+        assert!(t1.contains("\"node\": 2"), "trace covers remapped sites");
+    }
+}

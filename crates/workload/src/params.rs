@@ -254,6 +254,37 @@ impl Default for SystemParams {
 }
 
 impl SystemParams {
+    /// A testbed scaled to `sites` nodes: the paper's two disk models
+    /// (Node A's 28 ms RM05, Node B's 40 ms RP06) alternate across the
+    /// sites with generated names, so `with_sites(2)` is exactly the
+    /// default two-node configuration. The N-site scale-out scenarios use
+    /// this to grow the topology without inventing new hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0`.
+    pub fn with_sites(sites: usize) -> Self {
+        assert!(sites >= 1, "a system needs at least one site");
+        let nodes = (0..sites)
+            .map(|i| {
+                let letter = (b'A' + (i % 26) as u8) as char;
+                let name = if i < 26 {
+                    letter.to_string()
+                } else {
+                    format!("{letter}{}", i / 26)
+                };
+                NodeParams {
+                    name,
+                    disk_io_ms: if i % 2 == 0 { 28.0 } else { 40.0 },
+                }
+            })
+            .collect();
+        SystemParams {
+            nodes,
+            ..SystemParams::default()
+        }
+    }
+
     /// Number of sites.
     pub fn sites(&self) -> usize {
         self.nodes.len()
@@ -322,6 +353,28 @@ mod tests {
         // Node B rows.
         assert_eq!(p.dmio_disk(Dros, 1), 40.0);
         assert_eq!(p.dmio_disk(Dus, 1), 120.0);
+    }
+
+    #[test]
+    fn with_sites_alternates_the_testbed_disks() {
+        let two = SystemParams::with_sites(2);
+        assert_eq!(two.nodes[0].name, "A");
+        assert_eq!(two.nodes[1].name, "B");
+        assert_eq!(two.nodes[0].disk_io_ms, 28.0);
+        assert_eq!(two.nodes[1].disk_io_ms, 40.0);
+
+        let eight = SystemParams::with_sites(8);
+        assert_eq!(eight.sites(), 8);
+        for (i, node) in eight.nodes.iter().enumerate() {
+            assert_eq!(node.disk_io_ms, if i % 2 == 0 { 28.0 } else { 40.0 });
+        }
+        assert_eq!(eight.nodes[2].name, "C");
+        assert_eq!(eight.nodes[7].name, "H");
+        // Names stay unique well past the alphabet.
+        let many = SystemParams::with_sites(30);
+        let names: std::collections::HashSet<&str> =
+            many.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names.len(), 30);
     }
 
     #[test]
