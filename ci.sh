@@ -37,6 +37,15 @@ cargo run --release -p carat-cli -- sim --workload lb8 --sites 8 --n 8 --measure
 cargo run --release -p carat-cli -- sim --workload lb8 --sites 8 --n 8 --measure-s 60 --shards 4 > "${TMPDIR:-/tmp}/shard_4.txt"
 cmp "${TMPDIR:-/tmp}/shard_1.txt" "${TMPDIR:-/tmp}/shard_2.txt"
 cmp "${TMPDIR:-/tmp}/shard_1.txt" "${TMPDIR:-/tmp}/shard_4.txt"
+echo "== cross-site shard determinism gate"
+# The coupled conservative engine (cross-site DRO/DU traffic, alpha > 0,
+# probe-based deadlock detection) must also be byte-identical for every
+# shard count, including the traffic and deadlock counters.
+cargo run --release -p carat-cli -- sim --workload mb4 --sites 8 --n 8 --alpha 5 --probes --measure-s 60 --shards 1 > "${TMPDIR:-/tmp}/xshard_1.txt"
+cargo run --release -p carat-cli -- sim --workload mb4 --sites 8 --n 8 --alpha 5 --probes --measure-s 60 --shards 2 > "${TMPDIR:-/tmp}/xshard_2.txt"
+cargo run --release -p carat-cli -- sim --workload mb4 --sites 8 --n 8 --alpha 5 --probes --measure-s 60 --shards 4 > "${TMPDIR:-/tmp}/xshard_4.txt"
+cmp "${TMPDIR:-/tmp}/xshard_1.txt" "${TMPDIR:-/tmp}/xshard_2.txt"
+cmp "${TMPDIR:-/tmp}/xshard_1.txt" "${TMPDIR:-/tmp}/xshard_4.txt"
 echo "== partition determinism gate"
 # The partition experiment (availability counters, catch-up replay, and
 # the model-vs-sim divergence gate) must be byte-identical across thread

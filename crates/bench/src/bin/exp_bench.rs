@@ -13,9 +13,11 @@
 //!   `BENCH_sweep.json`; then runs the **simulator section**: the
 //!   reference LB8/MB8 sweep timed for events/sec against the recorded
 //!   pre-fast-path baseline (written to `BENCH_sim.json`) plus a
-//!   parallel-vs-sequential replication determinism check and a
-//!   shard-scaling matrix (an 8-site LB8 cluster at 1/2/4 engine shards,
-//!   byte-identity asserted, events/sec and speedup recorded);
+//!   parallel-vs-sequential replication determinism check and two
+//!   shard-scaling matrices (byte-identity asserted, events/sec and
+//!   speedup recorded): a decomposed one (8-site LB8, site-separable)
+//!   and a cross-site coupled one (8-site MB4 with α > 0 and probes,
+//!   null-message ratio recorded from the shard telemetry);
 //! * **emit** (`--emit [--out PATH]`): solves the same model grid
 //!   honouring the engine flags (`--threads N`, `--sequential`,
 //!   `--no-warm`) and the solver flags (`--accel off|aitken|anderson[:m]`,
@@ -37,8 +39,8 @@
 use std::time::Instant;
 
 use carat::model::{Accel, ModelConfig, ModelOptions, MvaAlgo};
-use carat::obs::CounterRegistry;
-use carat::sim::{Sim, SimConfig};
+use carat::obs::{shardstats, CounterRegistry};
+use carat::sim::{DeadlockMode, Sim, SimConfig};
 use carat::workload::{StandardWorkload, SystemParams};
 use carat_bench::{
     chain_to_json, json_f64, replicated_to_json, run_replications, run_tasks_timed, solve_chain,
@@ -157,8 +159,97 @@ fn bench_shards() -> String {
     println!("  reports byte-identical across shard counts: OK");
     format!(
         "{{\n    \"workload\": \"LB8/n8\",\n    \"sites\": {SHARD_SITES},\n    \
-         \"cores\": {cores},\n    \"events\": {},\n    \"matrix\": [\n{}\n    ]\n  }}",
+         \"engine\": \"decomposed\",\n    \"cores\": {cores},\n    \"events\": {},\n    \
+         \"matrix\": [\n{}\n    ]\n  }}",
         reference.events,
+        rows.join(",\n"),
+    )
+}
+
+/// Cross-site shard-scaling scenario: the paper's mixed MB4 workload
+/// (per node 1 LRO + 1 LU + 1 DRO + 1 DU) on an 8-site cluster with a
+/// positive network delay and probe-based global deadlock detection.
+/// Coupled-engine eligible: the shards synchronize through the
+/// conservative horizon protocol (lookahead α) instead of running
+/// independent per-site simulations.
+const XSITE_SITES: usize = 8;
+const XSITE_ALPHA_MS: f64 = 5.0;
+
+fn xsite_scenario(shards: usize) -> SimConfig {
+    let mut cfg = SimConfig::new(StandardWorkload::Mb4.spec(XSITE_SITES), 8, SIM_SEED);
+    cfg.params = SystemParams::with_sites(XSITE_SITES);
+    cfg.params.comm_delay_ms = XSITE_ALPHA_MS;
+    cfg.deadlock_mode = DeadlockMode::Probes;
+    cfg.warmup_ms = 5_000.0;
+    cfg.measure_ms = 60_000.0;
+    cfg.shards = shards;
+    cfg
+}
+
+/// Times the cross-site (coupled-engine) shard matrix, asserts
+/// byte-identical reports for every shard count, and returns the
+/// `"shards_xsite"` JSON section for `BENCH_sim.json`. On top of the
+/// wall-clock numbers it records the conservative protocol's overhead —
+/// the null-message (eventless clock publication) ratio per payload
+/// message — from the process-global `shardstats` registry, reset before
+/// each cell so every cell reports its own traffic.
+fn bench_shards_xsite() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let probe = xsite_scenario(1);
+    assert!(
+        carat::sim::shard::coupled_eligible(&probe) && !carat::sim::shard::decomposable(&probe),
+        "the cross-site scenario must take the coupled engine"
+    );
+    let reference = Sim::new(probe).expect("valid xsite scenario").run();
+    let mut rows = Vec::new();
+    println!(
+        "\n## Cross-site shard scaling (MB4 x {XSITE_SITES} sites, n=8, \
+         alpha={XSITE_ALPHA_MS} ms, probes, {cores} host cores, best of {REPS})"
+    );
+    let mut base_eps = 0.0;
+    for &shards in &SHARD_COUNTS {
+        shardstats::reset();
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let report = Sim::new(xsite_scenario(shards)).expect("valid").run();
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+            assert_eq!(
+                report, reference,
+                "xsite shards={shards} diverged from the single-shard report"
+            );
+        }
+        let stats = shardstats::snapshot();
+        let eps = reference.events as f64 / (best_ms / 1000.0);
+        if shards == 1 {
+            base_eps = eps;
+        }
+        let speedup = eps / base_eps;
+        let null_ratio = stats.null_message_ratio();
+        println!(
+            "  shards={shards}  {best_ms:9.2} ms  {eps:12.0} events/s  \
+             ({speedup:.2}x vs shards=1, {null_ratio:.2} null msgs/payload)"
+        );
+        rows.push(format!(
+            "      {{\"shards\": {shards}, \"wall_ms\": {}, \"events_per_sec\": {}, \
+             \"speedup_vs_1\": {}, \"messages\": {}, \"null_advances\": {}, \
+             \"null_message_ratio\": {}}}",
+            json_f64((best_ms * 1000.0).round() / 1000.0),
+            json_f64(eps.round()),
+            json_f64((speedup * 1000.0).round() / 1000.0),
+            stats.messages / REPS as u64,
+            stats.null_advances / REPS as u64,
+            json_f64((null_ratio * 1000.0).round() / 1000.0),
+        ));
+    }
+    println!("  reports byte-identical across shard counts: OK");
+    format!(
+        "{{\n    \"workload\": \"MB4/n8\",\n    \"sites\": {XSITE_SITES},\n    \
+         \"engine\": \"coupled\",\n    \"alpha_ms\": {},\n    \"cores\": {cores},\n    \
+         \"events\": {},\n    \"net_messages\": {},\n    \"matrix\": [\n{}\n    ]\n  }}",
+        json_f64(XSITE_ALPHA_MS),
+        reference.events,
+        reference.net_messages,
         rows.join(",\n"),
     )
 }
@@ -396,6 +487,7 @@ fn bench_sim(determinism_threads: usize) {
         labels.len()
     );
     let shards_json = bench_shards();
+    let shards_xsite_json = bench_shards_xsite();
     // Profiling counters merged across the reference points (`_hwm` names
     // take the max, everything else sums). Pure simulation state, so the
     // object is byte-identical run to run and across thread counts.
@@ -404,7 +496,7 @@ fn bench_sim(determinism_threads: usize) {
          \"events\": {events},\n  \"wall_ms\": {},\n  \"events_per_sec\": {},\n  \
          \"baseline_events_per_sec\": {},\n  \"speedup\": {},\n  \
          \"determinism_threads\": {determinism_threads},\n  \"shards\": {},\n  \
-         \"counters\": {}\n}}\n",
+         \"shards_xsite\": {},\n  \"counters\": {}\n}}\n",
         labels
             .iter()
             .map(|l| format!("\"{l}\""))
@@ -415,6 +507,7 @@ fn bench_sim(determinism_threads: usize) {
         json_f64(BASELINE_EVENTS_PER_SEC),
         json_f64((speedup * 1000.0).round() / 1000.0),
         shards_json,
+        shards_xsite_json,
         counters.to_json(2),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

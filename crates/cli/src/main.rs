@@ -160,6 +160,21 @@ fn run_sim_traced(spec: &RunSpec, n: u32) -> (SimReport, Option<Tracer>) {
             ..TraceConfig::default()
         });
     }
+    if cfg.shards > 1
+        && !carat::sim::shard::decomposable(&cfg)
+        && !carat::sim::shard::coupled_eligible(&cfg)
+    {
+        // Stderr only: stdout must stay byte-identical to a --shards 1
+        // run (the CI determinism gates compare it).
+        eprintln!(
+            "note: --shards {} requested, but this configuration is not \
+             site-parallel (it needs either local-only sites, or cross-site \
+             traffic with --alpha > 0 — plus --probes under 2PL — and no \
+             crash/fault/partition/replication machinery); running the \
+             monolithic engine on one thread",
+            cfg.shards
+        );
+    }
     let sim = match Sim::new(cfg) {
         Ok(sim) => sim,
         Err(e) => {

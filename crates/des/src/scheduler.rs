@@ -158,6 +158,32 @@ impl<E> Scheduler<E> {
         self.heap.first().map(|e| e.time)
     }
 
+    /// Advances the clock to `t` without popping an event.
+    ///
+    /// A sharded engine injects externally delivered (cross-shard)
+    /// messages between pops; their timestamps come from a peer's
+    /// timeline, and handlers reached from them call [`schedule_in`]
+    /// relative to the injected time. The clock is monotone: a `t` at or
+    /// below the current time is a no-op, and `t` must not lie below an
+    /// already-pending event (that would reorder causality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not finite.
+    ///
+    /// [`schedule_in`]: Scheduler::schedule_in
+    pub fn advance_now(&mut self, t: Time) {
+        assert!(t.is_finite(), "non-finite clock advance {t}");
+        if t > self.now {
+            debug_assert!(
+                self.peek_time().is_none_or(|next| t <= next),
+                "clock advanced past a pending event: t={t}, next={:?}",
+                self.peek_time()
+            );
+            self.now = t;
+        }
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / D;
@@ -290,6 +316,23 @@ mod tests {
         assert_eq!(s.now(), 0.0);
         assert_eq!(s.len(), 1);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn advance_now_is_monotone_and_composes_with_schedule_in() {
+        let mut s = Scheduler::new();
+        s.schedule(10.0, 0);
+        // An injected cross-shard message at t=4 advances the clock so
+        // that relative scheduling from its handler lands correctly.
+        s.advance_now(4.0);
+        assert_eq!(s.now(), 4.0);
+        s.schedule_in(1.0, 1);
+        // Re-injecting at or below the clock is a no-op, never a rewind.
+        s.advance_now(4.0);
+        s.advance_now(2.0);
+        assert_eq!(s.now(), 4.0);
+        assert_eq!(s.pop(), Some((5.0, 1)));
+        assert_eq!(s.pop(), Some((10.0, 0)));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   (sorted-key) deterministic snapshots — events by kind, scheduler-heap
 //!   and transaction-slab high-water marks, per-phase residence totals —
 //!   surfaced in `SimReport` and `BENCH_sim.json`.
+//! * [`shardstats`]: process-global telemetry for the sharded simulator
+//!   driver (busy/stall time, null-message counts, monolithic fallbacks)
+//!   — kept *outside* `SimReport` so reports stay byte-identical for
+//!   every shard count.
 //!
 //! ## Determinism contract
 //!
@@ -34,10 +38,12 @@
 
 pub mod counters;
 pub mod iterlog;
+pub mod shardstats;
 pub mod trace;
 
 pub use counters::CounterRegistry;
 pub use iterlog::{IterLog, IterRow};
+pub use shardstats::ShardStatsSnapshot;
 pub use trace::{TraceConfig, TraceEvent, TraceFilter, TraceKind, Tracer};
 
 /// Shortest-round-trip decimal rendering of a finite `f64`, the canonical

@@ -487,6 +487,52 @@ impl Tracer {
         }
     }
 
+    /// Merges per-partition trace rings that already carry their global
+    /// node indices into one canonical timeline.
+    ///
+    /// The coupled (cross-site) sharded engine runs one logical process
+    /// per site against the *full* topology, so its trace events are
+    /// recorded with true site indices and cross-site hops appear inside
+    /// a single partition's ring. Unlike [`merge_sites`] no re-tagging
+    /// happens here: the parts are concatenated in the order given
+    /// (site-major, a pure function of the configuration) and stably
+    /// sorted by time, so simultaneous events deliver in part order for
+    /// every shard count. Capacity sums so the merge never drops events;
+    /// `recorded`/`dropped` sum over the parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    ///
+    /// [`merge_sites`]: Tracer::merge_sites
+    pub fn merge_ordered(parts: Vec<Tracer>) -> Tracer {
+        let filter = parts
+            .first()
+            .expect("merge_ordered needs at least one part")
+            .filter
+            .clone();
+        let mut capacity = 0usize;
+        let mut recorded = 0u64;
+        let mut dropped = 0u64;
+        let mut buf: Vec<TraceEvent> = Vec::with_capacity(parts.iter().map(Tracer::len).sum());
+        for part in &parts {
+            capacity += part.capacity;
+            recorded += part.recorded;
+            dropped += part.dropped;
+            buf.extend(part.events().copied());
+        }
+        // Stable sort on time alone: ties keep concatenation order.
+        buf.sort_by(|a, b| a.t_ms.partial_cmp(&b.t_ms).expect("finite trace times"));
+        Tracer {
+            filter,
+            buf,
+            capacity,
+            head: 0,
+            dropped,
+            recorded,
+        }
+    }
+
     /// Renders the buffer as Chrome trace-event JSON (the `traceEvents`
     /// object format), loadable in Perfetto and `chrome://tracing`.
     ///
@@ -773,6 +819,26 @@ mod tests {
         // Capacity pools across parts: re-recording into the merged ring
         // could hold all four kept slots.
         assert_eq!(merged.capacity, 4);
+    }
+
+    #[test]
+    fn merge_ordered_keeps_node_tags_and_breaks_ties_by_part_order() {
+        let cap = |n| TraceConfig {
+            filter: TraceFilter::all(),
+            capacity: n,
+        };
+        // Part 0 holds a cross-site hop: its events carry nodes 0 and 3.
+        let mut p0 = Tracer::new(cap(4));
+        p0.record(ev(1.0, TraceKind::TxSubmit, 0, 10));
+        p0.record(ev(2.0, TraceKind::NetSend, 3, 10));
+        let mut p1 = Tracer::new(cap(4));
+        p1.record(ev(1.0, TraceKind::TxSubmit, 1, 20));
+        let merged = Tracer::merge_ordered(vec![p0, p1]);
+        let seen: Vec<(f64, u32, u64)> = merged.events().map(|e| (e.t_ms, e.node, e.gid)).collect();
+        // No re-tagging: node 3 survives; t = 1.0 tie keeps part order.
+        assert_eq!(seen, vec![(1.0, 0, 10), (1.0, 1, 20), (2.0, 3, 10)]);
+        assert_eq!(merged.recorded(), 3);
+        assert_eq!(merged.capacity, 8);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! program (rollback I/O per touched site, then resubmission after think
 //! time).
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 use std::fmt::Write as _;
 
 use carat_des::{Fcfs, Histogram, Scheduler, Tally, Time};
@@ -56,6 +57,15 @@ enum Ev {
         target: TxId,
         ttl: u8,
     },
+    /// A probe hop addressed by gid rather than slab id: the coupled
+    /// engine's form (`Sim::owned` set), where initiator and target may
+    /// live in *different* logical processes and a peer's `TxId` means
+    /// nothing here. Resolved through the per-LP gid index on delivery.
+    ProbeG {
+        initiator_gid: u64,
+        target_gid: u64,
+        ttl: u8,
+    },
     /// Injected node crash (volatile state lost, journal recovery runs).
     Crash { site: usize },
     /// Stochastic node crash from the fault plan's MTTF process.
@@ -83,9 +93,12 @@ enum Ev {
 
 impl Ev {
     /// Number of event kinds (size of the per-kind counter array).
-    const KINDS: usize = 15;
+    const KINDS: usize = 16;
 
-    /// Profiling-counter names, indexed like [`Ev::idx`].
+    /// Profiling-counter names, indexed like [`Ev::idx`]. `ProbeG` shares
+    /// the `ev_probe` label with `Probe`: they are the same logical event
+    /// in two addressing modes, and the counter registry sums repeated
+    /// keys, so `ev_probe` reports total probe hops either way.
     const LABELS: [&'static str; Ev::KINDS] = [
         "ev_cpu_done",
         "ev_disk_done",
@@ -102,6 +115,7 @@ impl Ev {
         "ev_partition_start",
         "ev_partition_heal",
         "ev_fault_split",
+        "ev_probe",
     ];
 
     /// Dense kind index for the per-kind event counters.
@@ -123,7 +137,67 @@ impl Ev {
             Ev::PartitionStart { .. } => 12,
             Ev::PartitionHeal => 13,
             Ev::FaultSplit => 14,
+            Ev::ProbeG { .. } => 15,
         }
+    }
+}
+
+/// A cross-LP message of the coupled engine: the payload of a
+/// [`carat_des::shard::ShardChannel`] entry between two site-level logical
+/// processes. Everything that crosses a site boundary in an eligible
+/// configuration is one of these three, all with delivery time
+/// `send time + α` (the network delay, which is the conservative
+/// lookahead).
+pub(crate) enum XMsg {
+    /// A transaction's control flow migrates to the receiving site (the
+    /// `Op::Net` hop). The full transaction state ships; the sender keeps
+    /// a ghost entry so its lock/TM/DM state stays addressable.
+    Migrate { txn: Box<Txn> },
+    /// A deadlock-probe hop whose next holder executes at the receiving
+    /// site (`DeadlockMode::Probes`).
+    Probe {
+        initiator_gid: u64,
+        target_gid: u64,
+        ttl: u8,
+    },
+    /// Release one DM server at the receiving site: the home LP finished a
+    /// transaction that held a DM there.
+    DmRelease,
+}
+
+/// An inbound cross-LP message queued for ingestion, ordered by
+/// `(time, sending site, per-sender sequence)`. The time is compared via
+/// `to_bits` — monotone for the non-negative timestamps the engine uses —
+/// so the ordering is `Ord` without an `f64` wrapper. The explicit sender
+/// component pins the ingestion order of simultaneous arrivals from
+/// different peers to a value independent of drain order.
+struct InboxEntry {
+    t_bits: u64,
+    from: usize,
+    seq: u64,
+    msg: XMsg,
+}
+
+impl InboxEntry {
+    fn time(&self) -> Time {
+        f64::from_bits(self.t_bits)
+    }
+}
+
+impl PartialEq for InboxEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.t_bits, self.from, self.seq) == (other.t_bits, other.from, other.seq)
+    }
+}
+impl Eq for InboxEntry {}
+impl PartialOrd for InboxEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InboxEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t_bits, self.from, self.seq).cmp(&(other.t_bits, other.from, other.seq))
     }
 }
 
@@ -211,8 +285,9 @@ struct NodeState {
     acc_cc_rejections: u64,
 }
 
-/// A live transaction (one submission).
-struct Txn {
+/// A live transaction (one submission). `pub(crate)` only so [`XMsg`] can
+/// name it; the fields stay private to this module.
+pub(crate) struct Txn {
     /// Monotone global id: the TSO timestamp, the youngest-victim age, the
     /// storage engine's transaction key, and the audit value — everything
     /// that needs a *total order* over submissions, which the recycled
@@ -260,6 +335,17 @@ struct Txn {
     /// (`(site, record)`): queued for journal catch-up when the
     /// transaction commits.
     missed: Vec<(usize, carat_storage::RecordId)>,
+    /// Coupled engine only: this slab entry is a *ghost* — the real
+    /// transaction state migrated to another logical process and what
+    /// remains here is the anchor for locally-held locks, TSO entries, and
+    /// lock-queue positions (all keyed by the slab token, which the ghost
+    /// keeps stable until the transaction migrates back).
+    away: bool,
+    /// Coupled engine only, maintained at the *home* LP: the site the
+    /// transaction currently executes at. Every migration passes through
+    /// home (programs sandwich each remote visit with `Net` hops to and
+    /// from home), so home always knows where to route a probe.
+    cur_site: usize,
 }
 
 impl Txn {
@@ -289,6 +375,8 @@ impl Txn {
             decided: false,
             at_site: 0,
             missed: Vec::new(),
+            away: false,
+            cur_site: 0,
         }
     }
 }
@@ -361,6 +449,62 @@ impl Stats {
             .get(Self::phase_idx(home, ty, seg))
             .copied()
             .unwrap_or(0.0)
+    }
+
+    /// Pools a peer logical process's statistics into this one (coupled
+    /// engine merge). Callers merge in site order, so every floating-point
+    /// accumulation order — and with it every report byte — is a pure
+    /// function of the configuration. Keys are mostly disjoint across LPs
+    /// (commits/response tallies record at the home LP only); the ones
+    /// that are not (aborts charged where the victim blocked, phase
+    /// residence charged where the op ran) sum per key.
+    fn merge(&mut self, other: Stats) {
+        for (k, v) in other.commits {
+            *self.commits.entry(k).or_default() += v;
+        }
+        for (k, v) in other.aborts {
+            *self.aborts.entry(k).or_default() += v;
+        }
+        for (k, v) in other.resp {
+            self.resp.entry(k).or_default().merge(&v);
+        }
+        for (k, v) in other.resp_hist {
+            self.resp_hist
+                .entry(k)
+                .or_insert_with(Histogram::for_latency_ms)
+                .merge(&v);
+        }
+        for (k, v) in other.records {
+            *self.records.entry(k).or_default() += v;
+        }
+        self.local_deadlocks += other.local_deadlocks;
+        self.global_deadlocks += other.global_deadlocks;
+        self.probe_hops += other.probe_hops;
+        self.lock_wait.merge(&other.lock_wait);
+        if other.phase_ms.len() > self.phase_ms.len() {
+            self.phase_ms.resize(other.phase_ms.len(), 0.0);
+        }
+        for (i, v) in other.phase_ms.iter().enumerate() {
+            self.phase_ms[i] += v;
+        }
+        self.crashes += other.crashes;
+        self.crash_kills += other.crash_kills;
+        self.recoveries += other.recoveries;
+        self.net_messages += other.net_messages;
+        self.net_drops += other.net_drops;
+        self.net_duplicates += other.net_duplicates;
+        self.net_retries += other.net_retries;
+        self.timeout_aborts += other.timeout_aborts;
+        self.in_doubt_resolutions += other.in_doubt_resolutions;
+        self.partitions += other.partitions;
+        self.heals += other.heals;
+        self.partition_ms += other.partition_ms;
+        self.partition_aborts += other.partition_aborts;
+        self.blocked_on_heal += other.blocked_on_heal;
+        self.stale_reads += other.stale_reads;
+        self.degraded_reads += other.degraded_reads;
+        self.failovers += other.failovers;
+        self.catchup_records += other.catchup_records;
     }
 }
 
@@ -470,6 +614,44 @@ pub struct Sim {
     tracer: Option<Box<Tracer>>,
     /// Events handled per [`Ev`] kind (profiling counters).
     ev_counts: [u64; Ev::KINDS],
+    // --- Coupled-engine (site-level logical process) state. All inert ---
+    // --- in the monolithic engine: `owned` is `None` and nothing below ---
+    // --- is touched.                                                   ---
+    /// `Some(site)` when this `Sim` is one logical process of the coupled
+    /// sharded engine, executing only the events of `site`. The full
+    /// topology is still constructed (node indices keep their global
+    /// meaning) but peer sites' nodes stay inert.
+    owned: Option<usize>,
+    /// Gid allocation stride. The monolithic engine strides by 1; an LP
+    /// strides by the site count from a base of `site + 1`, so gids stay
+    /// globally unique and monotone per allocator without coordination.
+    gid_stride: u64,
+    /// Inbound cross-LP messages not yet ingested, merged with the local
+    /// future-event list by `(time, sender, seq)`.
+    inbox: BinaryHeap<Reverse<InboxEntry>>,
+    /// Per-sender ingestion sequence numbers: channels are FIFO per
+    /// ordered pair, so numbering arrivals at ingestion reproduces the
+    /// sender's emission order no matter how drains batch them.
+    inbox_seqs: Vec<u64>,
+    /// Outbound cross-LP messages produced by the current step, as
+    /// `(destination site, delivery time, payload)`. The driver flushes
+    /// them into the channels after each step slice.
+    outbox: Vec<(usize, Time, XMsg)>,
+    /// gid → local slab id of every resident or ghost transaction, for
+    /// resolving gid-addressed messages (probes target transactions this
+    /// LP may only know as ghosts).
+    gid_index: BTreeMap<u64, TxId>,
+    /// Merge bookkeeping (valid on the merge target after `absorb`):
+    /// live-at-end transactions homed at absorbed LPs.
+    absorbed_live: u64,
+    /// Earliest submit time among absorbed LPs' live home transactions
+    /// (`+∞` when none) — feeds `oldest_inflight_ms`.
+    absorbed_oldest_submit: f64,
+    /// Scheduler-heap high-water maximum over absorbed LPs.
+    absorbed_sched_hwm: usize,
+    /// Slab high-water / slot maxima over absorbed LPs.
+    absorbed_slab_hwm: usize,
+    absorbed_slab_slots: usize,
 }
 
 impl Sim {
@@ -561,7 +743,36 @@ impl Sim {
             wfg: WaitForGraph::new(),
             probe_targets: Vec::new(),
             val_buf: String::new(),
+            owned: None,
+            gid_stride: 1,
+            inbox: BinaryHeap::new(),
+            inbox_seqs: vec![0; sites],
+            outbox: Vec::new(),
+            gid_index: BTreeMap::new(),
+            absorbed_live: 0,
+            absorbed_oldest_submit: f64::INFINITY,
+            absorbed_sched_hwm: 0,
+            absorbed_slab_hwm: 0,
+            absorbed_slab_slots: 0,
         })
+    }
+
+    /// Builds one site-level logical process of the coupled engine: the
+    /// full topology of `cfg`, but executing only `site`'s events. Gids
+    /// stride by the site count from a base of `site + 1` so allocation
+    /// needs no coordination, and the workload stream is seeded by
+    /// `site_seed(seed, site)` — a pure function of the configuration, so
+    /// the LP ensemble (and everything downstream) is independent of the
+    /// shard count.
+    pub(crate) fn new_lp(cfg: SimConfig, site: usize) -> Result<Self, SimConfigError> {
+        let sites = cfg.params.sites();
+        let mut lp_cfg = cfg;
+        lp_cfg.seed = crate::shard::site_seed(lp_cfg.seed, site);
+        let mut sim = Sim::new(lp_cfg)?;
+        sim.owned = Some(site);
+        sim.next_gid = site as u64 + 1;
+        sim.gid_stride = sites as u64;
+        Ok(sim)
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -600,6 +811,22 @@ impl Sim {
         // loop below.
         if crate::shard::decomposable(&self.cfg) {
             return crate::shard::run_decomposed(self.cfg);
+        }
+        // Cross-site configurations with a positive network delay couple
+        // the site-level logical processes through the conservative
+        // horizon machinery instead (lookahead = α). Eligibility is again
+        // a pure function of the configuration excluding `shards`, so the
+        // chosen engine — and every report byte — cannot depend on the
+        // shard count.
+        if crate::shard::coupled_eligible(&self.cfg) {
+            return crate::shard::run_coupled(self.cfg);
+        }
+        if self.cfg.shards > 1 {
+            // `--shards` was requested but no parallel decomposition
+            // applies: run monolithically and record the fallback in the
+            // process-global telemetry (never in the report, which must
+            // stay byte-identical to a `--shards 1` run).
+            carat_obs::shardstats::note_fallback();
         }
         for u in 0..self.users.len() {
             self.sched.schedule(0.0, Ev::Submit { user: u });
@@ -661,7 +888,9 @@ impl Sim {
 
     /// End-of-run post-processing + report assembly. Pure bookkeeping on
     /// final state: no events, no statistics beyond the report itself.
-    fn wind_down(&mut self, end: Time) -> SimReport {
+    /// `pub(crate)` so the coupled-engine driver can wind the merged LP
+    /// down after `absorb`.
+    pub(crate) fn wind_down(&mut self, end: Time) -> SimReport {
         // A node still inside a repair outage at the cutoff has not run
         // journal recovery yet, so its storage can hold in-place updates of
         // interrupted transactions (whose locks died with the crash). The
@@ -748,6 +977,11 @@ impl Sim {
             Ev::PartitionStart { idx } => self.partition_start(idx as usize),
             Ev::PartitionHeal => self.partition_heal(),
             Ev::FaultSplit => self.fault_split(),
+            Ev::ProbeG {
+                initiator_gid,
+                target_gid,
+                ttl,
+            } => self.handle_probe_gid(initiator_gid, target_gid, ttl),
         }
     }
 
@@ -1480,6 +1714,414 @@ impl Sim {
         }
     }
 
+    // --- The coupled conservative engine: one `Sim` per *site*, run as a
+    // --- logical process (LP). Peers' node states stay inert; every
+    // --- cross-site interaction is a timestamped `XMsg` delivered at
+    // --- `send time + α`, which is also the conservative lookahead.
+
+    /// Primes this LP's calendar: the submissions of the users homed at
+    /// the owned site plus the warm-up boundary. Crash, fault, and
+    /// partition events are excluded by coupled-engine eligibility.
+    pub(crate) fn lp_prime(&mut self) {
+        let owned = self.owned.expect("coupled engine");
+        for u in 0..self.users.len() {
+            if self.users[u].0 == owned {
+                self.sched.schedule(0.0, Ev::Submit { user: u });
+            }
+        }
+        self.sched.schedule(self.cfg.warmup_ms, Ev::Warmup);
+    }
+
+    /// Earliest unprocessed work on this LP (local calendar or ingested
+    /// inbox); `+∞` when idle. The LP promises peers it will send nothing
+    /// earlier than `min(this, horizon) + α`.
+    pub(crate) fn lp_next_time(&self) -> Time {
+        let local = self.sched.peek_time().unwrap_or(f64::INFINITY);
+        let inbox = self
+            .inbox
+            .peek()
+            .map(|Reverse(e)| e.time())
+            .unwrap_or(f64::INFINITY);
+        local.min(inbox)
+    }
+
+    /// Events processed so far (budget accounting + driver telemetry).
+    pub(crate) fn lp_events(&self) -> u64 {
+        self.events
+    }
+
+    /// Queues an inbound cross-LP message for ingestion. Arrivals are
+    /// numbered per sender: each channel is FIFO with nondecreasing
+    /// timestamps, so the `(time, sender, seq)` ingestion order equals the
+    /// sender's emission order no matter how the horizon rounds batch the
+    /// drains — the merge is independent of the shard layout.
+    pub(crate) fn lp_ingest(&mut self, from: usize, t: Time, msg: XMsg) {
+        let seq = self.inbox_seqs[from];
+        self.inbox_seqs[from] = seq + 1;
+        self.inbox.push(Reverse(InboxEntry {
+            t_bits: t.to_bits(),
+            from,
+            seq,
+            msg,
+        }));
+    }
+
+    /// Hands this step's outbound messages to the driver in emission
+    /// order.
+    pub(crate) fn lp_drain_outbox(&mut self, mut sink: impl FnMut(usize, Time, XMsg)) {
+        let mut outbox = std::mem::take(&mut self.outbox);
+        for (to, t, msg) in outbox.drain(..) {
+            sink(to, t, msg);
+        }
+        self.outbox = outbox;
+    }
+
+    /// Runs the merged event stream (local calendar + inbox) strictly
+    /// below `horizon` and no later than `end`. On a timestamp tie the
+    /// inbox goes first — fixed once, so every shard layout merges the two
+    /// streams identically. Returns `Some(t)` when the event budget trips
+    /// at `t`; the driver then freezes this LP.
+    pub(crate) fn lp_step_until(&mut self, horizon: Time, end: Time) -> Option<Time> {
+        let budget = self.cfg.max_events;
+        loop {
+            let local = self.sched.peek_time().unwrap_or(f64::INFINITY);
+            let inbox = self
+                .inbox
+                .peek()
+                .map(|Reverse(e)| e.time())
+                .unwrap_or(f64::INFINITY);
+            let t = local.min(inbox);
+            if t >= horizon || t > end {
+                return None;
+            }
+            if budget != 0 && self.events >= budget {
+                return Some(t);
+            }
+            self.events += 1;
+            if inbox <= local {
+                let Reverse(entry) = self.inbox.pop().expect("peeked entry");
+                // Injected timestamps come from a peer's timeline; the
+                // local clock must reach them before handlers run.
+                self.sched.advance_now(entry.time());
+                self.handle_xmsg(entry.msg);
+            } else {
+                let (_, ev) = self.sched.pop().expect("peeked event");
+                self.handle(ev);
+            }
+            while let Some(id) = self.ready.pop_front() {
+                self.advance(id);
+            }
+        }
+    }
+
+    /// Applies one ingested cross-LP message (the inbox analogue of
+    /// `handle`). Event-kind accounting mirrors the monolithic engine:
+    /// migrations and DM releases are delivered network messages
+    /// (`ev_net_done`), probe hops are probe deliveries (`ev_probe`).
+    fn handle_xmsg(&mut self, msg: XMsg) {
+        match msg {
+            XMsg::Migrate { txn } => {
+                self.ev_counts[3] += 1; // ev_net_done
+                self.migrate_in(txn);
+            }
+            XMsg::Probe {
+                initiator_gid,
+                target_gid,
+                ttl,
+            } => {
+                self.ev_counts[15] += 1; // ev_probe (gid-addressed)
+                self.handle_probe_gid(initiator_gid, target_gid, ttl);
+            }
+            XMsg::DmRelease => {
+                self.ev_counts[3] += 1; // ev_net_done
+                let owned = self.owned.expect("coupled engine");
+                self.free_dm(owned);
+            }
+        }
+    }
+
+    /// The coupled engine's `Op::Net` hop: package the transaction and
+    /// ship it to `to`'s logical process, delivered at `now + ms`
+    /// (`ms` = α, the lookahead). The local slab slot becomes a *ghost*
+    /// stub so the slab token — and with it every lock-manager and TSO
+    /// anchor keyed by it — stays stable while the transaction is away.
+    /// Ghosts with no anchored state are dropped (except at home, which
+    /// always tracks its transactions for probe routing and the
+    /// end-of-run census).
+    fn migrate_out(&mut self, id: TxId, to: usize, ms: Time) {
+        let owned = self.owned.expect("coupled engine");
+        debug_assert_ne!(to, owned, "programs never hop to the current site");
+        let now = self.sched.now();
+        let token = id.token();
+        self.stats.net_messages += 1;
+        if self.tracer.is_some() {
+            let (gid, ty) = {
+                let tx = self.txs.get(id).expect("live tx");
+                (tx.gid, tx.ty)
+            };
+            self.trace(
+                TraceEvent::new(now, TraceKind::NetSend, "send", to as u32, gid, ty)
+                    .lane2(token as u32)
+                    .detail(0),
+            );
+        }
+        let mut stub = self.spare_txns.pop().unwrap_or_else(Txn::empty);
+        let slot = self.txs.get_mut(id).expect("live tx");
+        // The ghost keeps identity and census fields; the working state
+        // travels with the transaction.
+        stub.gid = slot.gid;
+        stub.user = slot.user;
+        stub.home = slot.home;
+        stub.ty = slot.ty;
+        stub.submit_time = slot.submit_time;
+        stub.prog.clear();
+        stub.pc = 0;
+        stub.plan.requests.clear();
+        stub.begun_sites.clear();
+        stub.dm_sites.clear();
+        stub.aborting = slot.aborting;
+        stub.blocked_since = None;
+        stub.updated.clear();
+        stub.op_started = 0.0;
+        stub.tm_held = None;
+        stub.poisoned = false;
+        stub.net_token = None;
+        stub.net_attempt = 0;
+        stub.decided = false;
+        stub.at_site = to;
+        stub.missed.clear();
+        stub.away = true;
+        stub.cur_site = to;
+        let txn = std::mem::replace(slot, stub);
+        let keep = txn.home == owned
+            || self.nodes[owned].locks.held_count(token) > 0
+            || self.nodes[owned].tso.has_pending(token);
+        if !keep {
+            let ghost = self.txs.remove(id).expect("ghost just written");
+            self.gid_index.remove(&ghost.gid);
+            self.spare_txns.push(ghost);
+        }
+        self.outbox
+            .push((to, now + ms, XMsg::Migrate { txn: Box::new(txn) }));
+    }
+
+    /// Arrival of a migrated transaction: revive the local ghost in place
+    /// (token — and all state anchored to it — stays stable) or insert a
+    /// fresh slab entry, then complete the `Net` op it was parked on.
+    fn migrate_in(&mut self, txn: Box<Txn>) {
+        let owned = self.owned.expect("coupled engine");
+        let mut txn = *txn;
+        let gid = txn.gid;
+        txn.at_site = owned;
+        txn.cur_site = owned;
+        txn.net_token = None;
+        let id = match self.gid_index.get(&gid) {
+            Some(&id) => {
+                let slot = self.txs.get_mut(id).expect("ghost is live");
+                debug_assert!(slot.away, "resident transaction migrated onto itself");
+                let ghost = std::mem::replace(slot, txn);
+                self.spare_txns.push(ghost);
+                id
+            }
+            None => {
+                let id = self.txs.insert(txn);
+                self.gid_index.insert(gid, id);
+                id
+            }
+        };
+        // The network hop completes on arrival: account its residence to
+        // its segment and resume the program.
+        self.step_past(id);
+    }
+
+    /// Routes one probe hop toward `holder` (resident or ghost).
+    /// Residents get a local `ProbeG` event after `local_delay`; ghosts
+    /// forward over the network (one α) toward their real state — the
+    /// current site if this LP is the holder's home (home always knows it;
+    /// every migration passes through home), the holder's home otherwise.
+    fn probe_hop_to_holder(
+        &mut self,
+        initiator_gid: u64,
+        holder: TxId,
+        ttl: u8,
+        local_delay: Time,
+    ) {
+        let owned = self.owned.expect("coupled engine");
+        let Some(h) = self.txs.get(holder) else {
+            return;
+        };
+        let (target_gid, away, home, cur_site) = (h.gid, h.away, h.home, h.cur_site);
+        if !away {
+            self.sched.schedule_in(
+                local_delay,
+                Ev::ProbeG {
+                    initiator_gid,
+                    target_gid,
+                    ttl,
+                },
+            );
+        } else {
+            let dest = if home == owned { cur_site } else { home };
+            let alpha = self.cfg.params.comm_delay_ms;
+            self.outbox.push((
+                dest,
+                self.sched.now() + alpha,
+                XMsg::Probe {
+                    initiator_gid,
+                    target_gid,
+                    ttl,
+                },
+            ));
+        }
+    }
+
+    /// Delivery of a gid-addressed probe (the coupled engine's
+    /// Chandy–Misra–Haas hop — see [`Self::handle_probe`] for the
+    /// monolithic analogue). Unknown gids mean the probe outlived its
+    /// target (committed or aborted): absorbed, like stale probes in the
+    /// monolithic engine. A ghost target relays the probe toward the
+    /// target's real state with one network delay.
+    fn handle_probe_gid(&mut self, initiator_gid: u64, target_gid: u64, ttl: u8) {
+        self.stats.probe_hops += 1;
+        if ttl == 0 {
+            return;
+        }
+        let owned = self.owned.expect("coupled engine");
+        let Some(&target) = self.gid_index.get(&target_gid) else {
+            return;
+        };
+        let (away, home, cur_site, ty) = {
+            let t = self.txs.get(target).expect("gid index entries are live");
+            (t.away, t.home, t.cur_site, t.ty)
+        };
+        if away {
+            let dest = if home == owned { cur_site } else { home };
+            let alpha = self.cfg.params.comm_delay_ms;
+            self.outbox.push((
+                dest,
+                self.sched.now() + alpha,
+                XMsg::Probe {
+                    initiator_gid,
+                    target_gid,
+                    ttl: ttl - 1,
+                },
+            ));
+            return;
+        }
+        let token = target.token();
+        if self.tracer.is_some() {
+            let now = self.sched.now();
+            self.trace(
+                TraceEvent::new(
+                    now,
+                    TraceKind::ProbeHop,
+                    "hop",
+                    owned as u32,
+                    initiator_gid,
+                    ty,
+                )
+                .lane2(token as u32)
+                .detail(target_gid),
+            );
+        }
+        // The probe only matters while the resident target is blocked
+        // here; a running target absorbs it (it will launch fresh probes
+        // if it blocks again).
+        if self.nodes[owned].locks.waiting_block(token).is_none() {
+            return;
+        }
+        if target_gid == initiator_gid {
+            // Cycle closed at the (still-blocked) initiator: victim.
+            self.stats.global_deadlocks += 1;
+            let now = self.sched.now();
+            if let Some(tx) = self.txs.get_mut(target) {
+                if let Some(since) = tx.blocked_since.take() {
+                    self.stats.lock_wait.record(now - since);
+                }
+            }
+            if self.tracer.is_some() {
+                self.trace(
+                    TraceEvent::new(
+                        now,
+                        TraceKind::DeadlockVictim,
+                        "probe-cycle",
+                        owned as u32,
+                        initiator_gid,
+                        ty,
+                    )
+                    .lane2(token as u32),
+                );
+            }
+            self.start_abort(target, owned);
+            self.ready.push_back(target);
+            return;
+        }
+        // Forward along the blocked target's wait-for edges. A next hop
+        // blocked at this same site costs nothing; anything else (running
+        // here, or living in another LP) pays the network delay — the
+        // same rule as the monolithic prober.
+        let alpha = self.cfg.params.comm_delay_ms;
+        let mut targets = std::mem::take(&mut self.probe_targets);
+        self.nodes[owned].locks.waits_for_into(token, &mut targets);
+        for &h in &targets {
+            let local_delay = if self.nodes[owned].locks.waiting_block(h).is_some() {
+                0.0
+            } else {
+                alpha
+            };
+            self.probe_hop_to_holder(initiator_gid, TxId::from_token(h), ttl - 1, local_delay);
+        }
+        self.probe_targets = targets;
+    }
+
+    /// Folds a peer LP's final state into this one (driver calls this in
+    /// site order after every LP stopped). Takes the peer's real node
+    /// state (this LP's copy of that site is inert), pools the statistics,
+    /// and keeps the census/high-water bookkeeping the merged
+    /// [`Self::report`] needs.
+    pub(crate) fn absorb(&mut self, mut other: Sim) {
+        let o = other.owned.expect("absorb merges LPs");
+        debug_assert!(self.owned.is_some(), "absorb target must be an LP");
+        std::mem::swap(&mut self.nodes[o], &mut other.nodes[o]);
+        self.absorbed_live += other.absorbed_live;
+        let mut oldest = other.absorbed_oldest_submit;
+        for (_, tx) in other.txs.iter() {
+            if tx.home == o {
+                self.absorbed_live += 1;
+                oldest = oldest.min(tx.submit_time);
+            }
+        }
+        self.absorbed_oldest_submit = self.absorbed_oldest_submit.min(oldest);
+        self.absorbed_sched_hwm = self
+            .absorbed_sched_hwm
+            .max(other.absorbed_sched_hwm)
+            .max(other.sched.high_water());
+        self.absorbed_slab_hwm = self
+            .absorbed_slab_hwm
+            .max(other.absorbed_slab_hwm)
+            .max(other.txs.high_water());
+        self.absorbed_slab_slots = self
+            .absorbed_slab_slots
+            .max(other.absorbed_slab_slots)
+            .max(other.txs.slots());
+        self.events += other.events;
+        for i in 0..Ev::KINDS {
+            self.ev_counts[i] += other.ev_counts[i];
+        }
+        self.tx_started += other.tx_started;
+        self.tx_submit_refusals += other.tx_submit_refusals;
+        self.tx_killed += other.tx_killed;
+        self.last_committed
+            .extend(std::mem::take(&mut other.last_committed));
+        self.stats.merge(std::mem::take(&mut other.stats));
+    }
+
+    /// Takes the lifecycle tracer out (the driver collects per-LP tracers
+    /// in site order before merging LP state).
+    pub(crate) fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take().map(|b| *b)
+    }
+
     fn submit(&mut self, user: usize) {
         let (home, ty) = self.users[user];
         if !self.nodes[home].up {
@@ -1533,7 +2175,7 @@ impl Sim {
             }
         }
         let gid = self.next_gid;
-        self.next_gid += 1;
+        self.next_gid += self.gid_stride;
         self.tx_started += 1;
         compile_into(
             &self.cfg.params,
@@ -1561,7 +2203,12 @@ impl Sim {
         tx.net_attempt = 0;
         tx.decided = false;
         tx.at_site = home;
+        tx.away = false;
+        tx.cur_site = home;
         let id = self.txs.insert(tx);
+        if self.owned.is_some() {
+            self.gid_index.insert(gid, id);
+        }
         self.ready.push_back(id);
         if self.tracer.is_some() {
             let t = self.sched.now();
@@ -1775,7 +2422,14 @@ impl Sim {
                 }
                 Op::Net { ms, to } => {
                     self.txs.get_mut(id).expect("live tx").op_started = now;
-                    self.send_message(id, to, ms, 0);
+                    if self.owned.is_some() {
+                        // Coupled engine: every `Net` op crosses a site
+                        // boundary (programs are site-local), so the
+                        // transaction migrates to the destination LP.
+                        self.migrate_out(id, to, ms);
+                    } else {
+                        self.send_message(id, to, ms, 0);
+                    }
                     return;
                 }
                 Op::AcquireTm { site } => {
@@ -2367,15 +3021,24 @@ impl Sim {
             let alpha = self.cfg.params.comm_delay_ms;
             let mut targets = std::mem::take(&mut self.probe_targets);
             self.nodes[site].locks.waits_for_into(token, &mut targets);
-            for &h in &targets {
-                self.sched.schedule_in(
-                    alpha,
-                    Ev::Probe {
-                        initiator: id,
-                        target: TxId::from_token(h),
-                        ttl: 32,
-                    },
-                );
+            if self.owned.is_some() {
+                // Coupled engine: probes address transactions by gid and
+                // chase ghosts across LPs through their home site.
+                let initiator_gid = self.txs.get(id).expect("live tx").gid;
+                for &h in &targets {
+                    self.probe_hop_to_holder(initiator_gid, TxId::from_token(h), 32, alpha);
+                }
+            } else {
+                for &h in &targets {
+                    self.sched.schedule_in(
+                        alpha,
+                        Ev::Probe {
+                            initiator: id,
+                            target: TxId::from_token(h),
+                            ttl: 32,
+                        },
+                    );
+                }
             }
             self.probe_targets = targets;
             return false;
@@ -2659,6 +3322,19 @@ impl Sim {
         // capacity is recycled for the next abort.
         let mut prog = std::mem::take(&mut self.abort_prog);
         prog.clear();
+        // Coupled engine: the abort is coordinator-driven, but the victim's
+        // state cannot teleport between logical processes — if it is away
+        // from home when the abort starts, it first migrates back on a real
+        // network hop (the monolithic engine just repoints `at_site`).
+        if self.owned.is_some() && self.txs.get(id).expect("live tx").at_site != home {
+            prog.push(
+                Op::Net {
+                    ms: alpha,
+                    to: home,
+                },
+                Seg::Ta,
+            );
+        }
         for &site in &abort_sites {
             // A local type can still have touched a remote site: replica
             // routing reroutes and expands plans across the replica set.
@@ -2727,8 +3403,12 @@ impl Sim {
         // and timer are stale from here on.
         tx.net_token = None;
         tx.net_attempt = 0;
-        // The abort is coordinator-driven: its messages originate at home.
-        tx.at_site = home;
+        if self.owned.is_none() {
+            // The abort is coordinator-driven: its messages originate at
+            // home. (In the coupled engine the hop prepended above moves
+            // the transaction home for real instead.)
+            tx.at_site = home;
+        }
     }
 
     /// Diverts a crash-poisoned transaction onto its abort path: withdraw
@@ -2759,7 +3439,12 @@ impl Sim {
     fn rollback_extent(&mut self, id: TxId, site: usize) -> u32 {
         let mut set = std::mem::take(&mut self.blocks_scratch);
         let tx = self.txs.get(id).expect("live tx");
-        let extent = if !tx.begun_sites.contains(&site) || !self.nodes[site].db.is_active(tx.gid) {
+        // The storage-engine liveness check guards against a crashed
+        // site's recovery having already undone the transaction. In the
+        // coupled engine (no crashes, and a remote `site`'s storage lives
+        // in another logical process) `begun_sites` alone is authoritative.
+        let site_active = self.owned.is_some() || self.nodes[site].db.is_active(tx.gid);
+        let extent = if !tx.begun_sites.contains(&site) || !site_active {
             0
         } else {
             set.clear();
@@ -2808,8 +3493,23 @@ impl Sim {
                     .push((tx.gid, rid));
             }
         }
-        for &site in &tx.dm_sites {
-            self.free_dm(site);
+        if let Some(owned) = self.owned {
+            self.gid_index.remove(&tx.gid);
+            // DM servers at other sites live in other logical processes:
+            // the release travels as a real message (one network delay,
+            // like the EOT cleanup it models). Local ones free directly.
+            for &site in &tx.dm_sites {
+                if site == owned {
+                    self.free_dm(site);
+                } else {
+                    let alpha = self.cfg.params.comm_delay_ms;
+                    self.outbox.push((site, now + alpha, XMsg::DmRelease));
+                }
+            }
+        } else {
+            for &site in &tx.dm_sites {
+                self.free_dm(site);
+            }
         }
         // Drain catch-up that was deferred behind held blocks now that this
         // transaction's locks are released (no-op while a split is still in
@@ -2958,11 +3658,35 @@ impl Sim {
                 (n.acc_cc_rejections + n.tso.rejections()).saturating_sub(n.base_cc_rejections)
             })
             .sum();
-        let oldest_inflight_ms = self
-            .txs
-            .iter()
-            .map(|(_, tx)| end - tx.submit_time)
-            .fold(0.0_f64, f64::max);
+        // In-flight census. The coupled engine counts each transaction
+        // exactly once, at its *home* LP (whether resident there or away
+        // as a ghost): residents at remote LPs and remote ghosts are the
+        // same transactions seen from the other side. `absorbed_*` carries
+        // the peers' contributions after the merge.
+        let (live_here, oldest_here) = if self.owned.is_some() {
+            let mut live = 0u64;
+            let mut oldest = 0.0_f64;
+            for (_, tx) in self.txs.iter() {
+                if Some(tx.home) == self.owned {
+                    live += 1;
+                    oldest = oldest.max(end - tx.submit_time);
+                }
+            }
+            (live, oldest)
+        } else {
+            (
+                self.txs.len() as u64,
+                self.txs
+                    .iter()
+                    .map(|(_, tx)| end - tx.submit_time)
+                    .fold(0.0_f64, f64::max),
+            )
+        };
+        let live_at_end = live_here + self.absorbed_live;
+        let mut oldest_inflight_ms = oldest_here;
+        if self.absorbed_oldest_submit.is_finite() {
+            oldest_inflight_ms = oldest_inflight_ms.max(end - self.absorbed_oldest_submit);
+        }
         // Profiling counters — pure functions of simulation state, so a
         // traced run and an untraced run of one configuration produce the
         // same registry (the trace-neutrality CI gate relies on this; the
@@ -2974,9 +3698,21 @@ impl Sim {
                 counters.add(Ev::LABELS[i], c);
             }
         }
-        counters.record_max("sched_heap_hwm", self.sched.high_water() as u64);
-        counters.record_max("slab_hwm", self.txs.high_water() as u64);
-        counters.record_max("slab_slots_hwm", self.txs.slots() as u64);
+        // High-water marks are per-LP maxima after a coupled merge (the
+        // `absorbed_*` fields are zero in the monolithic engine), the same
+        // max rule as the decomposed path.
+        counters.record_max(
+            "sched_heap_hwm",
+            self.sched.high_water().max(self.absorbed_sched_hwm) as u64,
+        );
+        counters.record_max(
+            "slab_hwm",
+            self.txs.high_water().max(self.absorbed_slab_hwm) as u64,
+        );
+        counters.record_max(
+            "slab_slots_hwm",
+            self.txs.slots().max(self.absorbed_slab_slots) as u64,
+        );
         for &seg in &Seg::ALL {
             let mut total = 0.0;
             for home in 0..self.nodes.len() {
@@ -3013,7 +3749,7 @@ impl Sim {
             net_retries: self.stats.net_retries,
             timeout_aborts: self.stats.timeout_aborts,
             in_doubt_resolutions: self.stats.in_doubt_resolutions,
-            live_at_end: self.txs.len() as u64,
+            live_at_end,
             oldest_inflight_ms,
             events: self.events,
             audited_records: audited,

@@ -1,6 +1,8 @@
-//! The site-sharded engine: conservative decomposition of a run into
-//! per-site sub-simulations, executed on `SimConfig::shards` worker
-//! threads and merged back canonically.
+//! The site-sharded engine: parallel execution of one run as per-site
+//! sub-simulations on `SimConfig::shards` worker threads — fully
+//! independent when the configuration is *site-separable*, conservatively
+//! coupled through the `carat_des::shard` horizon machinery when
+//! cross-site traffic flows with a positive network delay.
 //!
 //! ## Why decomposition is exact here
 //!
@@ -12,21 +14,53 @@
 //! degenerates to its best case — the channels stay empty and every
 //! shard's safe horizon is `+∞` — so each site runs as an ordinary
 //! single-threaded, byte-deterministic simulation and the merge is pure
-//! bookkeeping. Cross-site workloads (any DRO/DU user), crashes, faults,
-//! and partitions couple sites through zero-lookahead paths (the default
-//! α = 0 gives an empty lookahead window), so those configurations run
-//! the monolithic loop regardless of the shard count.
+//! bookkeeping.
+//!
+//! ## The coupled conservative engine
+//!
+//! Cross-site workloads (any DRO/DU user) with a positive network delay
+//! α > 0 run one `Sim` *logical process* (LP) per site against the full
+//! topology: peer node states stay inert, and every cross-site
+//! interaction — a transaction's `Op::Net` hop, a Chandy–Misra–Haas
+//! probe, a remote DM release — travels as a timestamped `XMsg` through a
+//! [`ShardChannel`]. Every cross-site effect takes exactly one network
+//! delay, so α is a hard lookahead: an LP whose published clock reads `c`
+//! cannot emit anything timestamped below `c + α`, and each LP may safely
+//! process events strictly below its [`HorizonClock::safe_horizon`]
+//! (min peer clock + α).
+//!
+//! The published clock is the Chandy–Misra–Bryant promise
+//! `min(next unprocessed event, own safe horizon)`; re-publishing after
+//! an eventless round is the demand-driven *null message* that keeps
+//! peers' horizons opening (counted in `carat_obs::shardstats`, never in
+//! the report). Progress is deadlock-free: the LP holding the global
+//! minimum clock always sees `next < horizon`, so every sweep of the LPs
+//! advances the global minimum by at least α. An LP retires — publishing
+//! `+∞` — once `min(next, horizon) > warmup + measure`, or when its event
+//! budget trips (its already-emitted messages are still delivered, so the
+//! trip point is schedule-independent).
+//!
+//! Determinism never depends on the thread schedule: an LP's merged
+//! stream (local calendar ∪ inbox, inbox first on timestamp ties, inbox
+//! ordered by `(time, sender, per-sender seq)`) is a pure function of the
+//! configuration, because a message not yet visible when an LP computes
+//! horizon `H` is guaranteed to carry a timestamp ≥ H. The shard count
+//! only chooses how many worker threads sweep the (fixed) per-site LPs —
+//! including `--shards 1`, which runs the identical coupled algorithm on
+//! one thread. Crashes, faults, partitions, and replication still force
+//! the monolithic loop: their cross-site effects (instant failover,
+//! zero-delay timeout scans) have no positive lookahead.
 //!
 //! ## The determinism contract
 //!
-//! Whether a run decomposes is a function of the configuration
-//! *excluding* `shards`; the shard count only chooses how many worker
-//! threads execute the (fixed) per-site sub-simulations. Every per-site
-//! sub-simulation is seeded by a pure function of `(seed, site)` and runs
-//! to completion independently, and the merge folds results in site
+//! Which engine runs — decomposed, coupled, or monolithic — is a function
+//! of the configuration *excluding* `shards`; the shard count only
+//! chooses how many worker threads execute the (fixed) per-site
+//! sub-simulations. Every per-site sub-simulation is seeded by a pure
+//! function of `(seed, site)`, and the merge folds results in site
 //! order. The report — including trace output and counters — is
 //! therefore byte-identical for every `shards` value, which the CI
-//! shard-determinism gate enforces the same way earlier PRs enforced
+//! shard-determinism gates enforce the same way earlier PRs enforced
 //! sweep- and replication-determinism.
 //!
 //! Documented merge semantics (DESIGN.md has the full table):
@@ -40,12 +74,15 @@
 //!   waits; all plain counters sum; `oldest_inflight_ms` and `window_ms`
 //!   take the maximum.
 
-use carat_des::shard::SiteShardMap;
-use carat_des::splitmix64;
-use carat_obs::Tracer;
+use std::sync::Mutex;
+use std::time::Instant;
 
-use crate::config::SimConfig;
-use crate::engine::{Sim, SimError};
+use carat_des::shard::{HorizonClock, ShardChannel, SiteShardMap};
+use carat_des::{splitmix64, Time};
+use carat_obs::{shardstats, Tracer};
+
+use crate::config::{CcProtocol, DeadlockMode, SimConfig};
+use crate::engine::{Sim, SimError, XMsg};
 use crate::metrics::{AvailabilityReport, SimReport};
 
 /// Whether `cfg` is site-separable (see the module docs). A pure function
@@ -67,6 +104,51 @@ pub fn decomposable(cfg: &SimConfig) -> bool {
             .all(|&(ty, count)| count == 0 || !ty.is_distributed())
 }
 
+/// Whether `cfg` runs the coupled conservative engine (see the module
+/// docs). Like [`decomposable`] this is a pure function of the
+/// configuration excluding [`SimConfig::shards`], so the engine choice —
+/// and with it every report byte — cannot depend on the shard count.
+/// The two predicates are disjoint: decomposition requires every user to
+/// be local-only, coupling requires at least one distributed user.
+///
+/// Requirements beyond [`decomposable`]'s failure-free topology:
+///
+/// * at least one DRO/DU user — otherwise nothing crosses sites and the
+///   run decomposes instead;
+/// * `comm_delay_ms > 0` — α is the conservative lookahead; α = 0 (the
+///   validation default) leaves no safe window and stays monolithic;
+/// * under two-phase locking with update users, deadlock detection must
+///   use [`DeadlockMode::Probes`]: `InstantGlobal` searches the union of
+///   all sites' wait-for graphs in zero time, which has no message-passing
+///   equivalent. Read-only 2PL mixes never block and thus never detect,
+///   so either mode couples.
+pub fn coupled_eligible(cfg: &SimConfig) -> bool {
+    let distributed = cfg
+        .workload
+        .users
+        .iter()
+        .flatten()
+        .any(|&(ty, count)| count > 0 && ty.is_distributed());
+    let updates = cfg
+        .workload
+        .users
+        .iter()
+        .flatten()
+        .any(|&(ty, count)| count > 0 && ty.is_update());
+    let deadlock_ok = cfg.cc != CcProtocol::TwoPhaseLocking
+        || cfg.deadlock_mode == DeadlockMode::Probes
+        || !updates;
+    cfg.params.sites() >= 2
+        && cfg.workload.sites() == cfg.params.sites()
+        && cfg.params.comm_delay_ms > 0.0
+        && cfg.crashes.is_empty()
+        && !cfg.fault_plan.is_active()
+        && !cfg.partition_plan.is_active()
+        && cfg.partition_plan.replication == 1
+        && distributed
+        && deadlock_ok
+}
+
 /// The sub-simulation seed of `site` for a run with base seed `base`.
 ///
 /// Double-mixed rather than `base ^ splitmix64(site)` so site streams can
@@ -77,19 +159,25 @@ pub fn site_seed(base: u64, site: usize) -> u64 {
     splitmix64(splitmix64(base).wrapping_add(site as u64 + 1))
 }
 
-/// The per-site share of the run's event budget: sites run independently,
-/// so each gets an equal slice (at least 1 — a zero share would mean
-/// *unlimited*). `0` stays "no budget".
-fn budget_share(budget: u64, sites: usize) -> u64 {
+/// Splits the run's event budget into per-site shares that sum to the
+/// budget exactly when `budget >= sites` (quotient plus one extra for the
+/// first `budget % sites` sites). `0` stays "no budget"; a positive
+/// budget smaller than the site count rounds every share up to 1 — a
+/// zero share would mean *unlimited* — so such degenerate budgets bind
+/// at `sites` events rather than `budget` (documented in DESIGN.md
+/// §14.3).
+fn budget_shares(budget: u64, sites: usize) -> Vec<u64> {
     if budget == 0 {
-        0
-    } else {
-        (budget / sites as u64).max(1)
+        return vec![0; sites];
     }
+    let n = sites as u64;
+    let (q, r) = (budget / n, budget % n);
+    (0..n).map(|i| (q + u64::from(i < r)).max(1)).collect()
 }
 
-/// The single-site sub-configuration of `site`.
-fn site_config(cfg: &SimConfig, site: usize) -> SimConfig {
+/// The single-site sub-configuration of `site`, with `share` of the
+/// run's event budget.
+fn site_config(cfg: &SimConfig, site: usize, share: u64) -> SimConfig {
     let mut params = cfg.params.clone();
     params.nodes = vec![cfg.params.nodes[site].clone()];
     let mut workload = cfg.workload.clone();
@@ -98,7 +186,7 @@ fn site_config(cfg: &SimConfig, site: usize) -> SimConfig {
         params,
         workload,
         seed: site_seed(cfg.seed, site),
-        max_events: budget_share(cfg.max_events, cfg.params.sites()),
+        max_events: share,
         crashes: Vec::new(),
         shards: 1,
         ..cfg.clone()
@@ -122,7 +210,10 @@ pub(crate) fn run_decomposed(cfg: SimConfig) -> Result<(SimReport, Option<Tracer
     let sites = cfg.params.sites();
     let shards = cfg.shards.min(sites).max(1);
     let budget = cfg.max_events;
-    let subcfgs: Vec<SimConfig> = (0..sites).map(|s| site_config(&cfg, s)).collect();
+    let shares = budget_shares(budget, sites);
+    let subcfgs: Vec<SimConfig> = (0..sites)
+        .map(|s| site_config(&cfg, s, shares[s]))
+        .collect();
 
     let outcomes: Vec<SiteOutcome> = if shards == 1 {
         subcfgs.into_iter().map(run_site).collect()
@@ -190,6 +281,249 @@ pub(crate) fn run_decomposed(cfg: SimConfig) -> Result<(SimReport, Option<Tracer
         Some(Tracer::merge_sites(tracers))
     };
     Ok((merged, tracer))
+}
+
+/// One site-LP's end state: its site index, the `Sim`, and the virtual
+/// time at which its event budget tripped (`None` when it ran to the
+/// end).
+type LpOutcome = (usize, Sim, Option<Time>);
+
+/// Runs a coupled-eligible configuration as one logical process per site,
+/// synchronized conservatively through [`HorizonClock`] /
+/// [`ShardChannel`] with lookahead α, on `cfg.shards` worker threads
+/// (clamped to the site count). The caller (`Sim::run_checked_traced`)
+/// has already validated `cfg` and checked [`coupled_eligible`].
+pub(crate) fn run_coupled(cfg: SimConfig) -> Result<(SimReport, Option<Tracer>), SimError> {
+    let sites = cfg.params.sites();
+    let shards = cfg.shards.min(sites).max(1);
+    let budget = cfg.max_events;
+    let alpha = cfg.params.comm_delay_ms;
+    let end = cfg.warmup_ms + cfg.measure_ms;
+    let tracing = cfg.trace.is_some();
+    let shares = budget_shares(budget, sites);
+
+    let mut lps: Vec<(usize, Sim)> = (0..sites)
+        .map(|s| {
+            let mut sub = cfg.clone();
+            sub.max_events = shares[s];
+            sub.shards = 1;
+            let mut lp = Sim::new_lp(sub, s).expect("an LP of a validated config is valid");
+            lp.lp_prime();
+            (s, lp)
+        })
+        .collect();
+
+    // The shared synchronization state: the clock board (one published
+    // promise per LP) and one FIFO channel per ordered (from, to) pair.
+    // Both are mutex-guarded; the locks also provide the happens-before
+    // edges the completeness argument in the module docs relies on (a
+    // sender flushes its channel entries *before* publishing the clock
+    // that makes them drainable).
+    let clock = Mutex::new(HorizonClock::new(sites, alpha));
+    let channels: Vec<Mutex<ShardChannel<XMsg>>> = (0..sites * sites)
+        .map(|_| Mutex::new(ShardChannel::new()))
+        .collect();
+
+    let mut outcomes: Vec<LpOutcome> = if shards == 1 {
+        run_lp_block(lps, &clock, &channels, sites, end)
+    } else {
+        // Balanced contiguous blocks, one worker thread each; every
+        // thread sweeps its own LPs round-robin against the shared
+        // clock board.
+        let map = SiteShardMap::contiguous(sites, shards);
+        let mut blocks: Vec<Vec<(usize, Sim)>> = Vec::with_capacity(shards);
+        let mut it = lps.drain(..);
+        for s in 0..shards {
+            blocks.push(it.by_ref().take(map.sites_of(s).len()).collect());
+        }
+        drop(it);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .into_iter()
+                .map(|block| {
+                    let (clock, channels) = (&clock, &channels);
+                    scope.spawn(move || run_lp_block(block, clock, channels, sites, end))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("LP shard thread panicked"))
+                .collect()
+        })
+    };
+    outcomes.sort_by_key(|&(site, _, _)| site);
+
+    let first_trip = outcomes
+        .iter()
+        .filter_map(|(_, _, trip)| *trip)
+        .fold(f64::INFINITY, f64::min);
+
+    // Tracers come out *before* the absorb pass, in site order: the trace
+    // merge is part order + stable time sort, so collection order must be
+    // a pure function of the configuration.
+    let tracers: Vec<Tracer> = if tracing {
+        outcomes
+            .iter_mut()
+            .map(|(_, lp, _)| lp.take_tracer().expect("tracing was configured"))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Fold LPs 1..n into LP 0 in site order, then wind down once so
+    // utilization windows and phase-total rounding happen exactly once.
+    let mut it = outcomes.into_iter();
+    let (_, mut primary, _) = it.next().expect("coupling requires >= 2 sites");
+    for (_, lp, _) in it {
+        primary.absorb(lp);
+    }
+    let report = primary.wind_down(end);
+
+    if first_trip.is_finite() {
+        // Same shape as the decomposed path: the error reports the
+        // *configured* budget and the earliest per-LP trip instant, both
+        // schedule- and shard-count-independent.
+        return Err(SimError::EventBudgetExhausted {
+            budget,
+            sim_time_ms: first_trip,
+            partial: Box::new(report),
+        });
+    }
+    let tracer = if tracers.is_empty() {
+        None
+    } else {
+        Some(Tracer::merge_ordered(tracers))
+    };
+    Ok((report, tracer))
+}
+
+/// Sweeps one worker thread's LPs until all have retired. Each round per
+/// live LP: read the safe horizon, drain inbound channels below it (in
+/// sender order), run the merged stream up to the horizon, flush the
+/// outbox, publish the new clock promise. Wall-clock busy/stall time,
+/// null advances, and message counts go to the process-global
+/// `shardstats` registry — never into the `Sim`s.
+fn run_lp_block(
+    block: Vec<(usize, Sim)>,
+    clock: &Mutex<HorizonClock>,
+    channels: &[Mutex<ShardChannel<XMsg>>],
+    sites: usize,
+    end: Time,
+) -> Vec<LpOutcome> {
+    let mut lps = block;
+    let n = lps.len();
+    let mut retired = vec![false; n];
+    let mut trips: Vec<Option<Time>> = vec![None; n];
+    let (mut busy_ns, mut stall_ns) = (0u64, 0u64);
+    let (mut nulls, mut msgs) = (0u64, 0u64);
+    // Progress guard: if the *global* minimum clock stops advancing for a
+    // long stretch of fruitless sweeps, the protocol is wedged (which the
+    // lookahead argument proves impossible) — fail loudly instead of
+    // spinning forever.
+    let mut last_min = -1.0f64;
+    let mut stuck_since: Option<Instant> = None;
+
+    while retired.iter().any(|r| !r) {
+        let mut progressed = false;
+        for i in 0..n {
+            if retired[i] {
+                continue;
+            }
+            let site = lps[i].0;
+            let lp = &mut lps[i].1;
+            let round_start = Instant::now();
+            let horizon = clock.lock().expect("clock lock").safe_horizon(site);
+            for from in 0..sites {
+                if from == site {
+                    continue;
+                }
+                let arrived = channels[from * sites + site]
+                    .lock()
+                    .expect("channel lock")
+                    .drain_until(horizon);
+                for (t, msg) in arrived {
+                    lp.lp_ingest(from, t, msg);
+                }
+            }
+            let before = lp.lp_events();
+            let trip = lp.lp_step_until(horizon, end);
+            let stepped = lp.lp_events() - before;
+            // Flush even on a trip: everything emitted before the budget
+            // ran out must still reach its peers, or their streams would
+            // depend on *when* the trip was noticed.
+            lp.lp_drain_outbox(|to, t, msg| {
+                channels[site * sites + to]
+                    .lock()
+                    .expect("channel lock")
+                    .send(t, msg);
+                msgs += 1;
+            });
+            let promise = if let Some(t) = trip {
+                trips[i] = Some(t);
+                retired[i] = true;
+                f64::INFINITY
+            } else if lp.lp_next_time().min(horizon) > end {
+                retired[i] = true;
+                f64::INFINITY
+            } else {
+                lp.lp_next_time().min(horizon)
+            };
+            {
+                let mut board = clock.lock().expect("clock lock");
+                if promise > board.clock(site) {
+                    progressed = true;
+                    if stepped == 0 && !retired[i] {
+                        // An eventless promise that still opened peers'
+                        // horizons: the demand-driven null message.
+                        nulls += 1;
+                    }
+                }
+                board.advance(site, promise);
+            }
+            let spent = round_start.elapsed().as_nanos() as u64;
+            if stepped > 0 {
+                progressed = true;
+                busy_ns += spent;
+            } else {
+                stall_ns += spent;
+            }
+        }
+        if progressed {
+            stuck_since = None;
+        } else {
+            let min_clock = {
+                let board = clock.lock().expect("clock lock");
+                (0..sites)
+                    .map(|s| board.clock(s))
+                    .fold(f64::INFINITY, f64::min)
+            };
+            if min_clock > last_min {
+                last_min = min_clock;
+                stuck_since = None;
+            } else if stuck_since
+                .get_or_insert_with(Instant::now)
+                .elapsed()
+                .as_secs()
+                >= 60
+            {
+                panic!(
+                    "coupled shard driver: no global clock progress for 60s \
+                     (min clock {min_clock} ms, end {end} ms) — conservative \
+                     protocol wedged"
+                );
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    shardstats::add_busy_ns(busy_ns);
+    shardstats::add_stall_ns(stall_ns);
+    shardstats::add_null_advances(nulls);
+    shardstats::add_messages(msgs);
+    lps.into_iter()
+        .zip(trips)
+        .map(|((site, lp), trip)| (site, lp, trip))
+        .collect()
 }
 
 /// Folds per-site reports (in site order) into the run's report. See the
@@ -328,16 +662,30 @@ mod tests {
     }
 
     #[test]
-    fn budget_share_never_becomes_unlimited() {
-        assert_eq!(budget_share(0, 4), 0, "no budget stays no budget");
-        assert_eq!(budget_share(100, 4), 25);
-        assert_eq!(budget_share(3, 8), 1, "a tiny budget still binds");
+    fn budget_shares_sum_to_the_budget_and_never_become_unlimited() {
+        assert_eq!(budget_shares(0, 4), vec![0; 4], "no budget stays no budget");
+        assert_eq!(budget_shares(100, 4), vec![25; 4]);
+        // Remainders spread one extra event over the leading sites so the
+        // shares sum to the budget exactly.
+        assert_eq!(budget_shares(103, 4), vec![26, 26, 26, 25]);
+        assert_eq!(budget_shares(103, 4).iter().sum::<u64>(), 103);
+        for (budget, sites) in [(7u64, 3usize), (4_000, 4), (101, 8), (9, 9)] {
+            assert_eq!(
+                budget_shares(budget, sites).iter().sum::<u64>(),
+                budget,
+                "budget {budget} over {sites} sites must split exactly"
+            );
+        }
+        // A positive budget below the site count still binds everywhere: a
+        // zero share would mean unlimited, so shares clamp to 1 and the
+        // effective budget rounds up to the site count.
+        assert_eq!(budget_shares(3, 8), vec![1; 8], "a tiny budget still binds");
     }
 
     #[test]
     fn site_config_slices_one_site() {
         let cfg = lb8(4);
-        let s2 = site_config(&cfg, 2);
+        let s2 = site_config(&cfg, 2, budget_shares(cfg.max_events, 4)[2]);
         assert_eq!(s2.params.sites(), 1);
         assert_eq!(s2.workload.sites(), 1);
         assert_eq!(s2.params.nodes[0].name, cfg.params.nodes[2].name);
@@ -407,6 +755,140 @@ mod tests {
         assert_eq!(p1.nodes.len(), 4);
         assert_eq!(p1.counters.get("events_total"), p1.events);
         assert!(p1.events <= 4_000);
+    }
+
+    /// A coupled-eligible fixture: the paper's mixed workload (per node:
+    /// 1 LRO + 1 LU + 1 DRO + 1 DU) with a positive network delay and
+    /// probe-based global deadlock detection.
+    fn mb4x(sites: usize) -> SimConfig {
+        let mut cfg = SimConfig::new(StandardWorkload::Mb4.spec(sites), 8, 11);
+        cfg.params = carat_workload::SystemParams::with_sites(sites);
+        cfg.params.comm_delay_ms = 5.0;
+        cfg.deadlock_mode = DeadlockMode::Probes;
+        cfg.warmup_ms = 1_000.0;
+        cfg.measure_ms = 8_000.0;
+        cfg
+    }
+
+    #[test]
+    fn coupled_eligibility_requires_alpha_probes_and_distributed_users() {
+        let mut cfg = mb4x(4);
+        assert!(coupled_eligible(&cfg));
+        cfg.shards = 4;
+        assert!(coupled_eligible(&cfg), "shard count must not matter");
+        assert!(
+            !decomposable(&cfg),
+            "the decomposed and coupled predicates are disjoint"
+        );
+
+        // α = 0 (the validation default) leaves no conservative window.
+        let mut zero_alpha = mb4x(4);
+        zero_alpha.params.comm_delay_ms = 0.0;
+        assert!(!coupled_eligible(&zero_alpha));
+
+        // Local-only workloads have nothing to couple (they decompose).
+        let local = lb8(4);
+        assert!(!coupled_eligible(&local) && decomposable(&local));
+
+        // 2PL + instant-global detection has no message-passing
+        // equivalent when updates can block…
+        let mut instant = mb4x(4);
+        instant.deadlock_mode = DeadlockMode::InstantGlobal;
+        assert!(!coupled_eligible(&instant));
+        // …but timestamp ordering never consults the wait-for graph.
+        let mut tso = instant.clone();
+        tso.cc = CcProtocol::TimestampOrdering;
+        assert!(coupled_eligible(&tso));
+
+        // Failure machinery still forces the monolithic loop.
+        let mut crash = mb4x(4);
+        crash.crashes.push((1_000.0, 0));
+        assert!(!coupled_eligible(&crash));
+        let mut replicated = mb4x(4);
+        replicated.partition_plan.replication = 2;
+        assert!(!coupled_eligible(&replicated));
+        let mut solo = mb4x(1);
+        solo.params = carat_workload::SystemParams::with_sites(1);
+        solo.workload = StandardWorkload::Mb4.spec(1);
+        assert!(!coupled_eligible(&solo));
+    }
+
+    #[test]
+    fn coupled_reports_are_identical_for_every_shard_count() {
+        let run = |shards: usize| {
+            let mut cfg = mb4x(4);
+            cfg.shards = shards;
+            Sim::new(cfg).expect("valid").run()
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        let eight = run(8); // more shards than sites: clamped
+        assert_eq!(one, two);
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
+        assert_eq!(one.nodes.len(), 4);
+        assert!(one.total_tx_per_s() > 0.0, "the coupled run did real work");
+        assert!(one.net_messages > 0, "cross-site traffic actually flowed");
+    }
+
+    #[test]
+    fn coupled_tso_reports_are_identical_for_every_shard_count() {
+        let run = |shards: usize| {
+            let mut cfg = mb4x(3);
+            cfg.cc = CcProtocol::TimestampOrdering;
+            cfg.measure_ms = 5_000.0;
+            cfg.shards = shards;
+            Sim::new(cfg).expect("valid").run()
+        };
+        let one = run(1);
+        let three = run(3);
+        assert_eq!(one, three);
+        assert!(one.net_messages > 0);
+    }
+
+    #[test]
+    fn coupled_budget_trip_is_shard_count_independent() {
+        let run = |shards: usize| {
+            let mut cfg = mb4x(4);
+            cfg.max_events = 4_000; // trips mid-run: a full run needs more
+            cfg.shards = shards;
+            Sim::new(cfg).expect("valid").run_checked()
+        };
+        let extract = |r: Result<SimReport, SimError>| match r {
+            Err(SimError::EventBudgetExhausted {
+                budget,
+                sim_time_ms,
+                partial,
+            }) => (budget, sim_time_ms, partial),
+            Ok(_) => panic!("budget must trip"),
+        };
+        let (b1, t1, p1) = extract(run(1));
+        let (b2, t2, p2) = extract(run(2));
+        let (b4, t4, p4) = extract(run(4));
+        assert_eq!(b1, 4_000, "the error reports the configured budget");
+        assert_eq!((b1, t1), (b2, t2));
+        assert_eq!((b1, t1), (b4, t4));
+        assert_eq!(p1, p2);
+        assert_eq!(p1, p4);
+        assert_eq!(p1.nodes.len(), 4);
+    }
+
+    #[test]
+    fn coupled_trace_bytes_are_shard_count_independent() {
+        let run = |shards: usize| {
+            let mut cfg = mb4x(3);
+            cfg.measure_ms = 4_000.0;
+            cfg.trace = Some(carat_obs::TraceConfig::default());
+            cfg.shards = shards;
+            let (report, tracer) = Sim::new(cfg).expect("valid").run_traced();
+            (report, tracer.expect("tracing was on").to_jsonl())
+        };
+        let (r1, t1) = run(1);
+        let (r3, t3) = run(3);
+        assert_eq!(r1, r3);
+        assert_eq!(t1, t3);
+        assert!(t1.contains("\"node\": 2"), "trace covers remote sites");
     }
 
     #[test]
