@@ -61,4 +61,13 @@ cargo run --release -p carat-cli -- sim --workload lb8 --n 8 --measure-s 60 --tr
 cmp "${TMPDIR:-/tmp}/report_off.txt" "${TMPDIR:-/tmp}/report_on.txt"
 cargo run --release -p carat-cli -- sim --workload lb8 --n 8 --measure-s 60 --trace "${TMPDIR:-/tmp}/trace_b.json" > /dev/null
 cmp "${TMPDIR:-/tmp}/trace_a.json" "${TMPDIR:-/tmp}/trace_b.json"
+echo "== metrics neutrality gate"
+# The metrics recorder must not change a single stdout report byte, and
+# the sampled series must be byte-identical for every shard count on the
+# coupled cross-site engine (DESIGN.md §15).
+cargo run --release -p carat-cli -- sim --workload lb8 --n 8 --measure-s 60 --metrics 10 > "${TMPDIR:-/tmp}/report_metrics_on.txt" 2> /dev/null
+cmp "${TMPDIR:-/tmp}/report_off.txt" "${TMPDIR:-/tmp}/report_metrics_on.txt"
+cargo run --release -p carat-cli -- sim --workload mb4 --sites 8 --n 8 --alpha 5 --probes --measure-s 60 --shards 1 --metrics 10 --metrics-out "${TMPDIR:-/tmp}/metrics_s1.jsonl" > /dev/null 2>&1
+cargo run --release -p carat-cli -- sim --workload mb4 --sites 8 --n 8 --alpha 5 --probes --measure-s 60 --shards 4 --metrics 10 --metrics-out "${TMPDIR:-/tmp}/metrics_s4.jsonl" > /dev/null 2>&1
+cmp "${TMPDIR:-/tmp}/metrics_s1.jsonl" "${TMPDIR:-/tmp}/metrics_s4.jsonl"
 echo "== CI green"

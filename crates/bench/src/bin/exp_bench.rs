@@ -39,7 +39,7 @@
 use std::time::Instant;
 
 use carat::model::{Accel, ModelConfig, ModelOptions, MvaAlgo};
-use carat::obs::{shardstats, CounterRegistry};
+use carat::obs::{shardstats, CounterRegistry, MetricsConfig, ShardStatsSnapshot};
 use carat::sim::{DeadlockMode, Sim, SimConfig};
 use carat::workload::{StandardWorkload, SystemParams};
 use carat_bench::{
@@ -191,8 +191,10 @@ fn xsite_scenario(shards: usize) -> SimConfig {
 /// `"shards_xsite"` JSON section for `BENCH_sim.json`. On top of the
 /// wall-clock numbers it records the conservative protocol's overhead —
 /// the null-message (eventless clock publication) ratio per payload
-/// message — from the process-global `shardstats` registry, reset before
-/// each cell so every cell reports its own traffic.
+/// message and the busy/stall wall-clock split — as a scoped
+/// `shardstats` delta of the *fastest* repetition alone, so one cell's
+/// traffic never bleeds into another's numbers (and the section stays
+/// correct even if other code in the process touched the registry).
 fn bench_shards_xsite() -> String {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let probe = xsite_scenario(1);
@@ -208,38 +210,55 @@ fn bench_shards_xsite() -> String {
     );
     let mut base_eps = 0.0;
     for &shards in &SHARD_COUNTS {
-        shardstats::reset();
         let mut best_ms = f64::INFINITY;
+        let mut best_stats = ShardStatsSnapshot::default();
         for _ in 0..REPS {
+            let scope = shardstats::begin_run();
             let t0 = Instant::now();
             let report = Sim::new(xsite_scenario(shards)).expect("valid").run();
-            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            let stats = scope.finish();
+            if ms < best_ms {
+                best_ms = ms;
+                best_stats = stats;
+            }
             assert_eq!(
                 report, reference,
                 "xsite shards={shards} diverged from the single-shard report"
             );
         }
-        let stats = shardstats::snapshot();
         let eps = reference.events as f64 / (best_ms / 1000.0);
         if shards == 1 {
             base_eps = eps;
         }
         let speedup = eps / base_eps;
-        let null_ratio = stats.null_message_ratio();
+        let null_ratio = best_stats.null_message_ratio();
+        let busy_ms = best_stats.busy_ns as f64 / 1e6;
+        let stall_ms = best_stats.stall_ns as f64 / 1e6;
+        let stall_pct = if busy_ms + stall_ms > 0.0 {
+            100.0 * stall_ms / (busy_ms + stall_ms)
+        } else {
+            0.0
+        };
         println!(
             "  shards={shards}  {best_ms:9.2} ms  {eps:12.0} events/s  \
-             ({speedup:.2}x vs shards=1, {null_ratio:.2} null msgs/payload)"
+             ({speedup:.2}x vs shards=1, {null_ratio:.2} null msgs/payload, \
+             {stall_pct:.0}% stalled)"
         );
         rows.push(format!(
             "      {{\"shards\": {shards}, \"wall_ms\": {}, \"events_per_sec\": {}, \
              \"speedup_vs_1\": {}, \"messages\": {}, \"null_advances\": {}, \
-             \"null_message_ratio\": {}}}",
+             \"null_message_ratio\": {}, \"busy_ms\": {}, \"stall_ms\": {}, \
+             \"stall_pct\": {}}}",
             json_f64((best_ms * 1000.0).round() / 1000.0),
             json_f64(eps.round()),
             json_f64((speedup * 1000.0).round() / 1000.0),
-            stats.messages / REPS as u64,
-            stats.null_advances / REPS as u64,
+            best_stats.messages,
+            best_stats.null_advances,
             json_f64((null_ratio * 1000.0).round() / 1000.0),
+            json_f64((busy_ms * 1000.0).round() / 1000.0),
+            json_f64((stall_ms * 1000.0).round() / 1000.0),
+            json_f64((stall_pct * 10.0).round() / 10.0),
         ));
     }
     println!("  reports byte-identical across shard counts: OK");
@@ -251,6 +270,91 @@ fn bench_shards_xsite() -> String {
         reference.events,
         reference.net_messages,
         rows.join(",\n"),
+    )
+}
+
+/// Sample cadence of the metrics-overhead benchmark, milliseconds of sim
+/// time.
+const METRICS_SAMPLE_MS: f64 = 10.0;
+
+/// Times the metrics recorder's cost on the reference sim sweep — every
+/// [`SIM_POINTS`] point run with the recorder off and again sampling
+/// every [`METRICS_SAMPLE_MS`] — and returns the `"metrics_overhead"`
+/// JSON section for `BENCH_sim.json`. Also the on-path neutrality gate:
+/// each report must be byte-identical whether or not the recorder ran.
+///
+/// The wall overhead is dominated by sample *volume*, not by the
+/// per-event hook: the reference workloads run a couple of hundred
+/// events per sim-second, while the 10 ms cadence emits a few thousand
+/// sample points per sim-second. The per-sample cost (`ns_per_sample`)
+/// is the figure that transfers to other cadences and workloads; the
+/// disabled path is one `Option` branch per event and is covered by the
+/// byte-identity gates against the metrics-free baseline.
+fn bench_metrics_overhead() -> String {
+    let mk = |metrics: bool| {
+        let (_, mut cfgs) = sim_points(1);
+        if metrics {
+            for cfg in &mut cfgs {
+                cfg.metrics = Some(MetricsConfig::new(METRICS_SAMPLE_MS));
+            }
+        }
+        cfgs
+    };
+    let references: Vec<_> = mk(false)
+        .into_iter()
+        .map(|cfg| Sim::new(cfg).expect("valid reference config").run())
+        .collect();
+    let events: u64 = references.iter().map(|r| r.events).sum();
+    let time = |metrics: bool| {
+        let mut best_ms = f64::INFINITY;
+        let mut samples = 0usize;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let mut rep_samples = 0usize;
+            for (cfg, reference) in mk(metrics).into_iter().zip(&references) {
+                let (report, _, recorder) = Sim::new(cfg)
+                    .expect("valid reference config")
+                    .run_checked_instrumented()
+                    .expect("no budget configured");
+                assert_eq!(
+                    &report, reference,
+                    "the metrics recorder (on={metrics}) changed the report"
+                );
+                rep_samples += recorder.map_or(0, |r| r.samples().len());
+            }
+            best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1000.0);
+            samples = rep_samples;
+        }
+        (best_ms, samples)
+    };
+    let (off_ms, _) = time(false);
+    let (on_ms, samples) = time(true);
+    let overhead_pct = 100.0 * (on_ms - off_ms) / off_ms;
+    let eps_off = events as f64 / (off_ms / 1000.0);
+    let eps_on = events as f64 / (on_ms / 1000.0);
+    let ns_per_sample = (on_ms - off_ms) * 1e6 / samples.max(1) as f64;
+    println!(
+        "\n## Metrics overhead (reference sweep, sample {METRICS_SAMPLE_MS} ms, \
+         best of {REPS})\n  off {off_ms:9.2} ms ({eps_off:12.0} events/s)   \
+         on {on_ms:9.2} ms ({eps_on:12.0} events/s)\n  \
+         overhead {overhead_pct:.1}%  ({samples} samples, {ns_per_sample:.1} ns/sample, \
+         {:.1} samples/event)\n  \
+         reports byte-identical with metrics on vs off: OK",
+        samples as f64 / events as f64,
+    );
+    format!(
+        "{{\n    \"sweep\": \"reference\",\n    \"sample_ms\": {},\n    \
+         \"samples\": {samples},\n    \"events\": {events},\n    \
+         \"wall_ms_off\": {},\n    \"wall_ms_on\": {},\n    \
+         \"events_per_sec_off\": {},\n    \"events_per_sec_on\": {},\n    \
+         \"overhead_pct\": {},\n    \"ns_per_sample\": {}\n  }}",
+        json_f64(METRICS_SAMPLE_MS),
+        json_f64((off_ms * 1000.0).round() / 1000.0),
+        json_f64((on_ms * 1000.0).round() / 1000.0),
+        json_f64(eps_off.round()),
+        json_f64(eps_on.round()),
+        json_f64((overhead_pct * 100.0).round() / 100.0),
+        json_f64((ns_per_sample * 10.0).round() / 10.0),
     )
 }
 
@@ -488,6 +592,7 @@ fn bench_sim(determinism_threads: usize) {
     );
     let shards_json = bench_shards();
     let shards_xsite_json = bench_shards_xsite();
+    let metrics_json = bench_metrics_overhead();
     // Profiling counters merged across the reference points (`_hwm` names
     // take the max, everything else sums). Pure simulation state, so the
     // object is byte-identical run to run and across thread counts.
@@ -496,7 +601,7 @@ fn bench_sim(determinism_threads: usize) {
          \"events\": {events},\n  \"wall_ms\": {},\n  \"events_per_sec\": {},\n  \
          \"baseline_events_per_sec\": {},\n  \"speedup\": {},\n  \
          \"determinism_threads\": {determinism_threads},\n  \"shards\": {},\n  \
-         \"shards_xsite\": {},\n  \"counters\": {}\n}}\n",
+         \"shards_xsite\": {},\n  \"metrics_overhead\": {},\n  \"counters\": {}\n}}\n",
         labels
             .iter()
             .map(|l| format!("\"{l}\""))
@@ -508,6 +613,7 @@ fn bench_sim(determinism_threads: usize) {
         json_f64((speedup * 1000.0).round() / 1000.0),
         shards_json,
         shards_xsite_json,
+        metrics_json,
         counters.to_json(2),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

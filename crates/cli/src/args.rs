@@ -75,6 +75,16 @@ pub struct RunSpec {
     /// Trace filter spec (`kind=...;node=...;ty=...`), validated at parse
     /// time; `None` keeps every event.
     pub trace_filter: Option<String>,
+    /// Sim-time metrics sampling cadence in milliseconds (simulator,
+    /// single run only); `None` disables the recorder entirely.
+    pub metrics_ms: Option<f64>,
+    /// Metrics filter spec (categories and/or metric names, `|`- or
+    /// `,`-separated), validated at parse time; `None` keeps every metric.
+    pub metrics_filter: Option<String>,
+    /// Write the sampled metrics here instead of only summarizing:
+    /// `.csv` writes CSV, `.json` writes a Chrome trace-event document of
+    /// counter tracks, anything else writes JSONL.
+    pub metrics_out: Option<String>,
     /// Write the solver's per-iteration convergence log here (model only).
     /// `.csv` writes CSV; anything else writes JSON.
     pub iter_log: Option<String>,
@@ -114,6 +124,9 @@ impl Default for RunSpec {
             mva: carat::model::MvaAlgo::Exact,
             trace: None,
             trace_filter: None,
+            metrics_ms: None,
+            metrics_filter: None,
+            metrics_out: None,
             iter_log: None,
             sites: 2,
             shards: None,
@@ -211,6 +224,13 @@ FLAGS:
                                    .jsonl = line-delimited, else Chrome/Perfetto JSON
     --trace-filter <spec>          keep only matching events, e.g.
                                    kind=lock|deadlock;node=0;ty=DU (clauses AND, values OR)
+    --metrics <ms>                 sample counter metrics every <ms> of sim time
+                                   (sim, single run); prints a per-metric summary
+                                   and is byte-identical for every --shards value
+    --metrics-filter <spec>        keep only matching metrics: categories and/or
+                                   names, e.g. queue|util or cpu_q,lock_depth
+    --metrics-out <path>           write the samples: .csv = CSV, .json =
+                                   Chrome/Perfetto counter tracks, else JSONL
     --iter-log <path>              write the solver's per-iteration convergence log
                                    (model; .csv = CSV, else JSON)
 
@@ -447,6 +467,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 carat::obs::TraceFilter::parse(raw)?;
                 spec.trace_filter = Some(raw.clone());
             }
+            "--metrics" => {
+                let ms: f64 = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad metrics cadence".to_string())?;
+                if !ms.is_finite() || ms <= 0.0 {
+                    return Err("metrics cadence must be a positive number of ms".into());
+                }
+                spec.metrics_ms = Some(ms);
+            }
+            "--metrics-filter" => {
+                let raw = next(&mut i)?;
+                carat::obs::MetricsFilter::parse(raw)?;
+                spec.metrics_filter = Some(raw.clone());
+            }
+            "--metrics-out" => spec.metrics_out = Some(next(&mut i)?.clone()),
             "--iter-log" => spec.iter_log = Some(next(&mut i)?.clone()),
             "--cc" => {
                 spec.cc = match next(&mut i)?.to_ascii_lowercase().as_str() {
@@ -465,6 +500,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
     if spec.trace.is_some() && spec.reps > 1 {
         return Err("--trace records a single deterministic run; drop --reps".into());
+    }
+    if spec.metrics_filter.is_some() && spec.metrics_ms.is_none() {
+        return Err("--metrics-filter requires --metrics".into());
+    }
+    if spec.metrics_out.is_some() && spec.metrics_ms.is_none() {
+        return Err("--metrics-out requires --metrics".into());
+    }
+    if spec.metrics_ms.is_some() && spec.reps > 1 {
+        return Err("--metrics records a single deterministic run; drop --reps".into());
     }
     match cmd.as_str() {
         "model" => Ok(Command::Model(spec)),
@@ -660,6 +704,36 @@ mod tests {
         assert!(parse(&argv("sim --trace t.json --trace-filter kind=banana")).is_err());
         assert!(parse(&argv("sim --trace-filter kind=lock")).is_err());
         assert!(parse(&argv("sim --trace t.json --reps 3")).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_flags() {
+        let Command::Sim(spec) = parse(&argv(
+            "sim --metrics 10 --metrics-filter queue|util --metrics-out m.csv",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.metrics_ms, Some(10.0));
+        assert_eq!(spec.metrics_filter.as_deref(), Some("queue|util"));
+        assert_eq!(spec.metrics_out.as_deref(), Some("m.csv"));
+        // Off by default, fractional cadences allowed.
+        assert_eq!(RunSpec::default().metrics_ms, None);
+        let Command::Sim(spec) = parse(&argv("sim --metrics 2.5")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(spec.metrics_ms, Some(2.5));
+        // Bad cadences and filters are rejected at parse time.
+        assert!(parse(&argv("sim --metrics zero")).is_err());
+        assert!(parse(&argv("sim --metrics 0")).is_err());
+        assert!(parse(&argv("sim --metrics -5")).is_err());
+        let err = parse(&argv("sim --metrics 10 --metrics-filter banana")).unwrap_err();
+        assert!(err.contains("banana"), "error names the bad atom: {err}");
+        assert!(err.contains("cpu_q"), "error lists valid metrics: {err}");
+        // Dependent flags require --metrics; --reps needs a scalar run.
+        assert!(parse(&argv("sim --metrics-filter queue")).is_err());
+        assert!(parse(&argv("sim --metrics-out m.jsonl")).is_err());
+        assert!(parse(&argv("sim --metrics 10 --reps 3")).is_err());
     }
 
     #[test]

@@ -10,7 +10,10 @@ mod args;
 
 use args::{parse, Command, RunSpec, USAGE};
 use carat::model::{Model, ModelConfig, ModelOptions, ModelReport, WarmStart};
-use carat::obs::{IterLog, TraceConfig, TraceFilter, Tracer};
+use carat::obs::{
+    shardstats, IterLog, MetricsConfig, MetricsFilter, MetricsRecorder, ShardStatsSnapshot,
+    TraceConfig, TraceFilter, Tracer,
+};
 use carat::sim::{DeadlockMode, Sim, SimConfig, SimReport};
 use carat_bench::{run_replications, ReplicatedReport, SweepOptions};
 
@@ -43,11 +46,26 @@ fn main() {
                     eprintln!("error: --trace records one run; give a single --n value");
                     std::process::exit(2);
                 }
+                if spec.metrics_ms.is_some() && spec.n_values.len() > 1 {
+                    eprintln!("error: --metrics records one run; give a single --n value");
+                    std::process::exit(2);
+                }
                 for &n in &spec.n_values {
-                    let (report, tracer) = run_sim_traced(&spec, n);
+                    // Scoped shard telemetry: the delta attributes
+                    // busy/stall/null totals to this run alone, even in a
+                    // process that runs several points.
+                    let scope = shardstats::begin_run();
+                    let (report, tracer, metrics) = run_sim_instrumented(&spec, n);
+                    let shard_delta = scope.finish();
                     print_sim(n, &report);
+                    if let Some(metrics) = &metrics {
+                        print_metrics_summary(&spec, metrics, &shard_delta);
+                        if let Some(path) = &spec.metrics_out {
+                            write_metrics(path, metrics);
+                        }
+                    }
                     if let (Some(path), Some(tracer)) = (&spec.trace, &tracer) {
-                        write_trace(path, tracer);
+                        write_trace(path, tracer, metrics.as_ref());
                     }
                     if let Err(why) = check_integrity(&report) {
                         eprintln!("error: integrity check failed: {why}");
@@ -143,11 +161,15 @@ fn sim_cfg(spec: &RunSpec, n: u32) -> SimConfig {
 }
 
 fn run_sim(spec: &RunSpec, n: u32) -> SimReport {
-    run_sim_traced(spec, n).0
+    run_sim_instrumented(spec, n).0
 }
 
-/// Runs one simulation, attaching a tracer when `--trace` was given.
-fn run_sim_traced(spec: &RunSpec, n: u32) -> (SimReport, Option<Tracer>) {
+/// Runs one simulation, attaching a tracer when `--trace` was given and a
+/// metrics recorder when `--metrics` was given.
+fn run_sim_instrumented(
+    spec: &RunSpec,
+    n: u32,
+) -> (SimReport, Option<Tracer>, Option<MetricsRecorder>) {
     let mut cfg = sim_cfg(spec, n);
     if spec.trace.is_some() {
         let filter = match &spec.trace_filter {
@@ -159,6 +181,14 @@ fn run_sim_traced(spec: &RunSpec, n: u32) -> (SimReport, Option<Tracer>) {
             filter,
             ..TraceConfig::default()
         });
+    }
+    if let Some(sample_ms) = spec.metrics_ms {
+        let filter = match &spec.metrics_filter {
+            // Parse errors are caught in args.rs; this cannot fail here.
+            Some(s) => MetricsFilter::parse(s).expect("filter validated at parse time"),
+            None => MetricsFilter::all(),
+        };
+        cfg.metrics = Some(MetricsConfig { sample_ms, filter });
     }
     if cfg.shards > 1
         && !carat::sim::shard::decomposable(&cfg)
@@ -182,7 +212,7 @@ fn run_sim_traced(spec: &RunSpec, n: u32) -> (SimReport, Option<Tracer>) {
             std::process::exit(2);
         }
     };
-    match sim.run_checked_traced() {
+    match sim.run_checked_instrumented() {
         Ok(out) => out,
         Err(e) => {
             eprintln!("error: {e}");
@@ -211,11 +241,13 @@ fn check_integrity(r: &SimReport) -> Result<(), String> {
     Ok(())
 }
 
-fn write_trace(path: &str, tracer: &Tracer) {
+fn write_trace(path: &str, tracer: &Tracer, metrics: Option<&MetricsRecorder>) {
     let body = if path.ends_with(".jsonl") {
+        // Line-delimited lifecycle events only; counter tracks are a
+        // Chrome trace-event concept.
         tracer.to_jsonl()
     } else {
-        tracer.to_chrome_json()
+        tracer.to_chrome_json_with(metrics)
     };
     if let Err(e) = std::fs::write(path, body) {
         eprintln!("error: cannot write trace {path}: {e}");
@@ -226,6 +258,61 @@ fn write_trace(path: &str, tracer: &Tracer) {
         tracer.len(),
         tracer.dropped()
     );
+}
+
+fn write_metrics(path: &str, metrics: &MetricsRecorder) {
+    let body = if path.ends_with(".csv") {
+        metrics.to_csv()
+    } else if path.ends_with(".json") {
+        metrics.to_chrome_json()
+    } else {
+        metrics.to_jsonl()
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: cannot write metrics {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "metrics: {} samples written to {path}",
+        metrics.samples().len()
+    );
+}
+
+/// The end-of-run metrics monitor, on stderr so stdout stays
+/// byte-identical to a metrics-free run (the CI neutrality gate compares
+/// it): per-metric aggregates with a sparkline of the run's shape, and —
+/// when the sharded engines actually ran — the wall-clock busy/stall
+/// split of the conservative protocol for this run alone.
+fn print_metrics_summary(spec: &RunSpec, metrics: &MetricsRecorder, shard: &ShardStatsSnapshot) {
+    let cadence = spec.metrics_ms.unwrap_or_default();
+    eprintln!(
+        "metrics: {} samples at {cadence} ms sim-time cadence",
+        metrics.samples().len()
+    );
+    for s in metrics.summarize(40) {
+        eprintln!(
+            "  {:<14} n={:<6} min {:>10.2} mean {:>10.2} max {:>10.2} p95 {:>10.2}  {}",
+            s.kind.label(),
+            s.count,
+            s.min,
+            s.mean,
+            s.max,
+            s.p95,
+            s.spark
+        );
+    }
+    if shard.busy_ns + shard.stall_ns > 0 {
+        let busy_ms = shard.busy_ns as f64 / 1e6;
+        let stall_ms = shard.stall_ns as f64 / 1e6;
+        let stall_pct = 100.0 * stall_ms / (busy_ms + stall_ms);
+        eprintln!(
+            "  shards: busy {busy_ms:.1} ms, stalled {stall_ms:.1} ms ({stall_pct:.0}% of \
+             wall) | {} null advances / {} cross-shard messages (ratio {:.2})",
+            shard.null_advances,
+            shard.messages,
+            shard.null_message_ratio()
+        );
+    }
 }
 
 fn write_iter_log(path: &str, log: &IterLog) {

@@ -231,6 +231,18 @@ impl LockManager {
         self.table.get(&block).and_then(|e| e.holder_mode(owner))
     }
 
+    /// Granted entries across the whole table — the lock-table depth
+    /// gauge. O(holders): sums the per-owner held-block lists.
+    pub fn granted_entries(&self) -> usize {
+        self.held.values().map(Vec::len).sum()
+    }
+
+    /// Transactions currently waiting on some block — the node count this
+    /// table contributes to the wait-for graph.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting_on.len()
+    }
+
     /// True when any transaction holds or awaits a lock on `block`.
     pub fn is_contended(&self, block: u32) -> bool {
         self.table.contains_key(&block)

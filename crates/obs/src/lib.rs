@@ -13,6 +13,12 @@
 //!   transaction type. The buffer exports as Chrome trace-event JSON
 //!   (loadable in Perfetto / `chrome://tracing`, with per-node tracks and
 //!   per-transaction async spans) or as JSONL.
+//! * [`metrics`]: a deterministic sim-time metrics recorder. The engine
+//!   samples gauges (station populations, utilization-to-date, lock-table
+//!   depth, blocked/active transaction counts, 2PC in-flight, journal
+//!   bytes, cross-LP message totals) on a fixed virtual-time cadence;
+//!   samples export as JSONL/CSV timeseries or as Chrome trace-event
+//!   counter tracks on the same Perfetto timeline as the lifecycle trace.
 //! * [`iterlog`]: a solver iteration log recording the residual and the
 //!   per-chain contention state (`Pb`, `Pd`, `L_h`, `R_LW`, `R_RW`,
 //!   `R_CW`) of every fixed-point iteration, exported as CSV or JSON, so
@@ -38,11 +44,16 @@
 
 pub mod counters;
 pub mod iterlog;
+pub mod metrics;
 pub mod shardstats;
 pub mod trace;
 
 pub use counters::CounterRegistry;
 pub use iterlog::{IterLog, IterRow};
+pub use metrics::{
+    sparkline, MetricKind, MetricSample, MetricSummary, MetricsConfig, MetricsFilter,
+    MetricsRecorder,
+};
 pub use shardstats::ShardStatsSnapshot;
 pub use trace::{TraceConfig, TraceEvent, TraceFilter, TraceKind, Tracer};
 

@@ -78,6 +78,49 @@ impl ShardStatsSnapshot {
     }
 }
 
+impl std::ops::Sub for ShardStatsSnapshot {
+    type Output = ShardStatsSnapshot;
+
+    /// Field-wise saturating difference — the per-run delta between two
+    /// snapshots of the monotone registry.
+    fn sub(self, earlier: ShardStatsSnapshot) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
+            stall_ns: self.stall_ns.saturating_sub(earlier.stall_ns),
+            null_advances: self.null_advances.saturating_sub(earlier.null_advances),
+            messages: self.messages.saturating_sub(earlier.messages),
+            fallbacks: self.fallbacks.saturating_sub(earlier.fallbacks),
+        }
+    }
+}
+
+/// A scoped view of the registry for one run: snapshot at construction,
+/// per-run delta at [`finish`](RunScope::finish). This is how multi-run
+/// processes (benchmark matrices, the replication harness, a CLI process
+/// running several points) attribute busy/stall/null totals to a single
+/// run instead of reporting the process-lifetime accumulation.
+///
+/// The counters stay process-global, so a delta attributes *everything*
+/// that happened during the scope — concurrent runs in other threads
+/// bleed into each other's deltas. Callers that want exact per-run
+/// numbers must not overlap scopes.
+#[derive(Debug, Clone, Copy)]
+pub struct RunScope {
+    start: ShardStatsSnapshot,
+}
+
+/// Opens a per-run telemetry scope at the current counter values.
+pub fn begin_run() -> RunScope {
+    RunScope { start: snapshot() }
+}
+
+impl RunScope {
+    /// The delta accumulated since the scope opened.
+    pub fn finish(self) -> ShardStatsSnapshot {
+        snapshot() - self.start
+    }
+}
+
 /// Reads the current counter values.
 pub fn snapshot() -> ShardStatsSnapshot {
     ShardStatsSnapshot {
@@ -125,5 +168,24 @@ mod tests {
         reset();
         assert_eq!(snapshot().messages, 0);
         assert_eq!(snapshot().null_message_ratio(), 0.0);
+
+        // Scoped per-run deltas: a scope opened mid-process sees only the
+        // traffic of its own run, not the process-lifetime accumulation.
+        add_messages(10);
+        let scope = begin_run();
+        add_messages(4);
+        add_null_advances(2);
+        add_busy_ns(50);
+        let delta = scope.finish();
+        assert_eq!(delta.messages, 4);
+        assert_eq!(delta.null_advances, 2);
+        assert_eq!(delta.busy_ns, 50);
+        assert_eq!(delta.fallbacks, 0);
+        assert_eq!(
+            snapshot().messages,
+            14,
+            "the registry itself keeps accumulating"
+        );
+        reset();
     }
 }

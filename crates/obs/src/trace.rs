@@ -287,9 +287,12 @@ impl TraceFilter {
                             }
                         }
                         if !hit {
+                            let labels: Vec<&str> =
+                                TraceKind::ALL.iter().map(|k| k.label()).collect();
                             return Err(format!(
-                                "unknown kind `{v}` (phase|tx|lock|deadlock|twopc|fault|net|\
-                                 partition|replica or an exact kind label)"
+                                "unknown kind `{v}`: valid categories: phase|tx|lock|deadlock|\
+                                 twopc|fault|net|partition|replica; valid kinds: {}",
+                                labels.join(", ")
                             ));
                         }
                     }
@@ -546,9 +549,21 @@ impl Tracer {
     /// scoped instants. Timestamps are microseconds, as the format
     /// requires.
     pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_with(None)
+    }
+
+    /// Like [`to_chrome_json`](Self::to_chrome_json), but additionally
+    /// interleaves the samples of a [`MetricsRecorder`] as counter-track
+    /// events (`ph:"C"`) under the same per-node processes, so the
+    /// lifecycle trace and the sampled timeseries land on one Perfetto
+    /// timeline.
+    pub fn to_chrome_json_with(&self, metrics: Option<&crate::MetricsRecorder>) -> String {
         let mut out = String::with_capacity(self.buf.len() * 96 + 256);
         out.push_str("{\"traceEvents\": [\n");
         let mut nodes: Vec<u32> = self.events().map(|e| e.node).collect();
+        if let Some(m) = metrics {
+            nodes.extend(m.samples().iter().map(|s| s.site));
+        }
         nodes.sort_unstable();
         nodes.dedup();
         let mut first = true;
@@ -612,6 +627,11 @@ impl Tracer {
                 ),
             };
             push(&mut out, line);
+        }
+        if let Some(m) = metrics {
+            for line in m.chrome_counter_lines() {
+                push(&mut out, line);
+            }
         }
         out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
         out

@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use carat_obs::TraceConfig;
+use carat_obs::{MetricsConfig, TraceConfig};
 use carat_workload::{SystemParams, WorkloadSpec};
 
 /// A configuration the simulator refuses to run, with enough structure for
@@ -468,6 +468,12 @@ pub struct SimConfig {
     /// one branch each, allocate nothing, and draw no randomness, so a
     /// traceless run is byte-identical to a pre-observability build.
     pub trace: Option<TraceConfig>,
+    /// Sim-time metrics sampling. `None` (the default) leaves the event
+    /// loop untouched — the sampling hook reduces to one branch per
+    /// event. When set, the engine samples per-site gauges at every
+    /// virtual-time boundary `k · sample_ms`; samples are byte-identical
+    /// for every shard count (DESIGN.md §15).
+    pub metrics: Option<MetricsConfig>,
     /// Worker threads for the site-sharded engine (`1` = run everything on
     /// the calling thread). Purely a parallelism knob: whether a run
     /// decomposes by site is a function of the *rest* of the configuration
@@ -497,6 +503,7 @@ impl SimConfig {
             partition_plan: PartitionPlan::default(),
             max_events: 0,
             trace: None,
+            metrics: None,
             shards: 1,
         }
     }
@@ -537,6 +544,14 @@ impl SimConfig {
                 "measure_ms",
                 "an empty measurement window measures nothing".into(),
             );
+        }
+        if let Some(m) = &self.metrics {
+            if !m.sample_ms.is_finite() || m.sample_ms <= 0.0 {
+                return param(
+                    "metrics.sample_ms",
+                    format!("{} must be finite and positive", m.sample_ms),
+                );
+            }
         }
         for &(at_ms, site) in &self.crashes {
             if !at_ms.is_finite() || at_ms < 0.0 {

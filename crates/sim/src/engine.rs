@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 
 use carat_des::{Fcfs, Histogram, Scheduler, Tally, Time};
 use carat_lock::{LockManager, LockMode, Outcome, TimestampManager, TsOutcome, WaitForGraph};
-use carat_obs::{CounterRegistry, TraceEvent, TraceKind, Tracer};
+use carat_obs::{CounterRegistry, MetricKind, MetricsRecorder, TraceEvent, TraceKind, Tracer};
 use carat_storage::Database;
 use carat_workload::TxType;
 use rand::rngs::StdRng;
@@ -216,6 +216,13 @@ pub enum SimError {
         sim_time_ms: f64,
         /// Report over whatever window had elapsed when the run stopped.
         partial: Box<SimReport>,
+        /// Samples recorded up to (strictly below) the trip instant, when
+        /// [`crate::SimConfig::metrics`] was set — the timeseries analogue
+        /// of `partial`. Under the sharded engines every site contributes
+        /// the samples up to its *own* trip (or run end) while
+        /// `sim_time_ms` reports the earliest, mirroring how `partial`
+        /// merges the per-site reports.
+        partial_metrics: Option<Box<MetricsRecorder>>,
     },
 }
 
@@ -612,6 +619,19 @@ pub struct Sim {
     /// simulation state, so traced and untraced runs execute the same
     /// event sequence and produce the same report.
     tracer: Option<Box<Tracer>>,
+    /// Sim-time metrics recorder, present only when
+    /// [`SimConfig::metrics`] is set. Same inert-default pattern as the
+    /// tracer: the unsampled simulator pays one pointer of state and one
+    /// branch (plus a float compare when enabled) per event. Sampling only
+    /// ever *reads* simulation state at virtual-time boundaries, so
+    /// sampled and unsampled runs execute the same event sequence and
+    /// produce the same report.
+    metrics: Option<Box<MetricsRecorder>>,
+    /// Cross-LP messages handled / emitted by this logical process
+    /// (deterministic inputs to the `shard` metric category; always 0 in
+    /// the monolithic and decomposed engines).
+    xmsg_in: u64,
+    xmsg_out: u64,
     /// Events handled per [`Ev`] kind (profiling counters).
     ev_counts: [u64; Ev::KINDS],
     // --- Coupled-engine (site-level logical process) state. All inert ---
@@ -704,8 +724,15 @@ impl Sim {
         let tracer = cfg.trace.clone().map(|tc| Box::new(Tracer::new(tc)));
         let sites = cfg.params.sites();
         let replicated = cfg.partition_plan.replication > 1 || cfg.partition_plan.is_active();
+        let metrics = cfg
+            .metrics
+            .as_ref()
+            .map(|mc| Box::new(MetricsRecorder::new(mc)));
         Ok(Sim {
             tracer,
+            metrics,
+            xmsg_in: 0,
+            xmsg_out: 0,
             ev_counts: [0; Ev::KINDS],
             comp: vec![0; sites],
             partition_active: false,
@@ -802,7 +829,18 @@ impl Sim {
     }
 
     /// [`run_checked`](Self::run_checked) + the lifecycle tracer.
-    pub fn run_checked_traced(mut self) -> Result<(SimReport, Option<Tracer>), SimError> {
+    pub fn run_checked_traced(self) -> Result<(SimReport, Option<Tracer>), SimError> {
+        self.run_checked_instrumented()
+            .map(|(report, tracer, _)| (report, tracer))
+    }
+
+    /// [`run_checked_traced`](Self::run_checked_traced) + the sim-time
+    /// metrics recorder (when [`SimConfig::metrics`] was set). On a
+    /// budget trip the samples recorded before the trip ride in
+    /// [`SimError::EventBudgetExhausted`]'s `partial_metrics`.
+    pub fn run_checked_instrumented(
+        mut self,
+    ) -> Result<(SimReport, Option<Tracer>, Option<MetricsRecorder>), SimError> {
         // Site-separable configurations decompose into independent
         // per-site sub-simulations run on `cfg.shards` worker threads;
         // the merged report is byte-identical for every shard count (see
@@ -868,12 +906,22 @@ impl Sim {
             if t > end {
                 break;
             }
+            // Emit every sample boundary strictly below `t` before the
+            // event (and before a potential budget trip at `t`): a sample
+            // at boundary `b` captures the state after all events ≤ b.
+            if let Some(m) = self.metrics.as_deref() {
+                if m.next_boundary() < t {
+                    self.metrics_flush_below(t, end);
+                }
+            }
             if budget != 0 && self.events >= budget {
+                let partial_metrics = self.metrics.take();
                 let report = self.wind_down(t.min(end));
                 return Err(SimError::EventBudgetExhausted {
                     budget,
                     sim_time_ms: t,
                     partial: Box::new(report),
+                    partial_metrics,
                 });
             }
             self.events += 1;
@@ -882,8 +930,157 @@ impl Sim {
                 self.advance(id);
             }
         }
+        // No event beyond the cutoff can change state: flush the
+        // remaining boundaries up to the horizon before wind-down mutates
+        // node state (crash recovery, replica catch-up).
+        if self.metrics.is_some() {
+            self.metrics_flush_through(end);
+        }
         let report = self.wind_down(end);
-        Ok((report, self.tracer.take().map(|b| *b)))
+        Ok((
+            report,
+            self.tracer.take().map(|b| *b),
+            self.metrics.take().map(|b| *b),
+        ))
+    }
+
+    /// Emits every pending sample boundary strictly below `t` (and never
+    /// beyond `end`). Callers gate on `self.metrics` being present and
+    /// due, so the disabled hot path stays one branch per event.
+    fn metrics_flush_below(&mut self, t: Time, end: Time) {
+        while let Some(b) = self
+            .metrics
+            .as_deref()
+            .map(MetricsRecorder::next_boundary)
+            .filter(|&b| b < t && b <= end)
+        {
+            self.metrics_sample_at(b);
+            self.metrics
+                .as_deref_mut()
+                .expect("recorder present")
+                .finish_boundary();
+        }
+    }
+
+    /// Emits every remaining boundary up to and including `end` — the
+    /// wind-down flush, called once no further event at or below `end`
+    /// can run.
+    fn metrics_flush_through(&mut self, end: Time) {
+        while let Some(b) = self
+            .metrics
+            .as_deref()
+            .map(MetricsRecorder::next_boundary)
+            .filter(|&b| b <= end)
+        {
+            self.metrics_sample_at(b);
+            self.metrics
+                .as_deref_mut()
+                .expect("recorder present")
+                .finish_boundary();
+        }
+    }
+
+    /// Records one boundary's batch of samples at virtual time `b`. The
+    /// monolithic engine samples every site; a coupled-engine LP samples
+    /// only its owned site (peer node states are inert there), so the
+    /// merged timeseries covers each site exactly once. Values are pure
+    /// functions of `(state, b)` — no wall clock, no RNG — and kinds are
+    /// emitted in [`MetricKind::ALL`] order per site, so the sample
+    /// stream is canonical.
+    fn metrics_sample_at(&mut self, b: Time) {
+        let mut m = self.metrics.take().expect("caller checked");
+        let census = m.accepts(MetricKind::TxActive)
+            || m.accepts(MetricKind::TxBlocked)
+            || m.accepts(MetricKind::TwopcInflight);
+        let sites = self.nodes.len();
+        // Per-site transaction census: active by *home* (ghosts stand in
+        // for transactions visiting other LPs, so each counts exactly
+        // once), blocked and 2PC-deciding by *current* site.
+        let mut active = vec![0u64; if census { sites } else { 0 }];
+        let mut blocked = vec![0u64; if census { sites } else { 0 }];
+        let mut deciding = vec![0u64; if census { sites } else { 0 }];
+        if census {
+            for (_, tx) in self.txs.iter() {
+                if tx.home < sites {
+                    active[tx.home] += 1;
+                }
+                if !tx.away && tx.at_site < sites {
+                    if tx.blocked_since.is_some() {
+                        blocked[tx.at_site] += 1;
+                    }
+                    if tx.decided {
+                        deciding[tx.at_site] += 1;
+                    }
+                }
+            }
+        }
+        let range = match self.owned {
+            Some(s) => s..s + 1,
+            None => 0..sites,
+        };
+        for i in range {
+            let site = i as u32;
+            let node = &self.nodes[i];
+            m.record(b, site, MetricKind::CpuQ, node.cpu.population() as f64);
+            m.record(b, site, MetricKind::DiskQ, node.disk.population() as f64);
+            if self.cfg.separate_log_disk {
+                m.record(
+                    b,
+                    site,
+                    MetricKind::LogDiskQ,
+                    node.log_disk.population() as f64,
+                );
+            }
+            let tm = node.tm_queue.len() + usize::from(node.tm_busy.is_some());
+            m.record(b, site, MetricKind::TmQ, tm as f64);
+            m.record(b, site, MetricKind::DmQ, node.dm_queue.len() as f64);
+            m.record(b, site, MetricKind::CpuUtil, node.cpu.utilization(b));
+            m.record(b, site, MetricKind::DiskUtil, node.disk.utilization(b));
+            if self.cfg.separate_log_disk {
+                m.record(
+                    b,
+                    site,
+                    MetricKind::LogDiskUtil,
+                    node.log_disk.utilization(b),
+                );
+            }
+            m.record(
+                b,
+                site,
+                MetricKind::DmInUse,
+                (self.cfg.dm_pool - node.dm_free) as f64,
+            );
+            if census {
+                m.record(b, site, MetricKind::TxActive, active[i] as f64);
+                m.record(b, site, MetricKind::TxBlocked, blocked[i] as f64);
+            }
+            m.record(
+                b,
+                site,
+                MetricKind::LockDepth,
+                node.locks.granted_entries() as f64,
+            );
+            m.record(
+                b,
+                site,
+                MetricKind::LockWaiters,
+                node.locks.waiting_count() as f64,
+            );
+            if census {
+                m.record(b, site, MetricKind::TwopcInflight, deciding[i] as f64);
+            }
+            m.record(
+                b,
+                site,
+                MetricKind::JournalBytes,
+                node.db.journal().len_bytes() as f64,
+            );
+            if self.owned.is_some() {
+                m.record(b, site, MetricKind::XmsgIn, self.xmsg_in as f64);
+                m.record(b, site, MetricKind::XmsgOut, self.xmsg_out as f64);
+            }
+        }
+        self.metrics = Some(m);
     }
 
     /// End-of-run post-processing + report assembly. Pure bookkeeping on
@@ -1794,6 +1991,16 @@ impl Sim {
             if t >= horizon || t > end {
                 return None;
             }
+            // Safe to sample below `t`: conservative sync guarantees any
+            // message not yet visible carries a timestamp ≥ horizon > t,
+            // so all events ≤ b < t have been applied. Flushing before
+            // the budget check gives a trip at `t` exactly the samples
+            // strictly below the trip instant.
+            if let Some(m) = self.metrics.as_deref() {
+                if m.next_boundary() < t {
+                    self.metrics_flush_below(t, end);
+                }
+            }
             if budget != 0 && self.events >= budget {
                 return Some(t);
             }
@@ -1819,6 +2026,7 @@ impl Sim {
     /// migrations and DM releases are delivered network messages
     /// (`ev_net_done`), probe hops are probe deliveries (`ev_probe`).
     fn handle_xmsg(&mut self, msg: XMsg) {
+        self.xmsg_in += 1;
         match msg {
             XMsg::Migrate { txn } => {
                 self.ev_counts[3] += 1; // ev_net_done
@@ -1901,6 +2109,7 @@ impl Sim {
             self.gid_index.remove(&ghost.gid);
             self.spare_txns.push(ghost);
         }
+        self.xmsg_out += 1;
         self.outbox
             .push((to, now + ms, XMsg::Migrate { txn: Box::new(txn) }));
     }
@@ -1963,6 +2172,7 @@ impl Sim {
         } else {
             let dest = if home == owned { cur_site } else { home };
             let alpha = self.cfg.params.comm_delay_ms;
+            self.xmsg_out += 1;
             self.outbox.push((
                 dest,
                 self.sched.now() + alpha,
@@ -1997,6 +2207,7 @@ impl Sim {
         if away {
             let dest = if home == owned { cur_site } else { home };
             let alpha = self.cfg.params.comm_delay_ms;
+            self.xmsg_out += 1;
             self.outbox.push((
                 dest,
                 self.sched.now() + alpha,
@@ -2120,6 +2331,25 @@ impl Sim {
     /// in site order before merging LP state).
     pub(crate) fn take_tracer(&mut self) -> Option<Tracer> {
         self.tracer.take().map(|b| *b)
+    }
+
+    /// Flushes the remaining sample boundaries up to `end`. The coupled
+    /// driver calls this when an LP retires *without* a budget trip: the
+    /// retirement condition (`min(next, horizon) > end`) guarantees no
+    /// further event at or below `end` will ever run here, so the
+    /// remaining boundaries are final. Tripped LPs keep only the samples
+    /// below their trip instant.
+    pub(crate) fn lp_finish_metrics(&mut self, end: Time) {
+        if self.metrics.is_some() {
+            self.metrics_flush_through(end);
+        }
+    }
+
+    /// Takes the metrics recorder out (the driver collects per-LP
+    /// recorders in site order before merging LP state, like
+    /// [`Self::take_tracer`]).
+    pub(crate) fn take_metrics(&mut self) -> Option<MetricsRecorder> {
+        self.metrics.take().map(|b| *b)
     }
 
     fn submit(&mut self, user: usize) {
@@ -3503,6 +3733,7 @@ impl Sim {
                     self.free_dm(site);
                 } else {
                     let alpha = self.cfg.params.comm_delay_ms;
+                    self.xmsg_out += 1;
                     self.outbox.push((site, now + alpha, XMsg::DmRelease));
                 }
             }

@@ -93,7 +93,10 @@ pub mod program;
 pub mod shard;
 pub mod slab;
 
-pub use carat_obs::{CounterRegistry, TraceConfig, TraceEvent, TraceFilter, TraceKind, Tracer};
+pub use carat_obs::{
+    CounterRegistry, MetricKind, MetricsConfig, MetricsFilter, MetricsRecorder, TraceConfig,
+    TraceEvent, TraceFilter, TraceKind, Tracer,
+};
 pub use config::{
     CcProtocol, DeadlockMode, DegradationPolicy, FaultPlan, PartitionPlan, SimConfig,
     SimConfigError, SplitSpec, VictimPolicy,

@@ -79,7 +79,7 @@ use std::time::Instant;
 
 use carat_des::shard::{HorizonClock, ShardChannel, SiteShardMap};
 use carat_des::{splitmix64, Time};
-use carat_obs::{shardstats, Tracer};
+use carat_obs::{shardstats, MetricsRecorder, Tracer};
 
 use crate::config::{CcProtocol, DeadlockMode, SimConfig};
 use crate::engine::{Sim, SimError, XMsg};
@@ -193,20 +193,24 @@ fn site_config(cfg: &SimConfig, site: usize, share: u64) -> SimConfig {
     }
 }
 
+/// The instrumented result triple of one whole run (or one site's
+/// sub-simulation): report, lifecycle tracer, metrics recorder.
+pub(crate) type RunOutput = (SimReport, Option<Tracer>, Option<MetricsRecorder>);
+
 /// Outcome of one site's sub-simulation.
-type SiteOutcome = Result<(SimReport, Option<Tracer>), SimError>;
+type SiteOutcome = Result<RunOutput, SimError>;
 
 fn run_site(cfg: SimConfig) -> SiteOutcome {
     Sim::new(cfg)
         .expect("a site slice of a validated config is valid")
-        .run_checked_traced()
+        .run_checked_instrumented()
 }
 
 /// Runs a decomposable configuration as per-site sub-simulations on
 /// `cfg.shards` worker threads (clamped to the site count) and merges the
 /// results in site order. The caller (`Sim::run_checked_traced`) has
 /// already validated `cfg` and checked [`decomposable`].
-pub(crate) fn run_decomposed(cfg: SimConfig) -> Result<(SimReport, Option<Tracer>), SimError> {
+pub(crate) fn run_decomposed(cfg: SimConfig) -> Result<RunOutput, SimError> {
     let sites = cfg.params.sites();
     let shards = cfg.shards.min(sites).max(1);
     let budget = cfg.max_events;
@@ -239,32 +243,47 @@ pub(crate) fn run_decomposed(cfg: SimConfig) -> Result<(SimReport, Option<Tracer
         })
     };
 
-    // Split outcomes into (per-site report, per-site tracer, trip info).
+    // Split outcomes into (per-site report, tracer, metrics, trip info).
     let mut reports = Vec::with_capacity(sites);
     let mut tracers = Vec::with_capacity(sites);
+    let mut metrics = Vec::with_capacity(sites);
     let mut first_trip_ms = f64::INFINITY;
     let mut tripped = false;
     for (site, outcome) in outcomes.into_iter().enumerate() {
         match outcome {
-            Ok((report, tracer)) => {
+            Ok((report, tracer, site_metrics)) => {
                 reports.push(report);
                 if let Some(t) = tracer {
                     tracers.push((site as u32, t));
+                }
+                if let Some(m) = site_metrics {
+                    metrics.push((site as u32, m));
                 }
             }
             Err(SimError::EventBudgetExhausted {
                 sim_time_ms,
                 partial,
+                partial_metrics,
                 ..
             }) => {
                 tripped = true;
                 first_trip_ms = first_trip_ms.min(sim_time_ms);
                 reports.push(*partial);
+                if let Some(m) = partial_metrics {
+                    // A tripped site contributes the samples recorded
+                    // before its (schedule-independent) trip instant.
+                    metrics.push((site as u32, *m));
+                }
             }
         }
     }
 
     let merged = merge_reports(reports);
+    let merged_metrics = if metrics.is_empty() {
+        None
+    } else {
+        Some(MetricsRecorder::merge_sites(metrics))
+    };
     if tripped {
         // Sites run to completion (or their own trip) independently, so
         // the merged partial — and the earliest trip instant — is the
@@ -273,6 +292,7 @@ pub(crate) fn run_decomposed(cfg: SimConfig) -> Result<(SimReport, Option<Tracer
             budget,
             sim_time_ms: first_trip_ms,
             partial: Box::new(merged),
+            partial_metrics: merged_metrics.map(Box::new),
         });
     }
     let tracer = if tracers.is_empty() {
@@ -280,7 +300,7 @@ pub(crate) fn run_decomposed(cfg: SimConfig) -> Result<(SimReport, Option<Tracer
     } else {
         Some(Tracer::merge_sites(tracers))
     };
-    Ok((merged, tracer))
+    Ok((merged, tracer, merged_metrics))
 }
 
 /// One site-LP's end state: its site index, the `Sim`, and the virtual
@@ -293,13 +313,14 @@ type LpOutcome = (usize, Sim, Option<Time>);
 /// [`ShardChannel`] with lookahead α, on `cfg.shards` worker threads
 /// (clamped to the site count). The caller (`Sim::run_checked_traced`)
 /// has already validated `cfg` and checked [`coupled_eligible`].
-pub(crate) fn run_coupled(cfg: SimConfig) -> Result<(SimReport, Option<Tracer>), SimError> {
+pub(crate) fn run_coupled(cfg: SimConfig) -> Result<RunOutput, SimError> {
     let sites = cfg.params.sites();
     let shards = cfg.shards.min(sites).max(1);
     let budget = cfg.max_events;
     let alpha = cfg.params.comm_delay_ms;
     let end = cfg.warmup_ms + cfg.measure_ms;
     let tracing = cfg.trace.is_some();
+    let metrics_on = cfg.metrics.is_some();
     let shares = budget_shares(budget, sites);
 
     let mut lps: Vec<(usize, Sim)> = (0..sites)
@@ -370,6 +391,19 @@ pub(crate) fn run_coupled(cfg: SimConfig) -> Result<(SimReport, Option<Tracer>),
         Vec::new()
     };
 
+    // Metrics likewise: each LP's recorder holds only its own site's
+    // samples (already site-tagged), so the merge is part order + stable
+    // time sort, a pure function of the configuration.
+    let metrics = if metrics_on {
+        let parts: Vec<MetricsRecorder> = outcomes
+            .iter_mut()
+            .map(|(_, lp, _)| lp.take_metrics().expect("metrics were configured"))
+            .collect();
+        Some(MetricsRecorder::merge_ordered(parts))
+    } else {
+        None
+    };
+
     // Fold LPs 1..n into LP 0 in site order, then wind down once so
     // utilization windows and phase-total rounding happen exactly once.
     let mut it = outcomes.into_iter();
@@ -387,6 +421,7 @@ pub(crate) fn run_coupled(cfg: SimConfig) -> Result<(SimReport, Option<Tracer>),
             budget,
             sim_time_ms: first_trip,
             partial: Box::new(report),
+            partial_metrics: metrics.map(Box::new),
         });
     }
     let tracer = if tracers.is_empty() {
@@ -394,7 +429,7 @@ pub(crate) fn run_coupled(cfg: SimConfig) -> Result<(SimReport, Option<Tracer>),
     } else {
         Some(Tracer::merge_ordered(tracers))
     };
-    Ok((report, tracer))
+    Ok((report, tracer, metrics))
 }
 
 /// Sweeps one worker thread's LPs until all have retired. Each round per
@@ -463,6 +498,9 @@ fn run_lp_block(
                 retired[i] = true;
                 f64::INFINITY
             } else if lp.lp_next_time().min(horizon) > end {
+                // Retirement makes every boundary <= end final: unseen
+                // messages carry timestamps >= horizon > end.
+                lp.lp_finish_metrics(end);
                 retired[i] = true;
                 f64::INFINITY
             } else {
@@ -739,6 +777,7 @@ mod tests {
                 budget,
                 sim_time_ms,
                 partial,
+                ..
             }) => (budget, sim_time_ms, partial),
             Ok(_) => panic!("budget must trip"),
         };
@@ -860,6 +899,7 @@ mod tests {
                 budget,
                 sim_time_ms,
                 partial,
+                ..
             }) => (budget, sim_time_ms, partial),
             Ok(_) => panic!("budget must trip"),
         };
@@ -889,6 +929,51 @@ mod tests {
         assert_eq!(r1, r3);
         assert_eq!(t1, t3);
         assert!(t1.contains("\"node\": 2"), "trace covers remote sites");
+    }
+
+    #[test]
+    fn metrics_bytes_are_shard_count_independent() {
+        let run = |shards: usize| {
+            let mut cfg = lb8(3);
+            cfg.measure_ms = 5_000.0;
+            cfg.metrics = Some(carat_obs::MetricsConfig::new(50.0));
+            cfg.shards = shards;
+            let (report, _, metrics) = Sim::new(cfg)
+                .expect("valid")
+                .run_checked_instrumented()
+                .expect("no budget");
+            (report, metrics.expect("metrics were on").to_jsonl())
+        };
+        let (r1, m1) = run(1);
+        let (r3, m3) = run(3);
+        assert_eq!(r1, r3);
+        assert_eq!(m1, m3);
+        assert!(m1.contains("\"site\": 2"), "metrics cover remapped sites");
+        assert!(m1.contains("\"metric\": \"cpu_q\""));
+    }
+
+    #[test]
+    fn coupled_metrics_bytes_are_shard_count_independent() {
+        let run = |shards: usize| {
+            let mut cfg = mb4x(3);
+            cfg.measure_ms = 4_000.0;
+            cfg.metrics = Some(carat_obs::MetricsConfig::new(25.0));
+            cfg.shards = shards;
+            let (report, _, metrics) = Sim::new(cfg)
+                .expect("valid")
+                .run_checked_instrumented()
+                .expect("no budget");
+            (report, metrics.expect("metrics were on").to_jsonl())
+        };
+        let (r1, m1) = run(1);
+        let (r3, m3) = run(3);
+        assert_eq!(r1, r3);
+        assert_eq!(m1, m3);
+        assert!(m1.contains("\"site\": 2"), "metrics cover remote sites");
+        assert!(
+            m1.contains("\"metric\": \"xmsg_out\""),
+            "coupled runs expose cross-site message counters"
+        );
     }
 
     #[test]

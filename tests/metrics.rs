@@ -1,0 +1,153 @@
+//! Metrics-recorder integration tests: sampling boundary semantics,
+//! off-path neutrality, and byte-identical output for every shard count
+//! (the determinism contract the CI gates also enforce end to end).
+
+use carat::obs::{MetricsConfig, MetricsFilter};
+use carat::sim::{DeadlockMode, Sim, SimConfig, SimError, SimReport};
+use carat::workload::{StandardWorkload, SystemParams};
+use proptest::prelude::*;
+
+/// A small local-only (site-separable) run.
+fn local_cfg(sites: usize, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::new(StandardWorkload::Lb8.spec(sites), 8, seed);
+    cfg.params = SystemParams::with_sites(sites);
+    cfg.warmup_ms = 500.0;
+    cfg.measure_ms = 2_000.0;
+    cfg
+}
+
+/// A small cross-site run that takes the coupled conservative engine.
+fn coupled_cfg(sites: usize, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::new(StandardWorkload::Mb4.spec(sites), 8, seed);
+    cfg.params = SystemParams::with_sites(sites);
+    cfg.params.comm_delay_ms = 5.0;
+    cfg.deadlock_mode = DeadlockMode::Probes;
+    cfg.warmup_ms = 500.0;
+    cfg.measure_ms = 2_000.0;
+    cfg
+}
+
+fn run_instrumented(cfg: SimConfig) -> (SimReport, String) {
+    let (report, _, metrics) = Sim::new(cfg)
+        .expect("valid config")
+        .run_checked_instrumented()
+        .expect("no budget configured");
+    (report, metrics.expect("metrics were on").to_jsonl())
+}
+
+#[test]
+fn sampling_stops_at_the_run_end_when_the_cadence_does_not_divide_it() {
+    // end = 2500 ms, cadence 400 ms: boundaries 400..2400, never 2800.
+    let mut cfg = local_cfg(2, 7);
+    cfg.metrics = Some(MetricsConfig::new(400.0));
+    let (_, _, metrics) = Sim::new(cfg)
+        .expect("valid")
+        .run_checked_instrumented()
+        .expect("no budget");
+    let metrics = metrics.expect("metrics were on");
+    let times: std::collections::BTreeSet<u64> = metrics
+        .samples()
+        .iter()
+        .map(|s| s.t_ms.round() as u64)
+        .collect();
+    let expected: std::collections::BTreeSet<u64> = (1..=6).map(|k| k * 400).collect();
+    assert_eq!(times, expected, "one sample row per boundary <= end");
+}
+
+#[test]
+fn a_cadence_longer_than_the_run_yields_no_samples() {
+    let mut cfg = local_cfg(2, 7);
+    cfg.metrics = Some(MetricsConfig::new(10_000.0));
+    let (_, _, metrics) = Sim::new(cfg)
+        .expect("valid")
+        .run_checked_instrumented()
+        .expect("no budget");
+    let metrics = metrics.expect("metrics were on");
+    assert!(metrics.is_empty(), "no boundary fits inside the run");
+    assert_eq!(metrics.to_csv(), "t_ms,site,metric,value\n", "header only");
+}
+
+#[test]
+fn a_budget_trip_keeps_exactly_the_samples_before_the_trip_instant() {
+    // Monolithic on purpose (distributed users, α = 0): under the sharded
+    // engines each *site* stops at its own trip instant while the error
+    // reports the earliest, so the strict global bound below holds only
+    // for the single event loop.
+    let mut cfg = SimConfig::new(StandardWorkload::Mb4.spec(2), 8, 7);
+    cfg.warmup_ms = 500.0;
+    cfg.measure_ms = 2_000.0;
+    cfg.metrics = Some(MetricsConfig::new(5.0));
+    cfg.max_events = 200; // trips mid-run: a full run needs far more
+    let err = Sim::new(cfg)
+        .expect("valid")
+        .run_checked_instrumented()
+        .expect_err("budget must trip");
+    let SimError::EventBudgetExhausted {
+        sim_time_ms,
+        partial_metrics,
+        ..
+    } = err;
+    let partial = *partial_metrics.expect("metrics were on");
+    assert!(!partial.is_empty(), "the run got past the first boundary");
+    for s in partial.samples() {
+        assert!(
+            s.t_ms < sim_time_ms,
+            "sample at {} ms survived a trip at {} ms",
+            s.t_ms,
+            sim_time_ms
+        );
+    }
+}
+
+#[test]
+fn the_recorder_never_changes_the_report() {
+    for cfg in [local_cfg(3, 11), coupled_cfg(3, 11)] {
+        let off = Sim::new(cfg.clone()).expect("valid").run();
+        let mut on_cfg = cfg;
+        on_cfg.metrics = Some(MetricsConfig::new(10.0));
+        let (on, jsonl) = run_instrumented(on_cfg);
+        assert_eq!(off, on, "sampling must be observation, not interference");
+        assert!(!jsonl.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random eligible configurations: the recorder's JSONL is
+    /// byte-identical for every shard count, on both sharded engines,
+    /// with and without a filter.
+    #[test]
+    fn metrics_bytes_are_shard_count_independent(
+        seed in 1u64..1_000,
+        sites in 2usize..5,
+        sample_idx in 0usize..3,
+        filter_idx in 0usize..3,
+        coupled in any::<bool>(),
+    ) {
+        let sample_ms = [7.5, 20.0, 50.0][sample_idx];
+        let filter = match filter_idx {
+            0 => MetricsFilter::all(),
+            1 => MetricsFilter::parse("queue|util").unwrap(),
+            _ => MetricsFilter::parse("lock,tx").unwrap(),
+        };
+        let mut cfg = if coupled {
+            coupled_cfg(sites, seed)
+        } else {
+            local_cfg(sites, seed)
+        };
+        cfg.metrics = Some(MetricsConfig { sample_ms, filter });
+        let run = |shards: usize| {
+            let mut c = cfg.clone();
+            c.shards = shards;
+            run_instrumented(c)
+        };
+        let (r1, m1) = run(1);
+        for shards in [2usize, 4, 6] {
+            let (r, m) = run(shards);
+            prop_assert_eq!(&r1, &r, "report diverged at shards={}", shards);
+            prop_assert_eq!(&m1, &m, "metrics diverged at shards={}", shards);
+        }
+        prop_assert!(!m1.is_empty(), "the run produced samples");
+    }
+}
